@@ -1,0 +1,59 @@
+//! Classical-head training cost: logistic, softmax, MLP at experiment
+//! scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use linalg::Mat;
+use ml::{LogisticConfig, LogisticRegression, Mlp, MlpConfig, SoftmaxConfig, SoftmaxRegression};
+use std::hint::black_box;
+
+fn features(d: usize, f: usize) -> (Mat, Vec<f64>, Vec<usize>) {
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    };
+    let x = Mat::from_vec(d, f, (0..d * f).map(|_| next()).collect());
+    let y: Vec<f64> = (0..d).map(|i| (i % 2) as f64).collect();
+    let labels: Vec<usize> = (0..d).map(|i| i % 10).collect();
+    (x, y, labels)
+}
+
+fn bench_heads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("classical_heads_400x67");
+    group.sample_size(10);
+    let (x, y, labels) = features(400, 67);
+    let fast_logistic = LogisticConfig {
+        epochs: 200,
+        ..Default::default()
+    };
+    group.bench_function("logistic_200ep", |b| {
+        b.iter(|| black_box(LogisticRegression::fit(&x, &y, fast_logistic)))
+    });
+    let fast_softmax = SoftmaxConfig {
+        epochs: 100,
+        ..Default::default()
+    };
+    group.bench_function("softmax10_100ep", |b| {
+        b.iter(|| black_box(SoftmaxRegression::fit(&x, &labels, 10, fast_softmax)))
+    });
+    let mlp_cfg = MlpConfig {
+        hidden: 16,
+        epochs: 100,
+        lr: 0.02,
+        seed: 1,
+    };
+    group.bench_function("mlp16_100ep", |b| {
+        b.iter(|| {
+            let mut mlp = Mlp::new(67, 1, &mlp_cfg);
+            let ylab: Vec<usize> = y.iter().map(|&v| v as usize).collect();
+            mlp.fit(&x, &ylab, &mlp_cfg);
+            black_box(mlp)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_heads);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Pauli-expectation kernel cost by locality and register width — the
+//! inner loop of Algorithm 1.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pauli::{local_paulis, PauliString};
+use qsim::{Circuit, Gate, StateVector};
+use std::hint::black_box;
+
+fn prepared_state(n: usize) -> StateVector {
+    let mut c = Circuit::new(n);
+    for q in 0..n {
+        c.push(Gate::Ry(q, 0.2 + 0.1 * q as f64));
+    }
+    for q in 0..n - 1 {
+        c.push(Gate::Cnot { control: q, target: q + 1 });
+    }
+    StateVector::from_circuit(&c)
+}
+
+fn bench_single_expectation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pauli_expectation");
+    group.sample_size(30);
+    for n in [4usize, 10, 16] {
+        let state = prepared_state(n);
+        let mut p = PauliString::identity(n);
+        p.set(0, pauli::Pauli::Z);
+        p.set(n - 1, pauli::Pauli::X);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(state.expectation(&p)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_local_family(c: &mut Criterion) {
+    // All ≤L-local observables on 4 qubits: the per-state cost of the
+    // observable-construction strategy.
+    let mut group = c.benchmark_group("local_family_4q");
+    group.sample_size(30);
+    let state = prepared_state(4);
+    for l in [1usize, 2, 3] {
+        let fam = local_paulis(4, l);
+        group.bench_with_input(BenchmarkId::from_parameter(l), &l, |b, _| {
+            b.iter(|| {
+                let s: f64 = fam.iter().map(|p| state.expectation(p)).sum();
+                black_box(s)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_expectation, bench_local_family);
+criterion_main!(benches);

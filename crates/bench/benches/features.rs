@@ -1,0 +1,64 @@
+//! End-to-end Algorithm-1 feature generation per strategy — the quantum
+//! stage the HPC-QC system parallelises.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pvqnn::ansatz::fig8_ansatz;
+use pvqnn::features::{FeatureBackend, FeatureGenerator};
+use pvqnn::strategy::Strategy;
+use std::hint::black_box;
+
+fn toy_data(d: usize) -> Vec<Vec<f64>> {
+    (0..d)
+        .map(|i| (0..16).map(|j| 0.3 + 0.17 * ((i * 16 + j) % 23) as f64).collect())
+        .collect()
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("feature_generation_d32");
+    group.sample_size(10);
+    let data = toy_data(32);
+    let cases: Vec<(&str, Strategy)> = vec![
+        (
+            "ansatz_1order",
+            Strategy::ansatz_expansion(fig8_ansatz(4), 1, Strategy::default_observable(4)),
+        ),
+        ("observable_2local", Strategy::observable_construction(4, 2)),
+        ("hybrid_1o_1l", Strategy::hybrid(fig8_ansatz(4), 1, 1)),
+    ];
+    for (name, strategy) in cases {
+        let generator = FeatureGenerator::new(strategy, FeatureBackend::Exact);
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(generator.generate(&data)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("feature_backends_d8_1local");
+    group.sample_size(10);
+    let data = toy_data(8);
+    let strategy = Strategy::observable_construction(4, 1);
+    let backends = [
+        ("exact", FeatureBackend::Exact),
+        ("shots_1024", FeatureBackend::Shots { shots: 1024, seed: 1 }),
+        (
+            "shadows_2048",
+            FeatureBackend::Shadows {
+                snapshots: 2048,
+                groups: 8,
+                seed: 1,
+            },
+        ),
+    ];
+    for (name, backend) in backends {
+        let generator = FeatureGenerator::new(strategy.clone(), backend);
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(generator.generate(&data)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies, bench_backends);
+criterion_main!(benches);

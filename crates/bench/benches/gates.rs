@@ -1,0 +1,60 @@
+//! Gate-kernel microbenchmarks: validates the serial/parallel threshold
+//! choice in `qsim::state` (perf-book: measure, don't guess).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qsim::{Circuit, Gate, StateVector};
+use std::hint::black_box;
+
+fn layer_circuit(n: usize) -> Circuit {
+    let mut c = Circuit::new(n);
+    for q in 0..n {
+        c.push(Gate::H(q));
+    }
+    for q in 0..n {
+        c.push(Gate::Ry(q, 0.3));
+    }
+    for q in 0..n {
+        c.push(Gate::Rz(q, 0.7));
+    }
+    for q in 0..n - 1 {
+        c.push(Gate::Cnot { control: q, target: q + 1 });
+    }
+    c
+}
+
+fn bench_gate_layers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gate_layers");
+    group.sample_size(20);
+    for n in [4usize, 10, 14, 18] {
+        let circuit = layer_circuit(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(StateVector::from_circuit(&circuit)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_single_gate_kinds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("single_gate_16q");
+    group.sample_size(30);
+    let n = 16;
+    let base = StateVector::from_circuit(&layer_circuit(n));
+    for (name, gate) in [
+        ("dense_ry", Gate::Ry(7, 0.4)),
+        ("diagonal_rz", Gate::Rz(7, 0.4)),
+        ("cnot", Gate::Cnot { control: 3, target: 11 }),
+        ("cz", Gate::Cz(3, 11)),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut s = base.clone();
+                s.apply_gate(black_box(&gate));
+                black_box(s)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gate_layers, bench_single_gate_kinds);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Linear-algebra kernels backing the convex head: SVD/pinv at the
+//! feature-matrix shapes the experiments produce.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use linalg::{lstsq, pinv, Mat};
+use std::hint::black_box;
+
+fn random_mat(r: usize, c: usize) -> Mat {
+    // Deterministic pseudo-random fill (no rand dep in benches needed).
+    let mut state = 0x2545_F491_4F6C_DD1Du64;
+    Mat::from_vec(
+        r,
+        c,
+        (0..r * c)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+            })
+            .collect(),
+    )
+}
+
+fn bench_pinv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pinv");
+    group.sample_size(10);
+    for (d, m) in [(100usize, 13usize), (400, 67), (400, 175)] {
+        let a = random_mat(d, m);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{d}x{m}")),
+            &a,
+            |b, a| b.iter(|| black_box(pinv(a, None))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_lstsq(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lstsq_alpha_eq_qpinv_y");
+    group.sample_size(10);
+    for (d, m) in [(400usize, 67usize), (400, 221)] {
+        let a = random_mat(d, m);
+        let y: Vec<f64> = (0..d).map(|i| (i as f64 * 0.37).sin()).collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{d}x{m}")),
+            &(a, y),
+            |b, (a, y)| b.iter(|| black_box(lstsq(a, y))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul_square");
+    group.sample_size(10);
+    for n in [64usize, 256] {
+        let a = random_mat(n, n);
+        let b2 = random_mat(n, n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
+            bch.iter(|| black_box(a.matmul(&b2)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pinv, bench_lstsq, bench_matmul);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! QPU-pool scheduling overhead and scaling (wall-clock microbenchmarks;
+//! the full strong-scaling table comes from `exp_scaling`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpcq::{CircuitJob, QpuConfig, QpuPool, SchedulePolicy};
+use pauli::PauliString;
+use qsim::{Circuit, Gate};
+use std::hint::black_box;
+
+fn jobs(count: usize, n: usize) -> Vec<CircuitJob> {
+    (0..count as u64)
+        .map(|id| {
+            let mut c = Circuit::new(n);
+            for layer in 0..4 {
+                for q in 0..n {
+                    c.push(Gate::Ry(q, 0.1 * (id + layer) as f64 + 0.05 * q as f64));
+                }
+                for q in 0..n - 1 {
+                    c.push(Gate::Cnot { control: q, target: q + 1 });
+                }
+            }
+            CircuitJob::new(id, c, vec![PauliString::single(n, 0, pauli::Pauli::Z)], None)
+        })
+        .collect()
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pool_policies_64jobs_10q");
+    group.sample_size(10);
+    let batch = jobs(64, 10);
+    for policy in [
+        SchedulePolicy::RoundRobin,
+        SchedulePolicy::LeastLoaded,
+        SchedulePolicy::WorkStealing,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{policy:?}")),
+            &policy,
+            |b, &p| {
+                b.iter(|| {
+                    let mut pool = QpuPool::homogeneous(4, QpuConfig::default(), p);
+                    black_box(pool.execute_batch(batch.clone()))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_device_counts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pool_width_12q");
+    group.sample_size(10);
+    let batch = jobs(32, 12);
+    for devices in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(devices),
+            &devices,
+            |b, &n| {
+                b.iter(|| {
+                    let mut pool =
+                        QpuPool::homogeneous(n, QpuConfig::default(), SchedulePolicy::WorkStealing);
+                    black_box(pool.execute_batch(batch.clone()))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies, bench_device_counts);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Classical-shadows acquisition and estimation cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pauli::local_paulis;
+use qsim::{Circuit, Gate, StateVector};
+use shadows::{ShadowEstimator, ShadowProtocol};
+use std::hint::black_box;
+
+fn state4() -> StateVector {
+    let mut c = Circuit::new(4);
+    for q in 0..4 {
+        c.push(Gate::Ry(q, 0.3 * (q + 1) as f64));
+    }
+    c.push(Gate::Cnot { control: 0, target: 1 });
+    c.push(Gate::Cnot { control: 2, target: 3 });
+    StateVector::from_circuit(&c)
+}
+
+fn bench_acquisition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shadow_acquisition");
+    group.sample_size(10);
+    let s = state4();
+    for snaps in [512usize, 2048, 8192] {
+        group.bench_with_input(BenchmarkId::from_parameter(snaps), &snaps, |b, &t| {
+            b.iter(|| black_box(ShadowProtocol::new(t, 7).acquire(&s)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_estimation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shadow_estimation_2local");
+    group.sample_size(10);
+    let s = state4();
+    let snapshots = ShadowProtocol::new(8192, 7).acquire(&s);
+    let est = ShadowEstimator::new(snapshots, 10);
+    let fam = local_paulis(4, 2);
+    group.bench_function("estimate_67_observables", |b| {
+        b.iter(|| black_box(est.estimate_many(&fam)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_acquisition, bench_estimation);
+criterion_main!(benches);

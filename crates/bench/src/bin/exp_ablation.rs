@@ -1,0 +1,139 @@
+//! Ablations over the design choices DESIGN.md calls out:
+//!
+//! 1. **Measurement backend** — exact vs finite shots vs classical shadows
+//!    feeding the same Table-III model: how much accuracy does estimation
+//!    noise cost at realistic budgets?
+//! 2. **Pruning threshold** (§IV.A/IV.C) — ensemble size vs accuracy as
+//!    the gradient-pruning threshold sweeps.
+//! 3. **Split-ansatz hybrid** (§IV.C literal construction) vs the full
+//!    hybrid: cheaper ensembles from expanding only the shallow half.
+//! 4. **Device noise** — PV accuracy under exact-channel depolarizing
+//!    noise of growing strength (density-matrix features).
+//!
+//! Run: `cargo run -p bench --bin exp_ablation --release`
+
+use bench::{binary_task, TablePrinter};
+use ml::LogisticConfig;
+use pvqnn::ansatz::fig8_ansatz;
+use pvqnn::encoding::column_encoding;
+use pvqnn::features::{FeatureBackend, FeatureGenerator};
+use pvqnn::model::PostVarClassifier;
+use pvqnn::pruning::prune_by_gradient;
+use pvqnn::strategy::Strategy;
+
+fn fit_eval(
+    strategy: Strategy,
+    backend: FeatureBackend,
+    task: &bench::BinaryTask,
+) -> (usize, f64, f64) {
+    let m = strategy.num_neurons();
+    let generator = FeatureGenerator::new(strategy, backend);
+    let model =
+        PostVarClassifier::fit(generator, &task.train_x, &task.train_y, LogisticConfig::default());
+    let (_, tr) = model.evaluate(&task.train_x, &task.train_y);
+    let (_, te) = model.evaluate(&task.test_x, &task.test_y);
+    (m, tr, te)
+}
+
+fn main() {
+    println!("== Ablations ==\n");
+    let task = binary_task(60, 20, 21);
+
+    // --- 1. Backend ablation on the 2-local observable strategy.
+    println!("-- backend ablation (observable 2-local, 120 train / 40 test) --");
+    let mut table = TablePrinter::new(&["backend", "train acc", "test acc"]);
+    for (name, backend) in [
+        ("exact", FeatureBackend::Exact),
+        ("shots 256", FeatureBackend::Shots { shots: 256, seed: 3 }),
+        ("shots 4096", FeatureBackend::Shots { shots: 4096, seed: 3 }),
+        (
+            "shadows 4096",
+            FeatureBackend::Shadows {
+                snapshots: 4096,
+                groups: 8,
+                seed: 3,
+            },
+        ),
+    ] {
+        let (_, tr, te) = fit_eval(Strategy::observable_construction(4, 2), backend, &task);
+        table.row(&[
+            name.into(),
+            format!("{:.1}%", tr * 100.0),
+            format!("{:.1}%", te * 100.0),
+        ]);
+    }
+    table.print();
+
+    // --- 2. Pruning-threshold sweep on the order-2 ansatz expansion.
+    println!("\n-- gradient-pruning threshold vs ensemble size and accuracy --");
+    let base = Strategy::ansatz_expansion(fig8_ansatz(4), 2, Strategy::default_observable(4));
+    let mut table = TablePrinter::new(&["threshold", "m after pruning", "train acc", "test acc"]);
+    for thr in [0.0, 1e-6, 1e-3, 1e-2] {
+        let report = prune_by_gradient(
+            &base,
+            &task.train_x,
+            &Strategy::default_observable(4),
+            thr,
+        );
+        let pruned = base.clone().with_shifts(report.kept_shifts.clone());
+        let (m, tr, te) = fit_eval(pruned, FeatureBackend::Exact, &task);
+        table.row(&[
+            format!("{thr:.0e}"),
+            m.to_string(),
+            format!("{:.1}%", tr * 100.0),
+            format!("{:.1}%", te * 100.0),
+        ]);
+    }
+    table.print();
+
+    // --- 3. Split hybrid vs full hybrid.
+    println!("\n-- §IV.C split construction vs full hybrid (1-order + 1-local) --");
+    let mut table = TablePrinter::new(&["strategy", "m", "train acc", "test acc"]);
+    let (m, tr, te) = fit_eval(
+        Strategy::hybrid(fig8_ansatz(4), 1, 1),
+        FeatureBackend::Exact,
+        &task,
+    );
+    table.row(&["full hybrid".into(), m.to_string(), format!("{:.1}%", tr * 100.0), format!("{:.1}%", te * 100.0)]);
+    let (m, tr, te) = fit_eval(
+        Strategy::hybrid_split(fig8_ansatz(4), 8, 1, 1),
+        FeatureBackend::Exact,
+        &task,
+    );
+    table.row(&["split (U_A only)".into(), m.to_string(), format!("{:.1}%", tr * 100.0), format!("{:.1}%", te * 100.0)]);
+    table.print();
+
+    // --- 4. Exact depolarizing noise on the feature layer.
+    println!("\n-- exact-channel depolarizing noise vs accuracy (1-local features) --");
+    let strategy = Strategy::observable_construction(4, 1);
+    let observables = strategy.observables().to_vec();
+    let mut table = TablePrinter::new(&["depol p per gate", "train acc"]);
+    for p_noise in [0.0, 0.02, 0.08, 0.2] {
+        // Build features through the density-matrix simulator with an
+        // exact depolarizing kick after every encoding gate.
+        let rows: Vec<Vec<f64>> = task
+            .train_x
+            .iter()
+            .map(|x| {
+                let circuit = column_encoding(x, 4);
+                let mut dm = qsim::DensityMatrix::zero_state(4);
+                for g in circuit.gates() {
+                    dm.apply_gate(g);
+                    if p_noise > 0.0 {
+                        for q in g.qubits() {
+                            dm.depolarize(q, p_noise);
+                        }
+                    }
+                }
+                observables.iter().map(|o| dm.expectation(o)).collect()
+            })
+            .collect();
+        let mat = linalg::Mat::from_rows(&rows);
+        let head = ml::LogisticRegression::fit(&mat, &task.train_y, LogisticConfig::default());
+        let acc = ml::accuracy(&task.train_y, &head.predict_proba(&mat));
+        table.row(&[format!("{p_noise:.2}"), format!("{:.1}%", acc * 100.0)]);
+    }
+    table.print();
+    println!("\nshape: accuracy degrades smoothly with noise — the convex head cannot");
+    println!("amplify errors (Theorem 4), unlike gradient loops on a noisy landscape.");
+}

@@ -1,0 +1,70 @@
+//! The motivating figure: barren plateaus in variational training
+//! (paper §I/§III.C) vs the post-variational alternative.
+//!
+//! Produces the gradient-variance-vs-width curve for global and local
+//! observables on random circuits — the exponential decay that makes
+//! gradient-based training of `U(θ)` hopeless at scale — and contrasts it
+//! with the conditioning of the post-variational feature matrix on the
+//! same widths, which is what the convex head actually depends on.
+//!
+//! Run: `cargo run -p bench --bin exp_barren_plateau --release`
+
+use bench::TablePrinter;
+use linalg::svd::Svd;
+use pvqnn::barren::barren_sweep;
+use pvqnn::encoding::column_encoding;
+use pvqnn::features::{FeatureBackend, FeatureGenerator};
+use pvqnn::strategy::Strategy;
+
+fn main() {
+    println!("== Barren plateaus: Var[∂⟨O⟩/∂θ] vs circuit width ==\n");
+    let widths = [2usize, 3, 4, 5, 6, 7, 8];
+    let sweep = barren_sweep(&widths, 200, 17);
+    let mut table = TablePrinter::new(&["qubits", "Var[grad] global Z⊗…⊗Z", "Var[grad] local Z₀"]);
+    for p in &sweep {
+        table.row(&[
+            p.n.to_string(),
+            format!("{:.3e}", p.var_global),
+            format!("{:.3e}", p.var_local),
+        ]);
+    }
+    table.print();
+
+    // Exponential-decay fit for the global observable: log₂ slope.
+    let first = &sweep[0];
+    let last = &sweep[sweep.len() - 1];
+    let slope = ((last.var_global / first.var_global).log2())
+        / (last.n as f64 - first.n as f64);
+    println!("\nglobal-observable decay rate: {slope:.2} bits/qubit (≈ −1 ⇒ Var ~ 2^−n)");
+
+    // Post-variational contrast: the quantity that matters for the convex
+    // head is the conditioning of Q, which stays benign as n grows.
+    println!("\n-- conditioning of the post-variational feature matrix (L=1 observables) --");
+    let mut table = TablePrinter::new(&["qubits", "m", "κ(Q)", "σ_min(Q)"]);
+    for &n in &[2usize, 4, 6, 8] {
+        let data: Vec<Vec<f64>> = (0..40)
+            .map(|i| {
+                (0..4 * n)
+                    .map(|j| 0.3 + 0.4 * ((i * 13 + j * 7) % 29) as f64 / 29.0 * 5.0)
+                    .collect()
+            })
+            .collect();
+        let generator = FeatureGenerator::new(
+            Strategy::observable_construction(n, 1),
+            FeatureBackend::Exact,
+        );
+        let q = generator.generate(&data);
+        let svd = Svd::compute(&q);
+        table.row(&[
+            n.to_string(),
+            q.cols().to_string(),
+            format!("{:.1}", svd.cond()),
+            format!("{:.3e}", svd.sigma_min_nonzero()),
+        ]);
+        // Silence unused warning for encoding helper used implicitly.
+        let _ = column_encoding(&data[0], n);
+    }
+    table.print();
+    println!("\npaper reference: [14, 15] — global-cost gradients vanish exponentially in n;");
+    println!("the post-variational convex program replaces them with a well-conditioned LS fit.");
+}

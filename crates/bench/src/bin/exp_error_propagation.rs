@@ -1,0 +1,72 @@
+//! Empirical verification of **Theorems 3 and 4** on a real post-
+//! variational feature matrix: perturb `Q` entry-wise by ε_H, refit, and
+//! compare the excess loss `ΔL_RMSE` against the guarantees.
+//!
+//! Run: `cargo run -p bench --bin exp_error_propagation --release`
+
+use bench::{binary_task, TablePrinter};
+use pvqnn::errorprop::{
+    delta_rmse_closed_form, delta_rmse_constrained, perturb_uniform, theorem3_threshold,
+    theorem4_threshold,
+};
+use pvqnn::features::{FeatureBackend, FeatureGenerator};
+use pvqnn::strategy::Strategy;
+
+fn main() {
+    println!("== Theorems 3–4: error propagation through the linear head ==\n");
+    // A real Q: observable-construction L=2 on 60 coat/shirt samples.
+    let task = binary_task(30, 0, 5);
+    let generator = FeatureGenerator::new(
+        Strategy::observable_construction(4, 2),
+        FeatureBackend::Exact,
+    );
+    let q = generator.generate(&task.train_x);
+    let y: Vec<f64> = task.train_y.iter().map(|&l| 2.0 * l - 1.0).collect();
+    let (d, m) = q.shape();
+    println!("feature matrix: d = {d} samples × m = {m} neurons\n");
+
+    // --- Sweep ε_H for the unconstrained (pinv) head.
+    println!("-- unconstrained closed form (Theorem 3 regime) --");
+    let mut table = TablePrinter::new(&["ε_H", "mean ΔL", "max ΔL over 10 seeds"]);
+    for &eps_h in &[1e-4, 1e-3, 1e-2, 5e-2, 1e-1] {
+        let (mut sum, mut max) = (0.0f64, 0.0f64);
+        for seed in 0..10 {
+            let dl = delta_rmse_closed_form(&q, &perturb_uniform(&q, eps_h, seed), &y);
+            sum += dl;
+            max = max.max(dl);
+        }
+        table.row(&[
+            format!("{eps_h:.0e}"),
+            format!("{:.5}", sum / 10.0),
+            format!("{max:.5}"),
+        ]);
+    }
+    table.print();
+
+    // --- Theorem 3 bound check.
+    let eps = 0.05;
+    let probe = perturb_uniform(&q, 1e-9, 0);
+    let thr3 = theorem3_threshold(&q, &probe, &y, eps);
+    println!("\nTheorem 3: for ε = {eps}, admissible ‖Q̂−Q‖_max < {thr3:.3e}");
+    let mut worst = 0.0f64;
+    for seed in 0..20 {
+        let q_hat = perturb_uniform(&q, thr3 * 0.99, seed);
+        worst = worst.max(delta_rmse_closed_form(&q, &q_hat, &y));
+    }
+    println!("  measured worst ΔL over 20 perturbations at the threshold: {worst:.3e}  (bound: {eps})");
+    assert!(worst < eps, "Theorem 3 violated!");
+    println!("  ✓ bound holds");
+
+    // --- Theorem 4 (constrained) check.
+    let thr4 = theorem4_threshold(eps, m);
+    println!("\nTheorem 4: constrained ‖α‖₂ ≤ 1 admits the larger ε_H = ε/(2√m) = {thr4:.3e}");
+    let mut worst = 0.0f64;
+    for seed in 0..5 {
+        let q_hat = perturb_uniform(&q, thr4 * 0.99, seed);
+        worst = worst.max(delta_rmse_constrained(&q, &q_hat, &y, 1.0));
+    }
+    println!("  measured worst constrained ΔL over 5 perturbations: {worst:.3e}  (bound: {eps})");
+    println!("  ratio theorem4/theorem3 admissible noise: {:.1}×", thr4 / thr3);
+    println!("\npaper reference: the constraint buys O(m)→O(√m)-free measurement budgets");
+    println!("(Eq. (38) vs Eq. (36)), i.e. far larger tolerable per-entry noise.");
+}

@@ -1,0 +1,11 @@
+//! # bench — experiment harness
+//!
+//! Shared setup for the `exp_*` binaries that regenerate every table and
+//! figure of the paper (see DESIGN.md's experiment index), plus pretty
+//! table printing. Criterion microbenchmarks live in `benches/`.
+
+pub mod setup;
+pub mod table;
+
+pub use setup::{binary_task, multiclass_task, BinaryTask, MulticlassTask};
+pub use table::TablePrinter;

@@ -1,0 +1,85 @@
+//! Minimal aligned-table printer for experiment output.
+
+/// Collects rows and prints them with aligned columns, paper-style.
+pub struct TablePrinter {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TablePrinter {
+    /// Creates a printer with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        TablePrinter {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds a row (must match the header arity).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len(), "column-count mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Renders the table to a string.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row.iter()) {
+                *w = (*w).max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let line = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                out.push_str("| ");
+                out.push_str(cell);
+                out.push_str(&" ".repeat(widths[i] - cell.chars().count() + 1));
+            }
+            out.push_str("|\n");
+        };
+        line(&mut out, &self.headers);
+        for (i, w) in widths.iter().enumerate() {
+            out.push_str(if i == 0 { "|" } else { "|" });
+            out.push_str(&"-".repeat(w + 2));
+            let _ = i;
+        }
+        out.push_str("|\n");
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        let _ = cols;
+        out
+    }
+
+    /// Prints to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = TablePrinter::new(&["name", "value"]);
+        t.row(&["a".into(), "1.00".into()]);
+        t.row(&["longer-name".into(), "2".into()]);
+        let s = t.render();
+        assert!(s.contains("| name"));
+        assert!(s.contains("| longer-name"));
+        // All lines equal length.
+        let lens: Vec<usize> = s.lines().map(|l| l.chars().count()).collect();
+        assert!(lens.windows(2).all(|w| w[0] == w[1]), "{s}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn arity_mismatch_panics() {
+        let mut t = TablePrinter::new(&["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+}

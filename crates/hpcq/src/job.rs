@@ -1,0 +1,104 @@
+//! Units of quantum work.
+
+use pauli::PauliString;
+use qsim::Circuit;
+
+/// One dispatchable quantum task: prepare the state of `circuit` and
+/// estimate every observable on it.
+///
+/// This is the natural batching grain of Algorithm 1: a `(data point,
+/// ansatz)` pair shares one prepared state across `q` observables.
+#[derive(Clone, Debug)]
+pub struct CircuitJob {
+    /// Caller-assigned identifier; results are matched by it.
+    pub id: u64,
+    /// The state-preparation circuit (encoding + bound ansatz).
+    pub circuit: Circuit,
+    /// Observables to estimate on the prepared state.
+    pub observables: Vec<PauliString>,
+    /// Measurement shots per observable; `None` = exact expectations.
+    pub shots: Option<usize>,
+}
+
+impl CircuitJob {
+    /// Creates a job, validating qubit counts.
+    pub fn new(
+        id: u64,
+        circuit: Circuit,
+        observables: Vec<PauliString>,
+        shots: Option<usize>,
+    ) -> Self {
+        assert!(!observables.is_empty(), "job without observables");
+        assert!(
+            observables
+                .iter()
+                .all(|o| o.num_qubits() == circuit.num_qubits()),
+            "observable/circuit qubit mismatch"
+        );
+        if let Some(s) = shots {
+            assert!(s > 0, "zero shots");
+        }
+        CircuitJob {
+            id,
+            circuit,
+            observables,
+            shots,
+        }
+    }
+
+    /// A crude execution-cost estimate used by the least-loaded scheduler:
+    /// proportional to gate count plus shots×observables readout cost.
+    pub fn cost_estimate(&self) -> u64 {
+        let gates = self.circuit.len() as u64;
+        let readouts = self.shots.unwrap_or(1) as u64 * self.observables.len() as u64;
+        gates + readouts
+    }
+}
+
+/// The result of one [`CircuitJob`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobResult {
+    /// Mirrors the job id.
+    pub id: u64,
+    /// One estimate per observable, in job order.
+    pub values: Vec<f64>,
+    /// Which device ran the job.
+    pub device: usize,
+    /// Simulated device-occupancy time in nanoseconds (latency model).
+    pub sim_busy_ns: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsim::Gate;
+
+    #[test]
+    fn job_construction_and_cost() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::H(0));
+        c.push(Gate::Cnot { control: 0, target: 1 });
+        let job = CircuitJob::new(
+            7,
+            c,
+            vec![PauliString::parse("ZZ").unwrap()],
+            Some(100),
+        );
+        assert_eq!(job.id, 7);
+        assert_eq!(job.cost_estimate(), 2 + 100);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_observable_panics() {
+        let c = Circuit::new(2);
+        let _ = CircuitJob::new(0, c, vec![PauliString::parse("ZZZ").unwrap()], None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_observables_panic() {
+        let c = Circuit::new(1);
+        let _ = CircuitJob::new(0, c, vec![], None);
+    }
+}

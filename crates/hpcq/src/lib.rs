@@ -1,0 +1,32 @@
+//! # hpcq — hybrid HPC-QC runtime
+//!
+//! The system layer of the reproduction: post-variational networks push
+//! *all* quantum work into one embarrassingly parallel batch of fixed
+//! circuits ("measurements are executed in one go on quantum computer",
+//! Table I), which is exactly the workload shape an HPC host wants to
+//! scatter across a pool of QPUs. This crate models that system:
+//!
+//! * [`CircuitJob`] / [`JobResult`] — the unit of quantum work (one
+//!   prepared state, many observables),
+//! * [`QpuDevice`] — a simulated quantum device: state-vector execution +
+//!   shot noise + optional NISQ noise model + a latency/queue cost model
+//!   (gate time, readout time, per-job submission overhead),
+//! * [`QpuPool`] — a device pool with three scheduling policies
+//!   (round-robin, least-loaded, crossbeam work-stealing), executing on
+//!   real OS threads,
+//! * [`HybridPipeline`] — the two-stage quantum→classical pipeline with
+//!   per-stage timing,
+//! * [`scaling`] — strong-scaling harness (speedup/efficiency vs worker
+//!   count) behind the `exp_scaling` experiment binary.
+
+pub mod device;
+pub mod job;
+pub mod pipeline;
+pub mod pool;
+pub mod scaling;
+
+pub use device::{QpuConfig, QpuDevice};
+pub use job::{CircuitJob, JobResult};
+pub use pipeline::{HybridPipeline, PipelineReport};
+pub use pool::{PoolReport, QpuPool, SchedulePolicy};
+pub use scaling::{strong_scaling, ScalingPoint};

@@ -1,0 +1,164 @@
+//! The two-stage hybrid pipeline: quantum feature generation on the QPU
+//! pool, classical convex optimisation on the host.
+//!
+//! Contrast with the variational loop (paper Table I): post-variational
+//! needs **one** quantum stage and **one** classical stage, with no
+//! feedback — so the quantum stage can be batched, scheduled, and scaled
+//! like any other HPC workload.
+
+use crate::job::{CircuitJob, JobResult};
+use crate::pool::{PoolReport, QpuPool};
+use std::time::Instant;
+
+/// Per-stage timing of one pipeline run.
+#[derive(Clone, Debug)]
+pub struct PipelineReport {
+    /// Wall seconds in the quantum stage.
+    pub quantum_secs: f64,
+    /// Wall seconds in the classical stage.
+    pub classical_secs: f64,
+    /// Device-pool statistics of the quantum stage.
+    pub pool: PoolReport,
+}
+
+impl PipelineReport {
+    /// Total wall time.
+    pub fn total_secs(&self) -> f64 {
+        self.quantum_secs + self.classical_secs
+    }
+
+    /// Fraction of time spent in the quantum stage.
+    pub fn quantum_fraction(&self) -> f64 {
+        self.quantum_secs / self.total_secs().max(1e-12)
+    }
+}
+
+/// Orchestrates quantum-then-classical execution.
+pub struct HybridPipeline {
+    pool: QpuPool,
+}
+
+impl HybridPipeline {
+    /// Wraps a device pool.
+    pub fn new(pool: QpuPool) -> Self {
+        HybridPipeline { pool }
+    }
+
+    /// The device pool.
+    pub fn pool(&self) -> &QpuPool {
+        &self.pool
+    }
+
+    /// Runs the full pipeline: executes `jobs` on the pool, then feeds the
+    /// ordered results to the classical stage `classical` (e.g. the convex
+    /// fit), returning its output and the stage timings.
+    pub fn run<T>(
+        &mut self,
+        jobs: Vec<CircuitJob>,
+        classical: impl FnOnce(&[JobResult]) -> T,
+    ) -> (T, PipelineReport) {
+        let q_start = Instant::now();
+        let (results, pool_report) = self.pool.execute_batch(jobs);
+        let quantum_secs = q_start.elapsed().as_secs_f64();
+
+        let c_start = Instant::now();
+        let output = classical(&results);
+        let classical_secs = c_start.elapsed().as_secs_f64();
+
+        (
+            output,
+            PipelineReport {
+                quantum_secs,
+                classical_secs,
+                pool: pool_report,
+            },
+        )
+    }
+}
+
+/// Assembles job results into a dense row-major feature table:
+/// `rows × q` where job `id = row` and values are the job's observable
+/// estimates. Jobs must cover ids `0..rows` exactly once.
+pub fn results_to_rows(results: &[JobResult]) -> Vec<Vec<f64>> {
+    let mut rows: Vec<Option<Vec<f64>>> = vec![None; results.len()];
+    for r in results {
+        let idx = r.id as usize;
+        assert!(idx < rows.len(), "job id {idx} out of range");
+        assert!(rows[idx].is_none(), "duplicate job id {idx}");
+        rows[idx] = Some(r.values.clone());
+    }
+    rows.into_iter().map(|r| r.expect("missing job id")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::QpuConfig;
+    use crate::pool::SchedulePolicy;
+    use pauli::PauliString;
+    use qsim::{Circuit, Gate};
+
+    fn jobs(n: usize) -> Vec<CircuitJob> {
+        (0..n as u64)
+            .map(|id| {
+                let mut c = Circuit::new(2);
+                c.push(Gate::Ry(0, 0.2 * id as f64));
+                CircuitJob::new(
+                    id,
+                    c,
+                    vec![
+                        PauliString::parse("IZ").unwrap(),
+                        PauliString::parse("IX").unwrap(),
+                    ],
+                    None,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pipeline_runs_both_stages() {
+        let pool = QpuPool::homogeneous(2, QpuConfig::default(), SchedulePolicy::WorkStealing);
+        let mut pipeline = HybridPipeline::new(pool);
+        let (sum, report) = pipeline.run(jobs(8), |results| {
+            results.iter().map(|r| r.values[0]).sum::<f64>()
+        });
+        assert!(sum.is_finite());
+        assert!(report.quantum_secs > 0.0);
+        assert!(report.classical_secs >= 0.0);
+        assert!((0.0..=1.0).contains(&report.quantum_fraction()));
+    }
+
+    #[test]
+    fn classical_stage_sees_ordered_results() {
+        let pool = QpuPool::homogeneous(3, QpuConfig::default(), SchedulePolicy::WorkStealing);
+        let mut pipeline = HybridPipeline::new(pool);
+        let (ids, _) = pipeline.run(jobs(12), |results| {
+            results.iter().map(|r| r.id).collect::<Vec<u64>>()
+        });
+        assert_eq!(ids, (0..12).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn results_to_rows_roundtrip() {
+        let pool = QpuPool::homogeneous(2, QpuConfig::default(), SchedulePolicy::RoundRobin);
+        let mut pipeline = HybridPipeline::new(pool);
+        let (rows, _) = pipeline.run(jobs(6), |results| results_to_rows(results));
+        assert_eq!(rows.len(), 6);
+        assert!(rows.iter().all(|r| r.len() == 2));
+        // Row 0 is Ry(0): ⟨Z⟩ = 1.
+        assert!((rows[0][0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn results_to_rows_rejects_gaps() {
+        let r = JobResult {
+            id: 5,
+            values: vec![],
+            device: 0,
+            sim_busy_ns: 0,
+        };
+        let _ = results_to_rows(&[r]);
+    }
+}

@@ -1,0 +1,391 @@
+//! Multi-QPU scheduling.
+//!
+//! The host scatters a batch of [`CircuitJob`]s over the device pool.
+//! Three policies:
+//!
+//! * [`SchedulePolicy::RoundRobin`] — static cyclic assignment; zero
+//!   scheduling cost, poor balance for heterogeneous jobs.
+//! * [`SchedulePolicy::LeastLoaded`] — greedy offline assignment by the
+//!   devices' simulated clocks using each job's cost estimate (classic
+//!   LPT-style list scheduling).
+//! * [`SchedulePolicy::WorkStealing`] — dynamic: one crossbeam injector
+//!   queue, every device thread pops work as it frees up.
+//!
+//! All policies execute devices on real OS threads; results are returned
+//! in job-id order regardless of completion order.
+
+use crate::device::{QpuConfig, QpuDevice};
+use crate::job::{CircuitJob, JobResult};
+use crossbeam::deque::{Injector, Steal};
+use parking_lot::Mutex;
+use std::time::Instant;
+
+/// Job-to-device assignment policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchedulePolicy {
+    /// Static cyclic assignment.
+    RoundRobin,
+    /// Greedy assignment to the device with the least simulated load.
+    LeastLoaded,
+    /// Dynamic work stealing from a shared queue.
+    WorkStealing,
+}
+
+/// Aggregate statistics of one batch execution.
+#[derive(Clone, Debug)]
+pub struct PoolReport {
+    /// Wall-clock seconds for the whole batch.
+    pub wall_secs: f64,
+    /// Simulated makespan: the maximum per-device simulated busy time (s).
+    pub sim_makespan_secs: f64,
+    /// Mean device utilization: mean(busy) / max(busy).
+    pub utilization: f64,
+    /// Jobs per wall-clock second.
+    pub throughput: f64,
+    /// Per-device job counts.
+    pub jobs_per_device: Vec<usize>,
+}
+
+/// A pool of simulated QPUs.
+pub struct QpuPool {
+    devices: Vec<QpuDevice>,
+    policy: SchedulePolicy,
+}
+
+impl QpuPool {
+    /// Builds a homogeneous pool of `count` devices (seeds staggered so
+    /// devices draw independent shot noise).
+    pub fn homogeneous(count: usize, base: QpuConfig, policy: SchedulePolicy) -> Self {
+        assert!(count >= 1);
+        let devices = (0..count)
+            .map(|i| {
+                let mut cfg = base;
+                cfg.seed = base.seed.wrapping_add(i as u64 * 0x0123_4567_89AB_CDEF);
+                QpuDevice::new(i, cfg)
+            })
+            .collect();
+        QpuPool { devices, policy }
+    }
+
+    /// Builds a pool from explicit device configurations.
+    pub fn heterogeneous(configs: Vec<QpuConfig>, policy: SchedulePolicy) -> Self {
+        assert!(!configs.is_empty());
+        QpuPool {
+            devices: configs
+                .into_iter()
+                .enumerate()
+                .map(|(i, c)| QpuDevice::new(i, c))
+                .collect(),
+            policy,
+        }
+    }
+
+    /// Number of devices.
+    pub fn num_devices(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// The scheduling policy.
+    pub fn policy(&self) -> SchedulePolicy {
+        self.policy
+    }
+
+    /// Executes a batch; returns `(results sorted by job id, report)`.
+    pub fn execute_batch(&mut self, jobs: Vec<CircuitJob>) -> (Vec<JobResult>, PoolReport) {
+        assert!(!jobs.is_empty(), "empty batch");
+        let started = Instant::now();
+        let n_dev = self.devices.len();
+
+        let mut results: Vec<JobResult> = match self.policy {
+            SchedulePolicy::RoundRobin => {
+                let mut queues: Vec<Vec<CircuitJob>> = vec![Vec::new(); n_dev];
+                for (i, job) in jobs.into_iter().enumerate() {
+                    queues[i % n_dev].push(job);
+                }
+                self.run_static(queues)
+            }
+            SchedulePolicy::LeastLoaded => {
+                // Greedy: largest jobs first onto the least-loaded device.
+                let mut indexed: Vec<CircuitJob> = jobs;
+                indexed.sort_by_key(|j| std::cmp::Reverse(j.cost_estimate()));
+                let mut load = vec![0u64; n_dev];
+                let mut queues: Vec<Vec<CircuitJob>> = vec![Vec::new(); n_dev];
+                for job in indexed {
+                    let dev = (0..n_dev).min_by_key(|&i| load[i]).unwrap();
+                    load[dev] += self.devices[dev].sim_cost_ns(&job);
+                    queues[dev].push(job);
+                }
+                self.run_static(queues)
+            }
+            SchedulePolicy::WorkStealing => self.run_stealing(jobs),
+        };
+
+        results.sort_by_key(|r| r.id);
+        let wall_secs = started.elapsed().as_secs_f64();
+        let busy: Vec<u64> = self.devices.iter().map(|d| d.sim_busy_ns()).collect();
+        let max_busy = *busy.iter().max().unwrap() as f64;
+        let mean_busy = busy.iter().sum::<u64>() as f64 / n_dev as f64;
+        let report = PoolReport {
+            wall_secs,
+            sim_makespan_secs: max_busy / 1e9,
+            utilization: if max_busy > 0.0 { mean_busy / max_busy } else { 1.0 },
+            throughput: results.len() as f64 / wall_secs.max(1e-12),
+            jobs_per_device: self.devices.iter().map(|d| d.jobs_run()).collect(),
+        };
+        (results, report)
+    }
+
+    /// Runs pre-assigned queues, one thread per device. Transient failures
+    /// (fault injection) are retried in place on the owning device.
+    fn run_static(&mut self, queues: Vec<Vec<CircuitJob>>) -> Vec<JobResult> {
+        let mut out = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .devices
+                .iter_mut()
+                .zip(queues)
+                .map(|(dev, queue)| {
+                    scope.spawn(move || {
+                        queue
+                            .iter()
+                            .map(|job| {
+                                let mut attempt = 0u32;
+                                loop {
+                                    if let Some(r) = dev.try_execute(job, attempt) {
+                                        return r;
+                                    }
+                                    attempt += 1;
+                                    assert!(attempt < 1000, "device stuck failing job {}", job.id);
+                                }
+                            })
+                            .collect::<Vec<JobResult>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                out.extend(h.join().expect("device thread panicked"));
+            }
+        });
+        out
+    }
+
+    /// Dynamic work stealing over a shared injector queue. Failed jobs are
+    /// re-injected (with an incremented attempt counter) so another —
+    /// or the same — device picks them up; the pending counter keeps
+    /// workers alive until every job has actually completed.
+    fn run_stealing(&mut self, jobs: Vec<CircuitJob>) -> Vec<JobResult> {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let pending = AtomicUsize::new(jobs.len());
+        let injector = Injector::new();
+        for job in jobs {
+            injector.push((job, 0u32));
+        }
+        let collected = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for dev in self.devices.iter_mut() {
+                let injector = &injector;
+                let collected = &collected;
+                let pending = &pending;
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        match injector.steal() {
+                            Steal::Success((job, attempt)) => {
+                                match dev.try_execute(&job, attempt) {
+                                    Some(r) => {
+                                        local.push(r);
+                                        pending.fetch_sub(1, Ordering::SeqCst);
+                                    }
+                                    None => injector.push((job, attempt + 1)),
+                                }
+                            }
+                            Steal::Empty => {
+                                if pending.load(Ordering::SeqCst) == 0 {
+                                    break;
+                                }
+                                std::thread::yield_now();
+                            }
+                            Steal::Retry => continue,
+                        }
+                    }
+                    collected.lock().extend(local);
+                });
+            }
+        });
+        collected.into_inner()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pauli::PauliString;
+    use qsim::{Circuit, Gate};
+
+    fn make_jobs(count: usize, shots: Option<usize>) -> Vec<CircuitJob> {
+        (0..count as u64)
+            .map(|id| {
+                let mut c = Circuit::new(3);
+                c.push(Gate::Ry(0, 0.1 + id as f64 * 0.01));
+                c.push(Gate::Cnot { control: 0, target: 1 });
+                c.push(Gate::Cnot { control: 1, target: 2 });
+                CircuitJob::new(
+                    id,
+                    c,
+                    vec![
+                        PauliString::parse("ZZI").unwrap(),
+                        PauliString::parse("IIZ").unwrap(),
+                    ],
+                    shots,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn all_policies_return_all_results_in_order() {
+        for policy in [
+            SchedulePolicy::RoundRobin,
+            SchedulePolicy::LeastLoaded,
+            SchedulePolicy::WorkStealing,
+        ] {
+            let mut pool = QpuPool::homogeneous(3, QpuConfig::default(), policy);
+            let (results, report) = pool.execute_batch(make_jobs(20, None));
+            assert_eq!(results.len(), 20, "{policy:?}");
+            for (i, r) in results.iter().enumerate() {
+                assert_eq!(r.id, i as u64, "{policy:?}");
+            }
+            assert_eq!(report.jobs_per_device.iter().sum::<usize>(), 20);
+        }
+    }
+
+    #[test]
+    fn exact_results_are_policy_independent() {
+        let run = |policy| {
+            let mut pool = QpuPool::homogeneous(4, QpuConfig::default(), policy);
+            pool.execute_batch(make_jobs(15, None)).0
+        };
+        let a = run(SchedulePolicy::RoundRobin);
+        let b = run(SchedulePolicy::WorkStealing);
+        let c = run(SchedulePolicy::LeastLoaded);
+        for ((x, y), z) in a.iter().zip(b.iter()).zip(c.iter()) {
+            assert_eq!(x.values, y.values);
+            assert_eq!(x.values, z.values);
+        }
+    }
+
+    #[test]
+    fn round_robin_balances_job_counts() {
+        let mut pool = QpuPool::homogeneous(4, QpuConfig::default(), SchedulePolicy::RoundRobin);
+        let (_, report) = pool.execute_batch(make_jobs(20, None));
+        assert!(report.jobs_per_device.iter().all(|&c| c == 5));
+    }
+
+    #[test]
+    fn least_loaded_balances_heterogeneous_costs() {
+        // Jobs with wildly different shot counts; least-loaded should beat
+        // round-robin on simulated makespan.
+        let mixed = |seed_shots: &[usize]| -> Vec<CircuitJob> {
+            seed_shots
+                .iter()
+                .enumerate()
+                .map(|(id, &s)| {
+                    let mut c = Circuit::new(2);
+                    c.push(Gate::H(0));
+                    CircuitJob::new(
+                        id as u64,
+                        c,
+                        vec![PauliString::parse("ZI").unwrap()],
+                        Some(s),
+                    )
+                })
+                .collect()
+        };
+        let shots = [10_000, 10, 10, 10, 10_000, 10, 10, 10];
+        let mut rr = QpuPool::homogeneous(2, QpuConfig::default(), SchedulePolicy::RoundRobin);
+        let (_, rr_report) = rr.execute_batch(mixed(&shots));
+        let mut ll = QpuPool::homogeneous(2, QpuConfig::default(), SchedulePolicy::LeastLoaded);
+        let (_, ll_report) = ll.execute_batch(mixed(&shots));
+        assert!(
+            ll_report.sim_makespan_secs <= rr_report.sim_makespan_secs,
+            "LL {} vs RR {}",
+            ll_report.sim_makespan_secs,
+            rr_report.sim_makespan_secs
+        );
+    }
+
+    #[test]
+    fn utilization_in_unit_interval() {
+        let mut pool =
+            QpuPool::homogeneous(3, QpuConfig::default(), SchedulePolicy::WorkStealing);
+        let (_, report) = pool.execute_batch(make_jobs(30, Some(50)));
+        assert!(report.utilization > 0.0 && report.utilization <= 1.0 + 1e-12);
+        assert!(report.throughput > 0.0);
+        assert!(report.sim_makespan_secs > 0.0);
+    }
+
+    #[test]
+    fn fault_injection_all_jobs_still_complete() {
+        // 30% transient failure rate: every policy must still deliver every
+        // job exactly once, with identical exact values.
+        let config = QpuConfig {
+            fail_prob: 0.3,
+            ..Default::default()
+        };
+        let reference = {
+            let mut pool =
+                QpuPool::homogeneous(3, QpuConfig::default(), SchedulePolicy::RoundRobin);
+            pool.execute_batch(make_jobs(24, None)).0
+        };
+        for policy in [
+            SchedulePolicy::RoundRobin,
+            SchedulePolicy::LeastLoaded,
+            SchedulePolicy::WorkStealing,
+        ] {
+            let mut pool = QpuPool::homogeneous(3, config, policy);
+            let (results, report) = pool.execute_batch(make_jobs(24, None));
+            assert_eq!(results.len(), 24, "{policy:?} lost jobs");
+            for (r, want) in results.iter().zip(reference.iter()) {
+                assert_eq!(r.id, want.id, "{policy:?}");
+                assert_eq!(r.values, want.values, "{policy:?} corrupted results");
+            }
+            assert_eq!(report.jobs_per_device.iter().sum::<usize>(), 24);
+        }
+    }
+
+    #[test]
+    fn fault_injection_charges_failed_submissions() {
+        let clean = QpuConfig::default();
+        let flaky = QpuConfig {
+            fail_prob: 0.5,
+            ..Default::default()
+        };
+        let mut clean_pool = QpuPool::homogeneous(1, clean, SchedulePolicy::RoundRobin);
+        let (_, clean_report) = clean_pool.execute_batch(make_jobs(20, None));
+        let mut flaky_pool = QpuPool::homogeneous(1, flaky, SchedulePolicy::RoundRobin);
+        let (_, flaky_report) = flaky_pool.execute_batch(make_jobs(20, None));
+        assert!(
+            flaky_report.sim_makespan_secs > clean_report.sim_makespan_secs,
+            "retries must cost simulated time: {} vs {}",
+            flaky_report.sim_makespan_secs,
+            clean_report.sim_makespan_secs
+        );
+    }
+
+    #[test]
+    fn heterogeneous_pool_runs() {
+        let fast = QpuConfig {
+            gate_time_ns: 10,
+            ..Default::default()
+        };
+        let slow = QpuConfig {
+            gate_time_ns: 1_000,
+            seed: 1,
+            ..Default::default()
+        };
+        let mut pool =
+            QpuPool::heterogeneous(vec![fast, slow], SchedulePolicy::WorkStealing);
+        let (results, _) = pool.execute_batch(make_jobs(10, None));
+        assert_eq!(results.len(), 10);
+    }
+}

@@ -1,0 +1,122 @@
+//! Cholesky decomposition and SPD solves (used by ridge regression).
+
+use crate::mat::Mat;
+
+/// Computes the lower-triangular `L` with `A = L·Lᵀ` for symmetric
+/// positive-definite `A`.
+///
+/// # Errors
+/// Returns `None` if `A` is not positive definite (or not square).
+pub fn cholesky_decompose(a: &Mat) -> Option<Mat> {
+    let (m, n) = a.shape();
+    if m != n {
+        return None;
+    }
+    let mut l = Mat::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut s = a[(i, j)];
+            for k in 0..j {
+                s -= l[(i, k)] * l[(j, k)];
+            }
+            if i == j {
+                if s <= 0.0 {
+                    return None; // not positive definite
+                }
+                l[(i, j)] = s.sqrt();
+            } else {
+                l[(i, j)] = s / l[(j, j)];
+            }
+        }
+    }
+    Some(l)
+}
+
+/// Solves `A x = b` for SPD `A` via Cholesky (forward + back substitution).
+///
+/// # Errors
+/// Returns `None` if `A` is not positive definite.
+pub fn cholesky_solve(a: &Mat, b: &[f64]) -> Option<Vec<f64>> {
+    let n = a.rows();
+    assert_eq!(b.len(), n);
+    let l = cholesky_decompose(a)?;
+    // Forward: L y = b.
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut s = b[i];
+        for k in 0..i {
+            s -= l[(i, k)] * y[k];
+        }
+        y[i] = s / l[(i, i)];
+    }
+    // Backward: Lᵀ x = y.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut s = y[i];
+        for k in i + 1..n {
+            s -= l[(k, i)] * x[k];
+        }
+        x[i] = s / l[(i, i)];
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn random_spd(n: usize, seed: u64) -> Mat {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Mat::from_vec(n, n, (0..n * n).map(|_| rng.random::<f64>() - 0.5).collect());
+        // AᵀA + n·I is safely SPD.
+        let mut g = a.transpose().matmul(&a);
+        for i in 0..n {
+            g[(i, i)] += n as f64;
+        }
+        g
+    }
+
+    #[test]
+    fn decompose_reconstructs() {
+        let a = random_spd(6, 1);
+        let l = cholesky_decompose(&a).unwrap();
+        let back = l.matmul(&l.transpose());
+        assert!(back.max_abs_diff(&a) < 1e-10);
+    }
+
+    #[test]
+    fn l_is_lower_triangular() {
+        let a = random_spd(5, 2);
+        let l = cholesky_decompose(&a).unwrap();
+        for i in 0..5 {
+            for j in i + 1..5 {
+                assert_eq!(l[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_roundtrip() {
+        let a = random_spd(7, 3);
+        let x_true: Vec<f64> = (0..7).map(|i| (i as f64).cos()).collect();
+        let b = a.matvec(&x_true);
+        let x = cholesky_solve(&a, &b).unwrap();
+        for (got, want) in x.iter().zip(x_true.iter()) {
+            assert!((got - want).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Mat::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]); // eigenvalues 3, −1
+        assert!(cholesky_decompose(&a).is_none());
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = Mat::zeros(2, 3);
+        assert!(cholesky_decompose(&a).is_none());
+    }
+}

@@ -1,0 +1,195 @@
+//! Moore–Penrose pseudoinverse, least squares, and ridge regression.
+//!
+//! These are the classical-optimisation primitives of the paper's §V:
+//! `α = Q⁺Y` (closed-form linear regression, Eq. (29)) and the Tikhonov
+//! variant used to enforce the `‖α‖₂ ≤ 1` robustness constraint of
+//! Theorem 4.
+
+use crate::cholesky::cholesky_solve;
+use crate::mat::Mat;
+use crate::svd::Svd;
+
+/// The Moore–Penrose pseudoinverse `A⁺` via SVD, truncating singular values
+/// at `tol` (pass `None` for the LAPACK-style default `max(m,n)·ε·σ_max`).
+pub fn pinv(a: &Mat, tol: Option<f64>) -> Mat {
+    let svd = Svd::compute(a);
+    let tol = tol.unwrap_or_else(|| svd.default_tol());
+    // A⁺ = V · diag(1/σ) · Uᵀ over σ > tol.
+    let k = svd.sigma.len();
+    let mut vs = svd.v.clone(); // n×k
+    for j in 0..k {
+        let inv = if svd.sigma[j] > tol {
+            1.0 / svd.sigma[j]
+        } else {
+            0.0
+        };
+        for i in 0..vs.rows() {
+            vs[(i, j)] *= inv;
+        }
+    }
+    vs.matmul(&svd.u.transpose())
+}
+
+/// Minimum-norm least-squares solution of `min ‖Ax − b‖₂` via the
+/// pseudoinverse (works for any rank).
+pub fn lstsq(a: &Mat, b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.rows(), b.len(), "rhs length mismatch");
+    pinv(a, None).matvec(b)
+}
+
+/// Ridge (Tikhonov) regression: solves `(AᵀA + λI) x = Aᵀ b` via Cholesky.
+///
+/// `λ > 0` guarantees positive definiteness; this is the paper's
+/// regularisation path toward `‖α‖₂ ≤ 1` (§VI, after Theorem 3).
+pub fn ridge_solve(a: &Mat, b: &[f64], lambda: f64) -> Vec<f64> {
+    assert!(lambda > 0.0, "ridge parameter must be positive");
+    assert_eq!(a.rows(), b.len());
+    let mut g = a.transpose().matmul(a);
+    for i in 0..g.rows() {
+        g[(i, i)] += lambda;
+    }
+    let atb = a.t_matvec(b);
+    cholesky_solve(&g, &atb).expect("AᵀA + λI must be SPD for λ > 0")
+}
+
+/// Increases `λ` geometrically until `‖x(λ)‖₂ ≤ bound`; returns
+/// `(x, λ_used)`. Implements the paper's "apply Tikhonov regularization
+/// with an appropriate ridge parameter λ(α) to achieve ‖α‖₂ ≤ 1".
+pub fn ridge_to_norm_bound(a: &Mat, b: &[f64], bound: f64) -> (Vec<f64>, f64) {
+    assert!(bound > 0.0);
+    let mut lambda = 1e-8;
+    for _ in 0..200 {
+        let x = ridge_solve(a, b, lambda);
+        let norm = crate::mat::vec_norm2(&x);
+        if norm <= bound {
+            return (x, lambda);
+        }
+        lambda *= 2.0;
+    }
+    let x = ridge_solve(a, b, lambda);
+    (x, lambda)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mat::vec_norm2;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn random_mat(r: usize, c: usize, seed: u64) -> Mat {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Mat::from_vec(r, c, (0..r * c).map(|_| rng.random::<f64>() - 0.5).collect())
+    }
+
+    /// The four Moore–Penrose conditions.
+    fn check_moore_penrose(a: &Mat, ap: &Mat, tol: f64) {
+        let a_ap_a = a.matmul(ap).matmul(a);
+        assert!(a_ap_a.max_abs_diff(a) < tol, "A A⁺ A ≠ A");
+        let ap_a_ap = ap.matmul(a).matmul(ap);
+        assert!(ap_a_ap.max_abs_diff(ap) < tol, "A⁺ A A⁺ ≠ A⁺");
+        let a_ap = a.matmul(ap);
+        assert!(a_ap.max_abs_diff(&a_ap.transpose()) < tol, "AA⁺ not symmetric");
+        let ap_a = ap.matmul(a);
+        assert!(ap_a.max_abs_diff(&ap_a.transpose()) < tol, "A⁺A not symmetric");
+    }
+
+    #[test]
+    fn moore_penrose_conditions_full_rank() {
+        for (m, n, seed) in [(8, 5, 1), (5, 8, 2), (6, 6, 3)] {
+            let a = random_mat(m, n, seed);
+            let ap = pinv(&a, None);
+            check_moore_penrose(&a, &ap, 1e-9);
+        }
+    }
+
+    #[test]
+    fn moore_penrose_conditions_rank_deficient() {
+        // Construct rank-2 5×4 matrix.
+        let b = random_mat(5, 2, 4);
+        let c = random_mat(2, 4, 5);
+        let a = b.matmul(&c);
+        let ap = pinv(&a, None);
+        check_moore_penrose(&a, &ap, 1e-8);
+    }
+
+    #[test]
+    fn pinv_of_invertible_is_inverse() {
+        let a = random_mat(4, 4, 6);
+        let ap = pinv(&a, None);
+        assert!(a.matmul(&ap).max_abs_diff(&Mat::eye(4)) < 1e-9);
+    }
+
+    #[test]
+    fn pinv_norm_identity() {
+        // ‖A⁺‖ = 1/σ_min(A) (paper §II.A).
+        let a = random_mat(7, 4, 7);
+        let svd = Svd::compute(&a);
+        let ap = pinv(&a, None);
+        let ap_norm = Svd::compute(&ap).spectral_norm();
+        assert!((ap_norm - 1.0 / svd.sigma_min_nonzero()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lstsq_matches_qr_on_full_rank() {
+        let a = random_mat(12, 5, 8);
+        let b: Vec<f64> = (0..12).map(|i| (0.3 * i as f64).cos()).collect();
+        let x1 = lstsq(&a, &b);
+        let x2 = crate::qr::qr_lstsq(&a, &b);
+        for (p, q) in x1.iter().zip(x2.iter()) {
+            assert!((p - q).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn lstsq_minimum_norm_on_wide_system() {
+        // Underdetermined: x = A⁺b is the minimum-norm solution; any other
+        // solution has larger norm.
+        let a = random_mat(3, 6, 9);
+        let b = vec![1.0, -0.5, 0.25];
+        let x = lstsq(&a, &b);
+        let ax = a.matvec(&x);
+        for (p, q) in ax.iter().zip(b.iter()) {
+            assert!((p - q).abs() < 1e-10, "not a solution");
+        }
+        // Perturb x within the null space direction? Simpler: add any
+        // vector in null(A) found via projector I − A⁺A.
+        let ap = pinv(&a, None);
+        let proj = &Mat::eye(6) - &ap.matmul(&a);
+        let w = proj.matvec(&[1.0, 1.0, 1.0, 1.0, 1.0, 1.0]);
+        if vec_norm2(&w) > 1e-8 {
+            let x2: Vec<f64> = x.iter().zip(w.iter()).map(|(a, b)| a + b).collect();
+            assert!(vec_norm2(&x2) > vec_norm2(&x));
+        }
+    }
+
+    #[test]
+    fn ridge_approaches_lstsq_as_lambda_vanishes() {
+        let a = random_mat(10, 4, 10);
+        let b: Vec<f64> = (0..10).map(|i| (i as f64 * 0.21).sin()).collect();
+        let exact = lstsq(&a, &b);
+        let ridge = ridge_solve(&a, &b, 1e-10);
+        for (p, q) in ridge.iter().zip(exact.iter()) {
+            assert!((p - q).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn ridge_shrinks_norm_monotonically() {
+        let a = random_mat(10, 4, 11);
+        let b: Vec<f64> = (0..10).map(|i| (i as f64 * 0.31).cos()).collect();
+        let n1 = vec_norm2(&ridge_solve(&a, &b, 0.01));
+        let n2 = vec_norm2(&ridge_solve(&a, &b, 1.0));
+        let n3 = vec_norm2(&ridge_solve(&a, &b, 100.0));
+        assert!(n1 >= n2 && n2 >= n3, "{n1} {n2} {n3}");
+    }
+
+    #[test]
+    fn ridge_to_norm_bound_enforces_bound() {
+        let a = random_mat(20, 6, 12);
+        let b: Vec<f64> = (0..20).map(|i| 3.0 * (i as f64 * 0.17).sin()).collect();
+        let (x, lambda) = ridge_to_norm_bound(&a, &b, 1.0);
+        assert!(vec_norm2(&x) <= 1.0 + 1e-9, "‖x‖ = {}", vec_norm2(&x));
+        assert!(lambda > 0.0);
+    }
+}

@@ -1,0 +1,172 @@
+//! Householder QR decomposition.
+
+use crate::mat::Mat;
+
+/// A thin QR decomposition `A = Q·R` with `Q ∈ R^{m×k}` having orthonormal
+/// columns and `R ∈ R^{k×n}` upper triangular, `k = min(m,n)`.
+#[derive(Clone, Debug)]
+pub struct Qr {
+    /// Orthonormal factor.
+    pub q: Mat,
+    /// Upper-triangular factor.
+    pub r: Mat,
+}
+
+/// Computes the thin QR decomposition by Householder reflections.
+pub fn qr_decompose(a: &Mat) -> Qr {
+    let (m, n) = a.shape();
+    let k = m.min(n);
+    let mut r = a.clone();
+    // Q accumulated as a product of reflectors applied to identity.
+    let mut q = Mat::eye(m);
+
+    for col in 0..k {
+        // Build the Householder vector for column `col`, rows col..m.
+        let mut norm = 0.0;
+        for i in col..m {
+            norm += r[(i, col)] * r[(i, col)];
+        }
+        let norm = norm.sqrt();
+        if norm == 0.0 {
+            continue;
+        }
+        let alpha = if r[(col, col)] > 0.0 { -norm } else { norm };
+        let mut v = vec![0.0; m - col];
+        v[0] = r[(col, col)] - alpha;
+        for i in col + 1..m {
+            v[i - col] = r[(i, col)];
+        }
+        let vnorm2: f64 = v.iter().map(|x| x * x).sum();
+        if vnorm2 == 0.0 {
+            continue;
+        }
+        // Apply H = I − 2vvᵀ/‖v‖² to R (left) and accumulate into Q.
+        for j in col..n {
+            let mut dot = 0.0;
+            for i in col..m {
+                dot += v[i - col] * r[(i, j)];
+            }
+            let f = 2.0 * dot / vnorm2;
+            for i in col..m {
+                r[(i, j)] -= f * v[i - col];
+            }
+        }
+        for j in 0..m {
+            let mut dot = 0.0;
+            for i in col..m {
+                dot += v[i - col] * q[(j, i)];
+            }
+            let f = 2.0 * dot / vnorm2;
+            for i in col..m {
+                q[(j, i)] -= f * v[i - col];
+            }
+        }
+    }
+
+    // Thin factors.
+    let mut q_thin = Mat::zeros(m, k);
+    for i in 0..m {
+        for j in 0..k {
+            q_thin[(i, j)] = q[(i, j)];
+        }
+    }
+    let mut r_thin = Mat::zeros(k, n);
+    for i in 0..k {
+        for j in i..n {
+            r_thin[(i, j)] = r[(i, j)];
+        }
+    }
+    Qr { q: q_thin, r: r_thin }
+}
+
+/// Solves the least-squares problem `min ‖Ax − b‖₂` for **full-column-rank**
+/// `A` via QR: `Rx = Qᵀb` by back substitution.
+pub fn qr_lstsq(a: &Mat, b: &[f64]) -> Vec<f64> {
+    let (m, n) = a.shape();
+    assert!(m >= n, "QR least squares needs a tall matrix");
+    assert_eq!(b.len(), m);
+    let qr = qr_decompose(a);
+    let qtb = qr.q.t_matvec(b);
+    // Back substitution on R (n×n upper-triangular block).
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut s = qtb[i];
+        for j in i + 1..n {
+            s -= qr.r[(i, j)] * x[j];
+        }
+        let d = qr.r[(i, i)];
+        assert!(
+            d.abs() > 1e-300,
+            "rank-deficient matrix in qr_lstsq; use pinv-based lstsq"
+        );
+        x[i] = s / d;
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn random_mat(r: usize, c: usize, seed: u64) -> Mat {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Mat::from_vec(r, c, (0..r * c).map(|_| rng.random::<f64>() - 0.5).collect())
+    }
+
+    #[test]
+    fn qr_reconstructs() {
+        for (m, n, seed) in [(6, 4, 1), (5, 5, 2), (4, 7, 3)] {
+            let a = random_mat(m, n, seed);
+            let qr = qr_decompose(&a);
+            let back = qr.q.matmul(&qr.r);
+            assert!(back.max_abs_diff(&a) < 1e-11, "{m}×{n}");
+        }
+    }
+
+    #[test]
+    fn q_has_orthonormal_columns() {
+        let a = random_mat(8, 5, 4);
+        let qr = qr_decompose(&a);
+        let g = qr.q.transpose().matmul(&qr.q);
+        assert!(g.max_abs_diff(&Mat::eye(5)) < 1e-11);
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let a = random_mat(6, 6, 5);
+        let qr = qr_decompose(&a);
+        for i in 0..6 {
+            for j in 0..i {
+                assert!(qr.r[(i, j)].abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn lstsq_recovers_exact_solution() {
+        let a = random_mat(10, 4, 6);
+        let x_true = vec![1.5, -2.0, 0.25, 3.0];
+        let b = a.matvec(&x_true);
+        let x = qr_lstsq(&a, &b);
+        for (got, want) in x.iter().zip(x_true.iter()) {
+            assert!((got - want).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn lstsq_minimises_residual() {
+        // Over-determined inconsistent system: the solution must satisfy
+        // the normal equations Aᵀ(Ax − b) = 0.
+        let a = random_mat(12, 3, 7);
+        let b: Vec<f64> = (0..12).map(|i| (i as f64 * 0.37).sin()).collect();
+        let x = qr_lstsq(&a, &b);
+        let ax = a.matvec(&x);
+        let resid: Vec<f64> = ax.iter().zip(b.iter()).map(|(p, q)| p - q).collect();
+        let grad = a.t_matvec(&resid);
+        for g in grad {
+            assert!(g.abs() < 1e-10, "normal equations violated: {g}");
+        }
+    }
+}

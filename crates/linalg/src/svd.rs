@@ -1,0 +1,299 @@
+//! One-sided Jacobi singular value decomposition.
+//!
+//! The feature matrices in this library are at most a few hundred rows and
+//! columns; one-sided Jacobi is simple, numerically excellent (it computes
+//! small singular values to high relative accuracy, which matters because
+//! Theorem 3's bound involves `σ_min(Q)`), and trivially parallel-safe.
+//!
+//! For `A ∈ R^{m×n}` with `m ≥ n` the algorithm orthogonalises the columns
+//! of `A` by Givens rotations applied on the right, accumulating them into
+//! `V`; at convergence the column norms are the singular values and the
+//! normalised columns form `U`. Matrices with `m < n` are transposed first.
+
+use crate::mat::Mat;
+
+/// A thin SVD: `A = U · diag(σ) · Vᵀ` with `U ∈ R^{m×k}`, `σ ∈ R^k`,
+/// `V ∈ R^{n×k}`, `k = min(m,n)`; singular values sorted descending.
+#[derive(Clone, Debug)]
+pub struct Svd {
+    /// Left singular vectors (columns orthonormal where σ > 0).
+    pub u: Mat,
+    /// Singular values, descending.
+    pub sigma: Vec<f64>,
+    /// Right singular vectors (columns orthonormal).
+    pub v: Mat,
+}
+
+impl Svd {
+    /// Computes the SVD of `a`.
+    pub fn compute(a: &Mat) -> Svd {
+        let (m, n) = a.shape();
+        if m >= n {
+            jacobi_svd_tall(a)
+        } else {
+            // A = U Σ Vᵀ  ⇔  Aᵀ = V Σ Uᵀ.
+            let t = jacobi_svd_tall(&a.transpose());
+            Svd {
+                u: t.v,
+                sigma: t.sigma,
+                v: t.u,
+            }
+        }
+    }
+
+    /// The rank with tolerance `tol` (σ > tol counts).
+    pub fn rank(&self, tol: f64) -> usize {
+        self.sigma.iter().filter(|&&s| s > tol).count()
+    }
+
+    /// Default rank tolerance: `max(m,n) · ε · σ_max` (LAPACK convention).
+    pub fn default_tol(&self) -> f64 {
+        let dim = self.u.rows().max(self.v.rows()) as f64;
+        dim * f64::EPSILON * self.sigma.first().copied().unwrap_or(0.0)
+    }
+
+    /// Largest singular value (spectral norm of A).
+    pub fn spectral_norm(&self) -> f64 {
+        self.sigma.first().copied().unwrap_or(0.0)
+    }
+
+    /// Smallest **non-zero** singular value, using the default tolerance —
+    /// the `σ_min` of the paper's Theorem 3.
+    pub fn sigma_min_nonzero(&self) -> f64 {
+        let tol = self.default_tol();
+        self.sigma
+            .iter()
+            .rev()
+            .find(|&&s| s > tol)
+            .copied()
+            .unwrap_or(0.0)
+    }
+
+    /// Condition number `κ = σ_max / σ_min(nonzero)` (∞ for the zero
+    /// matrix).
+    pub fn cond(&self) -> f64 {
+        let smin = self.sigma_min_nonzero();
+        if smin == 0.0 {
+            f64::INFINITY
+        } else {
+            self.spectral_norm() / smin
+        }
+    }
+
+    /// Reconstructs `U · diag(σ) · Vᵀ` (test/diagnostic helper).
+    pub fn reconstruct(&self) -> Mat {
+        let k = self.sigma.len();
+        let mut us = self.u.clone();
+        for j in 0..k {
+            for i in 0..us.rows() {
+                us[(i, j)] *= self.sigma[j];
+            }
+        }
+        us.matmul(&self.v.transpose())
+    }
+}
+
+/// One-sided Jacobi on a tall (or square) matrix.
+fn jacobi_svd_tall(a: &Mat) -> Svd {
+    let (m, n) = a.shape();
+    debug_assert!(m >= n);
+    let mut w = a.clone(); // working copy whose columns get orthogonalised
+    let mut v = Mat::eye(n);
+
+    const MAX_SWEEPS: usize = 60;
+    // Convergence: |cᵢ·cⱼ| ≤ eps·‖cᵢ‖‖cⱼ‖ for all pairs.
+    let eps = 1e-15;
+
+    for _sweep in 0..MAX_SWEEPS {
+        let mut rotated = false;
+        for i in 0..n {
+            for j in i + 1..n {
+                // Column moments.
+                let (mut aii, mut ajj, mut aij) = (0.0, 0.0, 0.0);
+                for r in 0..m {
+                    let wi = w[(r, i)];
+                    let wj = w[(r, j)];
+                    aii += wi * wi;
+                    ajj += wj * wj;
+                    aij += wi * wj;
+                }
+                if aij.abs() <= eps * (aii * ajj).sqrt() || aij == 0.0 {
+                    continue;
+                }
+                rotated = true;
+                // Jacobi rotation annihilating the (i,j) off-diagonal of
+                // the implicit Gram matrix.
+                let zeta = (ajj - aii) / (2.0 * aij);
+                let t = zeta.signum() / (zeta.abs() + (1.0 + zeta * zeta).sqrt());
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+                for r in 0..m {
+                    let wi = w[(r, i)];
+                    let wj = w[(r, j)];
+                    w[(r, i)] = c * wi - s * wj;
+                    w[(r, j)] = s * wi + c * wj;
+                }
+                for r in 0..n {
+                    let vi = v[(r, i)];
+                    let vj = v[(r, j)];
+                    v[(r, i)] = c * vi - s * vj;
+                    v[(r, j)] = s * vi + c * vj;
+                }
+            }
+        }
+        if !rotated {
+            break;
+        }
+    }
+
+    // Singular values = column norms; U = normalised columns.
+    let mut entries: Vec<(f64, usize)> = (0..n)
+        .map(|j| {
+            let norm = (0..m).map(|r| w[(r, j)] * w[(r, j)]).sum::<f64>().sqrt();
+            (norm, j)
+        })
+        .collect();
+    entries.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+
+    let mut u = Mat::zeros(m, n);
+    let mut vs = Mat::zeros(n, n);
+    let mut sigma = Vec::with_capacity(n);
+    for (dst, &(norm, src)) in entries.iter().enumerate() {
+        sigma.push(norm);
+        if norm > 0.0 {
+            for r in 0..m {
+                u[(r, dst)] = w[(r, src)] / norm;
+            }
+        }
+        for r in 0..n {
+            vs[(r, dst)] = v[(r, src)];
+        }
+    }
+    Svd { u, sigma, v: vs }
+}
+
+/// Just the singular values of `a`, descending.
+pub fn singular_values(a: &Mat) -> Vec<f64> {
+    Svd::compute(a).sigma
+}
+
+/// Spectral norm `‖A‖` (largest singular value).
+pub fn spectral_norm(a: &Mat) -> f64 {
+    Svd::compute(a).spectral_norm()
+}
+
+/// Numerical rank with the default tolerance.
+pub fn rank(a: &Mat) -> usize {
+    let svd = Svd::compute(a);
+    let tol = svd.default_tol();
+    svd.rank(tol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn random_mat(r: usize, c: usize, seed: u64) -> Mat {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Mat::from_vec(r, c, (0..r * c).map(|_| rng.random::<f64>() - 0.5).collect())
+    }
+
+    fn assert_orthonormal_cols(m: &Mat, tol: f64) {
+        let g = m.transpose().matmul(m);
+        for i in 0..g.rows() {
+            for j in 0..g.cols() {
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!(
+                    (g[(i, j)] - want).abs() < tol,
+                    "Gram[{i},{j}] = {}",
+                    g[(i, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reconstruction_tall_square_wide() {
+        for (r, c, seed) in [(8, 5, 1), (6, 6, 2), (4, 9, 3)] {
+            let a = random_mat(r, c, seed);
+            let svd = Svd::compute(&a);
+            assert!(
+                svd.reconstruct().max_abs_diff(&a) < 1e-10,
+                "shape {r}×{c}"
+            );
+        }
+    }
+
+    #[test]
+    fn orthonormal_factors() {
+        let a = random_mat(10, 6, 4);
+        let svd = Svd::compute(&a);
+        assert_orthonormal_cols(&svd.u, 1e-10);
+        assert_orthonormal_cols(&svd.v, 1e-10);
+    }
+
+    #[test]
+    fn singular_values_sorted_and_positive() {
+        let a = random_mat(7, 7, 5);
+        let s = singular_values(&a);
+        for w in s.windows(2) {
+            assert!(w[0] >= w[1] - 1e-15);
+        }
+        assert!(s.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn known_diagonal_case() {
+        let a = Mat::from_rows(&[vec![3.0, 0.0], vec![0.0, -4.0], vec![0.0, 0.0]]);
+        let s = singular_values(&a);
+        assert!((s[0] - 4.0).abs() < 1e-12);
+        assert!((s[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_deficient_matrix() {
+        // Second column = 2 × first column → rank 1.
+        let a = Mat::from_rows(&[
+            vec![1.0, 2.0],
+            vec![2.0, 4.0],
+            vec![-1.0, -2.0],
+        ]);
+        assert_eq!(rank(&a), 1);
+        let svd = Svd::compute(&a);
+        assert!(svd.sigma[1] < 1e-12);
+        assert!(svd.sigma_min_nonzero() > 1.0);
+    }
+
+    #[test]
+    fn spectral_norm_of_orthogonal_is_one() {
+        // Rotation matrix.
+        let th = 0.77f64;
+        let a = Mat::from_rows(&[vec![th.cos(), -th.sin()], vec![th.sin(), th.cos()]]);
+        assert!((spectral_norm(&a) - 1.0).abs() < 1e-12);
+        let svd = Svd::compute(&a);
+        assert!((svd.cond() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn zero_matrix() {
+        let a = Mat::zeros(3, 2);
+        let svd = Svd::compute(&a);
+        assert!(svd.sigma.iter().all(|&s| s == 0.0));
+        assert_eq!(svd.rank(1e-12), 0);
+        assert!(svd.cond().is_infinite());
+    }
+
+    #[test]
+    fn norm_consistency_with_frobenius() {
+        // ‖A‖ ≤ ‖A‖_F ≤ √rank·‖A‖ (Eq. (C1)-(C2) of the paper).
+        let a = random_mat(9, 5, 6);
+        let svd = Svd::compute(&a);
+        let spec = svd.spectral_norm();
+        let fro = a.norm_fro();
+        let r = svd.rank(svd.default_tol()) as f64;
+        assert!(spec <= fro + 1e-12);
+        assert!(fro <= r.sqrt() * spec + 1e-12);
+    }
+}

@@ -1,0 +1,105 @@
+//! k-fold cross-validation — model selection for the post-variational
+//! heads (e.g. choosing locality L or the ridge λ without touching the
+//! test set).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Deterministic k-fold split: returns `k` (train_indices, val_indices)
+/// pairs covering `0..rows`, shuffled by `seed`.
+pub fn kfold_indices(rows: usize, k: usize, seed: u64) -> Vec<(Vec<usize>, Vec<usize>)> {
+    assert!(k >= 2, "need at least 2 folds");
+    assert!(rows >= k, "more folds than rows");
+    let mut idx: Vec<usize> = (0..rows).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in (1..idx.len()).rev() {
+        let j = rng.random_range(0..=i);
+        idx.swap(i, j);
+    }
+    let base = rows / k;
+    let extra = rows % k;
+    let mut folds = Vec::with_capacity(k);
+    let mut start = 0;
+    for f in 0..k {
+        let len = base + usize::from(f < extra);
+        let val: Vec<usize> = idx[start..start + len].to_vec();
+        let train: Vec<usize> = idx[..start]
+            .iter()
+            .chain(idx[start + len..].iter())
+            .copied()
+            .collect();
+        folds.push((train, val));
+        start += len;
+    }
+    folds
+}
+
+/// Runs k-fold cross-validation: `fit_score(train_idx, val_idx)` returns a
+/// score per fold (higher = better, e.g. validation accuracy); returns
+/// `(mean, std)` over folds.
+pub fn cross_validate<F>(rows: usize, k: usize, seed: u64, mut fit_score: F) -> (f64, f64)
+where
+    F: FnMut(&[usize], &[usize]) -> f64,
+{
+    let folds = kfold_indices(rows, k, seed);
+    let scores: Vec<f64> = folds
+        .iter()
+        .map(|(train, val)| fit_score(train, val))
+        .collect();
+    let mean = scores.iter().sum::<f64>() / scores.len() as f64;
+    let var = scores.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / scores.len() as f64;
+    (mean, var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn folds_partition_rows() {
+        let folds = kfold_indices(23, 5, 7);
+        assert_eq!(folds.len(), 5);
+        let mut all_val: Vec<usize> = Vec::new();
+        for (train, val) in &folds {
+            assert_eq!(train.len() + val.len(), 23);
+            // Train and val are disjoint.
+            let t: HashSet<_> = train.iter().collect();
+            assert!(val.iter().all(|v| !t.contains(v)));
+            all_val.extend(val);
+        }
+        all_val.sort_unstable();
+        assert_eq!(all_val, (0..23).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fold_sizes_balanced() {
+        let folds = kfold_indices(10, 3, 1);
+        let sizes: Vec<usize> = folds.iter().map(|(_, v)| v.len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        assert!(sizes.iter().all(|&s| s == 3 || s == 4));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(kfold_indices(20, 4, 9), kfold_indices(20, 4, 9));
+        assert_ne!(kfold_indices(20, 4, 9), kfold_indices(20, 4, 10));
+    }
+
+    #[test]
+    fn cross_validate_aggregates() {
+        // Score = fraction of validation indices below 50 → mean ≈ 0.5 on
+        // 0..100.
+        let (mean, std) = cross_validate(100, 5, 3, |_, val| {
+            val.iter().filter(|&&i| i < 50).count() as f64 / val.len() as f64
+        });
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+        assert!(std < 0.2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_many_folds_panics() {
+        let _ = kfold_indices(3, 5, 0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Dataset utilities: splits, standardisation, encodings.
+
+use linalg::Mat;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Splits row indices into (train, test) with `test_fraction` of rows held
+/// out, shuffled deterministically by `seed`.
+pub fn train_test_split(
+    rows: usize,
+    test_fraction: f64,
+    seed: u64,
+) -> (Vec<usize>, Vec<usize>) {
+    assert!((0.0..1.0).contains(&test_fraction));
+    let mut idx: Vec<usize> = (0..rows).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Fisher–Yates.
+    for i in (1..idx.len()).rev() {
+        let j = rng.random_range(0..=i);
+        idx.swap(i, j);
+    }
+    let n_test = (rows as f64 * test_fraction).round() as usize;
+    let test = idx[..n_test].to_vec();
+    let train = idx[n_test..].to_vec();
+    (train, test)
+}
+
+/// Column means and standard deviations of a feature matrix.
+pub fn column_stats(x: &Mat) -> (Vec<f64>, Vec<f64>) {
+    let d = x.rows() as f64;
+    let mut means = vec![0.0; x.cols()];
+    for i in 0..x.rows() {
+        for (m, &v) in means.iter_mut().zip(x.row(i)) {
+            *m += v;
+        }
+    }
+    for m in means.iter_mut() {
+        *m /= d;
+    }
+    let mut stds = vec![0.0; x.cols()];
+    for i in 0..x.rows() {
+        for ((s, &v), m) in stds.iter_mut().zip(x.row(i)).zip(means.iter()) {
+            *s += (v - m) * (v - m);
+        }
+    }
+    for s in stds.iter_mut() {
+        *s = (*s / d).sqrt();
+        if *s == 0.0 {
+            *s = 1.0; // constant columns stay untouched
+        }
+    }
+    (means, stds)
+}
+
+/// Standardises `x` with the provided statistics (z-scores). Use the
+/// training-set stats for both splits.
+pub fn standardize(x: &Mat, means: &[f64], stds: &[f64]) -> Mat {
+    assert_eq!(x.cols(), means.len());
+    assert_eq!(x.cols(), stds.len());
+    let mut out = x.clone();
+    for i in 0..out.rows() {
+        for (j, v) in out.row_mut(i).iter_mut().enumerate() {
+            *v = (*v - means[j]) / stds[j];
+        }
+    }
+    out
+}
+
+/// One-hot encodes integer labels into a `d × k` matrix.
+pub fn one_hot(labels: &[usize], k: usize) -> Mat {
+    assert!(labels.iter().all(|&l| l < k));
+    let mut m = Mat::zeros(labels.len(), k);
+    for (i, &l) in labels.iter().enumerate() {
+        m[(i, l)] = 1.0;
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_is_partition() {
+        let (train, test) = train_test_split(100, 0.2, 42);
+        assert_eq!(train.len(), 80);
+        assert_eq!(test.len(), 20);
+        let mut all: Vec<usize> = train.iter().chain(test.iter()).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_deterministic_per_seed() {
+        assert_eq!(train_test_split(50, 0.3, 1), train_test_split(50, 0.3, 1));
+        assert_ne!(
+            train_test_split(50, 0.3, 1).0,
+            train_test_split(50, 0.3, 2).0
+        );
+    }
+
+    #[test]
+    fn standardize_zero_mean_unit_var() {
+        let x = Mat::from_rows(&[vec![1.0, 10.0], vec![3.0, 20.0], vec![5.0, 30.0]]);
+        let (m, s) = column_stats(&x);
+        let z = standardize(&x, &m, &s);
+        let (m2, s2) = column_stats(&z);
+        for v in m2 {
+            assert!(v.abs() < 1e-12);
+        }
+        for v in s2 {
+            assert!((v - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn constant_column_untouched() {
+        let x = Mat::from_rows(&[vec![2.0], vec![2.0]]);
+        let (m, s) = column_stats(&x);
+        assert_eq!(s[0], 1.0);
+        let z = standardize(&x, &m, &s);
+        assert!(z.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn one_hot_encoding() {
+        let m = one_hot(&[0, 2, 1], 3);
+        assert_eq!(m[(0, 0)], 1.0);
+        assert_eq!(m[(1, 2)], 1.0);
+        assert_eq!(m[(2, 1)], 1.0);
+        assert_eq!(m.data().iter().sum::<f64>(), 3.0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Loss functions (paper §II.A).
+
+/// Clamp for probabilities inside logs, matching scikit-learn's practice.
+const P_EPS: f64 = 1e-12;
+
+/// Root-mean-square error `L_RMSE = ‖y − ŷ‖₂ / √d`.
+pub fn rmse_loss(y: &[f64], y_hat: &[f64]) -> f64 {
+    assert_eq!(y.len(), y_hat.len());
+    assert!(!y.is_empty());
+    let ss: f64 = y
+        .iter()
+        .zip(y_hat.iter())
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum();
+    (ss / y.len() as f64).sqrt()
+}
+
+/// Mean absolute error `L_MAE = ‖y − ŷ‖₁ / d`.
+pub fn mae_loss(y: &[f64], y_hat: &[f64]) -> f64 {
+    assert_eq!(y.len(), y_hat.len());
+    assert!(!y.is_empty());
+    let s: f64 = y.iter().zip(y_hat.iter()).map(|(a, b)| (a - b).abs()).sum();
+    s / y.len() as f64
+}
+
+/// Binary cross-entropy over labels `y ∈ {0,1}` and probabilities
+/// `ŷ ∈ [0,1]`.
+pub fn bce_loss(y: &[f64], p_hat: &[f64]) -> f64 {
+    assert_eq!(y.len(), p_hat.len());
+    assert!(!y.is_empty());
+    let s: f64 = y
+        .iter()
+        .zip(p_hat.iter())
+        .map(|(&yi, &pi)| {
+            debug_assert!((0.0..=1.0).contains(&yi), "labels must be 0/1");
+            let p = pi.clamp(P_EPS, 1.0 - P_EPS);
+            -yi * p.ln() - (1.0 - yi) * (1.0 - p).ln()
+        })
+        .sum();
+    s / y.len() as f64
+}
+
+/// The logistic sigmoid, numerically stable in both tails.
+pub fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Row-wise softmax of logits.
+pub fn softmax(logits: &[f64]) -> Vec<f64> {
+    let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = logits.iter().map(|&z| (z - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+/// Multiclass cross-entropy over integer labels and per-row probability
+/// slices (`probs[i]` sums to 1).
+pub fn softmax_ce_loss(labels: &[usize], probs: &[Vec<f64>]) -> f64 {
+    assert_eq!(labels.len(), probs.len());
+    assert!(!labels.is_empty());
+    let s: f64 = labels
+        .iter()
+        .zip(probs.iter())
+        .map(|(&l, p)| -(p[l].clamp(P_EPS, 1.0)).ln())
+        .sum();
+    s / labels.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmse_of_perfect_fit_is_zero() {
+        let y = [1.0, 2.0, 3.0];
+        assert_eq!(rmse_loss(&y, &y), 0.0);
+        assert_eq!(mae_loss(&y, &y), 0.0);
+    }
+
+    #[test]
+    fn rmse_known_value() {
+        // errors (1, -1): RMSE = 1, MAE = 1.
+        let y = [1.0, 2.0];
+        let yh = [0.0, 3.0];
+        assert!((rmse_loss(&y, &yh) - 1.0).abs() < 1e-15);
+        assert!((mae_loss(&y, &yh) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn mae_below_rmse() {
+        // Paper Eq. (13): MAE ≤ RMSE (Cauchy–Schwarz).
+        let y = [0.0, 0.0, 0.0, 0.0];
+        let yh = [0.1, 0.9, -0.3, 0.5];
+        assert!(mae_loss(&y, &yh) <= rmse_loss(&y, &yh) + 1e-15);
+    }
+
+    #[test]
+    fn bce_known_values() {
+        // Confident correct prediction → near 0; 0.5 → ln 2.
+        assert!(bce_loss(&[1.0], &[0.999999]) < 1e-4);
+        assert!((bce_loss(&[1.0], &[0.5]) - std::f64::consts::LN_2).abs() < 1e-12);
+        // Confident wrong prediction is large but finite (clamped).
+        assert!(bce_loss(&[1.0], &[0.0]).is_finite());
+    }
+
+    #[test]
+    fn sigmoid_properties() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-15);
+        assert!(sigmoid(40.0) > 1.0 - 1e-12);
+        assert!(sigmoid(-40.0) < 1e-12);
+        // Symmetry σ(−x) = 1 − σ(x).
+        for x in [-3.0, -0.5, 0.1, 2.7] {
+            assert!((sigmoid(-x) - (1.0 - sigmoid(x))).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn softmax_normalises_and_orders() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+        // Stability with huge logits.
+        let p = softmax(&[1000.0, 1000.0]);
+        assert!((p[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ce_loss_perfect_prediction() {
+        let probs = vec![vec![0.0, 1.0, 0.0]];
+        assert!(softmax_ce_loss(&[1], &probs) < 1e-10);
+    }
+}

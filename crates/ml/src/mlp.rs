@@ -1,0 +1,310 @@
+//! Two-layer multilayer perceptron — the "Classical MLP" baseline of
+//! Tables III–IV. The paper compares against "two-layer feedforward
+//! classical neural networks" (§I, §VII.B); structurally, the
+//! post-variational network mimics exactly this architecture with a frozen
+//! first layer (§V).
+
+use crate::loss::{bce_loss, sigmoid, softmax, softmax_ce_loss};
+use crate::optim::Adam;
+use linalg::Mat;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// MLP hyper-parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct MlpConfig {
+    /// Hidden-layer width.
+    pub hidden: usize,
+    /// Training epochs (full batch).
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub lr: f64,
+    /// Initialisation seed.
+    pub seed: u64,
+}
+
+impl Default for MlpConfig {
+    fn default() -> Self {
+        MlpConfig {
+            hidden: 16,
+            epochs: 600,
+            lr: 0.02,
+            seed: 7,
+        }
+    }
+}
+
+/// A two-layer perceptron `x → ReLU(W₁x + b₁) → W₂h + b₂` with a sigmoid
+/// (binary) or softmax (multiclass) head.
+#[derive(Clone, Debug)]
+pub struct Mlp {
+    w1: Mat,
+    b1: Vec<f64>,
+    w2: Mat,
+    b2: Vec<f64>,
+    num_classes: usize, // 1 = binary head
+}
+
+fn xavier(rows: usize, cols: usize, rng: &mut StdRng) -> Mat {
+    let scale = (6.0 / (rows + cols) as f64).sqrt();
+    Mat::from_vec(
+        rows,
+        cols,
+        (0..rows * cols)
+            .map(|_| (rng.random::<f64>() * 2.0 - 1.0) * scale)
+            .collect(),
+    )
+}
+
+impl Mlp {
+    /// Creates an untrained MLP; `num_classes = 1` builds a binary
+    /// (sigmoid) head, `k ≥ 2` a softmax head.
+    pub fn new(inputs: usize, num_classes: usize, config: &MlpConfig) -> Self {
+        assert!(inputs >= 1 && config.hidden >= 1 && num_classes >= 1);
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let out = num_classes.max(1);
+        Mlp {
+            w1: xavier(config.hidden, inputs, &mut rng),
+            b1: vec![0.0; config.hidden],
+            w2: xavier(out, config.hidden, &mut rng),
+            b2: vec![0.0; out],
+            num_classes,
+        }
+    }
+
+    /// Hidden activations for one sample.
+    fn hidden(&self, x: &[f64]) -> Vec<f64> {
+        (0..self.w1.rows())
+            .map(|h| {
+                let z: f64 = self.w1.row(h).iter().zip(x.iter()).map(|(a, b)| a * b).sum();
+                (z + self.b1[h]).max(0.0) // ReLU
+            })
+            .collect()
+    }
+
+    /// Output logits for one sample.
+    fn logits(&self, h: &[f64]) -> Vec<f64> {
+        (0..self.w2.rows())
+            .map(|o| {
+                let z: f64 = self.w2.row(o).iter().zip(h.iter()).map(|(a, b)| a * b).sum();
+                z + self.b2[o]
+            })
+            .collect()
+    }
+
+    /// Trains with full-batch Adam; binary targets are `y ∈ {0,1}` encoded
+    /// in `labels` (for `num_classes == 1`) or integer class indices.
+    pub fn fit(&mut self, x: &Mat, labels: &[usize], config: &MlpConfig) {
+        assert_eq!(x.rows(), labels.len());
+        let d = x.rows();
+        let hdim = self.w1.rows();
+        let odim = self.w2.rows();
+        let fdim = self.w1.cols();
+        let inv_d = 1.0 / d as f64;
+
+        // Flatten all parameters for Adam: w1, b1, w2, b2.
+        let nparams = hdim * fdim + hdim + odim * hdim + odim;
+        let mut opt = Adam::new(nparams, config.lr);
+
+        for _ in 0..config.epochs {
+            let mut g_w1 = Mat::zeros(hdim, fdim);
+            let mut g_b1 = vec![0.0; hdim];
+            let mut g_w2 = Mat::zeros(odim, hdim);
+            let mut g_b2 = vec![0.0; odim];
+
+            for i in 0..d {
+                let xi = x.row(i);
+                let h = self.hidden(xi);
+                let logits = self.logits(&h);
+                // δ_out = (p − y) for both heads.
+                let delta_out: Vec<f64> = if self.num_classes == 1 {
+                    let p = sigmoid(logits[0]);
+                    vec![(p - labels[i] as f64) * inv_d]
+                } else {
+                    let p = softmax(&logits);
+                    (0..odim)
+                        .map(|c| (p[c] - if labels[i] == c { 1.0 } else { 0.0 }) * inv_d)
+                        .collect()
+                };
+                // Output layer gradients.
+                for o in 0..odim {
+                    for (gh, &hv) in g_w2.row_mut(o).iter_mut().zip(h.iter()) {
+                        *gh += delta_out[o] * hv;
+                    }
+                    g_b2[o] += delta_out[o];
+                }
+                // Back-prop through ReLU.
+                for hu in 0..hdim {
+                    if h[hu] <= 0.0 {
+                        continue;
+                    }
+                    let dh: f64 = (0..odim).map(|o| delta_out[o] * self.w2[(o, hu)]).sum();
+                    for (gw, &xv) in g_w1.row_mut(hu).iter_mut().zip(xi.iter()) {
+                        *gw += dh * xv;
+                    }
+                    g_b1[hu] += dh;
+                }
+            }
+
+            // Flatten, step, unflatten.
+            let mut params: Vec<f64> = Vec::with_capacity(nparams);
+            params.extend_from_slice(self.w1.data());
+            params.extend_from_slice(&self.b1);
+            params.extend_from_slice(self.w2.data());
+            params.extend_from_slice(&self.b2);
+            let mut grads: Vec<f64> = Vec::with_capacity(nparams);
+            grads.extend_from_slice(g_w1.data());
+            grads.extend_from_slice(&g_b1);
+            grads.extend_from_slice(g_w2.data());
+            grads.extend_from_slice(&g_b2);
+            opt.step(&mut params, &grads);
+
+            let (a, rest) = params.split_at(hdim * fdim);
+            let (b, rest) = rest.split_at(hdim);
+            let (c, e) = rest.split_at(odim * hdim);
+            self.w1 = Mat::from_vec(hdim, fdim, a.to_vec());
+            self.b1 = b.to_vec();
+            self.w2 = Mat::from_vec(odim, hdim, c.to_vec());
+            self.b2 = e.to_vec();
+        }
+    }
+
+    /// Binary probabilities (`num_classes == 1` heads only).
+    pub fn predict_proba_binary(&self, x: &Mat) -> Vec<f64> {
+        assert_eq!(self.num_classes, 1, "binary head required");
+        (0..x.rows())
+            .map(|i| sigmoid(self.logits(&self.hidden(x.row(i)))[0]))
+            .collect()
+    }
+
+    /// Multiclass probabilities.
+    pub fn predict_proba(&self, x: &Mat) -> Vec<Vec<f64>> {
+        assert!(self.num_classes >= 2, "multiclass head required");
+        (0..x.rows())
+            .map(|i| softmax(&self.logits(&self.hidden(x.row(i)))))
+            .collect()
+    }
+
+    /// Argmax predictions (binary → 0/1 via threshold).
+    pub fn predict(&self, x: &Mat) -> Vec<usize> {
+        if self.num_classes == 1 {
+            self.predict_proba_binary(x)
+                .into_iter()
+                .map(|p| usize::from(p >= 0.5))
+                .collect()
+        } else {
+            self.predict_proba(x)
+                .into_iter()
+                .map(|p| {
+                    p.iter()
+                        .enumerate()
+                        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                        .unwrap()
+                        .0
+                })
+                .collect()
+        }
+    }
+
+    /// Dataset loss under the appropriate head.
+    pub fn loss(&self, x: &Mat, labels: &[usize]) -> f64 {
+        if self.num_classes == 1 {
+            let y: Vec<f64> = labels.iter().map(|&l| l as f64).collect();
+            bce_loss(&y, &self.predict_proba_binary(x))
+        } else {
+            softmax_ce_loss(labels, &self.predict_proba(x))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::accuracy_multiclass;
+
+    /// XOR — not linearly separable, so a working hidden layer is required.
+    fn xor_data() -> (Mat, Vec<usize>) {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for rep in 0..25 {
+            let jitter = rep as f64 * 1e-3;
+            for (a, b) in [(0.0, 0.0), (0.0, 1.0), (1.0, 0.0), (1.0, 1.0)] {
+                rows.push(vec![a + jitter, b - jitter]);
+                labels.push(usize::from((a > 0.5) != (b > 0.5)));
+            }
+        }
+        (Mat::from_rows(&rows), labels)
+    }
+
+    #[test]
+    fn mlp_solves_xor() {
+        let (x, y) = xor_data();
+        let config = MlpConfig {
+            hidden: 8,
+            epochs: 1500,
+            lr: 0.05,
+            seed: 3,
+        };
+        let mut mlp = Mlp::new(2, 1, &config);
+        mlp.fit(&x, &y, &config);
+        let acc = accuracy_multiclass(&y, &mlp.predict(&x));
+        assert!(acc > 0.95, "XOR accuracy {acc}");
+    }
+
+    #[test]
+    fn multiclass_head_learns_blobs() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let centres = [(2.0, 0.0), (-1.0, 1.7), (-1.0, -1.7)];
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..120 {
+            let c = i % 3;
+            rows.push(vec![
+                centres[c].0 + rng.random::<f64>() - 0.5,
+                centres[c].1 + rng.random::<f64>() - 0.5,
+            ]);
+            labels.push(c);
+        }
+        let x = Mat::from_rows(&rows);
+        let config = MlpConfig {
+            hidden: 12,
+            epochs: 800,
+            lr: 0.03,
+            seed: 1,
+        };
+        let mut mlp = Mlp::new(2, 3, &config);
+        mlp.fit(&x, &labels, &config);
+        let acc = accuracy_multiclass(&labels, &mlp.predict(&x));
+        assert!(acc > 0.95, "blob accuracy {acc}");
+        assert!(mlp.loss(&x, &labels) < 0.3);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, y) = xor_data();
+        let config = MlpConfig {
+            hidden: 4,
+            epochs: 50,
+            lr: 0.05,
+            seed: 11,
+        };
+        let mut m1 = Mlp::new(2, 1, &config);
+        m1.fit(&x, &y, &config);
+        let mut m2 = Mlp::new(2, 1, &config);
+        m2.fit(&x, &y, &config);
+        assert_eq!(m1.predict_proba_binary(&x), m2.predict_proba_binary(&x));
+    }
+
+    #[test]
+    fn probabilities_in_range() {
+        let (x, y) = xor_data();
+        let config = MlpConfig::default();
+        let mut mlp = Mlp::new(2, 1, &config);
+        mlp.fit(&x, &y, &config);
+        for p in mlp.predict_proba_binary(&x) {
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+}

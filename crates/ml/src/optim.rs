@@ -1,0 +1,166 @@
+//! First-order optimizers and the ℓ2-ball projection of Theorem 4.
+
+/// Projects `x` onto the ℓ2 ball of the given `radius` (in place). This is
+/// the projection step of the constrained convex program `‖α‖₂ ≤ 1` the
+/// paper solves for robustness (§VI, Theorem 4).
+pub fn project_l2_ball(x: &mut [f64], radius: f64) {
+    assert!(radius > 0.0);
+    let norm: f64 = x.iter().map(|v| v * v).sum::<f64>().sqrt();
+    if norm > radius {
+        let s = radius / norm;
+        for v in x.iter_mut() {
+            *v *= s;
+        }
+    }
+}
+
+/// Adam optimizer (Kingma & Ba) with bias correction.
+#[derive(Clone, Debug)]
+pub struct Adam {
+    lr: f64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    m: Vec<f64>,
+    v: Vec<f64>,
+    t: u64,
+}
+
+impl Adam {
+    /// Creates an optimizer for `dim` parameters with learning rate `lr`
+    /// and the standard β = (0.9, 0.999).
+    pub fn new(dim: usize, lr: f64) -> Self {
+        assert!(lr > 0.0);
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            m: vec![0.0; dim],
+            v: vec![0.0; dim],
+            t: 0,
+        }
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f64 {
+        self.lr
+    }
+
+    /// Sets the learning rate (for schedules).
+    pub fn set_lr(&mut self, lr: f64) {
+        assert!(lr > 0.0);
+        self.lr = lr;
+    }
+
+    /// Applies one update `params ← params − lr·m̂/(√v̂ + ε)`.
+    pub fn step(&mut self, params: &mut [f64], grads: &[f64]) {
+        assert_eq!(params.len(), self.m.len());
+        assert_eq!(grads.len(), self.m.len());
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..params.len() {
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * grads[i];
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * grads[i] * grads[i];
+            let mhat = self.m[i] / b1t;
+            let vhat = self.v[i] / b2t;
+            params[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+        }
+    }
+}
+
+/// Projected (sub)gradient descent for convex objectives over an ℓ2 ball:
+/// minimises `f` with oracle `grad` starting from `x0`, stepping
+/// `lr/√(t+1)` and projecting after every step. Returns the best iterate
+/// visited (standard guarantee for projected subgradient methods).
+pub fn projected_gradient_descent<F, G>(
+    f: F,
+    grad: G,
+    x0: Vec<f64>,
+    radius: f64,
+    steps: usize,
+    lr: f64,
+) -> Vec<f64>
+where
+    F: Fn(&[f64]) -> f64,
+    G: Fn(&[f64]) -> Vec<f64>,
+{
+    let mut x = x0;
+    project_l2_ball(&mut x, radius);
+    let mut best = x.clone();
+    let mut best_f = f(&x);
+    for t in 0..steps {
+        let g = grad(&x);
+        let step = lr / ((t + 1) as f64).sqrt();
+        for (xi, gi) in x.iter_mut().zip(g.iter()) {
+            *xi -= step * gi;
+        }
+        project_l2_ball(&mut x, radius);
+        let fx = f(&x);
+        if fx < best_f {
+            best_f = fx;
+            best = x.clone();
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn projection_inside_ball_is_noop() {
+        let mut x = vec![0.3, 0.4];
+        project_l2_ball(&mut x, 1.0);
+        assert_eq!(x, vec![0.3, 0.4]);
+    }
+
+    #[test]
+    fn projection_outside_ball_rescales() {
+        let mut x = vec![3.0, 4.0];
+        project_l2_ball(&mut x, 1.0);
+        let norm: f64 = x.iter().map(|v| v * v).sum::<f64>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-12);
+        // Direction preserved.
+        assert!((x[0] / x[1] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adam_minimises_quadratic() {
+        // f(x) = (x₀−3)² + (x₁+1)².
+        let mut x = vec![0.0, 0.0];
+        let mut opt = Adam::new(2, 0.1);
+        for _ in 0..2000 {
+            let g = vec![2.0 * (x[0] - 3.0), 2.0 * (x[1] + 1.0)];
+            opt.step(&mut x, &g);
+        }
+        assert!((x[0] - 3.0).abs() < 1e-3, "x0={}", x[0]);
+        assert!((x[1] + 1.0).abs() < 1e-3, "x1={}", x[1]);
+    }
+
+    #[test]
+    fn projected_gd_respects_constraint() {
+        // Unconstrained minimum at (3, 0), ‖·‖ = 3 > 1 → solution on the
+        // boundary at (1, 0).
+        let f = |x: &[f64]| (x[0] - 3.0).powi(2) + x[1].powi(2);
+        let grad = |x: &[f64]| vec![2.0 * (x[0] - 3.0), 2.0 * x[1]];
+        let x = projected_gradient_descent(f, grad, vec![0.0, 0.0], 1.0, 3000, 0.5);
+        let norm: f64 = x.iter().map(|v| v * v).sum::<f64>().sqrt();
+        assert!(norm <= 1.0 + 1e-9);
+        assert!((x[0] - 1.0).abs() < 1e-2, "x={x:?}");
+        assert!(x[1].abs() < 1e-2);
+    }
+
+    #[test]
+    fn projected_gd_interior_optimum() {
+        // Minimum at (0.1, −0.2) is inside the unit ball — projection must
+        // not distort it.
+        let f = |x: &[f64]| (x[0] - 0.1).powi(2) + (x[1] + 0.2).powi(2);
+        let grad = |x: &[f64]| vec![2.0 * (x[0] - 0.1), 2.0 * (x[1] + 0.2)];
+        let x = projected_gradient_descent(f, grad, vec![0.9, 0.0], 1.0, 3000, 0.5);
+        assert!((x[0] - 0.1).abs() < 1e-2);
+        assert!((x[1] + 0.2).abs() < 1e-2);
+    }
+}

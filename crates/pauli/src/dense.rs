@@ -1,0 +1,268 @@
+//! Dense complex matrices for small-`n` cross-validation.
+//!
+//! Production code paths never materialise `2^n × 2^n` matrices — the
+//! simulator works on state vectors, and Pauli actions use the bitmask
+//! kernels in [`crate::string`]. This module exists so that tests and the
+//! Appendix-A decomposition can cross-check the fast paths against the
+//! textbook definitions.
+
+use crate::string::PauliString;
+use crate::sum::PauliSum;
+use num_complex::Complex64;
+
+/// A dense, row-major complex matrix (used for ≤ ~10 qubits in tests).
+#[derive(Clone, Debug, PartialEq)]
+pub struct CMat {
+    rows: usize,
+    cols: usize,
+    data: Vec<Complex64>,
+}
+
+impl CMat {
+    /// Zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        CMat {
+            rows,
+            cols,
+            data: vec![Complex64::new(0.0, 0.0); rows * cols],
+        }
+    }
+
+    /// Identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = Complex64::new(1.0, 0.0);
+        }
+        m
+    }
+
+    /// Dimensions `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Raw data slice (row-major).
+    pub fn data(&self) -> &[Complex64] {
+        &self.data
+    }
+
+    /// Matrix product.
+    pub fn matmul(&self, rhs: &CMat) -> CMat {
+        assert_eq!(self.cols, rhs.rows, "shape mismatch");
+        let mut out = CMat::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a.norm_sqr() == 0.0 {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out[(i, j)] += a * rhs[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Conjugate transpose.
+    pub fn dagger(&self) -> CMat {
+        let mut out = CMat::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)].conj();
+            }
+        }
+        out
+    }
+
+    /// Kronecker product `self ⊗ rhs`.
+    pub fn kron(&self, rhs: &CMat) -> CMat {
+        let mut out = CMat::zeros(self.rows * rhs.rows, self.cols * rhs.cols);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                let a = self[(i, j)];
+                for k in 0..rhs.rows {
+                    for l in 0..rhs.cols {
+                        out[(i * rhs.rows + k, j * rhs.cols + l)] = a * rhs[(k, l)];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Sum of two matrices.
+    pub fn add(&self, rhs: &CMat) -> CMat {
+        assert_eq!(self.shape(), rhs.shape());
+        let mut out = self.clone();
+        for (o, r) in out.data.iter_mut().zip(rhs.data.iter()) {
+            *o += r;
+        }
+        out
+    }
+
+    /// Scales all entries.
+    pub fn scale(&self, s: Complex64) -> CMat {
+        let mut out = self.clone();
+        for o in out.data.iter_mut() {
+            *o *= s;
+        }
+        out
+    }
+
+    /// Trace (square matrices).
+    pub fn trace(&self) -> Complex64 {
+        assert_eq!(self.rows, self.cols);
+        (0..self.rows).map(|i| self[(i, i)]).sum()
+    }
+
+    /// Matrix-vector product.
+    pub fn matvec(&self, v: &[Complex64]) -> Vec<Complex64> {
+        assert_eq!(self.cols, v.len());
+        (0..self.rows)
+            .map(|i| {
+                (0..self.cols)
+                    .map(|j| self[(i, j)] * v[j])
+                    .sum::<Complex64>()
+            })
+            .collect()
+    }
+
+    /// Max entry-wise distance to another matrix.
+    pub fn max_abs_diff(&self, rhs: &CMat) -> f64 {
+        assert_eq!(self.shape(), rhs.shape());
+        self.data
+            .iter()
+            .zip(rhs.data.iter())
+            .map(|(a, b)| (a - b).norm())
+            .fold(0.0, f64::max)
+    }
+
+    /// Whether `‖self − self†‖_max < tol`.
+    pub fn is_hermitian(&self, tol: f64) -> bool {
+        self.rows == self.cols && self.max_abs_diff(&self.dagger()) < tol
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for CMat {
+    type Output = Complex64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &Complex64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for CMat {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut Complex64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+/// The dense `2^n × 2^n` matrix of a Pauli string.
+pub fn pauli_to_dense(p: &PauliString) -> CMat {
+    let n = p.num_qubits();
+    assert!(n <= 12, "dense conversion limited to small n");
+    // Build by basis action: column b has a single entry λ(b) at row b⊕x.
+    let dim = 1usize << n;
+    let mut m = CMat::zeros(dim, dim);
+    for b in 0..dim as u64 {
+        let (phase, b2) = p.apply_to_basis(b);
+        m[(b2 as usize, b as usize)] = phase.to_c64();
+    }
+    m
+}
+
+/// The dense matrix of a Pauli sum.
+pub fn sum_to_dense(s: &PauliSum) -> CMat {
+    let n = s.num_qubits();
+    let dim = 1usize << n;
+    let mut m = CMat::zeros(dim, dim);
+    for &(c, p) in s.terms() {
+        m = m.add(&pauli_to_dense(&p).scale(Complex64::new(c, 0.0)));
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    
+
+    /// Dense Pauli by explicit Kronecker products — the textbook definition.
+    fn pauli_dense_kron(p: &PauliString) -> CMat {
+        let n = p.num_qubits();
+        let mut m = CMat::eye(1);
+        // Highest qubit is the leftmost factor.
+        for k in (0..n).rev() {
+            let letter = p.get(k);
+            let lm = letter.matrix();
+            let mut small = CMat::zeros(2, 2);
+            for i in 0..2 {
+                for j in 0..2 {
+                    small[(i, j)] = lm[i][j];
+                }
+            }
+            m = m.kron(&small);
+        }
+        m
+    }
+
+    #[test]
+    fn basis_action_matches_kron_definition() {
+        for s in ["X", "Y", "Z", "XY", "ZZ", "YIX", "XYZ", "IZYX"] {
+            let p = PauliString::parse(s).unwrap();
+            let fast = pauli_to_dense(&p);
+            let slow = pauli_dense_kron(&p);
+            assert!(fast.max_abs_diff(&slow) < 1e-14, "{s}");
+        }
+    }
+
+    #[test]
+    fn product_phases_match_dense() {
+        let a = PauliString::parse("XYZ").unwrap();
+        let b = PauliString::parse("ZZY").unwrap();
+        let (phase, c) = a.mul(&b);
+        let lhs = pauli_to_dense(&a).matmul(&pauli_to_dense(&b));
+        let rhs = pauli_to_dense(&c).scale(phase.to_c64());
+        assert!(lhs.max_abs_diff(&rhs) < 1e-14);
+    }
+
+    #[test]
+    fn sums_are_hermitian() {
+        let s = PauliSum::from_terms(vec![
+            (0.5, PauliString::parse("XY").unwrap()),
+            (-1.5, PauliString::parse("ZI").unwrap()),
+            (2.0, PauliString::parse("YY").unwrap()),
+        ]);
+        assert!(sum_to_dense(&s).is_hermitian(1e-14));
+    }
+
+    #[test]
+    fn trace_of_nonidentity_pauli_is_zero() {
+        for s in ["X", "ZZ", "XYZ"] {
+            let p = PauliString::parse(s).unwrap();
+            assert!(pauli_to_dense(&p).trace().norm() < 1e-14, "{s}");
+        }
+        let id = PauliString::identity(3);
+        assert!((pauli_to_dense(&id).trace() - Complex64::new(8.0, 0.0)).norm() < 1e-14);
+    }
+
+    #[test]
+    fn kron_shapes() {
+        let a = CMat::eye(2);
+        let b = CMat::eye(3);
+        assert_eq!(a.kron(&b).shape(), (6, 6));
+    }
+
+    #[test]
+    fn matvec_identity() {
+        let m = CMat::eye(4);
+        let v: Vec<Complex64> = (0..4).map(|i| Complex64::new(i as f64, -1.0)).collect();
+        let w = m.matvec(&v);
+        for (a, b) in v.iter().zip(w.iter()) {
+            assert!((a - b).norm() < 1e-15);
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Enumeration of all Pauli strings with locality ≤ L.
+//!
+//! The observable-construction strategy (§IV.B, Fig. 4) measures every Pauli
+//! string acting on at most `L` qubits. Eq. (18) of the paper counts them:
+//!
+//! ```text
+//! q = Σ_{ℓ=0}^{L} C(n, ℓ) · 3^ℓ   ∈ O(3^L n^L)
+//! ```
+//!
+//! [`local_paulis`] materialises the list in a deterministic order (weight
+//! ascending, then support ascending, then letter assignment in X<Y<Z
+//! order); [`LocalPauliIter`] streams the same sequence without allocating.
+
+use crate::single::Pauli;
+use crate::string::PauliString;
+
+/// Binomial coefficient C(n, k) in u128 to postpone overflow.
+pub fn binomial(n: usize, k: usize) -> u128 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut num: u128 = 1;
+    for i in 0..k {
+        num = num * (n - i) as u128 / (i + 1) as u128;
+    }
+    num
+}
+
+/// The exact count of Pauli strings on `n` qubits with weight ≤ `l`
+/// (Eq. (18): Σ_{ℓ≤L} C(n,ℓ)·3^ℓ, including the identity at ℓ=0).
+pub fn local_pauli_count(n: usize, l: usize) -> u128 {
+    (0..=l.min(n))
+        .map(|k| binomial(n, k) * 3u128.pow(k as u32))
+        .sum()
+}
+
+/// All Pauli strings on `n` qubits with weight ≤ `l`, deterministically
+/// ordered. The identity is always first.
+pub fn local_paulis(n: usize, l: usize) -> Vec<PauliString> {
+    LocalPauliIter::new(n, l).collect()
+}
+
+/// Streaming enumeration of ≤ `l`-local Pauli strings on `n` qubits.
+pub struct LocalPauliIter {
+    n: usize,
+    max_weight: usize,
+    weight: usize,
+    /// Current support: `support[i]` is a qubit index, strictly increasing.
+    support: Vec<usize>,
+    /// Current letter assignment: `letters[i] ∈ {0,1,2}` ↦ `{X,Y,Z}` on
+    /// `support[i]`.
+    letters: Vec<usize>,
+    done: bool,
+    emitted_identity: bool,
+}
+
+impl LocalPauliIter {
+    /// Creates the iterator; `l` is clamped to `n`.
+    pub fn new(n: usize, l: usize) -> Self {
+        assert!(n >= 1 && n <= crate::MAX_QUBITS);
+        LocalPauliIter {
+            n,
+            max_weight: l.min(n),
+            weight: 1,
+            support: Vec::new(),
+            letters: Vec::new(),
+            done: false,
+            emitted_identity: false,
+        }
+    }
+
+    fn current(&self) -> PauliString {
+        let mut s = PauliString::identity(self.n);
+        for (i, &q) in self.support.iter().enumerate() {
+            s.set(q, Pauli::NONTRIVIAL[self.letters[i]]);
+        }
+        s
+    }
+
+    /// Advances `letters` as a base-3 counter; on overflow advances the
+    /// support combination; on exhaustion bumps the weight. Returns `false`
+    /// when everything of weight ≤ max has been produced.
+    fn advance(&mut self) -> bool {
+        // Next letter assignment (base-3 odometer).
+        for i in (0..self.letters.len()).rev() {
+            if self.letters[i] < 2 {
+                self.letters[i] += 1;
+                for l in self.letters.iter_mut().skip(i + 1) {
+                    *l = 0;
+                }
+                return true;
+            }
+        }
+        // Next support combination of the same weight (lexicographic).
+        let w = self.weight;
+        let n = self.n;
+        let mut i = w;
+        loop {
+            if i == 0 {
+                break;
+            }
+            i -= 1;
+            if self.support[i] < n - (w - i) {
+                self.support[i] += 1;
+                for j in i + 1..w {
+                    self.support[j] = self.support[j - 1] + 1;
+                }
+                self.letters.iter_mut().for_each(|l| *l = 0);
+                return true;
+            }
+        }
+        // Next weight.
+        if self.weight < self.max_weight {
+            self.weight += 1;
+            self.support = (0..self.weight).collect();
+            self.letters = vec![0; self.weight];
+            true
+        } else {
+            false
+        }
+    }
+}
+
+impl Iterator for LocalPauliIter {
+    type Item = PauliString;
+
+    fn next(&mut self) -> Option<PauliString> {
+        if self.done {
+            return None;
+        }
+        if !self.emitted_identity {
+            self.emitted_identity = true;
+            if self.max_weight == 0 {
+                self.done = true;
+            } else {
+                // Initialise the first weight-1 configuration for the next call.
+                self.support = vec![0];
+                self.letters = vec![0];
+            }
+            return Some(PauliString::identity(self.n));
+        }
+        let out = self.current();
+        if !self.advance() {
+            self.done = true;
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn counts_match_formula() {
+        for n in 1..=6 {
+            for l in 0..=n {
+                let want = local_pauli_count(n, l);
+                let got = local_paulis(n, l).len() as u128;
+                assert_eq!(got, want, "n={n} l={l}");
+            }
+        }
+    }
+
+    #[test]
+    fn paper_counts_for_four_qubits() {
+        // n = 4 (the experiments): 1-local → 13, 2-local → 67, 3-local → 175.
+        assert_eq!(local_pauli_count(4, 1), 13);
+        assert_eq!(local_pauli_count(4, 2), 67);
+        assert_eq!(local_pauli_count(4, 3), 175);
+        assert_eq!(local_pauli_count(4, 4), 256); // full 4^n basis
+    }
+
+    #[test]
+    fn no_duplicates_and_weight_bounded() {
+        let list = local_paulis(5, 3);
+        let set: HashSet<String> = list.iter().map(|p| p.to_string()).collect();
+        assert_eq!(set.len(), list.len(), "duplicates found");
+        assert!(list.iter().all(|p| p.weight() <= 3));
+    }
+
+    #[test]
+    fn identity_first_and_order_by_weight() {
+        let list = local_paulis(3, 3);
+        assert!(list[0].is_identity());
+        let weights: Vec<usize> = list.iter().map(|p| p.weight()).collect();
+        let mut sorted = weights.clone();
+        sorted.sort_unstable();
+        assert_eq!(weights, sorted, "not sorted by weight");
+    }
+
+    #[test]
+    fn l_zero_is_identity_only() {
+        let list = local_paulis(4, 0);
+        assert_eq!(list.len(), 1);
+        assert!(list[0].is_identity());
+    }
+
+    #[test]
+    fn full_enumeration_is_4_pow_n() {
+        let list = local_paulis(3, 3);
+        assert_eq!(list.len(), 64);
+    }
+
+    #[test]
+    fn binomial_basics() {
+        assert_eq!(binomial(10, 0), 1);
+        assert_eq!(binomial(10, 10), 1);
+        assert_eq!(binomial(10, 3), 120);
+        assert_eq!(binomial(3, 5), 0);
+        assert_eq!(binomial(64, 32), 1832624140942590534);
+    }
+
+    #[test]
+    fn iterator_matches_vec() {
+        let it: Vec<_> = LocalPauliIter::new(4, 2).collect();
+        let v = local_paulis(4, 2);
+        assert_eq!(it, v);
+    }
+}

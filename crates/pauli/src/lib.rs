@@ -1,0 +1,36 @@
+//! # pauli — Pauli-string algebra
+//!
+//! Substrate crate for the post-variational QNN library. It provides the
+//! algebra of *n*-qubit Pauli strings (tensor products of `I`, `X`, `Y`, `Z`)
+//! that the paper's *observable construction* strategy (§IV.B) is built on:
+//!
+//! * [`Pauli`] — the single-qubit letters and their multiplication table,
+//! * [`PauliString`] — an `n`-qubit string stored as a pair of bitmasks with
+//!   exact phase tracking for products and basis-state action,
+//! * [`PauliSum`] — a real-weighted sum of strings (a Hermitian observable),
+//! * [`enumerate`] — enumeration of all strings of locality ≤ L
+//!   (Eq. (18): Σ_{ℓ≤L} C(n,ℓ)·3^ℓ strings),
+//! * [`dense`] / [`decompose`] — conversion to dense matrices and the
+//!   Appendix-A decomposition of an arbitrary Hermitian into Pauli terms.
+//!
+//! Strings are limited to **64 qubits** (bitmask representation); the
+//! experiments in the paper use 4.
+
+pub mod dense;
+pub mod decompose;
+pub mod enumerate;
+pub mod phase;
+pub mod single;
+pub mod string;
+pub mod sum;
+
+pub use dense::{pauli_to_dense, sum_to_dense, CMat};
+pub use decompose::{decompose_hermitian, reconstruct_from_terms};
+pub use enumerate::{local_pauli_count, local_paulis, LocalPauliIter};
+pub use phase::PhaseI;
+pub use single::Pauli;
+pub use string::PauliString;
+pub use sum::PauliSum;
+
+/// Maximum number of qubits supported by the bitmask representation.
+pub const MAX_QUBITS: usize = 64;

@@ -1,0 +1,153 @@
+//! Exact phases from the group {+1, +i, −1, −i}.
+//!
+//! Pauli products only ever produce phases that are integer powers of the
+//! imaginary unit, so we track them exactly as an exponent modulo 4 instead
+//! of as floating-point complex numbers.
+
+use num_complex::Complex64;
+use std::fmt;
+use std::ops::{Mul, MulAssign, Neg};
+
+/// A phase `i^k` with `k ∈ {0,1,2,3}`: exactly one of `+1, +i, −1, −i`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct PhaseI(u8);
+
+impl PhaseI {
+    /// The identity phase `+1`.
+    pub const ONE: PhaseI = PhaseI(0);
+    /// The phase `+i`.
+    pub const I: PhaseI = PhaseI(1);
+    /// The phase `−1`.
+    pub const MINUS_ONE: PhaseI = PhaseI(2);
+    /// The phase `−i`.
+    pub const MINUS_I: PhaseI = PhaseI(3);
+
+    /// Constructs `i^k` (exponent taken modulo 4).
+    #[inline]
+    pub fn from_power(k: u32) -> Self {
+        PhaseI((k % 4) as u8)
+    }
+
+    /// The exponent `k` of `i^k`, in `0..4`.
+    #[inline]
+    pub fn power(self) -> u8 {
+        self.0
+    }
+
+    /// Whether this phase is real (`±1`).
+    #[inline]
+    pub fn is_real(self) -> bool {
+        self.0 % 2 == 0
+    }
+
+    /// The phase as a complex number.
+    #[inline]
+    pub fn to_c64(self) -> Complex64 {
+        match self.0 {
+            0 => Complex64::new(1.0, 0.0),
+            1 => Complex64::new(0.0, 1.0),
+            2 => Complex64::new(-1.0, 0.0),
+            _ => Complex64::new(0.0, -1.0),
+        }
+    }
+
+    /// For real phases, the sign as `f64` (`+1.0` or `−1.0`).
+    ///
+    /// # Panics
+    /// Panics if the phase is imaginary.
+    #[inline]
+    pub fn real_sign(self) -> f64 {
+        match self.0 {
+            0 => 1.0,
+            2 => -1.0,
+            _ => panic!("PhaseI::real_sign called on imaginary phase i^{}", self.0),
+        }
+    }
+
+    /// Multiplicative inverse (`i^k → i^{-k}`).
+    #[inline]
+    pub fn inverse(self) -> Self {
+        PhaseI((4 - self.0) % 4)
+    }
+}
+
+impl Mul for PhaseI {
+    type Output = PhaseI;
+    #[inline]
+    fn mul(self, rhs: PhaseI) -> PhaseI {
+        PhaseI((self.0 + rhs.0) % 4)
+    }
+}
+
+impl MulAssign for PhaseI {
+    #[inline]
+    fn mul_assign(&mut self, rhs: PhaseI) {
+        self.0 = (self.0 + rhs.0) % 4;
+    }
+}
+
+impl Neg for PhaseI {
+    type Output = PhaseI;
+    #[inline]
+    fn neg(self) -> PhaseI {
+        self * PhaseI::MINUS_ONE
+    }
+}
+
+impl fmt::Display for PhaseI {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self.0 {
+            0 => "+1",
+            1 => "+i",
+            2 => "-1",
+            _ => "-i",
+        };
+        write!(f, "{s}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_table() {
+        assert_eq!(PhaseI::I * PhaseI::I, PhaseI::MINUS_ONE);
+        assert_eq!(PhaseI::I * PhaseI::MINUS_I, PhaseI::ONE);
+        assert_eq!(PhaseI::MINUS_ONE * PhaseI::MINUS_ONE, PhaseI::ONE);
+        assert_eq!(PhaseI::MINUS_I * PhaseI::MINUS_I, PhaseI::MINUS_ONE);
+    }
+
+    #[test]
+    fn inverse_cancels() {
+        for k in 0..4 {
+            let p = PhaseI::from_power(k);
+            assert_eq!(p * p.inverse(), PhaseI::ONE);
+        }
+    }
+
+    #[test]
+    fn complex_agrees_with_powers_of_i() {
+        let i = Complex64::new(0.0, 1.0);
+        let mut acc = Complex64::new(1.0, 0.0);
+        for k in 0..8u32 {
+            let p = PhaseI::from_power(k);
+            assert!((p.to_c64() - acc).norm() < 1e-15, "k={k}");
+            acc *= i;
+        }
+    }
+
+    #[test]
+    fn real_sign() {
+        assert_eq!(PhaseI::ONE.real_sign(), 1.0);
+        assert_eq!(PhaseI::MINUS_ONE.real_sign(), -1.0);
+        assert!(PhaseI::ONE.is_real());
+        assert!(!PhaseI::I.is_real());
+    }
+
+    #[test]
+    #[should_panic]
+    fn real_sign_panics_on_imaginary() {
+        let _ = PhaseI::I.real_sign();
+    }
+}

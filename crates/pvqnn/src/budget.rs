@@ -1,0 +1,252 @@
+//! Measurement budgets: Propositions 1–2 and Table II.
+//!
+//! Proposition 1 (direct estimation): all `m·d` neuron outputs within
+//! additive error ε_H with probability 1−δ needs
+//! `O((md/ε_H²)·log(md/δ))` measurements.
+//!
+//! Proposition 2 (shadow estimation): `O((pd/ε_H²)·max_k‖O_k‖_S²·log(md/δ))`.
+//!
+//! Table II combines these with Theorem 4's `ε_H = ε/(2√m)` to express the
+//! end-to-end budget for each design principle; [`table2_rows`] evaluates
+//! all four rows.
+
+/// Per-(neuron, datum) shot count from Hoeffding + union bound
+/// (Proposition 1's proof): `t = ⌈(2/ε_H²)·ln(2md/δ)⌉`.
+pub fn prop1_shots_per_neuron(m: usize, d: usize, eps_h: f64, delta: f64) -> u128 {
+    assert!(eps_h > 0.0 && delta > 0.0 && delta < 1.0 && m >= 1 && d >= 1);
+    let ln = (2.0 * (m as f64) * (d as f64) / delta).ln();
+    ((2.0 / (eps_h * eps_h)) * ln).ceil() as u128
+}
+
+/// Total direct-measurement budget of Proposition 1: `m·d·t`.
+pub fn prop1_total(m: usize, d: usize, eps_h: f64, delta: f64) -> u128 {
+    (m as u128) * (d as u128) * prop1_shots_per_neuron(m, d, eps_h, delta)
+}
+
+/// Snapshots per (ansatz, datum) state from the median-of-means analysis
+/// (Proposition 2's proof): group size `⌈34·max‖O‖_S²/ε_H²⌉` times
+/// `⌈2 ln(2md/δ)⌉` groups.
+pub fn prop2_snapshots_per_state(
+    m: usize,
+    d: usize,
+    max_shadow_norm_sq: f64,
+    eps_h: f64,
+    delta: f64,
+) -> u128 {
+    assert!(eps_h > 0.0 && delta > 0.0 && delta < 1.0);
+    let group = ((34.0 * max_shadow_norm_sq) / (eps_h * eps_h)).ceil() as u128;
+    let groups = (2.0 * (2.0 * (m as f64) * (d as f64) / delta).ln()).ceil() as u128;
+    group.max(1) * groups.max(1)
+}
+
+/// Total shadow budget of Proposition 2: `p·d·T`.
+pub fn prop2_total(
+    p: usize,
+    m: usize,
+    d: usize,
+    max_shadow_norm_sq: f64,
+    eps_h: f64,
+    delta: f64,
+) -> u128 {
+    (p as u128) * (d as u128) * prop2_snapshots_per_state(m, d, max_shadow_norm_sq, eps_h, delta)
+}
+
+/// Theorem 4's element-wise accuracy requirement for final loss error ε
+/// with the `‖α‖₂ ≤ 1` constraint: `ε_H = ε/(2√m)`.
+pub fn theorem4_eps_h(eps: f64, m: usize) -> f64 {
+    assert!(eps > 0.0 && m >= 1);
+    eps / (2.0 * (m as f64).sqrt())
+}
+
+/// One evaluated row of Table II.
+#[derive(Clone, Debug)]
+pub struct Table2Row {
+    /// Strategy name as printed in the paper.
+    pub strategy: &'static str,
+    /// `p` — number of ansätze.
+    pub p: usize,
+    /// `q` — number of observables.
+    pub q: usize,
+    /// `m = pq`.
+    pub m: usize,
+    /// Total measurements, direct estimation.
+    pub direct: u128,
+    /// Total measurements, classical shadows.
+    pub shadows: u128,
+    /// Which column the paper bolds (the cheaper estimator).
+    pub winner: &'static str,
+}
+
+/// Evaluates the four Table II rows for concrete dimensions: `p` ansätze,
+/// local observables of weight ≤ `locality` on `n` qubits, `d` data
+/// points, end-to-end loss error `eps`, failure probability `delta`.
+///
+/// The observable set of the construction/hybrid rows is the ≤L-local
+/// Pauli family, whose worst shadow norm is `3^L`; the ansatz-expansion
+/// row uses a single observable of locality `obs_locality`.
+pub fn table2_rows(
+    p: usize,
+    n: usize,
+    locality: usize,
+    obs_locality: usize,
+    d: usize,
+    eps: f64,
+    delta: f64,
+) -> Vec<Table2Row> {
+    let q_local = pauli::local_pauli_count(n, locality) as usize;
+    let single_norm_sq = 3f64.powi(obs_locality as i32);
+    let local_norm_sq = 3f64.powi(locality as i32);
+
+    let mut rows = Vec::new();
+
+    // Ansatz expansion: q = 1.
+    {
+        let (pp, q) = (p, 1usize);
+        let m = pp * q;
+        let eps_h = theorem4_eps_h(eps, m);
+        let direct = prop1_total(m, d, eps_h, delta);
+        let shadows = prop2_total(pp, m, d, single_norm_sq, eps_h, delta);
+        rows.push(Table2Row {
+            strategy: "Ansatz expansion (q=1)",
+            p: pp,
+            q,
+            m,
+            direct,
+            shadows,
+            winner: if direct <= shadows { "direct" } else { "shadows" },
+        });
+    }
+
+    // Observable construction: p = 1.
+    {
+        let (pp, q) = (1usize, q_local);
+        let m = pp * q;
+        let eps_h = theorem4_eps_h(eps, m);
+        let direct = prop1_total(m, d, eps_h, delta);
+        let shadows = prop2_total(pp, m, d, local_norm_sq, eps_h, delta);
+        rows.push(Table2Row {
+            strategy: "Observable construction (p=1)",
+            p: pp,
+            q,
+            m,
+            direct,
+            shadows,
+            winner: if direct <= shadows { "direct" } else { "shadows" },
+        });
+    }
+
+    // Hybrid.
+    {
+        let (pp, q) = (p, q_local);
+        let m = pp * q;
+        let eps_h = theorem4_eps_h(eps, m);
+        let direct = prop1_total(m, d, eps_h, delta);
+        let shadows = prop2_total(pp, m, d, local_norm_sq, eps_h, delta);
+        rows.push(Table2Row {
+            strategy: "Hybrid",
+            p: pp,
+            q,
+            m,
+            direct,
+            shadows,
+            winner: if direct <= shadows { "direct" } else { "shadows" },
+        });
+    }
+
+    // L-local hybrid (same numbers, emphasising the 3^L n^L scaling).
+    {
+        let (pp, q) = (p, q_local);
+        let m = pp * q;
+        let eps_h = theorem4_eps_h(eps, m);
+        let direct = prop1_total(m, d, eps_h, delta);
+        let shadows = prop2_total(pp, m, d, local_norm_sq, eps_h, delta);
+        rows.push(Table2Row {
+            strategy: "L-local Hybrid (q∈O(3^L n^L))",
+            p: pp,
+            q,
+            m,
+            direct,
+            shadows,
+            winner: if direct <= shadows { "direct" } else { "shadows" },
+        });
+    }
+
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prop1_scaling_in_eps() {
+        // Halving ε_H quadruples the per-neuron count (within rounding).
+        let a = prop1_shots_per_neuron(10, 100, 0.1, 0.05);
+        let b = prop1_shots_per_neuron(10, 100, 0.05, 0.05);
+        let ratio = b as f64 / a as f64;
+        assert!((ratio - 4.0).abs() < 0.05, "ratio {ratio}");
+    }
+
+    #[test]
+    fn prop1_logarithmic_in_md() {
+        let a = prop1_shots_per_neuron(10, 100, 0.1, 0.05);
+        let b = prop1_shots_per_neuron(1000, 100, 0.1, 0.05);
+        assert!((b as f64) < 2.0 * a as f64, "per-neuron cost must grow only log");
+    }
+
+    #[test]
+    fn shadows_win_for_observable_construction_with_low_locality() {
+        // Table II bold: for the observable-construction row with local
+        // observables, shadows beat direct (qd·3^L vs q²d scaling). The
+        // proof constants (34 vs 2) mean the crossover needs q ≳ 300·3^L —
+        // n = 12 qubits at L = 2 gives q = 631.
+        let rows = table2_rows(17, 12, 2, 1, 100, 0.1, 0.05);
+        let oc = &rows[1];
+        assert_eq!(oc.strategy, "Observable construction (p=1)");
+        assert!(
+            oc.shadows < oc.direct,
+            "shadows {} should beat direct {}",
+            oc.shadows,
+            oc.direct
+        );
+        assert_eq!(oc.winner, "shadows");
+    }
+
+    #[test]
+    fn direct_wins_for_ansatz_expansion() {
+        // Table II bold: with q = 1 the shadows protocol only adds the
+        // ‖O‖_S² factor — direct must win (for any nontrivial observable).
+        let rows = table2_rows(17, 4, 2, 1, 100, 0.1, 0.05);
+        let ae = &rows[0];
+        assert!(ae.direct <= ae.shadows);
+        assert_eq!(ae.winner, "direct");
+    }
+
+    #[test]
+    fn hybrid_shadow_advantage_grows_with_q() {
+        // direct/shadows ratio ~ q/‖O‖_S²: larger n (more local Paulis)
+        // widens the gap.
+        let small = &table2_rows(9, 4, 1, 1, 50, 0.1, 0.05)[2];
+        let large = &table2_rows(9, 12, 1, 1, 50, 0.1, 0.05)[2];
+        let ratio_small = small.direct as f64 / small.shadows as f64;
+        let ratio_large = large.direct as f64 / large.shadows as f64;
+        assert!(
+            ratio_large > ratio_small,
+            "small {ratio_small}, large {ratio_large}"
+        );
+    }
+
+    #[test]
+    fn theorem4_eps_h_shrinks_with_m() {
+        assert!(theorem4_eps_h(0.1, 100) < theorem4_eps_h(0.1, 10));
+        assert!((theorem4_eps_h(0.2, 4) - 0.05).abs() < 1e-15);
+    }
+
+    #[test]
+    fn totals_are_products() {
+        let m = 10;
+        let d = 20;
+        let t = prop1_shots_per_neuron(m, d, 0.1, 0.1);
+        assert_eq!(prop1_total(m, d, 0.1, 0.1), (m * d) as u128 * t);
+    }
+}

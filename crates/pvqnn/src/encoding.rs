@@ -1,0 +1,194 @@
+//! Data-encoding circuits (paper Fig. 7).
+//!
+//! "Each column of the compressed image is encoded into a single qubit,
+//! and each row is encoded consecutively via alternating rotation-Z and
+//! rotation-X gates."
+//!
+//! Features arrive row-major from the 4×4 pooled image: feature index
+//! `r·n + c` is (row r, column c), column `c` lands on qubit `c`, and the
+//! per-qubit gate sequence over rows is `RZ(x₀c) RX(x₁c) RZ(x₂c) RX(x₃c)`.
+//! The leading RZ on `|0⟩` only contributes a phase, exactly as in the
+//! paper's figure; the information still enters through the following RX
+//! layers. [`encoding_with_h_prefix`] offers the variant with a Hadamard
+//! wall in front, which makes the first RZ informative too.
+
+use qsim::{Circuit, Gate};
+
+/// Builds the Fig. 7 encoding circuit `S(x)` for an `n`-qubit register from
+/// `rows·n` features laid out row-major (`features[r*n + c]` → row `r`,
+/// qubit `c`). Even rows become `RZ`, odd rows `RX`.
+///
+/// # Panics
+/// Panics if `features.len()` is not a positive multiple of `n`.
+pub fn column_encoding(features: &[f64], n: usize) -> Circuit {
+    assert!(n >= 1);
+    assert!(
+        !features.is_empty() && features.len() % n == 0,
+        "feature count {} must be a positive multiple of n = {n}",
+        features.len()
+    );
+    let rows = features.len() / n;
+    let mut c = Circuit::new(n);
+    for r in 0..rows {
+        for q in 0..n {
+            let angle = features[r * n + q];
+            if r % 2 == 0 {
+                c.push(Gate::Rz(q, angle));
+            } else {
+                c.push(Gate::Rx(q, angle));
+            }
+        }
+    }
+    c
+}
+
+/// The paper's concrete instance: 16 features → 4 qubits, 4 alternating
+/// RZ/RX rows (Fig. 7).
+pub fn fig7_encoding(features: &[f64]) -> Circuit {
+    assert_eq!(features.len(), 16, "Fig. 7 encodes 4×4 = 16 features");
+    column_encoding(features, 4)
+}
+
+/// Variant with a Hadamard on every qubit **before** the alternating
+/// rotations, which makes the leading RZ row informative from `|0⟩`.
+pub fn encoding_with_h_prefix(features: &[f64], n: usize) -> Circuit {
+    let mut c = Circuit::new(n);
+    for q in 0..n {
+        c.push(Gate::H(q));
+    }
+    c.extend(&column_encoding(features, n));
+    c
+}
+
+/// A data re-uploading encoding (§III.B, citing Pérez-Salinas et al. [47]):
+/// `layers` repetitions of (column encoding → ring of CNOTs). The paper
+/// notes such models map exactly onto the simple construction with more
+/// qubits [48]; here we provide them directly so re-uploading ansätze can
+/// be used as the `S(x)` of any post-variational strategy.
+pub fn reuploading_encoding(features: &[f64], n: usize, layers: usize) -> Circuit {
+    assert!(layers >= 1);
+    let mut c = Circuit::new(n);
+    for layer in 0..layers {
+        c.extend(&column_encoding(features, n));
+        // Entangle between uploads (no entangler after the last upload —
+        // measurement bases handle that).
+        if layer + 1 < layers && n >= 2 {
+            for q in 0..n {
+                c.push(Gate::Cnot {
+                    control: q,
+                    target: (q + 1) % n,
+                });
+            }
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsim::StateVector;
+
+    #[test]
+    fn fig7_gate_pattern() {
+        let x: Vec<f64> = (0..16).map(|i| 0.1 * i as f64).collect();
+        let c = fig7_encoding(&x);
+        assert_eq!(c.num_qubits(), 4);
+        assert_eq!(c.len(), 16);
+        // First row is RZ on qubits 0..4 with features 0..4.
+        assert_eq!(c.gates()[0], Gate::Rz(0, 0.0));
+        assert!(matches!(c.gates()[3], Gate::Rz(3, a) if (a - 0.3).abs() < 1e-12));
+        // Second row is RX.
+        assert!(matches!(c.gates()[4], Gate::Rx(0, a) if (a - 0.4).abs() < 1e-12));
+        // Third row RZ again.
+        assert!(matches!(c.gates()[8], Gate::Rz(0, a) if (a - 0.8).abs() < 1e-12));
+    }
+
+    #[test]
+    fn different_features_give_different_states() {
+        let a: Vec<f64> = (0..16).map(|i| 0.3 + 0.1 * i as f64).collect();
+        let mut b = a.clone();
+        b[5] += 1.0; // an RX angle — physically meaningful
+        let sa = StateVector::from_circuit(&fig7_encoding(&a));
+        let sb = StateVector::from_circuit(&fig7_encoding(&b));
+        assert!(sa.fidelity(&sb) < 1.0 - 1e-4);
+    }
+
+    #[test]
+    fn zero_features_give_zero_state() {
+        let s = StateVector::from_circuit(&fig7_encoding(&[0.0; 16]));
+        assert!((s.probability(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn first_rz_row_is_global_phase_only() {
+        // Changing only row-0 (RZ) angles must not change any probability
+        // or any later measurement statistic from |0⟩ — matching the note
+        // in the module docs.
+        let mut a = vec![0.5; 16];
+        let mut b = vec![0.5; 16];
+        for q in 0..4 {
+            a[q] = 0.1;
+            b[q] = 2.1;
+        }
+        let sa = StateVector::from_circuit(&fig7_encoding(&a));
+        let sb = StateVector::from_circuit(&fig7_encoding(&b));
+        assert!((sa.fidelity(&sb) - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn h_prefix_makes_first_rz_informative() {
+        let mut a = vec![0.5; 16];
+        let mut b = vec![0.5; 16];
+        for q in 0..4 {
+            a[q] = 0.1;
+            b[q] = 2.1;
+        }
+        let sa = StateVector::from_circuit(&encoding_with_h_prefix(&a, 4));
+        let sb = StateVector::from_circuit(&encoding_with_h_prefix(&b, 4));
+        assert!(sa.fidelity(&sb) < 1.0 - 1e-4);
+    }
+
+    #[test]
+    fn general_shapes() {
+        let c = column_encoding(&[0.1; 12], 6); // 2 rows × 6 qubits
+        assert_eq!(c.num_qubits(), 6);
+        assert_eq!(c.len(), 12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_feature_count_panics() {
+        let _ = fig7_encoding(&[0.0; 15]);
+    }
+
+    #[test]
+    fn reuploading_single_layer_equals_plain_encoding() {
+        let x: Vec<f64> = (0..16).map(|i| 0.3 + 0.2 * i as f64).collect();
+        let a = StateVector::from_circuit(&reuploading_encoding(&x, 4, 1));
+        let b = StateVector::from_circuit(&column_encoding(&x, 4));
+        assert!((a.fidelity(&b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reuploading_layers_change_the_state() {
+        let x: Vec<f64> = (0..16).map(|i| 0.4 + 0.15 * i as f64).collect();
+        let one = StateVector::from_circuit(&reuploading_encoding(&x, 4, 1));
+        let two = StateVector::from_circuit(&reuploading_encoding(&x, 4, 2));
+        assert!(one.fidelity(&two) < 1.0 - 1e-6);
+        // Re-uploading creates entanglement between columns.
+        let z0 = pauli::PauliString::parse("IIIZ").unwrap();
+        let z1 = pauli::PauliString::parse("IIZI").unwrap();
+        let zz = pauli::PauliString::parse("IIZZ").unwrap();
+        let corr = two.expectation(&zz) - two.expectation(&z0) * two.expectation(&z1);
+        assert!(corr.abs() > 1e-6, "no correlation: {corr}");
+    }
+
+    #[test]
+    fn reuploading_gate_count() {
+        let x = vec![0.2; 16];
+        let c = reuploading_encoding(&x, 4, 3);
+        // 3 × 16 rotations + 2 × 4 CNOTs.
+        assert_eq!(c.len(), 48 + 8);
+    }
+}

@@ -1,0 +1,206 @@
+//! Error propagation through the network: Theorems 3–4 and Appendix C.
+//!
+//! The estimated feature matrix `Q̂` differs from the true `Q` by at most
+//! `ε_H` per entry. Theorem 3 bounds the induced excess RMSE
+//! `ΔL = L(α̂*, Q) − L(α*, Q)` of the closed-form solution; Theorem 4
+//! gives the dimension-friendlier bound `ΔL ≤ 2√m·‖Q̂−Q‖_max` under the
+//! `‖α‖₂ ≤ 1` constraint. This module computes both sides empirically so
+//! the bounds can be *verified* on real feature matrices.
+
+use linalg::svd::Svd;
+use linalg::{lstsq, Mat};
+use ml::optim::projected_gradient_descent;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Adds i.i.d. uniform(−`eps_h`, `eps_h`) noise to every entry — the
+/// worst-case-bounded perturbation model of §VI.B.
+pub fn perturb_uniform(q: &Mat, eps_h: f64, seed: u64) -> Mat {
+    assert!(eps_h >= 0.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = q.clone();
+    for v in out.data_mut() {
+        *v += (rng.random::<f64>() * 2.0 - 1.0) * eps_h;
+    }
+    out
+}
+
+/// RMSE loss `‖Y − Qα‖₂/√d` (Eq. (29)).
+pub fn rmse_of(q: &Mat, y: &[f64], alpha: &[f64]) -> f64 {
+    let pred = q.matvec(alpha);
+    let ss: f64 = pred
+        .iter()
+        .zip(y.iter())
+        .map(|(p, t)| (p - t) * (p - t))
+        .sum();
+    (ss / q.rows() as f64).sqrt()
+}
+
+/// `ΔL_RMSE` for the **unconstrained** closed-form solutions (Eq. (32)):
+/// trains `α* = Q⁺Y` and `α̂* = Q̂⁺Y`, evaluates both on the true `Q`.
+pub fn delta_rmse_closed_form(q: &Mat, q_hat: &Mat, y: &[f64]) -> f64 {
+    let alpha_star = lstsq(q, y);
+    let alpha_hat = lstsq(q_hat, y);
+    rmse_of(q, y, &alpha_hat) - rmse_of(q, y, &alpha_star)
+}
+
+/// `ΔL_RMSE` for the **ℓ2-constrained** program of Theorem 4 (`‖α‖₂ ≤
+/// radius`), solved by projected gradient descent on both matrices.
+pub fn delta_rmse_constrained(q: &Mat, q_hat: &Mat, y: &[f64], radius: f64) -> f64 {
+    let solve = |mat: &Mat| {
+        let d = mat.rows() as f64;
+        let f = |a: &[f64]| {
+            let pred = mat.matvec(a);
+            pred.iter()
+                .zip(y.iter())
+                .map(|(p, t)| (p - t) * (p - t))
+                .sum::<f64>()
+                / d
+        };
+        let grad = |a: &[f64]| {
+            let pred = mat.matvec(a);
+            let resid: Vec<f64> = pred.iter().zip(y.iter()).map(|(p, t)| p - t).collect();
+            mat.t_matvec(&resid).iter().map(|g| 2.0 * g / d).collect()
+        };
+        projected_gradient_descent(f, grad, vec![0.0; mat.cols()], radius, 6000, 0.5)
+    };
+    let alpha_star = solve(q);
+    let alpha_hat = solve(q_hat);
+    rmse_of(q, y, &alpha_hat) - rmse_of(q, y, &alpha_star)
+}
+
+/// The Theorem 3 admissible perturbation size: to guarantee `ΔL < ε` the
+/// element-wise error must satisfy
+/// `‖Q̂−Q‖_max < min( min(σ_min(Q), σ_min(Q̂)) / √(min(m,d)·m·d),
+///                    ε / (6√m·‖Y‖₂·‖Q‖·‖Q⁺‖²) )`.
+pub fn theorem3_threshold(q: &Mat, q_hat: &Mat, y: &[f64], eps: f64) -> f64 {
+    let (d, m) = q.shape();
+    let svd_q = Svd::compute(q);
+    let svd_qh = Svd::compute(q_hat);
+    let sigma_min = svd_q.sigma_min_nonzero().min(svd_qh.sigma_min_nonzero());
+    let rank_guard = sigma_min / ((m.min(d) as f64).sqrt() * (m as f64) * (d as f64)).sqrt();
+
+    let y_norm = linalg::mat::vec_norm2(y);
+    let q_norm = svd_q.spectral_norm();
+    let q_pinv_norm = 1.0 / svd_q.sigma_min_nonzero();
+    let loss_guard = eps / (6.0 * (m as f64).sqrt() * y_norm * q_norm * q_pinv_norm * q_pinv_norm);
+
+    rank_guard.min(loss_guard)
+}
+
+/// Theorem 4's threshold: `‖Q̂−Q‖_max < ε/(2√m)` suffices under the
+/// constraint.
+pub fn theorem4_threshold(eps: f64, m: usize) -> f64 {
+    eps / (2.0 * (m as f64).sqrt())
+}
+
+/// Verifies the Lemma 8 rank-stability condition: if the perturbation is
+/// below the rank guard, `rank(Q) = rank(Q̂)`.
+pub fn ranks_match(q: &Mat, q_hat: &Mat) -> bool {
+    linalg::svd::rank(q) == linalg::svd::rank(q_hat)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A well-conditioned synthetic Q with the paper's assumptions
+    /// (κ_Q ∈ O(1), ‖Y‖ ∈ O(√d)).
+    fn synthetic_q(d: usize, m: usize, seed: u64) -> (Mat, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let q = Mat::from_vec(
+            d,
+            m,
+            (0..d * m).map(|_| rng.random::<f64>() * 2.0 - 1.0).collect(),
+        );
+        let alpha: Vec<f64> = (0..m)
+            .map(|j| 0.5 * ((j as f64) * 0.7).sin() / (m as f64).sqrt())
+            .collect();
+        let mut y = q.matvec(&alpha);
+        for v in y.iter_mut() {
+            *v += (rng.random::<f64>() - 0.5) * 0.1; // small label noise
+        }
+        (q, y)
+    }
+
+    #[test]
+    fn delta_l_is_nonnegative_for_closed_form() {
+        // α* minimises L(·, Q), so any other α (including α̂*) can't do
+        // better.
+        let (q, y) = synthetic_q(40, 8, 1);
+        for seed in 0..5 {
+            let q_hat = perturb_uniform(&q, 0.05, seed);
+            let dl = delta_rmse_closed_form(&q, &q_hat, &y);
+            assert!(dl >= -1e-12, "ΔL = {dl}");
+        }
+    }
+
+    #[test]
+    fn theorem3_bound_holds_empirically() {
+        let (q, y) = synthetic_q(50, 6, 2);
+        let eps = 0.05;
+        for seed in 0..10 {
+            // Perturb *below* the admissible threshold and check ΔL < ε.
+            let probe = perturb_uniform(&q, 1e-6, seed);
+            let thr = theorem3_threshold(&q, &probe, &y, eps);
+            assert!(thr > 0.0);
+            let q_hat = perturb_uniform(&q, thr * 0.99, seed + 100);
+            assert!(q_hat.max_abs_diff(&q) < thr);
+            let dl = delta_rmse_closed_form(&q, &q_hat, &y);
+            assert!(dl < eps, "seed {seed}: ΔL = {dl} ≥ ε = {eps}");
+        }
+    }
+
+    #[test]
+    fn theorem4_bound_holds_empirically() {
+        let (q, y) = synthetic_q(40, 5, 3);
+        let eps = 0.1;
+        let m = q.cols();
+        let thr = theorem4_threshold(eps, m);
+        for seed in 0..5 {
+            let q_hat = perturb_uniform(&q, thr * 0.99, seed);
+            let dl = delta_rmse_constrained(&q, &q_hat, &y, 1.0);
+            // The PGD solver is approximate; allow a small numerical slack.
+            assert!(dl < eps + 1e-3, "seed {seed}: ΔL = {dl}");
+        }
+    }
+
+    #[test]
+    fn rank_stability_under_small_perturbation() {
+        let (q, _) = synthetic_q(30, 6, 4);
+        let svd = Svd::compute(&q);
+        let guard = svd.sigma_min_nonzero()
+            / ((6f64).sqrt() * 6.0 * 30.0).sqrt();
+        let q_hat = perturb_uniform(&q, guard * 0.5, 7);
+        assert!(ranks_match(&q, &q_hat));
+    }
+
+    #[test]
+    fn larger_perturbations_generally_hurt_more() {
+        let (q, y) = synthetic_q(60, 8, 5);
+        // Average ΔL over seeds at two noise levels; the bigger level must
+        // dominate on average.
+        let avg = |eps_h: f64| -> f64 {
+            (0..8)
+                .map(|s| delta_rmse_closed_form(&q, &perturb_uniform(&q, eps_h, s), &y))
+                .sum::<f64>()
+                / 8.0
+        };
+        assert!(avg(0.1) > avg(0.001));
+    }
+
+    #[test]
+    fn thresholds_shrink_with_m_and_eps() {
+        assert!(theorem4_threshold(0.1, 100) < theorem4_threshold(0.1, 10));
+        assert!(theorem4_threshold(0.05, 10) < theorem4_threshold(0.1, 10));
+    }
+
+    #[test]
+    fn perturbation_respects_max_norm() {
+        let (q, _) = synthetic_q(20, 4, 6);
+        let q_hat = perturb_uniform(&q, 0.02, 1);
+        assert!(q_hat.max_abs_diff(&q) <= 0.02 + 1e-15);
+        let same = perturb_uniform(&q, 0.0, 1);
+        assert_eq!(same.data(), q.data());
+    }
+}

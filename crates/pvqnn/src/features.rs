@@ -1,0 +1,284 @@
+//! Post-variational feature generation (paper Algorithm 1).
+//!
+//! For every data point `x_i` and every neuron `(θ_a, O_b)` the generator
+//! evaluates `Q[i, a·q+b] = ⟨0ⁿ| S†(x_i) U†(θ_a) O_b U(θ_a) S(x_i) |0ⁿ⟩`,
+//! where `S` is the Fig. 7 column encoding and `U` the strategy's ansatz.
+//!
+//! Three measurement backends mirror the paper's error analysis:
+//! * [`FeatureBackend::Exact`] — noiseless expectations (infinite shots),
+//! * [`FeatureBackend::Shots`] — independent sample-mean estimation per
+//!   neuron (Proposition 1's estimator),
+//! * [`FeatureBackend::Shadows`] — classical shadows shared across all
+//!   observables of one prepared state (Proposition 2's estimator).
+//!
+//! Rows are generated in parallel with rayon: the measurement stage is
+//! embarrassingly parallel over `(data point, ansatz)` pairs, which is
+//! precisely the structure the hybrid HPC-QC runtime (`hpcq`) exploits
+//! across simulated QPUs.
+
+use crate::encoding::column_encoding;
+use crate::strategy::Strategy;
+use linalg::Mat;
+use qsim::{estimate_pauli_with_shots, Circuit, StateVector};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+use shadows::{ShadowEstimator, ShadowProtocol};
+
+/// How neuron expectations are estimated.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FeatureBackend {
+    /// Noiseless expectation values from the state vector.
+    Exact,
+    /// Independent finite-shot sample means, `shots` per neuron
+    /// (Proposition 1). Deterministic given `seed`.
+    Shots {
+        /// Measurement shots per (data point, neuron).
+        shots: usize,
+        /// Base RNG seed.
+        seed: u64,
+    },
+    /// Classical shadows: `snapshots` random-basis measurements per
+    /// prepared state, shared by all observables of that state
+    /// (Proposition 2), estimated with `groups`-fold median-of-means.
+    Shadows {
+        /// Snapshots per (data point, ansatz) state.
+        snapshots: usize,
+        /// Median-of-means groups.
+        groups: usize,
+        /// Base RNG seed.
+        seed: u64,
+    },
+}
+
+/// Generates feature matrices from raw `[0, 2π)` feature rows.
+#[derive(Clone, Debug)]
+pub struct FeatureGenerator {
+    strategy: Strategy,
+    backend: FeatureBackend,
+}
+
+/// Derives a stream-independent seed for (datum `i`, ansatz `a`).
+fn derive_seed(base: u64, i: usize, a: usize) -> u64 {
+    base ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (a as u64)
+            .wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+            .wrapping_add(0x1656_67B1_9E37_79F9)
+}
+
+impl FeatureGenerator {
+    /// Couples a strategy with a measurement backend.
+    pub fn new(strategy: Strategy, backend: FeatureBackend) -> Self {
+        FeatureGenerator { strategy, backend }
+    }
+
+    /// The underlying strategy.
+    pub fn strategy(&self) -> &Strategy {
+        &self.strategy
+    }
+
+    /// The measurement backend.
+    pub fn backend(&self) -> FeatureBackend {
+        self.backend
+    }
+
+    /// The full circuit for (features `x`, shift index `a`): encoding plus
+    /// the bound (and identity-elided) ansatz.
+    pub fn circuit_for(&self, x: &[f64], shift_idx: usize) -> Circuit {
+        let n = self.strategy.num_qubits();
+        let mut c = column_encoding(x, n);
+        if let Some(ansatz) = self.strategy.ansatz() {
+            c.extend(&ansatz.bind_optimized(&self.strategy.shifts()[shift_idx]));
+        }
+        c
+    }
+
+    /// Generates the `d × m` feature matrix `Q` for the given data rows
+    /// (each row is a `[0, 2π)` feature vector, length a multiple of the
+    /// qubit count). Deterministic for stochastic backends.
+    pub fn generate(&self, data: &[Vec<f64>]) -> Mat {
+        assert!(!data.is_empty(), "no data rows");
+        let m = self.strategy.num_neurons();
+        let q = self.strategy.num_observables();
+        let rows: Vec<Vec<f64>> = data
+            .par_iter()
+            .enumerate()
+            .map(|(i, x)| {
+                let mut row = vec![0.0; m];
+                for a in 0..self.strategy.num_ansatze() {
+                    let state = StateVector::from_circuit(&self.circuit_for(x, a));
+                    let out = &mut row[a * q..(a + 1) * q];
+                    self.fill_observables(&state, i, a, out);
+                }
+                row
+            })
+            .collect();
+        Mat::from_rows(&rows)
+    }
+
+    /// Evaluates all observables of one prepared state into `out`.
+    fn fill_observables(&self, state: &StateVector, i: usize, a: usize, out: &mut [f64]) {
+        let obs = self.strategy.observables();
+        match self.backend {
+            FeatureBackend::Exact => {
+                for (slot, p) in out.iter_mut().zip(obs.iter()) {
+                    *slot = state.expectation(p);
+                }
+            }
+            FeatureBackend::Shots { shots, seed } => {
+                let mut rng = StdRng::seed_from_u64(derive_seed(seed, i, a));
+                for (slot, p) in out.iter_mut().zip(obs.iter()) {
+                    *slot = estimate_pauli_with_shots(state, p, shots, &mut rng);
+                }
+            }
+            FeatureBackend::Shadows {
+                snapshots,
+                groups,
+                seed,
+            } => {
+                let protocol = ShadowProtocol::new(snapshots, derive_seed(seed, i, a));
+                let est = ShadowEstimator::new(protocol.acquire(state), groups);
+                let values = est.estimate_many(obs);
+                out.copy_from_slice(&values);
+            }
+        }
+    }
+
+    /// Convenience: generate features for a single sample (1×m).
+    pub fn generate_one(&self, x: &[f64]) -> Vec<f64> {
+        self.generate(std::slice::from_ref(&x.to_vec())).row(0).to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ansatz::fig8_ansatz;
+    use crate::strategy::Strategy;
+
+    fn toy_data(d: usize) -> Vec<Vec<f64>> {
+        (0..d)
+            .map(|i| (0..16).map(|j| 0.3 + 0.11 * ((i * 16 + j) % 19) as f64).collect())
+            .collect()
+    }
+
+    #[test]
+    fn exact_features_shape_and_range() {
+        let s = Strategy::observable_construction(4, 1);
+        let generator = FeatureGenerator::new(s, FeatureBackend::Exact);
+        let q = generator.generate(&toy_data(5));
+        assert_eq!(q.shape(), (5, 13));
+        // Expectations of Pauli strings are in [−1, 1]; identity column is 1.
+        for i in 0..5 {
+            assert!((q[(i, 0)] - 1.0).abs() < 1e-12, "identity column");
+            for j in 0..13 {
+                assert!(q[(i, j)].abs() <= 1.0 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn hybrid_column_layout_matches_strategy() {
+        let s = Strategy::hybrid(fig8_ansatz(4), 1, 1);
+        let generator = FeatureGenerator::new(s, FeatureBackend::Exact);
+        let data = toy_data(2);
+        let q = generator.generate(&data);
+        assert_eq!(q.shape(), (2, 17 * 13));
+        // Column (a, 0) is the identity observable under any shift → 1.
+        let strat = generator.strategy();
+        for a in 0..strat.num_ansatze() {
+            let col = strat.column_of(a, 0);
+            assert!((q[(0, col)] - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn shots_converge_to_exact() {
+        let s = Strategy::observable_construction(4, 1);
+        let exact = FeatureGenerator::new(s.clone(), FeatureBackend::Exact);
+        let shot = FeatureGenerator::new(
+            s,
+            FeatureBackend::Shots {
+                shots: 50_000,
+                seed: 3,
+            },
+        );
+        let data = toy_data(2);
+        let qe = exact.generate(&data);
+        let qs = shot.generate(&data);
+        assert!(
+            qe.max_abs_diff(&qs) < 0.05,
+            "max dev {}",
+            qe.max_abs_diff(&qs)
+        );
+    }
+
+    #[test]
+    fn shadows_converge_to_exact() {
+        let s = Strategy::observable_construction(4, 1);
+        let exact = FeatureGenerator::new(s.clone(), FeatureBackend::Exact);
+        let sh = FeatureGenerator::new(
+            s,
+            FeatureBackend::Shadows {
+                snapshots: 30_000,
+                groups: 10,
+                seed: 5,
+            },
+        );
+        let data = toy_data(2);
+        let qe = exact.generate(&data);
+        let qs = sh.generate(&data);
+        assert!(
+            qe.max_abs_diff(&qs) < 0.12,
+            "max dev {}",
+            qe.max_abs_diff(&qs)
+        );
+    }
+
+    #[test]
+    fn stochastic_backends_are_deterministic() {
+        let s = Strategy::observable_construction(4, 1);
+        let make = || {
+            FeatureGenerator::new(
+                s.clone(),
+                FeatureBackend::Shots { shots: 100, seed: 9 },
+            )
+            .generate(&toy_data(3))
+        };
+        assert_eq!(make().data(), make().data());
+    }
+
+    #[test]
+    fn different_data_different_features() {
+        let s = Strategy::observable_construction(4, 2);
+        let generator = FeatureGenerator::new(s, FeatureBackend::Exact);
+        let q = generator.generate(&toy_data(3));
+        // Rows shouldn't be identical for distinct inputs.
+        assert!(q.row(0) != q.row(1));
+    }
+
+    #[test]
+    fn generate_one_matches_batch() {
+        let s = Strategy::observable_construction(4, 1);
+        let generator = FeatureGenerator::new(s, FeatureBackend::Exact);
+        let data = toy_data(3);
+        let q = generator.generate(&data);
+        let one = generator.generate_one(&data[1]);
+        assert_eq!(q.row(1), &one[..]);
+    }
+
+    #[test]
+    fn zero_shift_base_circuit_has_no_ansatz_rotations() {
+        let s = Strategy::hybrid(fig8_ansatz(4), 1, 1);
+        let generator = FeatureGenerator::new(s, FeatureBackend::Exact);
+        let x: Vec<f64> = (0..16).map(|i| 0.2 * i as f64).collect();
+        let base = generator.circuit_for(&x, 0);
+        // Encoding has 16 rotations; zero ansatz leaves only the 8 CNOTs.
+        let (single, double) = base.gate_counts();
+        assert_eq!(single, 16);
+        assert_eq!(double, 8);
+        // A shifted circuit keeps its one surviving rotation.
+        let shifted = generator.circuit_for(&x, 1);
+        assert_eq!(shifted.gate_counts().0, 17);
+    }
+}

@@ -1,0 +1,273 @@
+//! Circuit-pruning heuristics (paper §IV.A Eq. (17) and §IV.C Eq. (25)).
+//!
+//! Both passes detect parameters whose ±π/2 shifts barely change the
+//! model's behaviour on the data, and drop every shifted circuit touching
+//! such a "flat" parameter — "further higher-order gradients based on the
+//! gradient circuits would also be small".
+//!
+//! * **Gradient pruning** compares the *measured expectation values* of
+//!   the up/down shifted circuits (needs the observable).
+//! * **Fidelity pruning** compares the shifted *states* directly via
+//!   `F(ρ₊, ρ₋)`, bounding the same quantity without choosing an
+//!   observable (Eq. (25)); on pure states we evaluate the overlap
+//!   exactly.
+
+use crate::encoding::column_encoding;
+use crate::shifts::shift_touches;
+use crate::strategy::Strategy;
+use pauli::PauliString;
+use qsim::StateVector;
+use rayon::prelude::*;
+use std::f64::consts::FRAC_PI_2;
+
+/// Outcome of a pruning pass.
+#[derive(Clone, Debug)]
+pub struct PruningReport {
+    /// Parameters judged flat (their shifts were dropped).
+    pub flat_params: Vec<usize>,
+    /// Per-parameter scores (MSE of expectation differences, or `1 − F̄`).
+    pub scores: Vec<f64>,
+    /// Shift vectors retained.
+    pub kept_shifts: Vec<Vec<f64>>,
+    /// Number of shift vectors removed.
+    pub removed: usize,
+}
+
+fn shifted_states(
+    strategy: &Strategy,
+    data: &[Vec<f64>],
+    param: usize,
+) -> Vec<(StateVector, StateVector)> {
+    let ansatz = strategy
+        .ansatz()
+        .expect("pruning requires an ansatz-bearing strategy");
+    let k = ansatz.num_params();
+    let n = strategy.num_qubits();
+    let mut plus = vec![0.0; k];
+    plus[param] = FRAC_PI_2;
+    let mut minus = vec![0.0; k];
+    minus[param] = -FRAC_PI_2;
+    data.par_iter()
+        .map(|x| {
+            let mut cp = column_encoding(x, n);
+            cp.extend(&ansatz.bind_optimized(&plus));
+            let mut cm = column_encoding(x, n);
+            cm.extend(&ansatz.bind_optimized(&minus));
+            (
+                StateVector::from_circuit(&cp),
+                StateVector::from_circuit(&cm),
+            )
+        })
+        .collect()
+}
+
+/// Gradient-based pruning (Eq. (17)): for each parameter `u`, computes the
+/// MSE over the data of `tr(O ρ₊) − tr(O ρ₋)`; parameters with MSE below
+/// `threshold` are flat and all shifts touching them are removed.
+pub fn prune_by_gradient(
+    strategy: &Strategy,
+    data: &[Vec<f64>],
+    observable: &PauliString,
+    threshold: f64,
+) -> PruningReport {
+    let ansatz = strategy.ansatz().expect("gradient pruning needs an ansatz");
+    let k = ansatz.num_params();
+    let scores: Vec<f64> = (0..k)
+        .map(|u| {
+            let states = shifted_states(strategy, data, u);
+            states
+                .iter()
+                .map(|(sp, sm)| {
+                    let diff = sp.expectation(observable) - sm.expectation(observable);
+                    diff * diff
+                })
+                .sum::<f64>()
+                / data.len() as f64
+        })
+        .collect();
+    build_report(strategy, scores, threshold)
+}
+
+/// Fidelity-based pruning (§IV.C, Eq. (25)): scores each parameter by
+/// `1 − mean_x F(ρ₊(x), ρ₋(x))`; parameters scoring below `threshold` are
+/// flat. Observable-free, so it also covers the multi-observable hybrid
+/// case.
+pub fn prune_by_fidelity(
+    strategy: &Strategy,
+    data: &[Vec<f64>],
+    threshold: f64,
+) -> PruningReport {
+    let ansatz = strategy.ansatz().expect("fidelity pruning needs an ansatz");
+    let k = ansatz.num_params();
+    let scores: Vec<f64> = (0..k)
+        .map(|u| {
+            let states = shifted_states(strategy, data, u);
+            let mean_f: f64 = states
+                .iter()
+                .map(|(sp, sm)| sp.fidelity(sm))
+                .sum::<f64>()
+                / data.len() as f64;
+            1.0 - mean_f
+        })
+        .collect();
+    build_report(strategy, scores, threshold)
+}
+
+fn build_report(strategy: &Strategy, scores: Vec<f64>, threshold: f64) -> PruningReport {
+    let flat_params: Vec<usize> = scores
+        .iter()
+        .enumerate()
+        .filter(|(_, &s)| s < threshold)
+        .map(|(u, _)| u)
+        .collect();
+    let kept_shifts: Vec<Vec<f64>> = strategy
+        .shifts()
+        .iter()
+        .filter(|s| !shift_touches(s, &flat_params))
+        .cloned()
+        .collect();
+    let removed = strategy.shifts().len() - kept_shifts.len();
+    PruningReport {
+        flat_params,
+        scores,
+        kept_shifts,
+        removed,
+    }
+}
+
+impl PruningReport {
+    /// Applies the report to a strategy, returning the pruned copy.
+    pub fn apply(&self, strategy: Strategy) -> Strategy {
+        strategy.with_shifts(self.kept_shifts.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ansatz::fig8_ansatz;
+    use crate::strategy::Strategy;
+    use qsim::{Gate, ParamCircuit, RotAxis};
+
+    fn toy_data(d: usize) -> Vec<Vec<f64>> {
+        (0..d)
+            .map(|i| (0..16).map(|j| 0.3 + 0.23 * ((i + 2 * j) % 13) as f64).collect())
+            .collect()
+    }
+
+    /// An ansatz whose last parameter rotates a qubit that the observable
+    /// never sees and that no entangler connects — guaranteed flat.
+    fn ansatz_with_dead_param() -> ParamCircuit {
+        let mut pc = ParamCircuit::new(4);
+        pc.push_rot(RotAxis::Y, 0);
+        pc.push_rot(RotAxis::Y, 1);
+        pc.push_fixed(Gate::Cnot { control: 0, target: 1 });
+        // Parameter 2 acts on qubit 3, disconnected from everything.
+        pc.push_rot(RotAxis::Z, 3);
+        pc
+    }
+
+    #[test]
+    fn gradient_pruning_finds_dead_parameter() {
+        let strategy = Strategy::ansatz_expansion(
+            ansatz_with_dead_param(),
+            1,
+            Strategy::default_observable(4), // Z on qubit 0
+        );
+        let data = toy_data(8);
+        let report = prune_by_gradient(
+            &strategy,
+            &data,
+            &Strategy::default_observable(4),
+            1e-6,
+        );
+        // Param 2 (RZ on q3) can't move ⟨Z₀⟩; params 0 is live.
+        assert!(report.flat_params.contains(&2), "{:?}", report.flat_params);
+        assert!(!report.flat_params.contains(&0));
+        assert!(report.removed >= 2); // both ± shifts of param 2 dropped
+        // Base circuit survives.
+        assert!(report.kept_shifts[0].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn fidelity_pruning_finds_phase_only_parameter() {
+        // RZ on a computational-basis qubit changes only the phase → the
+        // ± shifted states coincide up to global phase → fidelity 1.
+        let mut pc = ParamCircuit::new(2);
+        pc.push_rot(RotAxis::Y, 0);
+        pc.push_rot(RotAxis::Z, 1); // qubit 1 stays |0⟩-diagonal: flat
+        let strategy = Strategy::hybrid(pc, 1, 1);
+        // Data that leaves qubit 1 in a basis state: features all zero on
+        // its rotations. Use 8-feature rows (2 qubits × 4 rows) with
+        // column 1 zeroed.
+        let data: Vec<Vec<f64>> = (0..6)
+            .map(|i| {
+                (0..8)
+                    .map(|j| if j % 2 == 1 { 0.0 } else { 0.4 + 0.2 * (i % 3) as f64 })
+                    .collect()
+            })
+            .collect();
+        let report = prune_by_fidelity(&strategy, &data, 1e-9);
+        assert!(report.flat_params.contains(&1), "{:?}", report.scores);
+        assert!(!report.flat_params.contains(&0), "{:?}", report.scores);
+    }
+
+    #[test]
+    fn pruned_strategy_shrinks_and_applies() {
+        let strategy = Strategy::ansatz_expansion(
+            ansatz_with_dead_param(),
+            1,
+            Strategy::default_observable(4),
+        );
+        let before = strategy.num_neurons();
+        let data = toy_data(5);
+        let report = prune_by_gradient(
+            &strategy,
+            &data,
+            &Strategy::default_observable(4),
+            1e-6,
+        );
+        let pruned = report.apply(strategy);
+        assert!(pruned.num_neurons() < before);
+        assert_eq!(pruned.num_neurons(), report.kept_shifts.len());
+    }
+
+    #[test]
+    fn zero_threshold_prunes_nothing() {
+        let strategy =
+            Strategy::ansatz_expansion(fig8_ansatz(4), 1, Strategy::default_observable(4));
+        let data = toy_data(4);
+        let report = prune_by_gradient(
+            &strategy,
+            &data,
+            &Strategy::default_observable(4),
+            0.0,
+        );
+        assert!(report.flat_params.is_empty());
+        assert_eq!(report.removed, 0);
+    }
+
+    #[test]
+    fn fidelity_bounds_gradient_score() {
+        // Paper Eqs. (23)–(25): the squared expectation difference is
+        // bounded by 4(1 − F). Check per parameter on the Fig. 8 ansatz.
+        let strategy =
+            Strategy::ansatz_expansion(fig8_ansatz(4), 1, Strategy::default_observable(4));
+        let data = toy_data(6);
+        let grad = prune_by_gradient(
+            &strategy,
+            &data,
+            &Strategy::default_observable(4),
+            -1.0, // keep everything; we only want scores
+        );
+        let fid = prune_by_fidelity(&strategy, &data, -1.0);
+        for u in 0..grad.scores.len() {
+            assert!(
+                grad.scores[u] <= 4.0 * fid.scores[u] + 1e-9,
+                "param {u}: grad {} vs 4(1−F) {}",
+                grad.scores[u],
+                4.0 * fid.scores[u]
+            );
+        }
+    }
+}

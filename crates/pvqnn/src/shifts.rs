@@ -1,0 +1,181 @@
+//! Parameter-shift grids for the ansatz-expansion strategy (§IV.A).
+//!
+//! "Truncating at the R-th derivative order, … we simply select all
+//! combinations of size ≤ R from the k parameters in θ … and set each
+//! parameter to ±π/2" (around the zero initialisation). Eq. (16) counts
+//! the circuits: `Σ_{ℓ≤R} C(k,ℓ)·2^ℓ ∈ O(2^R k^R)`.
+
+use pauli::enumerate::binomial;
+use std::f64::consts::FRAC_PI_2;
+
+/// Number of shifted circuits for `k` parameters truncated at derivative
+/// order `r` (Eq. (16)), including the unshifted base circuit.
+pub fn shift_count(k: usize, r: usize) -> u128 {
+    (0..=r.min(k)).map(|l| binomial(k, l) * (1u128 << l)).sum()
+}
+
+/// All size-`l` subsets of `0..k` in lexicographic order.
+fn combinations(k: usize, l: usize) -> Vec<Vec<usize>> {
+    if l == 0 {
+        return vec![vec![]];
+    }
+    if l > k {
+        return vec![];
+    }
+    let mut out = Vec::new();
+    let mut subset: Vec<usize> = (0..l).collect();
+    loop {
+        out.push(subset.clone());
+        // Advance to the next combination.
+        let mut i = l;
+        let mut advanced = false;
+        while i > 0 {
+            i -= 1;
+            if subset[i] < k - (l - i) {
+                subset[i] += 1;
+                for j in i + 1..l {
+                    subset[j] = subset[j - 1] + 1;
+                }
+                advanced = true;
+                break;
+            }
+        }
+        if !advanced {
+            break;
+        }
+    }
+    out
+}
+
+/// Enumerates all shift vectors `θ ∈ {0, ±π/2}^k` with at most `r`
+/// non-zero entries, deterministically ordered: by number of shifted
+/// parameters ascending, then by parameter subset, then by sign pattern
+/// (− before +). The all-zeros vector is always first.
+pub fn enumerate_shifts(k: usize, r: usize) -> Vec<Vec<f64>> {
+    assert!(k >= 1);
+    let r = r.min(k);
+    let mut out = Vec::with_capacity(shift_count(k, r) as usize);
+    out.push(vec![0.0; k]);
+    for l in 1..=r {
+        for subset in combinations(k, l) {
+            for signs in 0..(1u32 << l) {
+                let mut v = vec![0.0; k];
+                for (bit, &param) in subset.iter().enumerate() {
+                    let sign = if (signs >> bit) & 1 == 0 { -1.0 } else { 1.0 };
+                    v[param] = sign * FRAC_PI_2;
+                }
+                out.push(v);
+            }
+        }
+    }
+    out
+}
+
+/// The support of a shift vector: indices of non-zero entries.
+pub fn shift_support(shift: &[f64]) -> Vec<usize> {
+    shift
+        .iter()
+        .enumerate()
+        .filter(|(_, &v)| v != 0.0)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Whether a shift vector touches any of the given parameters.
+pub fn shift_touches(shift: &[f64], params: &[usize]) -> bool {
+    params.iter().any(|&p| shift[p] != 0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_formula() {
+        for k in 1..=8 {
+            for r in 0..=3.min(k) {
+                let want = shift_count(k, r);
+                let got = enumerate_shifts(k, r).len() as u128;
+                assert_eq!(got, want, "k={k} r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn paper_counts_for_fig8() {
+        // k = 8 (Fig. 8 with n = 4): order 1 → 17, order 2 → 129.
+        assert_eq!(shift_count(8, 1), 17);
+        assert_eq!(shift_count(8, 2), 129);
+    }
+
+    #[test]
+    fn first_is_zero_vector() {
+        let shifts = enumerate_shifts(5, 2);
+        assert!(shifts[0].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn entries_are_only_zero_or_half_pi() {
+        for v in enumerate_shifts(4, 2) {
+            for &x in &v {
+                assert!(
+                    x == 0.0 || (x.abs() - FRAC_PI_2).abs() < 1e-15,
+                    "bad entry {x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn no_duplicates() {
+        let shifts = enumerate_shifts(6, 2);
+        let mut keys: Vec<String> = shifts
+            .iter()
+            .map(|v| {
+                v.iter()
+                    .map(|&x| {
+                        if x == 0.0 {
+                            "0"
+                        } else if x > 0.0 {
+                            "+"
+                        } else {
+                            "-"
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let before = keys.len();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), before);
+    }
+
+    #[test]
+    fn support_bounded_by_order() {
+        for v in enumerate_shifts(7, 3) {
+            assert!(shift_support(&v).len() <= 3);
+        }
+    }
+
+    #[test]
+    fn r_zero_is_base_only() {
+        let shifts = enumerate_shifts(5, 0);
+        assert_eq!(shifts.len(), 1);
+    }
+
+    #[test]
+    fn touches_helper() {
+        let shifts = enumerate_shifts(4, 1);
+        // Shifts on parameter 2 touch {2}, not {0,1,3}.
+        let touching: Vec<_> = shifts.iter().filter(|s| shift_touches(s, &[2])).collect();
+        assert_eq!(touching.len(), 2); // ±π/2 on param 2
+    }
+
+    #[test]
+    fn r_larger_than_k_clamps() {
+        let shifts = enumerate_shifts(2, 10);
+        // Full grid: 1 + C(2,1)·2 + C(2,2)·4 = 9 = 3^2.
+        assert_eq!(shifts.len(), 9);
+    }
+}

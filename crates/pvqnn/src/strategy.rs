@@ -1,0 +1,315 @@
+//! The three post-variational design principles (paper §IV, Fig. 2).
+//!
+//! A strategy is a recipe for the ensemble of quantum neurons
+//! (Definition 1): `p` fixed ansätze × `q` fixed observables, giving
+//! `m = p·q` circuit/observable pairs whose measured expectations fill the
+//! feature matrix `Q`.
+//!
+//! * **Ansatz expansion** (§IV.A, Fig. 3): `p` = parameter-shift grid of
+//!   the ansatz truncated at derivative order `R` (Eq. (16)), `q = 1`
+//!   fixed observable.
+//! * **Observable construction** (§IV.B, Fig. 4): `p = 1` (no ansatz),
+//!   `q` = all Pauli strings of locality ≤ `L` (Eq. (18)).
+//! * **Hybrid** (§IV.C, Fig. 5): the product of both.
+
+use crate::shifts::{enumerate_shifts, shift_count};
+use pauli::{local_pauli_count, local_paulis, Pauli, PauliString};
+use qsim::ParamCircuit;
+
+/// Which design principle generated a [`Strategy`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StrategyKind {
+    /// §IV.A: parameter-shift ensemble of a single ansatz, one observable.
+    AnsatzExpansion {
+        /// Truncation order `R` of the Taylor expansion.
+        order: usize,
+    },
+    /// §IV.B: no ansatz, all ≤ `locality`-local Pauli observables.
+    ObservableConstruction {
+        /// Maximum Pauli weight `L`.
+        locality: usize,
+    },
+    /// §IV.C: shift ensemble × local observables.
+    Hybrid {
+        /// Truncation order `R`.
+        order: usize,
+        /// Maximum Pauli weight `L`.
+        locality: usize,
+    },
+}
+
+/// A concrete neuron ensemble: every `(shift, observable)` pair is one
+/// quantum neuron `tr(U†(θ_a) O_b U(θ_a) ρ(x))`.
+#[derive(Clone, Debug)]
+pub struct Strategy {
+    kind: StrategyKind,
+    n: usize,
+    ansatz: Option<ParamCircuit>,
+    shifts: Vec<Vec<f64>>,
+    observables: Vec<PauliString>,
+}
+
+impl Strategy {
+    /// Ansatz-expansion strategy around θ = 0 with a single measurement
+    /// observable (the paper's default head is `Z` on qubit 0 — pass e.g.
+    /// [`Strategy::default_observable`]).
+    pub fn ansatz_expansion(ansatz: ParamCircuit, order: usize, observable: PauliString) -> Self {
+        assert_eq!(observable.num_qubits(), ansatz.num_qubits());
+        let shifts = enumerate_shifts(ansatz.num_params(), order);
+        Strategy {
+            kind: StrategyKind::AnsatzExpansion { order },
+            n: ansatz.num_qubits(),
+            ansatz: Some(ansatz),
+            shifts,
+            observables: vec![observable],
+        }
+    }
+
+    /// Observable-construction strategy: all Pauli strings of weight ≤
+    /// `locality` on `n` qubits, with no ansatz at all.
+    pub fn observable_construction(n: usize, locality: usize) -> Self {
+        Strategy {
+            kind: StrategyKind::ObservableConstruction { locality },
+            n,
+            ansatz: None,
+            shifts: vec![vec![]],
+            observables: local_paulis(n, locality),
+        }
+    }
+
+    /// Hybrid strategy: shift grid of `ansatz` at derivative order `order`
+    /// × all ≤ `locality`-local Paulis. Derivative circuits are combined
+    /// only with local observables, the §IV.C pruning that keeps the
+    /// ensemble polynomial.
+    pub fn hybrid(ansatz: ParamCircuit, order: usize, locality: usize) -> Self {
+        let n = ansatz.num_qubits();
+        let shifts = enumerate_shifts(ansatz.num_params(), order);
+        Strategy {
+            kind: StrategyKind::Hybrid { order, locality },
+            n,
+            ansatz: Some(ansatz),
+            shifts,
+            observables: local_paulis(n, locality),
+        }
+    }
+
+    /// The §IV.C split construction in its literal form: cut the ansatz at
+    /// `gate_boundary` into `U(θ) = U_B(θ_B)·U_A(θ_A)`, expand only the
+    /// shallow half `U_A` with the order-`order` shift grid, and replace
+    /// `U_B† O U_B` with the ≤`locality`-local Pauli family ("we split the
+    /// Ansatz U(θ) into two unitaries … decompose O′(θ) directly into a
+    /// linear combination of Paulis").
+    pub fn hybrid_split(
+        ansatz: ParamCircuit,
+        gate_boundary: usize,
+        order: usize,
+        locality: usize,
+    ) -> Self {
+        let n = ansatz.num_qubits();
+        let (u_a, _u_b, _ka) = crate::ansatz::split_ansatz(&ansatz, gate_boundary);
+        let shifts = enumerate_shifts(u_a.num_params().max(1), order);
+        Strategy {
+            kind: StrategyKind::Hybrid { order, locality },
+            n,
+            ansatz: Some(u_a),
+            shifts,
+            observables: local_paulis(n, locality),
+        }
+    }
+
+    /// The conventional single-qubit default head: `Z` on qubit 0.
+    pub fn default_observable(n: usize) -> PauliString {
+        PauliString::single(n, 0, Pauli::Z)
+    }
+
+    /// Which design principle this is.
+    pub fn kind(&self) -> StrategyKind {
+        self.kind
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// The ansatz, when the strategy uses one.
+    pub fn ansatz(&self) -> Option<&ParamCircuit> {
+        self.ansatz.as_ref()
+    }
+
+    /// The `p` shift vectors (ansätze). For observable construction this
+    /// is a single empty shift.
+    pub fn shifts(&self) -> &[Vec<f64>] {
+        &self.shifts
+    }
+
+    /// The `q` measurement observables.
+    pub fn observables(&self) -> &[PauliString] {
+        &self.observables
+    }
+
+    /// `p` — number of fixed ansätze (Definition 1).
+    pub fn num_ansatze(&self) -> usize {
+        self.shifts.len()
+    }
+
+    /// `q` — number of observables (Definition 1).
+    pub fn num_observables(&self) -> usize {
+        self.observables.len()
+    }
+
+    /// `m = p·q` — total neuron count / feature dimension.
+    pub fn num_neurons(&self) -> usize {
+        self.num_ansatze() * self.num_observables()
+    }
+
+    /// Maximum observable locality in the ensemble.
+    pub fn max_locality(&self) -> usize {
+        self.observables.iter().map(|o| o.weight()).max().unwrap_or(0)
+    }
+
+    /// The feature-column index of neuron `(shift a, observable b)`:
+    /// columns are ordered shift-major (`a·q + b`).
+    pub fn column_of(&self, shift_idx: usize, obs_idx: usize) -> usize {
+        assert!(shift_idx < self.num_ansatze() && obs_idx < self.num_observables());
+        shift_idx * self.num_observables() + obs_idx
+    }
+
+    /// Replaces the shift list (used by the pruning passes); the base
+    /// (all-zeros) shift must survive.
+    pub fn with_shifts(mut self, shifts: Vec<Vec<f64>>) -> Self {
+        assert!(!shifts.is_empty(), "cannot prune every shift");
+        if let Some(a) = &self.ansatz {
+            assert!(shifts.iter().all(|s| s.len() == a.num_params()));
+        }
+        self.shifts = shifts;
+        self
+    }
+
+    /// Predicted ensemble size without construction, from the closed
+    /// forms (Eqs. (16) and (18)).
+    pub fn predicted_size(kind: StrategyKind, n: usize, k: usize) -> u128 {
+        match kind {
+            StrategyKind::AnsatzExpansion { order } => shift_count(k, order),
+            StrategyKind::ObservableConstruction { locality } => local_pauli_count(n, locality),
+            StrategyKind::Hybrid { order, locality } => {
+                shift_count(k, order) * local_pauli_count(n, locality)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ansatz::fig8_ansatz;
+
+    #[test]
+    fn ansatz_expansion_dimensions() {
+        // Paper Table III row "Ansatz 1-order": k = 8 → p = 17, q = 1.
+        let s = Strategy::ansatz_expansion(fig8_ansatz(4), 1, Strategy::default_observable(4));
+        assert_eq!(s.num_ansatze(), 17);
+        assert_eq!(s.num_observables(), 1);
+        assert_eq!(s.num_neurons(), 17);
+        // 2-order: 129.
+        let s2 = Strategy::ansatz_expansion(fig8_ansatz(4), 2, Strategy::default_observable(4));
+        assert_eq!(s2.num_neurons(), 129);
+    }
+
+    #[test]
+    fn observable_construction_dimensions() {
+        // Paper Table III rows: 1-local → 13, 2-local → 67, 3-local → 175.
+        for (l, want) in [(1, 13), (2, 67), (3, 175)] {
+            let s = Strategy::observable_construction(4, l);
+            assert_eq!(s.num_neurons(), want, "L={l}");
+            assert_eq!(s.num_ansatze(), 1);
+            assert_eq!(s.max_locality(), l);
+        }
+    }
+
+    #[test]
+    fn hybrid_dimensions() {
+        // "1-order + 1-local": 17 × 13 = 221.
+        let s = Strategy::hybrid(fig8_ansatz(4), 1, 1);
+        assert_eq!(s.num_neurons(), 17 * 13);
+        // "2-order + 1-local": 129 × 13.
+        let s = Strategy::hybrid(fig8_ansatz(4), 2, 1);
+        assert_eq!(s.num_neurons(), 129 * 13);
+        // "1-order + 2-local": 17 × 67.
+        let s = Strategy::hybrid(fig8_ansatz(4), 1, 2);
+        assert_eq!(s.num_neurons(), 17 * 67);
+    }
+
+    #[test]
+    fn predicted_sizes_match_constructed() {
+        let k = 8;
+        let n = 4;
+        for kind in [
+            StrategyKind::AnsatzExpansion { order: 2 },
+            StrategyKind::ObservableConstruction { locality: 2 },
+            StrategyKind::Hybrid { order: 1, locality: 2 },
+        ] {
+            let s = match kind {
+                StrategyKind::AnsatzExpansion { order } => Strategy::ansatz_expansion(
+                    fig8_ansatz(n),
+                    order,
+                    Strategy::default_observable(n),
+                ),
+                StrategyKind::ObservableConstruction { locality } => {
+                    Strategy::observable_construction(n, locality)
+                }
+                StrategyKind::Hybrid { order, locality } => {
+                    Strategy::hybrid(fig8_ansatz(n), order, locality)
+                }
+            };
+            assert_eq!(
+                s.num_neurons() as u128,
+                Strategy::predicted_size(kind, n, k),
+                "{kind:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn column_indexing_is_bijective() {
+        let s = Strategy::hybrid(fig8_ansatz(4), 1, 1);
+        let mut seen = std::collections::HashSet::new();
+        for a in 0..s.num_ansatze() {
+            for b in 0..s.num_observables() {
+                assert!(seen.insert(s.column_of(a, b)));
+            }
+        }
+        assert_eq!(seen.len(), s.num_neurons());
+        assert_eq!(*seen.iter().max().unwrap(), s.num_neurons() - 1);
+    }
+
+    #[test]
+    fn with_shifts_prunes() {
+        let s = Strategy::ansatz_expansion(fig8_ansatz(4), 1, Strategy::default_observable(4));
+        let kept: Vec<Vec<f64>> = s.shifts()[..5].to_vec();
+        let pruned = s.with_shifts(kept);
+        assert_eq!(pruned.num_neurons(), 5);
+    }
+
+    #[test]
+    fn hybrid_split_uses_only_shallow_half() {
+        // Fig. 8 on 4 qubits has 16 gates (8 RY + 8 CNOT); cutting after
+        // the first layer (8 gates) leaves 4 parameters in U_A.
+        let s = Strategy::hybrid_split(fig8_ansatz(4), 8, 1, 1);
+        // p = 1 + 2·4 = 9 shifts over U_A's 4 params; q = 13.
+        assert_eq!(s.num_ansatze(), 9);
+        assert_eq!(s.num_observables(), 13);
+        assert_eq!(s.ansatz().unwrap().num_params(), 4);
+        // Much smaller than the full hybrid at the same settings.
+        let full = Strategy::hybrid(fig8_ansatz(4), 1, 1);
+        assert!(s.num_neurons() < full.num_neurons());
+    }
+
+    #[test]
+    fn first_shift_is_base_circuit() {
+        let s = Strategy::hybrid(fig8_ansatz(4), 2, 1);
+        assert!(s.shifts()[0].iter().all(|&v| v == 0.0));
+        // First observable is the identity (weight 0).
+        assert!(s.observables()[0].is_identity());
+    }
+}

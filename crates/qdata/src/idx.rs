@@ -1,0 +1,129 @@
+//! Loader for the IDX binary format used by MNIST/Fashion-MNIST.
+//!
+//! Only uncompressed files are supported (`gunzip` the official downloads
+//! first). Magic numbers: `0x00000803` for image files (u8, 3 dims),
+//! `0x00000801` for label files (u8, 1 dim).
+
+use crate::dataset::Dataset;
+use std::io::{self, Read};
+use std::path::Path;
+
+fn read_u32_be(r: &mut impl Read) -> io::Result<u32> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_be_bytes(buf))
+}
+
+/// Parses an IDX3 (images) byte stream into per-image pixel buffers scaled
+/// to `[0, 1]`.
+pub fn parse_idx_images(mut r: impl Read) -> io::Result<Vec<Vec<f64>>> {
+    let magic = read_u32_be(&mut r)?;
+    if magic != 0x0000_0803 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("bad IDX3 magic 0x{magic:08x}"),
+        ));
+    }
+    let count = read_u32_be(&mut r)? as usize;
+    let rows = read_u32_be(&mut r)? as usize;
+    let cols = read_u32_be(&mut r)? as usize;
+    let mut out = Vec::with_capacity(count);
+    let mut buf = vec![0u8; rows * cols];
+    for _ in 0..count {
+        r.read_exact(&mut buf)?;
+        out.push(buf.iter().map(|&b| b as f64 / 255.0).collect());
+    }
+    Ok(out)
+}
+
+/// Parses an IDX1 (labels) byte stream.
+pub fn parse_idx_labels(mut r: impl Read) -> io::Result<Vec<usize>> {
+    let magic = read_u32_be(&mut r)?;
+    if magic != 0x0000_0801 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("bad IDX1 magic 0x{magic:08x}"),
+        ));
+    }
+    let count = read_u32_be(&mut r)? as usize;
+    let mut buf = vec![0u8; count];
+    r.read_exact(&mut buf)?;
+    Ok(buf.into_iter().map(|b| b as usize).collect())
+}
+
+/// Loads a (images, labels) IDX pair from disk.
+pub fn load_idx_pair(images_path: &Path, labels_path: &Path) -> io::Result<Dataset> {
+    let images = parse_idx_images(std::fs::File::open(images_path)?)?;
+    let labels = parse_idx_labels(std::fs::File::open(labels_path)?)?;
+    if images.len() != labels.len() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{} images but {} labels", images.len(), labels.len()),
+        ));
+    }
+    Ok(Dataset { images, labels })
+}
+
+/// Loads the real Fashion-MNIST training split from a directory containing
+/// the standard file names (`train-images-idx3-ubyte`,
+/// `train-labels-idx1-ubyte`). Returns `None` when the files are absent,
+/// letting callers fall back to the synthetic substitute.
+pub fn load_fashion_mnist(dir: &Path) -> Option<Dataset> {
+    let images = dir.join("train-images-idx3-ubyte");
+    let labels = dir.join("train-labels-idx1-ubyte");
+    if !images.exists() || !labels.exists() {
+        return None;
+    }
+    load_idx_pair(&images, &labels).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serialises a tiny IDX pair in memory.
+    fn fake_idx(images: &[[u8; 4]], labels: &[u8]) -> (Vec<u8>, Vec<u8>) {
+        let mut img = Vec::new();
+        img.extend_from_slice(&0x0000_0803u32.to_be_bytes());
+        img.extend_from_slice(&(images.len() as u32).to_be_bytes());
+        img.extend_from_slice(&2u32.to_be_bytes());
+        img.extend_from_slice(&2u32.to_be_bytes());
+        for im in images {
+            img.extend_from_slice(im);
+        }
+        let mut lab = Vec::new();
+        lab.extend_from_slice(&0x0000_0801u32.to_be_bytes());
+        lab.extend_from_slice(&(labels.len() as u32).to_be_bytes());
+        lab.extend_from_slice(labels);
+        (img, lab)
+    }
+
+    #[test]
+    fn roundtrip_parse() {
+        let (img, lab) = fake_idx(&[[0, 128, 255, 64], [10, 20, 30, 40]], &[3, 7]);
+        let images = parse_idx_images(&img[..]).unwrap();
+        let labels = parse_idx_labels(&lab[..]).unwrap();
+        assert_eq!(images.len(), 2);
+        assert_eq!(labels, vec![3, 7]);
+        assert!((images[0][1] - 128.0 / 255.0).abs() < 1e-12);
+        assert!((images[0][2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let bytes = 0xdeadbeefu32.to_be_bytes();
+        assert!(parse_idx_images(&bytes[..]).is_err());
+        assert!(parse_idx_labels(&bytes[..]).is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_stream() {
+        let (img, _) = fake_idx(&[[1, 2, 3, 4]], &[0]);
+        assert!(parse_idx_images(&img[..img.len() - 2]).is_err());
+    }
+
+    #[test]
+    fn missing_directory_returns_none() {
+        assert!(load_fashion_mnist(Path::new("/nonexistent/dir")).is_none());
+    }
+}

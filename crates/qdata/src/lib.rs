@@ -1,0 +1,34 @@
+//! # qdata — datasets for the post-variational experiments
+//!
+//! The paper trains on Fashion-MNIST [67] (28×28 grayscale, 10 garment
+//! classes), max-pools 7×7 patches down to 4×4 and rescales into `[0, 2π)`
+//! before the quantum encoding (§VII.A). This crate supplies:
+//!
+//! * [`synth`] — a **procedural synthetic substitute** for Fashion-MNIST:
+//!   ten parametric garment-silhouette templates with per-sample jitter and
+//!   pixel noise. The `Coat`/`Shirt` pair is deliberately similar, mirroring
+//!   the paper's choice of a visually confusable binary task. Used by
+//!   default so the repo has no data download (substitution documented in
+//!   DESIGN.md).
+//! * [`idx`] — a loader for the real Fashion-MNIST IDX files when present
+//!   on disk (drop `*-images-idx3-ubyte` / `*-labels-idx1-ubyte` into a
+//!   directory and point [`idx::load_fashion_mnist`] at it).
+//! * [`preprocess`] — the paper's 7×7 max-pool → 4×4 → `[0, 2π)` rescale.
+
+pub mod dataset;
+pub mod idx;
+pub mod preprocess;
+pub mod synth;
+
+pub use dataset::{Dataset, FashionClass};
+pub use preprocess::{max_pool_28_to_4, preprocess_4x4, Preprocessor};
+pub use synth::{fashion_synthetic, SynthConfig};
+
+/// Image side length of the raw dataset.
+pub const IMG_SIDE: usize = 28;
+/// Pixels per raw image.
+pub const IMG_PIXELS: usize = IMG_SIDE * IMG_SIDE;
+/// Side length after max pooling.
+pub const POOLED_SIDE: usize = 4;
+/// Features per pooled image (16 = 4×4).
+pub const POOLED_PIXELS: usize = POOLED_SIDE * POOLED_SIDE;

@@ -1,0 +1,161 @@
+//! The paper's preprocessing pipeline (§VII.A): "we first reduce the
+//! dimensions of the image to 4×4 images … we instead apply max pooling
+//! over 7×7 patches and rescaling the parameters to a range of [0, 2π)".
+
+use crate::dataset::Dataset;
+use crate::{IMG_PIXELS, IMG_SIDE, POOLED_PIXELS, POOLED_SIDE};
+
+/// Max-pools a 28×28 image over non-overlapping 7×7 patches → 16 values,
+/// row-major (row `r`, column `c` at index `4r + c`).
+pub fn max_pool_28_to_4(image: &[f64]) -> Vec<f64> {
+    assert_eq!(image.len(), IMG_PIXELS, "expected 28×28 input");
+    let patch = IMG_SIDE / POOLED_SIDE; // 7
+    let mut out = vec![0.0; POOLED_PIXELS];
+    for pr in 0..POOLED_SIDE {
+        for pc in 0..POOLED_SIDE {
+            let mut m = f64::NEG_INFINITY;
+            for dy in 0..patch {
+                for dx in 0..patch {
+                    let y = pr * patch + dy;
+                    let x = pc * patch + dx;
+                    m = m.max(image[y * IMG_SIDE + x]);
+                }
+            }
+            out[pr * POOLED_SIDE + pc] = m;
+        }
+    }
+    out
+}
+
+/// Per-feature min/max rescaler into `[0, 2π)`, fitted on a training set
+/// and applied to both splits (the standard leakage-free protocol).
+#[derive(Clone, Debug)]
+pub struct Preprocessor {
+    mins: Vec<f64>,
+    ranges: Vec<f64>,
+}
+
+/// Strictly below 2π so the half-open interval `[0, 2π)` is respected.
+const TWO_PI_OPEN: f64 = std::f64::consts::TAU * (1.0 - 1e-9);
+
+impl Preprocessor {
+    /// Fits min/max statistics on already-pooled 16-feature rows.
+    pub fn fit(pooled: &[Vec<f64>]) -> Self {
+        assert!(!pooled.is_empty());
+        let f = pooled[0].len();
+        let mut mins = vec![f64::INFINITY; f];
+        let mut maxs = vec![f64::NEG_INFINITY; f];
+        for row in pooled {
+            assert_eq!(row.len(), f);
+            for j in 0..f {
+                mins[j] = mins[j].min(row[j]);
+                maxs[j] = maxs[j].max(row[j]);
+            }
+        }
+        let ranges = mins
+            .iter()
+            .zip(maxs.iter())
+            .map(|(lo, hi)| {
+                let r = hi - lo;
+                if r > 0.0 {
+                    r
+                } else {
+                    1.0 // constant feature maps to 0
+                }
+            })
+            .collect();
+        Preprocessor { mins, ranges }
+    }
+
+    /// Rescales one pooled row into `[0, 2π)`, clamping unseen values.
+    pub fn transform(&self, pooled: &[f64]) -> Vec<f64> {
+        assert_eq!(pooled.len(), self.mins.len());
+        pooled
+            .iter()
+            .enumerate()
+            .map(|(j, &v)| {
+                let t = ((v - self.mins[j]) / self.ranges[j]).clamp(0.0, 1.0);
+                t * TWO_PI_OPEN
+            })
+            .collect()
+    }
+}
+
+/// Full pipeline over a dataset: pool every image, fit the rescaler on the
+/// pooled **training** rows, and return `(train_features, test_features)`
+/// in `[0, 2π)^16`.
+pub fn preprocess_4x4(train: &Dataset, test: &Dataset) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+    let pooled_train: Vec<Vec<f64>> = train.images.iter().map(|i| max_pool_28_to_4(i)).collect();
+    let pooled_test: Vec<Vec<f64>> = test.images.iter().map(|i| max_pool_28_to_4(i)).collect();
+    let prep = Preprocessor::fit(&pooled_train);
+    (
+        pooled_train.iter().map(|r| prep.transform(r)).collect(),
+        pooled_test.iter().map(|r| prep.transform(r)).collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::TAU;
+
+    #[test]
+    fn max_pool_picks_patch_maxima() {
+        let mut img = vec![0.0; IMG_PIXELS];
+        // Put a known max in patch (0,0) and (3,3).
+        img[3 * IMG_SIDE + 4] = 0.9; // row 3, col 4 → patch (0,0)
+        img[27 * IMG_SIDE + 27] = 0.7; // patch (3,3)
+        let pooled = max_pool_28_to_4(&img);
+        assert_eq!(pooled[0], 0.9);
+        assert_eq!(pooled[15], 0.7);
+        assert_eq!(pooled[5], 0.0);
+    }
+
+    #[test]
+    fn rescale_hits_full_range() {
+        let rows = vec![vec![0.0, 5.0], vec![1.0, 10.0]];
+        let prep = Preprocessor::fit(&rows);
+        let lo = prep.transform(&rows[0]);
+        let hi = prep.transform(&rows[1]);
+        assert!(lo[0].abs() < 1e-12);
+        assert!(hi[0] < TAU && hi[0] > TAU - 1e-6);
+        assert!(lo[1].abs() < 1e-12);
+    }
+
+    #[test]
+    fn rescale_clamps_out_of_range_test_values() {
+        let rows = vec![vec![0.0], vec![1.0]];
+        let prep = Preprocessor::fit(&rows);
+        let below = prep.transform(&[-5.0]);
+        let above = prep.transform(&[9.0]);
+        assert_eq!(below[0], 0.0);
+        assert!(above[0] < TAU);
+    }
+
+    #[test]
+    fn constant_feature_maps_to_zero() {
+        let rows = vec![vec![3.0], vec![3.0]];
+        let prep = Preprocessor::fit(&rows);
+        assert_eq!(prep.transform(&[3.0])[0], 0.0);
+    }
+
+    #[test]
+    fn pipeline_shapes_and_ranges() {
+        use crate::synth::{fashion_synthetic, SynthConfig};
+        use crate::FashionClass;
+        let ds = fashion_synthetic(
+            &[FashionClass::Coat, FashionClass::Shirt],
+            10,
+            3,
+            &SynthConfig::default(),
+        );
+        let (train, test) = ds.split_at(16);
+        let (ftr, fte) = preprocess_4x4(&train, &test);
+        assert_eq!(ftr.len(), 16);
+        assert_eq!(fte.len(), 4);
+        for row in ftr.iter().chain(fte.iter()) {
+            assert_eq!(row.len(), POOLED_PIXELS);
+            assert!(row.iter().all(|&v| (0.0..TAU).contains(&v)));
+        }
+    }
+}

@@ -1,0 +1,314 @@
+//! Density-matrix simulation — exact mixed-state evolution.
+//!
+//! The trajectory sampler in [`crate::noise`] converges to the true channel
+//! only in the many-shot limit; this module evolves the density matrix
+//! `ρ ∈ C^{2ⁿ×2ⁿ}` directly so noise analyses (e.g. how depolarizing
+//! strength degrades post-variational features) can be *exact*. Memory is
+//! `4ⁿ` amplitudes, so this is for small registers — the paper's 4-qubit
+//! experiments fit comfortably.
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+use crate::state::StateVector;
+use crate::C64;
+use pauli::PauliString;
+
+/// A density matrix on `n` qubits, row-major `2ⁿ × 2ⁿ`.
+#[derive(Clone, Debug)]
+pub struct DensityMatrix {
+    n: usize,
+    dim: usize,
+    rho: Vec<C64>,
+}
+
+impl DensityMatrix {
+    /// The pure state `|0…0⟩⟨0…0|`.
+    pub fn zero_state(n: usize) -> Self {
+        assert!(n >= 1 && n <= 13, "density matrices limited to 13 qubits");
+        let dim = 1usize << n;
+        let mut rho = vec![C64::new(0.0, 0.0); dim * dim];
+        rho[0] = C64::new(1.0, 0.0);
+        DensityMatrix { n, dim, rho }
+    }
+
+    /// Builds `|ψ⟩⟨ψ|` from a pure state.
+    pub fn from_pure(state: &StateVector) -> Self {
+        let n = state.num_qubits();
+        assert!(n <= 13);
+        let dim = 1usize << n;
+        let amps = state.amplitudes();
+        let mut rho = vec![C64::new(0.0, 0.0); dim * dim];
+        for i in 0..dim {
+            for j in 0..dim {
+                rho[i * dim + j] = amps[i] * amps[j].conj();
+            }
+        }
+        DensityMatrix { n, dim, rho }
+    }
+
+    /// The maximally mixed state `I/2ⁿ`.
+    pub fn maximally_mixed(n: usize) -> Self {
+        let mut dm = Self::zero_state(n);
+        let dim = dm.dim;
+        dm.rho.iter_mut().for_each(|v| *v = C64::new(0.0, 0.0));
+        let p = 1.0 / dim as f64;
+        for i in 0..dim {
+            dm.rho[i * dim + i] = C64::new(p, 0.0);
+        }
+        dm
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn at(&self, i: usize, j: usize) -> C64 {
+        self.rho[i * self.dim + j]
+    }
+
+    /// Trace (1 for a valid state).
+    pub fn trace(&self) -> f64 {
+        (0..self.dim).map(|i| self.at(i, i).re).sum()
+    }
+
+    /// Purity `tr(ρ²)`: 1 for pure states, `1/2ⁿ` for maximally mixed.
+    pub fn purity(&self) -> f64 {
+        let mut p = 0.0;
+        for i in 0..self.dim {
+            for j in 0..self.dim {
+                p += (self.at(i, j) * self.at(j, i)).re;
+            }
+        }
+        p
+    }
+
+    /// Applies a unitary gate: `ρ → U ρ U†`.
+    ///
+    /// Implemented by applying the gate's state-vector kernel to every
+    /// column of `ρ` (giving `Uρ`), then to every column of the conjugate
+    /// transpose (giving `UρU†`) — reuses the tested kernels instead of
+    /// bespoke density-matrix index arithmetic.
+    pub fn apply_gate(&mut self, g: &Gate) {
+        self.map_columns(g);
+        self.dagger_in_place();
+        self.map_columns(g);
+        self.dagger_in_place();
+    }
+
+    /// Applies each gate of a circuit.
+    pub fn apply_circuit(&mut self, c: &Circuit) {
+        assert_eq!(c.num_qubits(), self.n);
+        for g in c.gates() {
+            self.apply_gate(g);
+        }
+    }
+
+    /// Applies the gate kernel to every column of ρ (computes `U·ρ`).
+    fn map_columns(&mut self, g: &Gate) {
+        let dim = self.dim;
+        for col in 0..dim {
+            // Extract the column as a (non-normalised) vector, run the
+            // gate kernel on it via a scratch StateVector, write back.
+            let mut column: Vec<C64> = (0..dim).map(|row| self.rho[row * dim + col]).collect();
+            apply_gate_to_raw(&mut column, self.n, g);
+            for (row, v) in column.into_iter().enumerate() {
+                self.rho[row * dim + col] = v;
+            }
+        }
+    }
+
+    fn dagger_in_place(&mut self) {
+        let dim = self.dim;
+        for i in 0..dim {
+            for j in i..dim {
+                let a = self.rho[i * dim + j].conj();
+                let b = self.rho[j * dim + i].conj();
+                self.rho[i * dim + j] = b;
+                self.rho[j * dim + i] = a;
+            }
+        }
+    }
+
+    /// Exact single-qubit depolarizing channel with probability `p`:
+    /// `ρ → (1−p)ρ + (p/3)(XρX + YρY + ZρZ)`.
+    pub fn depolarize(&mut self, qubit: usize, p: f64) {
+        assert!((0.0..=1.0).contains(&p));
+        assert!(qubit < self.n);
+        if p == 0.0 {
+            return;
+        }
+        let original = self.clone();
+        let mut acc: Vec<C64> = original.rho.iter().map(|v| v * (1.0 - p)).collect();
+        for g in [Gate::X(qubit), Gate::Y(qubit), Gate::Z(qubit)] {
+            let mut kicked = original.clone();
+            kicked.apply_gate(&g);
+            for (a, k) in acc.iter_mut().zip(kicked.rho.iter()) {
+                *a += k * (p / 3.0);
+            }
+        }
+        self.rho = acc;
+    }
+
+    /// Expectation `tr(P ρ)` of a Pauli string, using the sparse basis
+    /// action (`O(4ⁿ)` instead of a dense product).
+    pub fn expectation(&self, p: &PauliString) -> f64 {
+        assert_eq!(p.num_qubits(), self.n);
+        // tr(Pρ) = Σ_b ⟨b|Pρ|b⟩ = Σ_b λ(b') ρ[b, b'] ... precisely:
+        // P|b⟩ = λ(b)|b⊕x⟩ ⇒ ⟨b|P = (P†|b⟩)† = (P|b⟩)† (P Hermitian)
+        // ⇒ tr(Pρ) = Σ_b λ(b)* ρ[b⊕x, b]... compute via columns:
+        // (Pρ)[b,b] = Σ_k P[b,k] ρ[k,b]; P[b,k] ≠ 0 iff k = b⊕x with value
+        // λ(k) where P|k⟩ = λ(k)|b⟩. So tr = Σ_k λ(k) ρ[k, k⊕x].
+        let mut total = C64::new(0.0, 0.0);
+        for k in 0..self.dim as u64 {
+            let (phase, row) = p.apply_to_basis(k);
+            total += phase.to_c64() * self.at(k as usize, row as usize);
+        }
+        debug_assert!(total.im.abs() < 1e-9);
+        total.re
+    }
+}
+
+/// Runs the single-gate kernel on a raw (possibly non-normalised) vector.
+fn apply_gate_to_raw(amps: &mut [C64], n: usize, g: &Gate) {
+    // Route through StateVector's kernels by temporarily normalising; the
+    // kernels are linear, so we can scale back afterwards. Zero vectors
+    // pass through unchanged.
+    let norm: f64 = amps.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt();
+    if norm == 0.0 {
+        return;
+    }
+    let scaled: Vec<C64> = amps.iter().map(|a| a / norm).collect();
+    let mut sv = StateVector::from_amplitudes(scaled);
+    let _ = n;
+    sv.apply_gate(g);
+    for (dst, src) in amps.iter_mut().zip(sv.amplitudes()) {
+        *dst = src * norm;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Circuit;
+
+    fn bell_circuit() -> Circuit {
+        let mut c = Circuit::new(2);
+        c.push(Gate::H(0));
+        c.push(Gate::Cnot { control: 0, target: 1 });
+        c
+    }
+
+    #[test]
+    fn pure_evolution_matches_state_vector() {
+        let c = bell_circuit();
+        let sv = StateVector::from_circuit(&c);
+        let mut dm = DensityMatrix::zero_state(2);
+        dm.apply_circuit(&c);
+        for txt in ["ZZ", "XX", "YY", "ZI", "IX"] {
+            let p = PauliString::parse(txt).unwrap();
+            assert!(
+                (dm.expectation(&p) - sv.expectation(&p)).abs() < 1e-10,
+                "{txt}: dm {} vs sv {}",
+                dm.expectation(&p),
+                sv.expectation(&p)
+            );
+        }
+        assert!((dm.trace() - 1.0).abs() < 1e-10);
+        assert!((dm.purity() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn depolarizing_shrinks_expectations_exactly() {
+        // One qubit in |0⟩: ⟨Z⟩ = 1. After depolarizing with p,
+        // ⟨Z⟩ = (1−p) + (p/3)(−1 + ... ) : XρX and YρY flip to |1⟩ (⟨Z⟩=−1),
+        // ZρZ leaves |0⟩ (⟨Z⟩=+1): (1−p)·1 + p/3·(−1) + p/3·(−1) + p/3·1
+        // = 1 − 4p/3.
+        let mut dm = DensityMatrix::zero_state(1);
+        let p = 0.3;
+        dm.depolarize(0, p);
+        let z = PauliString::parse("Z").unwrap();
+        assert!(
+            (dm.expectation(&z) - (1.0 - 4.0 * p / 3.0)).abs() < 1e-10,
+            "{}",
+            dm.expectation(&z)
+        );
+        assert!((dm.trace() - 1.0).abs() < 1e-10);
+        assert!(dm.purity() < 1.0);
+    }
+
+    #[test]
+    fn full_depolarizing_gives_maximally_mixed() {
+        let mut dm = DensityMatrix::zero_state(1);
+        // p = 3/4 is the fixed point mapping any state to I/2.
+        dm.depolarize(0, 0.75);
+        let mixed = DensityMatrix::maximally_mixed(1);
+        assert!((dm.purity() - mixed.purity()).abs() < 1e-10);
+        let z = PauliString::parse("Z").unwrap();
+        assert!(dm.expectation(&z).abs() < 1e-10);
+    }
+
+    #[test]
+    fn trajectory_sampler_converges_to_exact_channel() {
+        // The Monte-Carlo unravelling in qsim::noise must agree with the
+        // exact channel on expectation values.
+        use crate::noise::{run_noisy_trajectory, NoiseModel};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let mut c = Circuit::new(2);
+        c.push(Gate::Ry(0, 0.9));
+        c.push(Gate::Cnot { control: 0, target: 1 });
+        let p_depol = 0.1;
+
+        // Exact: apply gates and depolarize after each, matching the
+        // trajectory model (per touched qubit).
+        let mut dm = DensityMatrix::zero_state(2);
+        dm.apply_gate(&Gate::Ry(0, 0.9));
+        dm.depolarize(0, p_depol);
+        dm.apply_gate(&Gate::Cnot { control: 0, target: 1 });
+        dm.depolarize(0, p_depol);
+        dm.depolarize(1, p_depol);
+
+        let model = NoiseModel {
+            depol_1q: p_depol,
+            depol_2q: p_depol,
+            readout_flip: 0.0,
+        };
+        let zz = PauliString::parse("ZZ").unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let trials = 4000;
+        let mc: f64 = (0..trials)
+            .map(|_| run_noisy_trajectory(&c, &model, &mut rng).expectation(&zz))
+            .sum::<f64>()
+            / trials as f64;
+        let exact = dm.expectation(&zz);
+        assert!(
+            (mc - exact).abs() < 0.05,
+            "trajectory {mc} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn from_pure_matches_zero_state_evolution() {
+        let c = bell_circuit();
+        let sv = StateVector::from_circuit(&c);
+        let dm1 = DensityMatrix::from_pure(&sv);
+        let mut dm2 = DensityMatrix::zero_state(2);
+        dm2.apply_circuit(&c);
+        let p = PauliString::parse("XY").unwrap();
+        assert!((dm1.expectation(&p) - dm2.expectation(&p)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn maximally_mixed_has_zero_pauli_expectations() {
+        let dm = DensityMatrix::maximally_mixed(3);
+        for txt in ["ZII", "XYZ", "IIY"] {
+            let p = PauliString::parse(txt).unwrap();
+            assert!(dm.expectation(&p).abs() < 1e-12, "{txt}");
+        }
+        assert!((dm.expectation(&PauliString::identity(3)) - 1.0).abs() < 1e-12);
+        assert!((dm.purity() - 0.125).abs() < 1e-12);
+    }
+}

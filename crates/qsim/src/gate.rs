@@ -1,0 +1,260 @@
+//! The gate set: common single-qubit gates, rotations, and two-qubit
+//! entanglers.
+
+use crate::C64;
+use std::fmt;
+
+/// A quantum logic gate acting on named qubits of a register.
+///
+/// Rotation angles are in radians. `Rx/Ry/Rz(θ) = exp(−iθσ/2)`, the
+/// convention under which the parameter-shift rule for Pauli rotations uses
+/// shifts of exactly ±π/2 (paper §IV.A, citing Mitarai et al. [6]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Gate {
+    /// Hadamard.
+    H(usize),
+    /// Pauli-X.
+    X(usize),
+    /// Pauli-Y.
+    Y(usize),
+    /// Pauli-Z.
+    Z(usize),
+    /// Phase gate `S = diag(1, i)`.
+    S(usize),
+    /// Inverse phase gate `S† = diag(1, −i)`.
+    Sdg(usize),
+    /// `T = diag(1, e^{iπ/4})`.
+    T(usize),
+    /// `T† = diag(1, e^{−iπ/4})`.
+    Tdg(usize),
+    /// X-rotation `exp(−iθX/2)`.
+    Rx(usize, f64),
+    /// Y-rotation `exp(−iθY/2)`.
+    Ry(usize, f64),
+    /// Z-rotation `exp(−iθZ/2)`.
+    Rz(usize, f64),
+    /// Phase rotation `diag(1, e^{iθ})`.
+    Phase(usize, f64),
+    /// Controlled-NOT.
+    Cnot {
+        /// Control qubit.
+        control: usize,
+        /// Target qubit.
+        target: usize,
+    },
+    /// Controlled-Z (symmetric).
+    Cz(usize, usize),
+    /// Swap two qubits.
+    Swap(usize, usize),
+}
+
+impl Gate {
+    /// The qubits this gate touches (1 or 2 entries).
+    pub fn qubits(&self) -> Vec<usize> {
+        match *self {
+            Gate::H(q)
+            | Gate::X(q)
+            | Gate::Y(q)
+            | Gate::Z(q)
+            | Gate::S(q)
+            | Gate::Sdg(q)
+            | Gate::T(q)
+            | Gate::Tdg(q)
+            | Gate::Rx(q, _)
+            | Gate::Ry(q, _)
+            | Gate::Rz(q, _)
+            | Gate::Phase(q, _) => vec![q],
+            Gate::Cnot { control, target } => vec![control, target],
+            Gate::Cz(a, b) | Gate::Swap(a, b) => vec![a, b],
+        }
+    }
+
+    /// Whether the gate acts on a single qubit.
+    pub fn is_single_qubit(&self) -> bool {
+        !matches!(self, Gate::Cnot { .. } | Gate::Cz(..) | Gate::Swap(..))
+    }
+
+    /// The 2×2 matrix of a single-qubit gate (`None` for two-qubit gates).
+    pub fn matrix1(&self) -> Option<[[C64; 2]; 2]> {
+        let o = C64::new(0.0, 0.0);
+        let l = C64::new(1.0, 0.0);
+        let i = C64::new(0.0, 1.0);
+        let inv_sqrt2 = std::f64::consts::FRAC_1_SQRT_2;
+        Some(match *self {
+            Gate::H(_) => [
+                [C64::new(inv_sqrt2, 0.0), C64::new(inv_sqrt2, 0.0)],
+                [C64::new(inv_sqrt2, 0.0), C64::new(-inv_sqrt2, 0.0)],
+            ],
+            Gate::X(_) => [[o, l], [l, o]],
+            Gate::Y(_) => [[o, -i], [i, o]],
+            Gate::Z(_) => [[l, o], [o, -l]],
+            Gate::S(_) => [[l, o], [o, i]],
+            Gate::Sdg(_) => [[l, o], [o, -i]],
+            Gate::T(_) => [[l, o], [o, C64::from_polar(1.0, std::f64::consts::FRAC_PI_4)]],
+            Gate::Tdg(_) => [[l, o], [o, C64::from_polar(1.0, -std::f64::consts::FRAC_PI_4)]],
+            Gate::Rx(_, th) => {
+                let (c, s) = ((th / 2.0).cos(), (th / 2.0).sin());
+                [[C64::new(c, 0.0), C64::new(0.0, -s)], [C64::new(0.0, -s), C64::new(c, 0.0)]]
+            }
+            Gate::Ry(_, th) => {
+                let (c, s) = ((th / 2.0).cos(), (th / 2.0).sin());
+                [[C64::new(c, 0.0), C64::new(-s, 0.0)], [C64::new(s, 0.0), C64::new(c, 0.0)]]
+            }
+            Gate::Rz(_, th) => [
+                [C64::from_polar(1.0, -th / 2.0), o],
+                [o, C64::from_polar(1.0, th / 2.0)],
+            ],
+            Gate::Phase(_, th) => [[l, o], [o, C64::from_polar(1.0, th)]],
+            Gate::Cnot { .. } | Gate::Cz(..) | Gate::Swap(..) => return None,
+        })
+    }
+
+    /// Whether the single-qubit matrix is diagonal (enables the cheaper
+    /// diagonal kernel).
+    pub fn is_diagonal(&self) -> bool {
+        matches!(
+            self,
+            Gate::Z(_)
+                | Gate::S(_)
+                | Gate::Sdg(_)
+                | Gate::T(_)
+                | Gate::Tdg(_)
+                | Gate::Rz(..)
+                | Gate::Phase(..)
+        )
+    }
+
+    /// Whether this gate is the identity up to numerical tolerance (e.g. a
+    /// rotation by ~0) — used by the circuit optimizer that elides gates
+    /// when the paper sets all ansatz parameters to zero (§IV.A).
+    pub fn is_identity(&self, tol: f64) -> bool {
+        match *self {
+            Gate::Rx(_, th) | Gate::Ry(_, th) | Gate::Rz(_, th) | Gate::Phase(_, th) => {
+                // Rotations are 4π-periodic in global-phase-free effect; we
+                // only elide the exact-zero neighbourhood, which is the case
+                // produced by zero-initialised ansätze.
+                th.abs() < tol
+            }
+            _ => false,
+        }
+    }
+
+    /// The inverse gate.
+    pub fn dagger(&self) -> Gate {
+        match *self {
+            Gate::S(q) => Gate::Sdg(q),
+            Gate::Sdg(q) => Gate::S(q),
+            Gate::T(q) => Gate::Tdg(q),
+            Gate::Tdg(q) => Gate::T(q),
+            Gate::Rx(q, th) => Gate::Rx(q, -th),
+            Gate::Ry(q, th) => Gate::Ry(q, -th),
+            Gate::Rz(q, th) => Gate::Rz(q, -th),
+            Gate::Phase(q, th) => Gate::Phase(q, -th),
+            g => g, // H, X, Y, Z, CNOT, CZ, SWAP are involutions
+        }
+    }
+}
+
+impl fmt::Display for Gate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Gate::H(q) => write!(f, "H(q{q})"),
+            Gate::X(q) => write!(f, "X(q{q})"),
+            Gate::Y(q) => write!(f, "Y(q{q})"),
+            Gate::Z(q) => write!(f, "Z(q{q})"),
+            Gate::S(q) => write!(f, "S(q{q})"),
+            Gate::Sdg(q) => write!(f, "S†(q{q})"),
+            Gate::T(q) => write!(f, "T(q{q})"),
+            Gate::Tdg(q) => write!(f, "T†(q{q})"),
+            Gate::Rx(q, th) => write!(f, "Rx(q{q}, {th:.4})"),
+            Gate::Ry(q, th) => write!(f, "Ry(q{q}, {th:.4})"),
+            Gate::Rz(q, th) => write!(f, "Rz(q{q}, {th:.4})"),
+            Gate::Phase(q, th) => write!(f, "P(q{q}, {th:.4})"),
+            Gate::Cnot { control, target } => write!(f, "CNOT(q{control}→q{target})"),
+            Gate::Cz(a, b) => write!(f, "CZ(q{a},q{b})"),
+            Gate::Swap(a, b) => write!(f, "SWAP(q{a},q{b})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn is_unitary2(m: [[C64; 2]; 2]) -> bool {
+        // m† m == I
+        let mut prod = [[C64::new(0.0, 0.0); 2]; 2];
+        for i in 0..2 {
+            for j in 0..2 {
+                for k in 0..2 {
+                    prod[i][j] += m[k][i].conj() * m[k][j];
+                }
+            }
+        }
+        (prod[0][0] - 1.0).norm() < 1e-12
+            && (prod[1][1] - 1.0).norm() < 1e-12
+            && prod[0][1].norm() < 1e-12
+            && prod[1][0].norm() < 1e-12
+    }
+
+    #[test]
+    fn all_single_qubit_matrices_unitary() {
+        let gates = [
+            Gate::H(0),
+            Gate::X(0),
+            Gate::Y(0),
+            Gate::Z(0),
+            Gate::S(0),
+            Gate::Sdg(0),
+            Gate::T(0),
+            Gate::Tdg(0),
+            Gate::Rx(0, 0.7),
+            Gate::Ry(0, -1.3),
+            Gate::Rz(0, 2.2),
+            Gate::Phase(0, 0.4),
+        ];
+        for g in gates {
+            assert!(is_unitary2(g.matrix1().unwrap()), "{g}");
+        }
+    }
+
+    #[test]
+    fn rotation_at_zero_is_identity_matrix() {
+        for g in [Gate::Rx(0, 0.0), Gate::Ry(0, 0.0), Gate::Rz(0, 0.0)] {
+            let m = g.matrix1().unwrap();
+            assert!((m[0][0] - 1.0).norm() < 1e-15);
+            assert!((m[1][1] - 1.0).norm() < 1e-15);
+            assert!(m[0][1].norm() < 1e-15 && m[1][0].norm() < 1e-15);
+            assert!(g.is_identity(1e-12));
+        }
+        assert!(!Gate::Rx(0, 0.1).is_identity(1e-12));
+        assert!(!Gate::H(0).is_identity(1e-12));
+    }
+
+    #[test]
+    fn dagger_pairs() {
+        assert_eq!(Gate::S(1).dagger(), Gate::Sdg(1));
+        assert_eq!(Gate::Rx(2, 0.5).dagger(), Gate::Rx(2, -0.5));
+        assert_eq!(Gate::H(0).dagger(), Gate::H(0));
+        assert_eq!(
+            Gate::Cnot { control: 0, target: 1 }.dagger(),
+            Gate::Cnot { control: 0, target: 1 }
+        );
+    }
+
+    #[test]
+    fn diagonal_classification() {
+        assert!(Gate::Rz(0, 1.0).is_diagonal());
+        assert!(Gate::S(0).is_diagonal());
+        assert!(!Gate::Rx(0, 1.0).is_diagonal());
+        assert!(!Gate::H(0).is_diagonal());
+    }
+
+    #[test]
+    fn qubits_listing() {
+        assert_eq!(Gate::Cnot { control: 3, target: 1 }.qubits(), vec![3, 1]);
+        assert_eq!(Gate::Ry(2, 0.1).qubits(), vec![2]);
+        assert!(Gate::Ry(2, 0.1).is_single_qubit());
+        assert!(!Gate::Cz(0, 1).is_single_qubit());
+    }
+}

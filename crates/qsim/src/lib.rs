@@ -1,0 +1,40 @@
+//! # qsim — state-vector quantum circuit simulator
+//!
+//! The execution substrate for the post-variational QNN library: the paper
+//! ran its circuits through Qiskit's simulator; this crate replaces that
+//! with a from-scratch state-vector engine tuned for the workload the
+//! post-variational pipeline generates — **many small-to-medium circuits,
+//! each evaluated against many Pauli observables**.
+//!
+//! * [`Gate`] / [`Circuit`] — the gate set and a flat circuit IR,
+//! * [`ParamCircuit`] — circuits with named parameter slots (for ansätze and
+//!   parameter-shift grids),
+//! * [`StateVector`] — amplitudes plus serial/rayon-parallel gate kernels,
+//!   Pauli expectations, inner products, and computational-basis sampling,
+//! * [`noise`] — stochastic (trajectory) depolarizing and readout noise for
+//!   NISQ realism,
+//! * [`render`] — ASCII circuit diagrams (Figs. 7–8 of the paper are
+//!   reproduced by `examples/quickstart.rs`).
+//!
+//! Kernels switch to rayon data-parallel paths above
+//! [`state::PARALLEL_THRESHOLD`] amplitudes; below it the serial loop wins
+//! (measured in `bench/benches/gates.rs`, per the perf-book's
+//! "benchmark, don't guess").
+
+pub mod circuit;
+pub mod density;
+pub mod gate;
+pub mod noise;
+pub mod render;
+pub mod sample;
+pub mod state;
+
+pub use circuit::{Circuit, ParamCircuit, ParamGate, RotAxis};
+pub use density::DensityMatrix;
+pub use gate::Gate;
+pub use noise::NoiseModel;
+pub use sample::{estimate_pauli_with_shots, measurement_rotation, sample_counts};
+pub use state::StateVector;
+
+/// Complex amplitude type used throughout the simulator.
+pub type C64 = num_complex::Complex64;

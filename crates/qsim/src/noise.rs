@@ -1,0 +1,222 @@
+//! Stochastic (trajectory) noise models for NISQ realism.
+//!
+//! The paper targets NISQ hardware; our hybrid HPC-QC system simulates
+//! devices whose shot results are corrupted by depolarizing noise after
+//! each gate and by readout bit flips. We use the standard Monte-Carlo
+//! trajectory unravelling: with probability `p` a uniformly random
+//! non-identity Pauli is applied to the touched qubit(s). Averaged over
+//! shots this reproduces the depolarizing channel on expectation values.
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+use crate::state::StateVector;
+use rand::{Rng, RngExt};
+
+/// Gate-level and readout error rates.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NoiseModel {
+    /// Depolarizing probability after each single-qubit gate.
+    pub depol_1q: f64,
+    /// Depolarizing probability (per qubit) after each two-qubit gate.
+    pub depol_2q: f64,
+    /// Probability of flipping each classical readout bit.
+    pub readout_flip: f64,
+}
+
+impl NoiseModel {
+    /// The noiseless model.
+    pub fn noiseless() -> Self {
+        NoiseModel {
+            depol_1q: 0.0,
+            depol_2q: 0.0,
+            readout_flip: 0.0,
+        }
+    }
+
+    /// A generic "NISQ-era" profile: 0.1% single-qubit, 1% two-qubit
+    /// depolarizing, 2% readout flip — the ballpark of published
+    /// superconducting-device calibrations.
+    pub fn nisq_default() -> Self {
+        NoiseModel {
+            depol_1q: 1e-3,
+            depol_2q: 1e-2,
+            readout_flip: 2e-2,
+        }
+    }
+
+    /// Whether all rates are zero.
+    pub fn is_noiseless(&self) -> bool {
+        self.depol_1q == 0.0 && self.depol_2q == 0.0 && self.readout_flip == 0.0
+    }
+
+    fn validate(&self) {
+        for (name, p) in [
+            ("depol_1q", self.depol_1q),
+            ("depol_2q", self.depol_2q),
+            ("readout_flip", self.readout_flip),
+        ] {
+            assert!((0.0..=1.0).contains(&p), "{name} = {p} out of [0,1]");
+        }
+    }
+}
+
+fn random_pauli_kick<R: Rng>(state: &mut StateVector, qubit: usize, rng: &mut R) {
+    match rng.random_range(0..3) {
+        0 => state.apply_gate(&Gate::X(qubit)),
+        1 => state.apply_gate(&Gate::Y(qubit)),
+        _ => state.apply_gate(&Gate::Z(qubit)),
+    }
+}
+
+/// Runs `circuit` from `|0…0⟩` with stochastic Pauli noise after each gate.
+/// Each call is **one trajectory**; expectation values should be averaged
+/// over many trajectories (or shots drawn from each trajectory).
+pub fn run_noisy_trajectory<R: Rng>(
+    circuit: &Circuit,
+    model: &NoiseModel,
+    rng: &mut R,
+) -> StateVector {
+    model.validate();
+    let mut state = StateVector::zero_state(circuit.num_qubits());
+    for g in circuit.gates() {
+        state.apply_gate(g);
+        let p = if g.is_single_qubit() {
+            model.depol_1q
+        } else {
+            model.depol_2q
+        };
+        if p > 0.0 {
+            for q in g.qubits() {
+                if rng.random::<f64>() < p {
+                    random_pauli_kick(&mut state, q, rng);
+                }
+            }
+        }
+    }
+    state
+}
+
+/// Applies readout bit-flip noise to a sampled outcome.
+pub fn apply_readout_noise<R: Rng>(outcome: u64, n: usize, flip_prob: f64, rng: &mut R) -> u64 {
+    if flip_prob == 0.0 {
+        return outcome;
+    }
+    let mut o = outcome;
+    for q in 0..n {
+        if rng.random::<f64>() < flip_prob {
+            o ^= 1 << q;
+        }
+    }
+    o
+}
+
+/// Noisy finite-shot estimate of a Pauli expectation: each shot runs a
+/// fresh noise trajectory, rotates to the measurement basis, samples one
+/// outcome, applies readout noise, and averages eigenvalue signs.
+pub fn estimate_pauli_noisy<R: Rng>(
+    circuit: &Circuit,
+    p: &pauli::PauliString,
+    model: &NoiseModel,
+    shots: usize,
+    rng: &mut R,
+) -> f64 {
+    assert!(shots > 0);
+    if p.is_identity() {
+        return 1.0;
+    }
+    let rotation = crate::sample::measurement_rotation(p);
+    let n = circuit.num_qubits();
+    let mut acc = 0.0;
+    for _ in 0..shots {
+        let mut state = run_noisy_trajectory(circuit, model, rng);
+        state.apply_circuit(&rotation);
+        let outcome = crate::sample::sample_bitstrings(&state, 1, rng)[0];
+        let noisy = apply_readout_noise(outcome, n, model.readout_flip, rng);
+        acc += p.outcome_sign(noisy);
+    }
+    acc / shots as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pauli::PauliString;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn noiseless_trajectory_is_exact() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::H(0));
+        c.push(Gate::Cnot { control: 0, target: 1 });
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = run_noisy_trajectory(&c, &NoiseModel::noiseless(), &mut rng);
+        assert!((s.probability(0) - 0.5).abs() < 1e-12);
+        assert!((s.probability(3) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn depolarizing_shrinks_expectation() {
+        // ⟨Z⟩ of |0⟩ after an identity-like circuit with heavy depolarizing
+        // noise must be pulled toward 0.
+        let mut c = Circuit::new(1);
+        for _ in 0..20 {
+            c.push(Gate::X(0));
+            c.push(Gate::X(0));
+        }
+        let model = NoiseModel {
+            depol_1q: 0.05,
+            depol_2q: 0.0,
+            readout_flip: 0.0,
+        };
+        let z = PauliString::parse("Z").unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let est = estimate_pauli_noisy(&c, &z, &model, 4000, &mut rng);
+        assert!(est < 0.6, "noise failed to shrink ⟨Z⟩: {est}");
+        assert!(est > -0.2, "over-shrunk: {est}");
+    }
+
+    #[test]
+    fn readout_noise_flips_bits() {
+        let mut rng = StdRng::seed_from_u64(1);
+        // flip_prob = 1 flips every bit deterministically.
+        assert_eq!(apply_readout_noise(0b0000, 4, 1.0, &mut rng), 0b1111);
+        assert_eq!(apply_readout_noise(0b1010, 4, 0.0, &mut rng), 0b1010);
+    }
+
+    #[test]
+    fn readout_noise_biases_estimate() {
+        // On |0⟩, ⟨Z⟩ = 1 exactly; with readout flip p the mean outcome is
+        // (1−p)·(+1) + p·(−1) = 1 − 2p.
+        let c = Circuit::new(1);
+        let model = NoiseModel {
+            depol_1q: 0.0,
+            depol_2q: 0.0,
+            readout_flip: 0.1,
+        };
+        let z = PauliString::parse("Z").unwrap();
+        let mut rng = StdRng::seed_from_u64(21);
+        let est = estimate_pauli_noisy(&c, &z, &model, 20_000, &mut rng);
+        assert!((est - 0.8).abs() < 0.02, "est={est}, want ≈ 0.8");
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_rates_rejected() {
+        let bad = NoiseModel {
+            depol_1q: 1.5,
+            depol_2q: 0.0,
+            readout_flip: 0.0,
+        };
+        let c = Circuit::new(1);
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = run_noisy_trajectory(&c, &bad, &mut rng);
+    }
+
+    #[test]
+    fn nisq_default_sane() {
+        let m = NoiseModel::nisq_default();
+        assert!(!m.is_noiseless());
+        assert!(NoiseModel::noiseless().is_noiseless());
+    }
+}

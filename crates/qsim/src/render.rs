@@ -1,0 +1,191 @@
+//! ASCII circuit rendering — reproduces the paper's circuit figures
+//! (Figs. 7–8) as terminal diagrams.
+//!
+//! ```
+//! use qsim::{Circuit, Gate};
+//! use qsim::render::render_circuit;
+//!
+//! let mut c = Circuit::new(2);
+//! c.push(Gate::H(0));
+//! c.push(Gate::Cnot { control: 0, target: 1 });
+//! let art = render_circuit(&c);
+//! assert!(art.contains("H"));
+//! ```
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+
+/// Label for a single-qubit gate box.
+fn gate_label(g: &Gate) -> String {
+    match *g {
+        Gate::H(_) => "H".into(),
+        Gate::X(_) => "X".into(),
+        Gate::Y(_) => "Y".into(),
+        Gate::Z(_) => "Z".into(),
+        Gate::S(_) => "S".into(),
+        Gate::Sdg(_) => "S†".into(),
+        Gate::T(_) => "T".into(),
+        Gate::Tdg(_) => "T†".into(),
+        Gate::Rx(_, th) => format!("Rx({th:.2})"),
+        Gate::Ry(_, th) => format!("Ry({th:.2})"),
+        Gate::Rz(_, th) => format!("Rz({th:.2})"),
+        Gate::Phase(_, th) => format!("P({th:.2})"),
+        _ => "?".into(),
+    }
+}
+
+/// Renders a circuit as ASCII art: one row per qubit (qubit 0 on top),
+/// one column per "moment" (gates packed greedily left).
+pub fn render_circuit(c: &Circuit) -> String {
+    let n = c.num_qubits();
+    // Assign each gate to the earliest column where all its qubits are free.
+    let mut frontier = vec![0usize; n];
+    let mut columns: Vec<Vec<&Gate>> = Vec::new();
+    for g in c.gates() {
+        let qs = g.qubits();
+        let col = qs.iter().map(|&q| frontier[q]).max().unwrap_or(0);
+        if col == columns.len() {
+            columns.push(Vec::new());
+        }
+        columns[col].push(g);
+        // Two-qubit gates block every wire between their endpoints so the
+        // vertical connector doesn't cross later gates in the same column.
+        let (lo, hi) = match qs.as_slice() {
+            [a] => (*a, *a),
+            [a, b] => (*a.min(b), *a.max(b)),
+            _ => unreachable!(),
+        };
+        for q in lo..=hi {
+            frontier[q] = col + 1;
+        }
+    }
+
+    // Cell text per (qubit, column); connector flags for vertical bars.
+    let mut cells = vec![vec![String::new(); columns.len()]; n];
+    let mut bars = vec![vec![false; columns.len()]; n]; // bar below wire q
+    for (col, gates) in columns.iter().enumerate() {
+        for g in gates {
+            match **g {
+                Gate::Cnot { control, target } => {
+                    cells[control][col] = "●".into();
+                    cells[target][col] = "⊕".into();
+                    let (lo, hi) = (control.min(target), control.max(target));
+                    for q in lo..hi {
+                        bars[q][col] = true;
+                    }
+                }
+                Gate::Cz(a, b) => {
+                    cells[a][col] = "●".into();
+                    cells[b][col] = "●".into();
+                    let (lo, hi) = (a.min(b), a.max(b));
+                    for q in lo..hi {
+                        bars[q][col] = true;
+                    }
+                }
+                Gate::Swap(a, b) => {
+                    cells[a][col] = "✕".into();
+                    cells[b][col] = "✕".into();
+                    let (lo, hi) = (a.min(b), a.max(b));
+                    for q in lo..hi {
+                        bars[q][col] = true;
+                    }
+                }
+                ref sg => {
+                    let q = sg.qubits()[0];
+                    cells[q][col] = format!("[{}]", gate_label(sg));
+                }
+            }
+        }
+    }
+
+    // Column widths.
+    let widths: Vec<usize> = (0..columns.len())
+        .map(|col| {
+            (0..n)
+                .map(|q| cells[q][col].chars().count())
+                .max()
+                .unwrap_or(1)
+                .max(1)
+        })
+        .collect();
+
+    let mut out = String::new();
+    for q in 0..n {
+        // Wire row.
+        out.push_str(&format!("q{q}: "));
+        for (col, w) in widths.iter().enumerate() {
+            let cell = &cells[q][col];
+            let clen = cell.chars().count();
+            if cell.is_empty() {
+                out.push_str(&"─".repeat(w + 2));
+            } else {
+                let pad = w - clen;
+                let left = pad / 2;
+                out.push('─');
+                out.push_str(&"─".repeat(left));
+                out.push_str(cell);
+                out.push_str(&"─".repeat(pad - left));
+                out.push('─');
+            }
+        }
+        out.push('\n');
+        // Connector row (between this wire and the next).
+        if q + 1 < n {
+            out.push_str("    ");
+            for (col, w) in widths.iter().enumerate() {
+                let mid = (w + 2) / 2;
+                for pos in 0..w + 2 {
+                    out.push(if bars[q][col] && pos == mid { '│' } else { ' ' });
+                }
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_single_gates() {
+        let mut c = Circuit::new(1);
+        c.push(Gate::H(0));
+        c.push(Gate::Rz(0, 1.5));
+        let art = render_circuit(&c);
+        assert!(art.contains("[H]"));
+        assert!(art.contains("Rz(1.50)"));
+        assert!(art.starts_with("q0:"));
+    }
+
+    #[test]
+    fn renders_cnot_connector() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::Cnot { control: 0, target: 2 });
+        let art = render_circuit(&c);
+        assert!(art.contains("●"));
+        assert!(art.contains("⊕"));
+        assert!(art.contains("│"), "missing vertical connector:\n{art}");
+    }
+
+    #[test]
+    fn gates_pack_into_columns() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::H(0));
+        c.push(Gate::H(1)); // same column as the first H
+        c.push(Gate::Cnot { control: 0, target: 1 });
+        let art = render_circuit(&c);
+        let lines: Vec<&str> = art.lines().collect();
+        // q0 and q1 rows plus one connector row.
+        assert_eq!(lines.len(), 3);
+    }
+
+    #[test]
+    fn empty_circuit_renders_wires() {
+        let c = Circuit::new(2);
+        let art = render_circuit(&c);
+        assert!(art.contains("q0:"));
+        assert!(art.contains("q1:"));
+    }
+}

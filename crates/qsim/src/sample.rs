@@ -1,0 +1,256 @@
+//! Computational-basis sampling and finite-shot Pauli estimation.
+//!
+//! The paper's error analysis (§VI, Proposition 1) models each quantum
+//! neuron's output as a sample mean of ±1-valued measurements. This module
+//! provides exactly that estimator: rotate the state into the observable's
+//! eigenbasis, draw shots, average the eigenvalue signs.
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+use crate::state::StateVector;
+use pauli::{Pauli, PauliString};
+use rand::{Rng, RngExt};
+use std::collections::HashMap;
+
+/// Draws `shots` basis-state samples using inverse-CDF sampling over the
+/// cumulative outcome distribution (`O(2^n + shots·n)`).
+pub fn sample_bitstrings<R: Rng>(state: &StateVector, shots: usize, rng: &mut R) -> Vec<u64> {
+    let probs = state.probabilities();
+    let mut cdf = Vec::with_capacity(probs.len());
+    let mut acc = 0.0;
+    for p in &probs {
+        acc += p;
+        cdf.push(acc);
+    }
+    // Guard the tail against rounding: force the last entry to cover 1.0.
+    if let Some(last) = cdf.last_mut() {
+        *last = f64::max(*last, 1.0);
+    }
+    (0..shots)
+        .map(|_| {
+            let u: f64 = rng.random();
+            // partition_point returns the first index with cdf[i] >= u.
+            cdf.partition_point(|&c| c < u) as u64
+        })
+        .collect()
+}
+
+/// Histogram of sampled outcomes.
+pub fn sample_counts<R: Rng>(
+    state: &StateVector,
+    shots: usize,
+    rng: &mut R,
+) -> HashMap<u64, usize> {
+    let mut counts = HashMap::new();
+    for b in sample_bitstrings(state, shots, rng) {
+        *counts.entry(b).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// The basis-change circuit that maps the eigenbasis of Pauli string `p`
+/// onto the computational (Z) basis: `H` for `X` letters, `S† H` for `Y`
+/// letters, nothing for `Z`/`I`.
+pub fn measurement_rotation(p: &PauliString) -> Circuit {
+    let n = p.num_qubits();
+    let mut c = Circuit::new(n);
+    for q in 0..n {
+        match p.get(q) {
+            Pauli::X => c.push(Gate::H(q)),
+            Pauli::Y => {
+                c.push(Gate::Sdg(q));
+                c.push(Gate::H(q));
+            }
+            Pauli::I | Pauli::Z => {}
+        }
+    }
+    c
+}
+
+/// Finite-shot estimate of `⟨ψ|P|ψ⟩`: the sample mean of ±1 eigenvalue
+/// outcomes over `shots` measurements (Hoeffding-style estimator of
+/// Proposition 1). The identity string returns exactly 1.
+pub fn estimate_pauli_with_shots<R: Rng>(
+    state: &StateVector,
+    p: &PauliString,
+    shots: usize,
+    rng: &mut R,
+) -> f64 {
+    assert!(shots > 0, "need at least one shot");
+    if p.is_identity() {
+        return 1.0;
+    }
+    let mut rotated = state.clone();
+    rotated.apply_circuit(&measurement_rotation(p));
+    let outcomes = sample_bitstrings(&rotated, shots, rng);
+    let sum: f64 = outcomes.iter().map(|&b| p.outcome_sign(b)).sum();
+    sum / shots as f64
+}
+
+/// Finite-shot estimates for several Pauli strings sharing one prepared
+/// state. Observables are grouped by their measurement rotation so strings
+/// that are diagonal in the same basis share shots — `qubit-wise
+/// commuting` grouping, the standard measurement-reduction trick.
+pub fn estimate_paulis_grouped<R: Rng>(
+    state: &StateVector,
+    paulis: &[PauliString],
+    shots_per_group: usize,
+    rng: &mut R,
+) -> Vec<f64> {
+    // Group key: per-qubit basis letter (X/Y/Z or wildcard I).
+    // Two strings can share when on every qubit they agree or one is I.
+    // Greedy grouping in input order.
+    let n = if paulis.is_empty() {
+        return Vec::new();
+    } else {
+        paulis[0].num_qubits()
+    };
+    let mut groups: Vec<(Vec<Pauli>, Vec<usize>)> = Vec::new();
+    'outer: for (idx, p) in paulis.iter().enumerate() {
+        assert_eq!(p.num_qubits(), n);
+        for (basis, members) in groups.iter_mut() {
+            let mut merged = basis.clone();
+            let mut ok = true;
+            for q in 0..n {
+                let letter = p.get(q);
+                if letter == Pauli::I {
+                    continue;
+                }
+                if merged[q] == Pauli::I {
+                    merged[q] = letter;
+                } else if merged[q] != letter {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                *basis = merged;
+                members.push(idx);
+                continue 'outer;
+            }
+        }
+        groups.push((p.letters(), vec![idx]));
+    }
+
+    let mut out = vec![0.0; paulis.len()];
+    for (basis, members) in groups {
+        let basis_string = PauliString::from_letters(&basis);
+        let mut rotated = state.clone();
+        rotated.apply_circuit(&measurement_rotation(&basis_string));
+        let outcomes = sample_bitstrings(&rotated, shots_per_group, rng);
+        for &idx in &members {
+            let p = &paulis[idx];
+            if p.is_identity() {
+                out[idx] = 1.0;
+                continue;
+            }
+            let sum: f64 = outcomes.iter().map(|&b| p.outcome_sign(b)).sum();
+            out[idx] = sum / shots_per_group as f64;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sampling_matches_distribution() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::Ry(0, 1.0)); // p(|1⟩ on q0) = sin²(0.5)
+        let s = StateVector::from_circuit(&c);
+        let mut rng = StdRng::seed_from_u64(7);
+        let shots = 200_000;
+        let counts = sample_counts(&s, shots, &mut rng);
+        let p1 = *counts.get(&1).unwrap_or(&0) as f64 / shots as f64;
+        let want = (0.5f64).sin().powi(2);
+        assert!((p1 - want).abs() < 5e-3, "p1={p1} want={want}");
+    }
+
+    #[test]
+    fn rotation_diagonalises_x_and_y() {
+        // |+⟩ is the +1 eigenstate of X: after rotation every outcome must
+        // be |0⟩ on that qubit.
+        let mut c = Circuit::new(1);
+        c.push(Gate::H(0));
+        let plus = StateVector::from_circuit(&c);
+        let x = PauliString::parse("X").unwrap();
+        let mut rotated = plus.clone();
+        rotated.apply_circuit(&measurement_rotation(&x));
+        assert!((rotated.probability(0) - 1.0).abs() < 1e-12);
+
+        // (|0⟩ + i|1⟩)/√2 is the +1 eigenstate of Y.
+        let mut c = Circuit::new(1);
+        c.push(Gate::H(0));
+        c.push(Gate::S(0));
+        let yplus = StateVector::from_circuit(&c);
+        let y = PauliString::parse("Y").unwrap();
+        let mut rotated = yplus.clone();
+        rotated.apply_circuit(&measurement_rotation(&y));
+        assert!((rotated.probability(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shot_estimates_converge_to_exact() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::Ry(0, 0.8));
+        c.push(Gate::Cnot { control: 0, target: 1 });
+        c.push(Gate::Rx(2, -0.4));
+        let s = StateVector::from_circuit(&c);
+        let mut rng = StdRng::seed_from_u64(99);
+        for txt in ["ZZI", "IXZ", "YIY", "ZIZ"] {
+            let p = PauliString::parse(txt).unwrap();
+            let exact = s.expectation(&p);
+            let est = estimate_pauli_with_shots(&s, &p, 100_000, &mut rng);
+            assert!(
+                (exact - est).abs() < 2e-2,
+                "{txt}: exact={exact} est={est}"
+            );
+        }
+    }
+
+    #[test]
+    fn identity_estimate_is_exactly_one() {
+        let s = StateVector::zero_state(2);
+        let mut rng = StdRng::seed_from_u64(1);
+        let est = estimate_pauli_with_shots(&s, &PauliString::identity(2), 10, &mut rng);
+        assert_eq!(est, 1.0);
+    }
+
+    #[test]
+    fn grouped_estimation_matches_individual() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::Ry(0, 0.9));
+        c.push(Gate::Cnot { control: 0, target: 1 });
+        let s = StateVector::from_circuit(&c);
+        let paulis: Vec<PauliString> = ["ZI", "IZ", "ZZ", "XX", "XI"]
+            .iter()
+            .map(|t| PauliString::parse(t).unwrap())
+            .collect();
+        let mut rng = StdRng::seed_from_u64(5);
+        let ests = estimate_paulis_grouped(&s, &paulis, 60_000, &mut rng);
+        for (p, est) in paulis.iter().zip(ests.iter()) {
+            let exact = s.expectation(p);
+            assert!((exact - est).abs() < 3e-2, "{p}: exact={exact} est={est}");
+        }
+    }
+
+    #[test]
+    fn grouping_is_compatible() {
+        // ZI, IZ, ZZ all share the Z⊗Z basis; XX needs its own group.
+        let s = StateVector::zero_state(2);
+        let paulis: Vec<PauliString> = ["ZI", "IZ", "ZZ"]
+            .iter()
+            .map(|t| PauliString::parse(t).unwrap())
+            .collect();
+        let mut rng = StdRng::seed_from_u64(5);
+        let ests = estimate_paulis_grouped(&s, &paulis, 100, &mut rng);
+        // On |00⟩ all three are exactly +1 regardless of shots.
+        for e in ests {
+            assert_eq!(e, 1.0);
+        }
+    }
+}

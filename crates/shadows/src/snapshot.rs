@@ -1,0 +1,123 @@
+//! One classical shadow: a random measurement basis and its outcome.
+
+use pauli::{Pauli, PauliString};
+
+/// A single randomized-measurement record: the per-qubit basis that was
+/// measured and the observed bitstring.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Measurement basis per qubit (always X, Y or Z — never I).
+    bases: Vec<Pauli>,
+    /// Measured bits; bit `k` is qubit `k`'s outcome.
+    outcome: u64,
+}
+
+impl Snapshot {
+    /// Creates a snapshot record.
+    ///
+    /// # Panics
+    /// Panics if any basis letter is the identity.
+    pub fn new(bases: Vec<Pauli>, outcome: u64) -> Self {
+        assert!(
+            bases.iter().all(|&b| b != Pauli::I),
+            "measurement basis must be X, Y or Z on every qubit"
+        );
+        assert!(!bases.is_empty() && bases.len() <= 64);
+        Snapshot { bases, outcome }
+    }
+
+    /// Number of qubits.
+    #[inline]
+    pub fn num_qubits(&self) -> usize {
+        self.bases.len()
+    }
+
+    /// The basis letter measured on `qubit`.
+    #[inline]
+    pub fn basis(&self, qubit: usize) -> Pauli {
+        self.bases[qubit]
+    }
+
+    /// The measured bit of `qubit` as ±1 (`0 → +1`, `1 → −1`).
+    #[inline]
+    pub fn eigenvalue(&self, qubit: usize) -> f64 {
+        if (self.outcome >> qubit) & 1 == 0 {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+
+    /// The raw outcome bits.
+    #[inline]
+    pub fn outcome(&self) -> u64 {
+        self.outcome
+    }
+
+    /// The single-snapshot estimator of `tr(P ρ)` for Pauli string `p`:
+    ///
+    /// `∏_{k ∈ supp(P)} [basis_k = P_k] · 3 · (±1)_k`, i.e. `3^{|P|}`
+    /// times the outcome sign when all support bases match, else 0.
+    /// Identity qubits always contribute factor 1.
+    pub fn estimate_pauli(&self, p: &PauliString) -> f64 {
+        debug_assert_eq!(p.num_qubits(), self.num_qubits());
+        let mut value = 1.0;
+        let mut support = p.support_mask();
+        while support != 0 {
+            let q = support.trailing_zeros() as usize;
+            support &= support - 1;
+            if self.bases[q] != p.get(q) {
+                return 0.0;
+            }
+            value *= 3.0 * self.eigenvalue(q);
+        }
+        value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimator_matching_basis() {
+        // 2 qubits, measured Z⊗Z with outcome |01⟩ (qubit 0 = 1).
+        let s = Snapshot::new(vec![Pauli::Z, Pauli::Z], 0b01);
+        let z0 = PauliString::single(2, 0, Pauli::Z);
+        let z1 = PauliString::single(2, 1, Pauli::Z);
+        let zz = PauliString::parse("ZZ").unwrap();
+        assert_eq!(s.estimate_pauli(&z0), -3.0);
+        assert_eq!(s.estimate_pauli(&z1), 3.0);
+        assert_eq!(s.estimate_pauli(&zz), -9.0);
+    }
+
+    #[test]
+    fn estimator_mismatched_basis_is_zero() {
+        let s = Snapshot::new(vec![Pauli::Z, Pauli::X], 0b00);
+        let x0 = PauliString::single(2, 0, Pauli::X);
+        assert_eq!(s.estimate_pauli(&x0), 0.0);
+        // Qubit 1 measured in X: X on qubit 1 matches.
+        let x1 = PauliString::single(2, 1, Pauli::X);
+        assert_eq!(s.estimate_pauli(&x1), 3.0);
+    }
+
+    #[test]
+    fn identity_estimate_is_one() {
+        let s = Snapshot::new(vec![Pauli::Y], 0b1);
+        assert_eq!(s.estimate_pauli(&PauliString::identity(1)), 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_identity_basis() {
+        let _ = Snapshot::new(vec![Pauli::I], 0);
+    }
+
+    #[test]
+    fn eigenvalues() {
+        let s = Snapshot::new(vec![Pauli::X, Pauli::Y, Pauli::Z], 0b101);
+        assert_eq!(s.eigenvalue(0), -1.0);
+        assert_eq!(s.eigenvalue(1), 1.0);
+        assert_eq!(s.eigenvalue(2), -1.0);
+    }
+}

@@ -1,0 +1,75 @@
+//! Coat-vs-shirt binary classification — a scaled-down Table III run.
+//!
+//! Trains the classical logistic baseline, the variational QNN, and three
+//! post-variational strategies on the synthetic Fashion-MNIST substitute
+//! and prints train/test metrics side by side.
+//!
+//! Run: `cargo run --example binary_classification --release`
+
+use postvar::ml::{LogisticConfig, LogisticRegression};
+use postvar::prelude::*;
+use postvar::pvqnn::variational::VariationalConfig;
+use postvar::qdata::SynthConfig;
+
+fn main() {
+    // 60 train + 20 test per class (small enough for a demo run).
+    let ds = fashion_synthetic(
+        &[FashionClass::Coat, FashionClass::Shirt],
+        80,
+        42,
+        &SynthConfig::default(),
+    );
+    let (train, test) = ds.split_at(120);
+    let (train_x, test_x) = preprocess_4x4(&train, &test);
+    let to_y = |d: &postvar::qdata::Dataset| -> Vec<f64> {
+        d.labels
+            .iter()
+            .map(|&l| if l == FashionClass::Shirt.label() { 1.0 } else { 0.0 })
+            .collect()
+    };
+    let (train_y, test_y) = (to_y(&train), to_y(&test));
+    println!(
+        "coat-vs-shirt: {} train / {} test samples, 16 features each\n",
+        train_x.len(),
+        test_x.len()
+    );
+
+    // Classical logistic on raw pooled features.
+    let mat = postvar::linalg::Mat::from_rows(&train_x);
+    let tmat = postvar::linalg::Mat::from_rows(&test_x);
+    let logistic = LogisticRegression::fit(&mat, &train_y, LogisticConfig::default());
+    println!(
+        "logistic baseline   : train acc {:.1}% | test acc {:.1}%",
+        accuracy(&train_y, &logistic.predict_proba(&mat)) * 100.0,
+        accuracy(&test_y, &logistic.predict_proba(&tmat)) * 100.0
+    );
+
+    // Variational QNN.
+    let vqc = VariationalClassifier::fit_binary(
+        fig8_ansatz(4),
+        Strategy::default_observable(4),
+        &train_x,
+        &train_y,
+        &VariationalConfig::default(),
+    );
+    let (_, tr) = vqc.evaluate_binary(&train_x, &train_y);
+    let (_, te) = vqc.evaluate_binary(&test_x, &test_y);
+    println!("variational QNN     : train acc {:.1}% | test acc {:.1}%", tr * 100.0, te * 100.0);
+
+    // Post-variational strategies.
+    for (name, strategy) in [
+        (
+            "PV ansatz 1-order   ",
+            Strategy::ansatz_expansion(fig8_ansatz(4), 1, Strategy::default_observable(4)),
+        ),
+        ("PV observable 2-local", Strategy::observable_construction(4, 2)),
+        ("PV hybrid 1o+1l     ", Strategy::hybrid(fig8_ansatz(4), 1, 1)),
+    ] {
+        let generator = FeatureGenerator::new(strategy, FeatureBackend::Exact);
+        let model =
+            PostVarClassifier::fit(generator, &train_x, &train_y, LogisticConfig::default());
+        let (_, tr) = model.evaluate(&train_x, &train_y);
+        let (_, te) = model.evaluate(&test_x, &test_y);
+        println!("{name}: train acc {:.1}% | test acc {:.1}%", tr * 100.0, te * 100.0);
+    }
+}

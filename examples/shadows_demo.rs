@@ -1,0 +1,54 @@
+//! Classical shadows vs direct measurement on a post-variational state:
+//! the measurement-reduction trade of §IV.B / Proposition 2.
+//!
+//! Run: `cargo run --example shadows_demo --release`
+
+use postvar::pauli::local_paulis;
+use postvar::prelude::*;
+use postvar::shadows::pauli_shadow_norm_sq;
+use rand::SeedableRng;
+
+fn main() {
+    // Prepare an encoded state.
+    let x: Vec<f64> = (0..16).map(|i| 0.5 + 0.29 * i as f64).collect();
+    let state = StateVector::from_circuit(&fig7_encoding(&x));
+
+    // All ≤2-local observables on 4 qubits (q = 67, Eq. (18)).
+    let family = local_paulis(4, 2);
+    println!("estimating {} observables on one 4-qubit state\n", family.len());
+
+    // Exact ground truth.
+    let exact: Vec<f64> = family.iter().map(|p| state.expectation(p)).collect();
+
+    // Direct: 256 shots *per observable* → 17k total measurements.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let direct: Vec<f64> = family
+        .iter()
+        .map(|p| postvar::qsim::estimate_pauli_with_shots(&state, p, 256, &mut rng))
+        .collect();
+    let direct_total = 256 * family.len();
+
+    // Shadows: ONE pool of 17k snapshots shared by every observable.
+    let protocol = ShadowProtocol::new(direct_total, 5);
+    let est = ShadowEstimator::new(protocol.acquire(&state), 12);
+    let shadow: Vec<f64> = est.estimate_many(&family);
+
+    let max_err = |v: &[f64]| -> f64 {
+        v.iter()
+            .zip(exact.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    };
+    println!("measurement budget    : {direct_total} (identical for both)");
+    println!("direct max |error|    : {:.4}", max_err(&direct));
+    println!("shadows max |error|   : {:.4}", max_err(&shadow));
+
+    // Shadow norms by locality — why the error grows with weight.
+    println!("\nshadow norms ‖P‖_S² = 3^|P|:");
+    for l in 0..=2usize {
+        let p = family.iter().find(|p| p.weight() == l).unwrap();
+        println!("  |P| = {l}: ‖{p}‖_S² = {}", pauli_shadow_norm_sq(p));
+    }
+    println!("\nProposition 2: shadows reuse every snapshot across all 67 observables,");
+    println!("paying only the 3^L variance factor — the regime where they win.");
+}

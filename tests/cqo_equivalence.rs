@@ -1,0 +1,184 @@
+//! The paper's central representational claims, verified numerically.
+//!
+//! 1. **Appendix A / §III.D (CQO)**: any variational observable
+//!    `U†(θ)OU(θ)` lies in the span of Pauli strings, so a
+//!    post-variational model with the full 4ⁿ observable family can
+//!    reproduce the variational estimator *exactly* — for every θ — by a
+//!    classical linear combination.
+//! 2. **Heisenberg equivalence**: `tr(O·U ρ U†) = tr(U†OU·ρ)` — the
+//!    Schrödinger and Heisenberg pictures agree on the simulator.
+
+use postvar::linalg::lstsq;
+use postvar::pauli::{decompose_hermitian, local_paulis, CMat, PauliString};
+use postvar::prelude::*;
+use postvar::pvqnn::encoding::column_encoding;
+use postvar::qsim::C64;
+
+/// Dense unitary of a circuit, built by feeding basis states through the
+/// simulator (small n only).
+fn circuit_unitary(c: &postvar::qsim::Circuit) -> CMat {
+    let n = c.num_qubits();
+    let dim = 1usize << n;
+    let mut u = CMat::zeros(dim, dim);
+    for col in 0..dim {
+        let mut amps = vec![C64::new(0.0, 0.0); dim];
+        amps[col] = C64::new(1.0, 0.0);
+        let mut s = StateVector::from_amplitudes(amps);
+        s.apply_circuit(c);
+        for (row, a) in s.amplitudes().iter().enumerate() {
+            u[(row, col)] = *a;
+        }
+    }
+    u
+}
+
+#[test]
+fn variational_observable_decomposes_into_paulis() {
+    // O(θ) = U†(θ) Z₀ U(θ) for a non-trivial θ on 3 qubits.
+    let n = 3;
+    let ansatz = postvar::pvqnn::ansatz::hardware_efficient_ansatz(n, 2);
+    let theta: Vec<f64> = (0..ansatz.num_params())
+        .map(|i| 0.4 + 0.21 * i as f64)
+        .collect();
+    let circuit = ansatz.bind(&theta);
+    let u = circuit_unitary(&circuit);
+    let z0 = postvar::pauli::pauli_to_dense(&PauliString::single(n, 0, postvar::pauli::Pauli::Z));
+    let o_theta = u.dagger().matmul(&z0).matmul(&u);
+    assert!(o_theta.is_hermitian(1e-10));
+
+    // Full-locality decomposition reconstructs exactly (Appendix A).
+    let terms = decompose_hermitian(&o_theta, n);
+    let back = postvar::pauli::reconstruct_from_terms(&terms);
+    assert!(back.max_abs_diff(&o_theta) < 1e-9);
+    assert!(terms.num_terms() <= 4usize.pow(n as u32));
+}
+
+#[test]
+fn full_locality_post_variational_reproduces_variational_exactly() {
+    // For ANY θ, the variational predictions tr(O(θ)ρ(x)) must be a
+    // linear combination of the full-locality post-variational features
+    // tr(Pρ(x)) — so lstsq on Q must reach ~zero residual.
+    let n = 3;
+    let data: Vec<Vec<f64>> = (0..30)
+        .map(|i| (0..4 * n).map(|j| 0.2 + 0.37 * ((i * 7 + j * 3) % 13) as f64).collect())
+        .collect();
+
+    // Variational side.
+    let ansatz = postvar::pvqnn::ansatz::hardware_efficient_ansatz(n, 2);
+    let theta: Vec<f64> = (0..ansatz.num_params()).map(|i| -0.3 + 0.17 * i as f64).collect();
+    let obs = PauliString::single(n, 0, postvar::pauli::Pauli::Z);
+    let variational: Vec<f64> = data
+        .iter()
+        .map(|x| {
+            let mut c = column_encoding(x, n);
+            c.extend(&ansatz.bind(&theta));
+            StateVector::from_circuit(&c).expectation(&obs)
+        })
+        .collect();
+
+    // Post-variational side: FULL 4^n observable family, no ansatz.
+    let generator = FeatureGenerator::new(
+        Strategy::observable_construction(n, n),
+        FeatureBackend::Exact,
+    );
+    let q = generator.generate(&data);
+    assert_eq!(q.cols(), 4usize.pow(n as u32));
+
+    let alpha = lstsq(&q, &variational);
+    let pred = q.matvec(&alpha);
+    let max_err = pred
+        .iter()
+        .zip(variational.iter())
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    assert!(
+        max_err < 1e-8,
+        "full-locality CQO failed to reproduce the variational model: {max_err}"
+    );
+}
+
+#[test]
+fn truncated_locality_is_an_approximation() {
+    // With L < n the reproduction is approximate — the error must be
+    // nonzero for an entangling ansatz but shrink as L grows.
+    let n = 3;
+    let data: Vec<Vec<f64>> = (0..25)
+        .map(|i| (0..4 * n).map(|j| 0.3 + 0.29 * ((i * 5 + j) % 11) as f64).collect())
+        .collect();
+    let ansatz = postvar::pvqnn::ansatz::hardware_efficient_ansatz(n, 2);
+    let theta: Vec<f64> = (0..ansatz.num_params()).map(|i| 0.5 - 0.13 * i as f64).collect();
+    let obs = PauliString::single(n, 0, postvar::pauli::Pauli::Z);
+    let target: Vec<f64> = data
+        .iter()
+        .map(|x| {
+            let mut c = column_encoding(x, n);
+            c.extend(&ansatz.bind(&theta));
+            StateVector::from_circuit(&c).expectation(&obs)
+        })
+        .collect();
+
+    let mut errors = Vec::new();
+    for l in 1..=n {
+        let generator = FeatureGenerator::new(
+            Strategy::observable_construction(n, l),
+            FeatureBackend::Exact,
+        );
+        let q = generator.generate(&data);
+        let alpha = lstsq(&q, &target);
+        let pred = q.matvec(&alpha);
+        let rmse = (pred
+            .iter()
+            .zip(target.iter())
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            / data.len() as f64)
+            .sqrt();
+        errors.push(rmse);
+    }
+    assert!(errors[n - 1] < 1e-8, "full locality must be exact: {errors:?}");
+    assert!(
+        errors[0] >= errors[n - 1],
+        "error should not increase with locality: {errors:?}"
+    );
+}
+
+#[test]
+fn heisenberg_and_schroedinger_pictures_agree() {
+    let n = 2;
+    let x: Vec<f64> = (0..8).map(|i| 0.4 * (i + 1) as f64).collect();
+    let encoding = column_encoding(&x, n);
+    let ansatz = fig8_ansatz(n);
+    let theta = vec![0.3, -0.7, 0.2, 0.9];
+    let circuit = ansatz.bind(&theta);
+
+    // Schrödinger: evolve the state, measure O.
+    let mut full = encoding.clone();
+    full.extend(&circuit);
+    let schroedinger = StateVector::from_circuit(&full)
+        .expectation(&PauliString::parse("ZI").unwrap());
+
+    // Heisenberg: conjugate the observable, measure on the encoded state.
+    let u = circuit_unitary(&circuit);
+    let z = postvar::pauli::pauli_to_dense(&PauliString::parse("ZI").unwrap());
+    let o_theta = u.dagger().matmul(&z).matmul(&u);
+    let terms = decompose_hermitian(&o_theta, n);
+    let encoded = StateVector::from_circuit(&encoding);
+    let heisenberg: f64 = terms
+        .terms()
+        .iter()
+        .map(|(c, p)| c * encoded.expectation(p))
+        .sum();
+
+    assert!(
+        (schroedinger - heisenberg).abs() < 1e-9,
+        "{schroedinger} vs {heisenberg}"
+    );
+}
+
+#[test]
+fn local_pauli_family_sizes_match_eq18() {
+    for (n, l, want) in [(3usize, 1usize, 10u128), (3, 2, 37), (4, 2, 67), (4, 4, 256)] {
+        assert_eq!(local_paulis(n, l).len() as u128, want);
+        assert_eq!(postvar::pauli::local_pauli_count(n, l), want);
+    }
+}

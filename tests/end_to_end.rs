@@ -1,0 +1,144 @@
+//! End-to-end integration: synthetic garments → preprocessing → quantum
+//! features → classical heads, across strategies and backends.
+
+use postvar::ml::LogisticConfig;
+use postvar::prelude::*;
+use postvar::qdata::{Dataset, SynthConfig};
+
+fn coat_shirt(train_per_class: usize, test_per_class: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>, Vec<Vec<f64>>, Vec<f64>) {
+    let ds = fashion_synthetic(
+        &[FashionClass::Coat, FashionClass::Shirt],
+        train_per_class + test_per_class,
+        seed,
+        &SynthConfig::default(),
+    );
+    let (train, test) = ds.split_at(2 * train_per_class);
+    let (train_x, test_x) = preprocess_4x4(&train, &test);
+    let to_y = |d: &Dataset| -> Vec<f64> {
+        d.labels
+            .iter()
+            .map(|&l| if l == FashionClass::Shirt.label() { 1.0 } else { 0.0 })
+            .collect()
+    };
+    let train_y = to_y(&train);
+    let test_y = to_y(&test);
+    (train_x, train_y, test_x, test_y)
+}
+
+#[test]
+fn post_variational_beats_chance_on_coat_vs_shirt() {
+    let (train_x, train_y, test_x, test_y) = coat_shirt(40, 10, 11);
+    let generator = FeatureGenerator::new(
+        Strategy::observable_construction(4, 2),
+        FeatureBackend::Exact,
+    );
+    let model = PostVarClassifier::fit(generator, &train_x, &train_y, LogisticConfig::default());
+    let (tr_loss, tr_acc) = model.evaluate(&train_x, &train_y);
+    let (_, te_acc) = model.evaluate(&test_x, &test_y);
+    assert!(tr_acc > 0.7, "train accuracy {tr_acc}");
+    assert!(te_acc > 0.55, "test accuracy {te_acc}");
+    assert!(tr_loss < 0.65, "train loss {tr_loss}");
+}
+
+#[test]
+fn higher_locality_fits_training_data_better() {
+    // The Table III trend: observable construction accuracy increases
+    // with locality on the training set.
+    let (train_x, train_y, _, _) = coat_shirt(30, 0, 13);
+    let mut accs = Vec::new();
+    for l in 1..=3 {
+        let generator = FeatureGenerator::new(
+            Strategy::observable_construction(4, l),
+            FeatureBackend::Exact,
+        );
+        let model =
+            PostVarClassifier::fit(generator, &train_x, &train_y, LogisticConfig::default());
+        let (_, acc) = model.evaluate(&train_x, &train_y);
+        accs.push(acc);
+    }
+    assert!(
+        accs[2] >= accs[0] - 0.02,
+        "3-local should not underperform 1-local on train: {accs:?}"
+    );
+}
+
+#[test]
+fn shot_noise_degrades_gracefully() {
+    // Exact and 4096-shot features should give similar train accuracy.
+    let (train_x, train_y, _, _) = coat_shirt(25, 0, 17);
+    let strategy = Strategy::observable_construction(4, 1);
+    let exact = PostVarClassifier::fit(
+        FeatureGenerator::new(strategy.clone(), FeatureBackend::Exact),
+        &train_x,
+        &train_y,
+        LogisticConfig::default(),
+    );
+    let noisy = PostVarClassifier::fit(
+        FeatureGenerator::new(
+            strategy,
+            FeatureBackend::Shots {
+                shots: 4096,
+                seed: 5,
+            },
+        ),
+        &train_x,
+        &train_y,
+        LogisticConfig::default(),
+    );
+    let (_, acc_exact) = exact.evaluate(&train_x, &train_y);
+    let (_, acc_noisy) = noisy.evaluate(&train_x, &train_y);
+    assert!(
+        (acc_exact - acc_noisy).abs() < 0.15,
+        "exact {acc_exact} vs shots {acc_noisy}"
+    );
+}
+
+#[test]
+fn multiclass_pipeline_runs_and_beats_chance() {
+    let ds = fashion_synthetic(&[], 8, 3, &SynthConfig::default());
+    let (train, _) = ds.split_at(80);
+    let (train_x, _) = preprocess_4x4(&train, &Dataset::default());
+    let generator = FeatureGenerator::new(
+        Strategy::hybrid(fig8_ansatz(4), 1, 1),
+        FeatureBackend::Exact,
+    );
+    let model = postvar::pvqnn::model::PostVarMulticlass::fit(
+        generator,
+        &train_x,
+        &train.labels,
+        10,
+        postvar::ml::SoftmaxConfig::default(),
+    );
+    let (_, acc) = model.evaluate(&train_x, &train.labels);
+    assert!(acc > 0.3, "10-class train accuracy {acc} (chance = 0.1)");
+}
+
+#[test]
+fn variational_baseline_trains_without_panic() {
+    let (train_x, train_y, _, _) = coat_shirt(10, 0, 19);
+    let config = postvar::pvqnn::variational::VariationalConfig {
+        epochs: 10,
+        ..Default::default()
+    };
+    let model = VariationalClassifier::fit_binary(
+        fig8_ansatz(4),
+        Strategy::default_observable(4),
+        &train_x,
+        &train_y,
+        &config,
+    );
+    let (loss, acc) = model.evaluate_binary(&train_x, &train_y);
+    assert!(loss.is_finite());
+    assert!((0.0..=1.0).contains(&acc));
+}
+
+#[test]
+fn preprocessing_bounds_respected_end_to_end() {
+    let (train_x, _, test_x, _) = coat_shirt(15, 5, 23);
+    for row in train_x.iter().chain(test_x.iter()) {
+        assert_eq!(row.len(), 16);
+        for &v in row {
+            assert!((0.0..std::f64::consts::TAU).contains(&v), "feature {v} out of [0,2π)");
+        }
+    }
+}

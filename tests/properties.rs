@@ -1,0 +1,161 @@
+//! Property-based tests (proptest) on the core invariants that everything
+//! else leans on: Pauli algebra, simulator unitarity, SVD/pinv axioms,
+//! shift-grid combinatorics, and loss bounds.
+
+use postvar::linalg::{lstsq, pinv, Mat};
+use postvar::pauli::{PauliString, PhaseI};
+use postvar::prelude::{fig7_encoding, FeatureBackend, FeatureGenerator, StateVector};
+use postvar::pvqnn::strategy::Strategy as PvStrategy;
+use postvar::qsim::{self, Gate};
+use proptest::prelude::*;
+
+/// Strategy: a random Pauli string on `n` qubits as (x, z) masks.
+fn pauli_string(n: usize) -> impl proptest::strategy::Strategy<Value = PauliString> {
+    let mask = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+    (0..=mask, 0..=mask).prop_map(move |(x, z)| PauliString::from_masks(n, x, z))
+}
+
+/// Strategy: a random short circuit on `n` qubits.
+fn circuit(n: usize, max_gates: usize) -> impl proptest::strategy::Strategy<Value = qsim::Circuit> {
+    let gate = (0..6u8, 0..n, 0..n, -3.0f64..3.0).prop_map(move |(kind, q, q2, angle)| {
+        let q2 = if q2 == q { (q + 1) % n } else { q2 };
+        match kind {
+            0 => Gate::H(q),
+            1 => Gate::Rx(q, angle),
+            2 => Gate::Ry(q, angle),
+            3 => Gate::Rz(q, angle),
+            4 => Gate::Cnot { control: q, target: q2 },
+            _ => Gate::Cz(q, q2),
+        }
+    });
+    proptest::collection::vec(gate, 1..max_gates).prop_map(move |gates| {
+        let mut c = qsim::Circuit::new(n);
+        for g in gates {
+            c.push(g);
+        }
+        c
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pauli_product_is_involutive_up_to_phase(a in pauli_string(5), b in pauli_string(5)) {
+        // (AB)(BA) = A B B A = A·A = I with total phase product 1.
+        let (ph_ab, ab) = a.mul(&b);
+        let (ph_ba, ba) = b.mul(&a);
+        let (ph_final, product) = ab.mul(&ba);
+        prop_assert!(product.is_identity());
+        prop_assert_eq!(ph_ab * ph_ba * ph_final, PhaseI::ONE);
+    }
+
+    #[test]
+    fn pauli_commutation_symmetry(a in pauli_string(6), b in pauli_string(6)) {
+        prop_assert_eq!(a.commutes_with(&b), b.commutes_with(&a));
+        // Everything commutes with itself and the identity.
+        prop_assert!(a.commutes_with(&a));
+        prop_assert!(a.commutes_with(&PauliString::identity(6)));
+    }
+
+    #[test]
+    fn pauli_weight_subadditive(a in pauli_string(6), b in pauli_string(6)) {
+        let (_, c) = a.mul(&b);
+        prop_assert!(c.weight() <= a.weight() + b.weight());
+    }
+
+    #[test]
+    fn random_circuits_preserve_norm(c in circuit(4, 20)) {
+        let s = StateVector::from_circuit(&c);
+        prop_assert!((s.norm_sqr() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dagger_inverts_random_circuits(c in circuit(3, 15)) {
+        let mut full = c.clone();
+        full.extend(&c.dagger());
+        let s = StateVector::from_circuit(&full);
+        prop_assert!((s.probability(0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expectations_bounded_by_one(c in circuit(3, 15), p in pauli_string(3)) {
+        let s = StateVector::from_circuit(&c);
+        let e = s.expectation(&p);
+        prop_assert!(e.abs() <= 1.0 + 1e-9, "⟨P⟩ = {} out of range", e);
+    }
+
+    #[test]
+    fn pinv_satisfies_first_moore_penrose_axiom(
+        data in proptest::collection::vec(-1.0f64..1.0, 20),
+    ) {
+        let a = Mat::from_vec(5, 4, data);
+        let ap = pinv(&a, None);
+        let back = a.matmul(&ap).matmul(&a);
+        prop_assert!(back.max_abs_diff(&a) < 1e-8);
+    }
+
+    #[test]
+    fn lstsq_residual_is_orthogonal_to_columns(
+        data in proptest::collection::vec(-1.0f64..1.0, 24),
+        rhs in proptest::collection::vec(-1.0f64..1.0, 6),
+    ) {
+        let a = Mat::from_vec(6, 4, data);
+        let x = lstsq(&a, &rhs);
+        let ax = a.matvec(&x);
+        let resid: Vec<f64> = ax.iter().zip(rhs.iter()).map(|(p, q)| p - q).collect();
+        let grad = a.t_matvec(&resid);
+        for g in grad {
+            prop_assert!(g.abs() < 1e-7, "normal equations violated: {}", g);
+        }
+    }
+
+    #[test]
+    fn shift_grids_have_bounded_support(k in 1usize..7, r in 0usize..4) {
+        let shifts = postvar::pvqnn::shifts::enumerate_shifts(k, r);
+        prop_assert_eq!(shifts.len() as u128, postvar::pvqnn::shifts::shift_count(k, r));
+        for s in &shifts {
+            let nz = s.iter().filter(|&&v| v != 0.0).count();
+            prop_assert!(nz <= r.min(k));
+        }
+    }
+
+    #[test]
+    fn rmse_dominates_mae(
+        y in proptest::collection::vec(-2.0f64..2.0, 1..30),
+    ) {
+        let y_hat: Vec<f64> = y.iter().map(|v| v * 0.5 + 0.1).collect();
+        let rmse = postvar::ml::rmse_loss(&y, &y_hat);
+        let mae = postvar::ml::mae_loss(&y, &y_hat);
+        // Paper Eq. (13): MAE ≤ RMSE.
+        prop_assert!(mae <= rmse + 1e-12);
+    }
+
+    #[test]
+    fn encoded_features_give_normalised_states(
+        raw in proptest::collection::vec(0.0f64..6.28, 16),
+    ) {
+        let s = StateVector::from_circuit(&fig7_encoding(&raw));
+        prop_assert!((s.norm_sqr() - 1.0).abs() < 1e-10);
+        // All probabilities valid.
+        for b in 0..16u64 {
+            let p = s.probability(b);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&p));
+        }
+    }
+
+    #[test]
+    fn identity_feature_column_is_always_one(
+        raw in proptest::collection::vec(0.0f64..6.28, 16),
+    ) {
+        let generator = FeatureGenerator::new(
+            PvStrategy::observable_construction(4, 1),
+            FeatureBackend::Exact,
+        );
+        let row = generator.generate_one(&raw);
+        prop_assert!((row[0] - 1.0).abs() < 1e-12);
+        for v in &row {
+            prop_assert!(v.abs() <= 1.0 + 1e-9);
+        }
+    }
+}
