@@ -12,7 +12,10 @@ fn prepared_state(n: usize) -> StateVector {
         c.push(Gate::Ry(q, 0.2 + 0.1 * q as f64));
     }
     for q in 0..n - 1 {
-        c.push(Gate::Cnot { control: q, target: q + 1 });
+        c.push(Gate::Cnot {
+            control: q,
+            target: q + 1,
+        });
     }
     StateVector::from_circuit(&c)
 }

@@ -9,7 +9,11 @@ use std::hint::black_box;
 
 fn toy_data(d: usize) -> Vec<Vec<f64>> {
     (0..d)
-        .map(|i| (0..16).map(|j| 0.3 + 0.17 * ((i * 16 + j) % 23) as f64).collect())
+        .map(|i| {
+            (0..16)
+                .map(|j| 0.3 + 0.17 * ((i * 16 + j) % 23) as f64)
+                .collect()
+        })
         .collect()
 }
 
@@ -27,9 +31,7 @@ fn bench_strategies(c: &mut Criterion) {
     ];
     for (name, strategy) in cases {
         let generator = FeatureGenerator::new(strategy, FeatureBackend::Exact);
-        group.bench_function(name, |b| {
-            b.iter(|| black_box(generator.generate(&data)))
-        });
+        group.bench_function(name, |b| b.iter(|| black_box(generator.generate(&data))));
     }
     group.finish();
 }
@@ -41,7 +43,13 @@ fn bench_backends(c: &mut Criterion) {
     let strategy = Strategy::observable_construction(4, 1);
     let backends = [
         ("exact", FeatureBackend::Exact),
-        ("shots_1024", FeatureBackend::Shots { shots: 1024, seed: 1 }),
+        (
+            "shots_1024",
+            FeatureBackend::Shots {
+                shots: 1024,
+                seed: 1,
+            },
+        ),
         (
             "shadows_2048",
             FeatureBackend::Shadows {
@@ -53,9 +61,7 @@ fn bench_backends(c: &mut Criterion) {
     ];
     for (name, backend) in backends {
         let generator = FeatureGenerator::new(strategy.clone(), backend);
-        group.bench_function(name, |b| {
-            b.iter(|| black_box(generator.generate(&data)))
-        });
+        group.bench_function(name, |b| b.iter(|| black_box(generator.generate(&data))));
     }
     group.finish();
 }

@@ -17,7 +17,10 @@ fn layer_circuit(n: usize) -> Circuit {
         c.push(Gate::Rz(q, 0.7));
     }
     for q in 0..n - 1 {
-        c.push(Gate::Cnot { control: q, target: q + 1 });
+        c.push(Gate::Cnot {
+            control: q,
+            target: q + 1,
+        });
     }
     c
 }
@@ -42,7 +45,13 @@ fn bench_single_gate_kinds(c: &mut Criterion) {
     for (name, gate) in [
         ("dense_ry", Gate::Ry(7, 0.4)),
         ("diagonal_rz", Gate::Rz(7, 0.4)),
-        ("cnot", Gate::Cnot { control: 3, target: 11 }),
+        (
+            "cnot",
+            Gate::Cnot {
+                control: 3,
+                target: 11,
+            },
+        ),
         ("cz", Gate::Cz(3, 11)),
     ] {
         group.bench_function(name, |b| {

@@ -16,10 +16,18 @@ fn jobs(count: usize, n: usize) -> Vec<CircuitJob> {
                     c.push(Gate::Ry(q, 0.1 * (id + layer) as f64 + 0.05 * q as f64));
                 }
                 for q in 0..n - 1 {
-                    c.push(Gate::Cnot { control: q, target: q + 1 });
+                    c.push(Gate::Cnot {
+                        control: q,
+                        target: q + 1,
+                    });
                 }
             }
-            CircuitJob::new(id, c, vec![PauliString::single(n, 0, pauli::Pauli::Z)], None)
+            CircuitJob::new(
+                id,
+                c,
+                vec![PauliString::single(n, 0, pauli::Pauli::Z)],
+                None,
+            )
         })
         .collect()
 }
@@ -52,17 +60,13 @@ fn bench_device_counts(c: &mut Criterion) {
     group.sample_size(10);
     let batch = jobs(32, 12);
     for devices in [1usize, 2, 4, 8] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(devices),
-            &devices,
-            |b, &n| {
-                b.iter(|| {
-                    let mut pool =
-                        QpuPool::homogeneous(n, QpuConfig::default(), SchedulePolicy::WorkStealing);
-                    black_box(pool.execute_batch(batch.clone()))
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(devices), &devices, |b, &n| {
+            b.iter(|| {
+                let mut pool =
+                    QpuPool::homogeneous(n, QpuConfig::default(), SchedulePolicy::WorkStealing);
+                black_box(pool.execute_batch(batch.clone()))
+            })
+        });
     }
     group.finish();
 }

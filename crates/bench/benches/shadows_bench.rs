@@ -11,8 +11,14 @@ fn state4() -> StateVector {
     for q in 0..4 {
         c.push(Gate::Ry(q, 0.3 * (q + 1) as f64));
     }
-    c.push(Gate::Cnot { control: 0, target: 1 });
-    c.push(Gate::Cnot { control: 2, target: 3 });
+    c.push(Gate::Cnot {
+        control: 0,
+        target: 1,
+    });
+    c.push(Gate::Cnot {
+        control: 2,
+        target: 3,
+    });
     StateVector::from_circuit(&c)
 }
 

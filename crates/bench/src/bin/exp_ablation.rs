@@ -28,8 +28,12 @@ fn fit_eval(
 ) -> (usize, f64, f64) {
     let m = strategy.num_neurons();
     let generator = FeatureGenerator::new(strategy, backend);
-    let model =
-        PostVarClassifier::fit(generator, &task.train_x, &task.train_y, LogisticConfig::default());
+    let model = PostVarClassifier::fit(
+        generator,
+        &task.train_x,
+        &task.train_y,
+        LogisticConfig::default(),
+    );
     let (_, tr) = model.evaluate(&task.train_x, &task.train_y);
     let (_, te) = model.evaluate(&task.test_x, &task.test_y);
     (m, tr, te)
@@ -44,8 +48,20 @@ fn main() {
     let mut table = TablePrinter::new(&["backend", "train acc", "test acc"]);
     for (name, backend) in [
         ("exact", FeatureBackend::Exact),
-        ("shots 256", FeatureBackend::Shots { shots: 256, seed: 3 }),
-        ("shots 4096", FeatureBackend::Shots { shots: 4096, seed: 3 }),
+        (
+            "shots 256",
+            FeatureBackend::Shots {
+                shots: 256,
+                seed: 3,
+            },
+        ),
+        (
+            "shots 4096",
+            FeatureBackend::Shots {
+                shots: 4096,
+                seed: 3,
+            },
+        ),
         (
             "shadows 4096",
             FeatureBackend::Shadows {
@@ -69,12 +85,7 @@ fn main() {
     let base = Strategy::ansatz_expansion(fig8_ansatz(4), 2, Strategy::default_observable(4));
     let mut table = TablePrinter::new(&["threshold", "m after pruning", "train acc", "test acc"]);
     for thr in [0.0, 1e-6, 1e-3, 1e-2] {
-        let report = prune_by_gradient(
-            &base,
-            &task.train_x,
-            &Strategy::default_observable(4),
-            thr,
-        );
+        let report = prune_by_gradient(&base, &task.train_x, &Strategy::default_observable(4), thr);
         let pruned = base.clone().with_shifts(report.kept_shifts.clone());
         let (m, tr, te) = fit_eval(pruned, FeatureBackend::Exact, &task);
         table.row(&[
@@ -94,13 +105,23 @@ fn main() {
         FeatureBackend::Exact,
         &task,
     );
-    table.row(&["full hybrid".into(), m.to_string(), format!("{:.1}%", tr * 100.0), format!("{:.1}%", te * 100.0)]);
+    table.row(&[
+        "full hybrid".into(),
+        m.to_string(),
+        format!("{:.1}%", tr * 100.0),
+        format!("{:.1}%", te * 100.0),
+    ]);
     let (m, tr, te) = fit_eval(
         Strategy::hybrid_split(fig8_ansatz(4), 8, 1, 1),
         FeatureBackend::Exact,
         &task,
     );
-    table.row(&["split (U_A only)".into(), m.to_string(), format!("{:.1}%", tr * 100.0), format!("{:.1}%", te * 100.0)]);
+    table.row(&[
+        "split (U_A only)".into(),
+        m.to_string(),
+        format!("{:.1}%", tr * 100.0),
+        format!("{:.1}%", te * 100.0),
+    ]);
     table.print();
 
     // --- 4. Exact depolarizing noise on the feature layer.

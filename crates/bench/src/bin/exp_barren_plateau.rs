@@ -33,8 +33,7 @@ fn main() {
     // Exponential-decay fit for the global observable: log₂ slope.
     let first = &sweep[0];
     let last = &sweep[sweep.len() - 1];
-    let slope = ((last.var_global / first.var_global).log2())
-        / (last.n as f64 - first.n as f64);
+    let slope = ((last.var_global / first.var_global).log2()) / (last.n as f64 - first.n as f64);
     println!("\nglobal-observable decay rate: {slope:.2} bits/qubit (≈ −1 ⇒ Var ~ 2^−n)");
 
     // Post-variational contrast: the quantity that matters for the convex

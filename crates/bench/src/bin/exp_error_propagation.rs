@@ -53,7 +53,9 @@ fn main() {
         let q_hat = perturb_uniform(&q, thr3 * 0.99, seed);
         worst = worst.max(delta_rmse_closed_form(&q, &q_hat, &y));
     }
-    println!("  measured worst ΔL over 20 perturbations at the threshold: {worst:.3e}  (bound: {eps})");
+    println!(
+        "  measured worst ΔL over 20 perturbations at the threshold: {worst:.3e}  (bound: {eps})"
+    );
     assert!(worst < eps, "Theorem 3 violated!");
     println!("  ✓ bound holds");
 
@@ -66,7 +68,10 @@ fn main() {
         worst = worst.max(delta_rmse_constrained(&q, &q_hat, &y, 1.0));
     }
     println!("  measured worst constrained ΔL over 5 perturbations: {worst:.3e}  (bound: {eps})");
-    println!("  ratio theorem4/theorem3 admissible noise: {:.1}×", thr4 / thr3);
+    println!(
+        "  ratio theorem4/theorem3 admissible noise: {:.1}×",
+        thr4 / thr3
+    );
     println!("\npaper reference: the constraint buys O(m)→O(√m)-free measurement budgets");
     println!("(Eq. (38) vs Eq. (36)), i.e. far larger tolerable per-entry noise.");
 }

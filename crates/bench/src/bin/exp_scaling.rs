@@ -5,12 +5,10 @@
 //! Run: `cargo run -p bench --bin exp_scaling --release`
 
 use bench::{binary_task, TablePrinter};
-use hpcq::{
-    strong_scaling, CircuitJob, HybridPipeline, QpuConfig, QpuPool, SchedulePolicy,
-};
+use hpcq::{strong_scaling, CircuitJob, HybridPipeline, QpuConfig, QpuPool, SchedulePolicy};
+use pvqnn::ansatz::fig8_ansatz;
 use pvqnn::features::{FeatureBackend, FeatureGenerator};
 use pvqnn::strategy::Strategy;
-use pvqnn::ansatz::fig8_ansatz;
 
 /// Builds the full Algorithm-1 job batch for the hybrid 1-order+1-local
 /// strategy: one job per (data point, shift), all 13 observables shared.
@@ -82,11 +80,18 @@ fn main() {
     println!("-- strong scaling (work stealing, 13-qubit jobs) --");
     println!(
         "   host has {} cores: wall-clock speedup caps there; the QPU-side metric",
-        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
     );
     println!("   is the simulated pool makespan (devices are the parallel resource)\n");
     let counts = [1usize, 2, 4, 8];
-    let points = strong_scaling(&heavy, &counts, QpuConfig::default(), SchedulePolicy::WorkStealing);
+    let points = strong_scaling(
+        &heavy,
+        &counts,
+        QpuConfig::default(),
+        SchedulePolicy::WorkStealing,
+    );
     let base_makespan = points[0].sim_makespan_secs;
     let mut table = TablePrinter::new(&[
         "devices",
@@ -112,7 +117,11 @@ fn main() {
     // --- Scheduler comparison at 4 devices.
     println!("\n-- scheduler comparison (4 devices) --");
     let mut table = TablePrinter::new(&[
-        "policy", "wall s", "sim makespan s", "utilization", "jobs/device (min..max)",
+        "policy",
+        "wall s",
+        "sim makespan s",
+        "utilization",
+        "jobs/device (min..max)",
     ]);
     for policy in [
         SchedulePolicy::RoundRobin,

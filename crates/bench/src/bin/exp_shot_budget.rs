@@ -25,7 +25,8 @@ fn main() {
 
     // --- Proposition 1: direct per-neuron estimation.
     println!("-- direct estimation: max error over 67 observables (Hoeffding ~ √(ln/t)) --");
-    let mut table = TablePrinter::new(&["shots/neuron", "max |err|", "mean |err|", "√(2·ln(2m)/t)"]);
+    let mut table =
+        TablePrinter::new(&["shots/neuron", "max |err|", "mean |err|", "√(2·ln(2m)/t)"]);
     for &shots in &[64usize, 256, 1024, 4096, 16384] {
         let mut rng = StdRng::seed_from_u64(11);
         let mut max_err = 0.0f64;
@@ -71,7 +72,12 @@ fn main() {
     // --- Crossover: total quantum measurements to reach a fixed target
     // error, direct (scales with q) vs shadows (scales with 3^L·log q).
     println!("\n-- budget to reach max-error ≤ 0.1 on all ≤2-local observables --");
-    let mut table = TablePrinter::new(&["q (observables)", "direct total", "shadows total", "cheaper"]);
+    let mut table = TablePrinter::new(&[
+        "q (observables)",
+        "direct total",
+        "shadows total",
+        "cheaper",
+    ]);
     for &l in &[1usize, 2] {
         let obs = local_paulis(4, l);
         let exact: Vec<f64> = obs.iter().map(|p| state.expectation(p)).collect();

@@ -17,9 +17,7 @@ fn print_for(p: usize, n: usize, locality: usize, d: usize, eps: f64, delta: f64
         "\n-- p = {p} ansätze, n = {n} qubits, L = {locality}, d = {d}, ε = {eps}, δ = {delta} --"
     );
     let rows = table2_rows(p, n, locality, 1, d, eps, delta);
-    let mut table = TablePrinter::new(&[
-        "strategy", "p", "q", "m", "direct", "shadows", "cheaper",
-    ]);
+    let mut table = TablePrinter::new(&["strategy", "p", "q", "m", "direct", "shadows", "cheaper"]);
     for r in rows {
         table.row(&[
             r.strategy.into(),

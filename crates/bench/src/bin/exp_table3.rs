@@ -30,12 +30,7 @@ fn fmt_row(name: &str, tr_loss: f64, tr_acc: f64, te_loss: f64, te_acc: f64) -> 
     ]
 }
 
-fn pv_row(
-    name: &str,
-    strategy: Strategy,
-    task: &bench::BinaryTask,
-    table: &mut TablePrinter,
-) {
+fn pv_row(name: &str, strategy: Strategy, task: &bench::BinaryTask, table: &mut TablePrinter) {
     let t0 = Instant::now();
     let m = strategy.num_neurons();
     let generator = FeatureGenerator::new(strategy, FeatureBackend::Exact);
@@ -48,7 +43,10 @@ fn pv_row(
     let (tr_loss, tr_acc) = model.evaluate(&task.train_x, &task.train_y);
     let (te_loss, te_acc) = model.evaluate(&task.test_x, &task.test_y);
     table.row(&fmt_row(name, tr_loss, tr_acc, te_loss, te_acc));
-    eprintln!("  {name}: m = {m} features, {:.1}s", t0.elapsed().as_secs_f64());
+    eprintln!(
+        "  {name}: m = {m} features, {:.1}s",
+        t0.elapsed().as_secs_f64()
+    );
 }
 
 fn main() {
@@ -57,7 +55,8 @@ fn main() {
     let task = binary_task(200, 50, 42);
     let train_mat = Mat::from_rows(&task.train_x);
     let test_mat = Mat::from_rows(&task.test_x);
-    let mut table = TablePrinter::new(&["model", "train loss", "train acc", "test loss", "test acc"]);
+    let mut table =
+        TablePrinter::new(&["model", "train loss", "train acc", "test loss", "test acc"]);
 
     // --- Classical logistic regression on the 16 raw pooled features.
     let logistic = LogisticRegression::fit(&train_mat, &task.train_y, LogisticConfig::default());
@@ -98,7 +97,7 @@ fn main() {
     );
     let (_, tr_acc) = vqc.evaluate_binary(&task.train_x, &task.train_y);
     let (_, te_acc) = vqc.evaluate_binary(&task.test_x, &task.test_y);
-    table.row(&vec![
+    table.row(&[
         "Variational".to_string(),
         "-".to_string(),
         format!("{:.2}%", tr_acc * 100.0),

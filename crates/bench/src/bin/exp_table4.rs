@@ -62,11 +62,7 @@ fn main() {
         &VariationalConfig::default(),
     );
     let (_, tr_acc) = vqc.evaluate_multiclass(&task.train_x, &task.train_y);
-    table.row(&[
-        "Variational".into(),
-        "-".into(),
-        format!("{tr_acc:.4}"),
-    ]);
+    table.row(&["Variational".into(), "-".into(), format!("{tr_acc:.4}")]);
     eprintln!("  Variational: {:.1}s", t0.elapsed().as_secs_f64());
 
     // --- Post-variational 1-order + 2-local.

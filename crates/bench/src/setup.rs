@@ -45,7 +45,13 @@ pub fn binary_task(train_per_class: usize, test_per_class: usize, seed: u64) -> 
     let to_binary = |d: &Dataset| -> Vec<f64> {
         d.labels
             .iter()
-            .map(|&l| if l == FashionClass::Shirt.label() { 1.0 } else { 0.0 })
+            .map(|&l| {
+                if l == FashionClass::Shirt.label() {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
             .collect()
     };
     BinaryTask {
@@ -70,11 +76,7 @@ pub struct MulticlassTask {
 
 /// Builds the 10-class task with `train_per_class`/`test_per_class`
 /// samples per class (paper: 400 training images evenly sampled).
-pub fn multiclass_task(
-    train_per_class: usize,
-    test_per_class: usize,
-    seed: u64,
-) -> MulticlassTask {
+pub fn multiclass_task(train_per_class: usize, test_per_class: usize, seed: u64) -> MulticlassTask {
     let per_class = train_per_class + test_per_class;
     let ds = fashion_synthetic(&[], per_class, seed, &hard_synth_config());
     let (train, test) = ds.split_at(10 * train_per_class);

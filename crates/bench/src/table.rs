@@ -40,10 +40,9 @@ impl TablePrinter {
             out.push_str("|\n");
         };
         line(&mut out, &self.headers);
-        for (i, w) in widths.iter().enumerate() {
-            out.push_str(if i == 0 { "|" } else { "|" });
+        for w in &widths {
+            out.push('|');
             out.push_str(&"-".repeat(w + 2));
-            let _ = i;
         }
         out.push_str("|\n");
         for row in &self.rows {

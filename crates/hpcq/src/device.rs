@@ -99,9 +99,7 @@ impl QpuDevice {
     pub fn try_execute(&mut self, job: &CircuitJob, attempt: u32) -> Option<JobResult> {
         if self.config.fail_prob > 0.0 {
             let mut fail_rng = StdRng::seed_from_u64(
-                self.config
-                    .seed
-                    .wrapping_add(0xFA11)
+                self.config.seed.wrapping_add(0xFA11)
                     ^ job.id.wrapping_mul(0x5851_F42D_4C95_7F2D)
                     ^ (attempt as u64).wrapping_mul(0x1405_7B7E_F767_814F),
             );
@@ -177,7 +175,10 @@ mod tests {
     fn bell_job(id: u64, shots: Option<usize>) -> CircuitJob {
         let mut c = Circuit::new(2);
         c.push(Gate::H(0));
-        c.push(Gate::Cnot { control: 0, target: 1 });
+        c.push(Gate::Cnot {
+            control: 0,
+            target: 1,
+        });
         CircuitJob::new(
             id,
             c,

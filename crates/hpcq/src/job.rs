@@ -77,13 +77,11 @@ mod tests {
     fn job_construction_and_cost() {
         let mut c = Circuit::new(2);
         c.push(Gate::H(0));
-        c.push(Gate::Cnot { control: 0, target: 1 });
-        let job = CircuitJob::new(
-            7,
-            c,
-            vec![PauliString::parse("ZZ").unwrap()],
-            Some(100),
-        );
+        c.push(Gate::Cnot {
+            control: 0,
+            target: 1,
+        });
+        let job = CircuitJob::new(7, c, vec![PauliString::parse("ZZ").unwrap()], Some(100));
         assert_eq!(job.id, 7);
         assert_eq!(job.cost_estimate(), 2 + 100);
     }

@@ -87,7 +87,9 @@ pub fn results_to_rows(results: &[JobResult]) -> Vec<Vec<f64>> {
         assert!(rows[idx].is_none(), "duplicate job id {idx}");
         rows[idx] = Some(r.values.clone());
     }
-    rows.into_iter().map(|r| r.expect("missing job id")).collect()
+    rows.into_iter()
+        .map(|r| r.expect("missing job id"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -143,7 +145,7 @@ mod tests {
     fn results_to_rows_roundtrip() {
         let pool = QpuPool::homogeneous(2, QpuConfig::default(), SchedulePolicy::RoundRobin);
         let mut pipeline = HybridPipeline::new(pool);
-        let (rows, _) = pipeline.run(jobs(6), |results| results_to_rows(results));
+        let (rows, _) = pipeline.run(jobs(6), results_to_rows);
         assert_eq!(rows.len(), 6);
         assert!(rows.iter().all(|r| r.len() == 2));
         // Row 0 is Ry(0): ⟨Z⟩ = 1.

@@ -128,7 +128,11 @@ impl QpuPool {
         let report = PoolReport {
             wall_secs,
             sim_makespan_secs: max_busy / 1e9,
-            utilization: if max_busy > 0.0 { mean_busy / max_busy } else { 1.0 },
+            utilization: if max_busy > 0.0 {
+                mean_busy / max_busy
+            } else {
+                1.0
+            },
             throughput: results.len() as f64 / wall_secs.max(1e-12),
             jobs_per_device: self.devices.iter().map(|d| d.jobs_run()).collect(),
         };
@@ -227,8 +231,14 @@ mod tests {
             .map(|id| {
                 let mut c = Circuit::new(3);
                 c.push(Gate::Ry(0, 0.1 + id as f64 * 0.01));
-                c.push(Gate::Cnot { control: 0, target: 1 });
-                c.push(Gate::Cnot { control: 1, target: 2 });
+                c.push(Gate::Cnot {
+                    control: 0,
+                    target: 1,
+                });
+                c.push(Gate::Cnot {
+                    control: 1,
+                    target: 2,
+                });
                 CircuitJob::new(
                     id,
                     c,
@@ -316,8 +326,7 @@ mod tests {
 
     #[test]
     fn utilization_in_unit_interval() {
-        let mut pool =
-            QpuPool::homogeneous(3, QpuConfig::default(), SchedulePolicy::WorkStealing);
+        let mut pool = QpuPool::homogeneous(3, QpuConfig::default(), SchedulePolicy::WorkStealing);
         let (_, report) = pool.execute_batch(make_jobs(30, Some(50)));
         assert!(report.utilization > 0.0 && report.utilization <= 1.0 + 1e-12);
         assert!(report.throughput > 0.0);
@@ -383,8 +392,7 @@ mod tests {
             seed: 1,
             ..Default::default()
         };
-        let mut pool =
-            QpuPool::heterogeneous(vec![fast, slow], SchedulePolicy::WorkStealing);
+        let mut pool = QpuPool::heterogeneous(vec![fast, slow], SchedulePolicy::WorkStealing);
         let (results, _) = pool.execute_batch(make_jobs(10, None));
         assert_eq!(results.len(), 10);
     }

@@ -66,7 +66,10 @@ mod tests {
                         c.push(Gate::Ry(q, 0.1 * (id as f64 + layer as f64 + q as f64)));
                     }
                     for q in 0..11 {
-                        c.push(Gate::Cnot { control: q, target: q + 1 });
+                        c.push(Gate::Cnot {
+                            control: q,
+                            target: q + 1,
+                        });
                     }
                 }
                 CircuitJob::new(

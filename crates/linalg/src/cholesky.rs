@@ -69,7 +69,11 @@ mod tests {
 
     fn random_spd(n: usize, seed: u64) -> Mat {
         let mut rng = StdRng::seed_from_u64(seed);
-        let a = Mat::from_vec(n, n, (0..n * n).map(|_| rng.random::<f64>() - 0.5).collect());
+        let a = Mat::from_vec(
+            n,
+            n,
+            (0..n * n).map(|_| rng.random::<f64>() - 0.5).collect(),
+        );
         // AᵀA + n·I is safely SPD.
         let mut g = a.transpose().matmul(&a);
         for i in 0..n {

@@ -153,13 +153,7 @@ impl Mat {
     pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(self.cols, v.len(), "matvec shape mismatch");
         (0..self.rows)
-            .map(|i| {
-                self.row(i)
-                    .iter()
-                    .zip(v.iter())
-                    .map(|(a, b)| a * b)
-                    .sum()
-            })
+            .map(|i| self.row(i).iter().zip(v.iter()).map(|(a, b)| a * b).sum())
             .collect()
     }
 
@@ -321,7 +315,11 @@ mod tests {
 
     fn random_mat(r: usize, c: usize, seed: u64) -> Mat {
         let mut rng = StdRng::seed_from_u64(seed);
-        Mat::from_vec(r, c, (0..r * c).map(|_| rng.random::<f64>() - 0.5).collect())
+        Mat::from_vec(
+            r,
+            c,
+            (0..r * c).map(|_| rng.random::<f64>() - 0.5).collect(),
+        )
     }
 
     #[test]

@@ -79,7 +79,11 @@ mod tests {
 
     fn random_mat(r: usize, c: usize, seed: u64) -> Mat {
         let mut rng = StdRng::seed_from_u64(seed);
-        Mat::from_vec(r, c, (0..r * c).map(|_| rng.random::<f64>() - 0.5).collect())
+        Mat::from_vec(
+            r,
+            c,
+            (0..r * c).map(|_| rng.random::<f64>() - 0.5).collect(),
+        )
     }
 
     /// The four Moore–Penrose conditions.
@@ -89,9 +93,15 @@ mod tests {
         let ap_a_ap = ap.matmul(a).matmul(ap);
         assert!(ap_a_ap.max_abs_diff(ap) < tol, "A⁺ A A⁺ ≠ A⁺");
         let a_ap = a.matmul(ap);
-        assert!(a_ap.max_abs_diff(&a_ap.transpose()) < tol, "AA⁺ not symmetric");
+        assert!(
+            a_ap.max_abs_diff(&a_ap.transpose()) < tol,
+            "AA⁺ not symmetric"
+        );
         let ap_a = ap.matmul(a);
-        assert!(ap_a.max_abs_diff(&ap_a.transpose()) < tol, "A⁺A not symmetric");
+        assert!(
+            ap_a.max_abs_diff(&ap_a.transpose()) < tol,
+            "A⁺A not symmetric"
+        );
     }
 
     #[test]

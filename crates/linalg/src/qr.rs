@@ -76,7 +76,10 @@ pub fn qr_decompose(a: &Mat) -> Qr {
             r_thin[(i, j)] = r[(i, j)];
         }
     }
-    Qr { q: q_thin, r: r_thin }
+    Qr {
+        q: q_thin,
+        r: r_thin,
+    }
 }
 
 /// Solves the least-squares problem `min ‖Ax − b‖₂` for **full-column-rank**
@@ -112,7 +115,11 @@ mod tests {
 
     fn random_mat(r: usize, c: usize, seed: u64) -> Mat {
         let mut rng = StdRng::seed_from_u64(seed);
-        Mat::from_vec(r, c, (0..r * c).map(|_| rng.random::<f64>() - 0.5).collect())
+        Mat::from_vec(
+            r,
+            c,
+            (0..r * c).map(|_| rng.random::<f64>() - 0.5).collect(),
+        )
     }
 
     #[test]

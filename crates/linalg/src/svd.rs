@@ -197,7 +197,11 @@ mod tests {
 
     fn random_mat(r: usize, c: usize, seed: u64) -> Mat {
         let mut rng = StdRng::seed_from_u64(seed);
-        Mat::from_vec(r, c, (0..r * c).map(|_| rng.random::<f64>() - 0.5).collect())
+        Mat::from_vec(
+            r,
+            c,
+            (0..r * c).map(|_| rng.random::<f64>() - 0.5).collect(),
+        )
     }
 
     fn assert_orthonormal_cols(m: &Mat, tol: f64) {
@@ -219,10 +223,7 @@ mod tests {
         for (r, c, seed) in [(8, 5, 1), (6, 6, 2), (4, 9, 3)] {
             let a = random_mat(r, c, seed);
             let svd = Svd::compute(&a);
-            assert!(
-                svd.reconstruct().max_abs_diff(&a) < 1e-10,
-                "shape {r}×{c}"
-            );
+            assert!(svd.reconstruct().max_abs_diff(&a) < 1e-10, "shape {r}×{c}");
         }
     }
 
@@ -255,11 +256,7 @@ mod tests {
     #[test]
     fn rank_deficient_matrix() {
         // Second column = 2 × first column → rank 1.
-        let a = Mat::from_rows(&[
-            vec![1.0, 2.0],
-            vec![2.0, 4.0],
-            vec![-1.0, -2.0],
-        ]);
+        let a = Mat::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0], vec![-1.0, -2.0]]);
         assert_eq!(rank(&a), 1);
         let svd = Svd::compute(&a);
         assert!(svd.sigma[1] < 1e-12);

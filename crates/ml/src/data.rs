@@ -6,11 +6,7 @@ use rand::{RngExt, SeedableRng};
 
 /// Splits row indices into (train, test) with `test_fraction` of rows held
 /// out, shuffled deterministically by `seed`.
-pub fn train_test_split(
-    rows: usize,
-    test_fraction: f64,
-    seed: u64,
-) -> (Vec<usize>, Vec<usize>) {
+pub fn train_test_split(rows: usize, test_fraction: f64, seed: u64) -> (Vec<usize>, Vec<usize>) {
     assert!((0.0..1.0).contains(&test_fraction));
     let mut idx: Vec<usize> = (0..rows).collect();
     let mut rng = StdRng::seed_from_u64(seed);

@@ -47,7 +47,10 @@ impl LogisticRegression {
     /// Fits on feature matrix `x` (rows = samples) and labels `y ∈ {0,1}`.
     pub fn fit(x: &Mat, y: &[f64], config: LogisticConfig) -> Self {
         assert_eq!(x.rows(), y.len(), "row/label count mismatch");
-        assert!(y.iter().all(|&v| v == 0.0 || v == 1.0), "labels must be 0/1");
+        assert!(
+            y.iter().all(|&v| v == 0.0 || v == 1.0),
+            "labels must be 0/1"
+        );
         let d = x.rows();
         let f = x.cols();
         let mut params = vec![0.0; f + 1]; // weights ++ bias
@@ -97,6 +100,11 @@ impl LogisticRegression {
     /// The learned intercept.
     pub fn bias(&self) -> f64 {
         self.bias
+    }
+
+    /// The configuration the model was trained with.
+    pub fn config(&self) -> &LogisticConfig {
+        &self.config
     }
 
     /// Decision-function values `w·x + b` per row.
@@ -164,6 +172,8 @@ mod tests {
         let acc = accuracy(&y, &model.predict_proba(&x));
         assert!(acc > 0.95, "train accuracy {acc}");
         assert!(model.loss(&x, &y) < 0.3);
+        // Training provenance travels with the model.
+        assert_eq!(model.config().epochs, LogisticConfig::default().epochs);
     }
 
     #[test]

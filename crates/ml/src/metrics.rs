@@ -17,7 +17,11 @@ pub fn accuracy(labels: &[f64], probs: &[f64]) -> f64 {
 pub fn accuracy_multiclass(labels: &[usize], preds: &[usize]) -> f64 {
     assert_eq!(labels.len(), preds.len());
     assert!(!labels.is_empty());
-    let correct = labels.iter().zip(preds.iter()).filter(|(a, b)| a == b).count();
+    let correct = labels
+        .iter()
+        .zip(preds.iter())
+        .filter(|(a, b)| a == b)
+        .count();
     correct as f64 / labels.len() as f64
 }
 

@@ -76,7 +76,13 @@ impl Mlp {
     fn hidden(&self, x: &[f64]) -> Vec<f64> {
         (0..self.w1.rows())
             .map(|h| {
-                let z: f64 = self.w1.row(h).iter().zip(x.iter()).map(|(a, b)| a * b).sum();
+                let z: f64 = self
+                    .w1
+                    .row(h)
+                    .iter()
+                    .zip(x.iter())
+                    .map(|(a, b)| a * b)
+                    .sum();
                 (z + self.b1[h]).max(0.0) // ReLU
             })
             .collect()
@@ -86,7 +92,13 @@ impl Mlp {
     fn logits(&self, h: &[f64]) -> Vec<f64> {
         (0..self.w2.rows())
             .map(|o| {
-                let z: f64 = self.w2.row(o).iter().zip(h.iter()).map(|(a, b)| a * b).sum();
+                let z: f64 = self
+                    .w2
+                    .row(o)
+                    .iter()
+                    .zip(h.iter())
+                    .map(|(a, b)| a * b)
+                    .sum();
                 z + self.b2[o]
             })
             .collect()

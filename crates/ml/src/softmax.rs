@@ -89,7 +89,9 @@ impl SoftmaxRegression {
             }
         }
 
-        let weights = (0..k).map(|c| params[c * f..(c + 1) * f].to_vec()).collect();
+        let weights = (0..k)
+            .map(|c| params[c * f..(c + 1) * f].to_vec())
+            .collect();
         let biases = params[k * f..].to_vec();
         SoftmaxRegression {
             weights,
@@ -112,9 +114,7 @@ impl SoftmaxRegression {
                     .weights
                     .iter()
                     .zip(self.biases.iter())
-                    .map(|(w, b)| {
-                        row.iter().zip(w.iter()).map(|(a, c)| a * c).sum::<f64>() + b
-                    })
+                    .map(|(w, b)| row.iter().zip(w.iter()).map(|(a, c)| a * c).sum::<f64>() + b)
                     .collect();
                 softmax(&logits)
             })

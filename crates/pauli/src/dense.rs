@@ -188,7 +188,6 @@ pub fn sum_to_dense(s: &PauliSum) -> CMat {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
 
     /// Dense Pauli by explicit Kronecker products — the textbook definition.
     fn pauli_dense_kron(p: &PauliString) -> CMat {

@@ -58,7 +58,7 @@ pub struct LocalPauliIter {
 impl LocalPauliIter {
     /// Creates the iterator; `l` is clamped to `n`.
     pub fn new(n: usize, l: usize) -> Self {
-        assert!(n >= 1 && n <= crate::MAX_QUBITS);
+        assert!((1..=crate::MAX_QUBITS).contains(&n));
         LocalPauliIter {
             n,
             max_weight: l.min(n),

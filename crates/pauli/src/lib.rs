@@ -16,16 +16,16 @@
 //! Strings are limited to **64 qubits** (bitmask representation); the
 //! experiments in the paper use 4.
 
-pub mod dense;
 pub mod decompose;
+pub mod dense;
 pub mod enumerate;
 pub mod phase;
 pub mod single;
 pub mod string;
 pub mod sum;
 
-pub use dense::{pauli_to_dense, sum_to_dense, CMat};
 pub use decompose::{decompose_hermitian, reconstruct_from_terms};
+pub use dense::{pauli_to_dense, sum_to_dense, CMat};
 pub use enumerate::{local_pauli_count, local_paulis, LocalPauliIter};
 pub use phase::PhaseI;
 pub use single::Pauli;

@@ -37,7 +37,7 @@ impl PhaseI {
     /// Whether this phase is real (`±1`).
     #[inline]
     pub fn is_real(self) -> bool {
-        self.0 % 2 == 0
+        self.0.is_multiple_of(2)
     }
 
     /// The phase as a complex number.

@@ -52,6 +52,7 @@ impl Pauli {
     /// Implements the standard table, e.g. `X·Y = iZ`, `Y·X = −iZ`,
     /// `X·X = I`.
     #[inline]
+    #[allow(clippy::should_implement_trait)] // returns (phase, letter); `Mul` cannot
     pub fn mul(self, rhs: Pauli) -> (PhaseI, Pauli) {
         use Pauli::*;
         match (self, rhs) {

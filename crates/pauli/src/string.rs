@@ -26,7 +26,10 @@ impl PauliString {
     /// # Panics
     /// Panics if `n` is zero or exceeds [`crate::MAX_QUBITS`].
     pub fn identity(n: usize) -> Self {
-        assert!(n >= 1 && n <= crate::MAX_QUBITS, "unsupported qubit count {n}");
+        assert!(
+            (1..=crate::MAX_QUBITS).contains(&n),
+            "unsupported qubit count {n}"
+        );
         PauliString { n, x: 0, z: 0 }
     }
 
@@ -65,7 +68,7 @@ impl PauliString {
 
     /// Constructs directly from symplectic masks (bits above `n` must be 0).
     pub fn from_masks(n: usize, x: u64, z: u64) -> Self {
-        assert!(n >= 1 && n <= crate::MAX_QUBITS);
+        assert!((1..=crate::MAX_QUBITS).contains(&n));
         let valid = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
         assert_eq!(x & !valid, 0, "x mask has bits above qubit {n}");
         assert_eq!(z & !valid, 0, "z mask has bits above qubit {n}");
@@ -186,7 +189,7 @@ impl PauliString {
         assert_eq!(self.n, rhs.n, "qubit-count mismatch");
         let a = (self.x & rhs.z).count_ones();
         let b = (self.z & rhs.x).count_ones();
-        (a + b) % 2 == 0
+        (a + b).is_multiple_of(2)
     }
 
     /// Action on a computational-basis state: `P |b⟩ = λ(b) |b ⊕ x⟩`.
@@ -205,7 +208,10 @@ impl PauliString {
     /// has been rotated to Z-type: `(−1)^{|outcome ∧ support|}`.
     #[inline]
     pub fn outcome_sign(&self, outcome: u64) -> f64 {
-        if (outcome & self.support_mask()).count_ones() % 2 == 0 {
+        if (outcome & self.support_mask())
+            .count_ones()
+            .is_multiple_of(2)
+        {
             1.0
         } else {
             -1.0

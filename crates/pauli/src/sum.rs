@@ -21,8 +21,11 @@ pub struct PauliSum {
 impl PauliSum {
     /// The zero observable on `n` qubits.
     pub fn zero(n: usize) -> Self {
-        assert!(n >= 1 && n <= crate::MAX_QUBITS);
-        PauliSum { n, terms: Vec::new() }
+        assert!((1..=crate::MAX_QUBITS).contains(&n));
+        PauliSum {
+            n,
+            terms: Vec::new(),
+        }
     }
 
     /// An observable with a single term.
@@ -109,7 +112,11 @@ impl PauliSum {
 
     /// The maximum locality (weight) over all terms; 0 for the zero sum.
     pub fn max_locality(&self) -> usize {
-        self.terms.iter().map(|(_, p)| p.weight()).max().unwrap_or(0)
+        self.terms
+            .iter()
+            .map(|(_, p)| p.weight())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Whether every term acts on at most `l` qubits.

@@ -36,7 +36,10 @@ pub fn fig8_ansatz(n: usize) -> ParamCircuit {
 /// `U(θ) = U_B(θ_B) · U_A(θ_A)` — the §IV.C hybrid construction cuts "the
 /// circuit at a certain depth". Returns the two halves and the number of
 /// parameters living in the first half.
-pub fn split_ansatz(pc: &ParamCircuit, gate_boundary: usize) -> (ParamCircuit, ParamCircuit, usize) {
+pub fn split_ansatz(
+    pc: &ParamCircuit,
+    gate_boundary: usize,
+) -> (ParamCircuit, ParamCircuit, usize) {
     assert!(gate_boundary <= pc.gates().len());
     let n = pc.num_qubits();
     let mut a = ParamCircuit::new(n);
@@ -67,7 +70,7 @@ mod tests {
     fn fig8_has_2n_params_and_ring() {
         let pc = fig8_ansatz(4);
         assert_eq!(pc.num_params(), 8);
-        let c = pc.bind(&vec![0.1; 8]);
+        let c = pc.bind(&[0.1; 8]);
         // 8 RY + 8 CNOT.
         let (single, double) = c.gate_counts();
         assert_eq!(single, 8);
@@ -77,19 +80,19 @@ mod tests {
     #[test]
     fn zero_parameters_give_identity() {
         let pc = fig8_ansatz(4);
-        let c = pc.bind(&vec![0.0; 8]);
+        let c = pc.bind(&[0.0; 8]);
         let s = StateVector::from_circuit(&c);
         // CNOT ring on |0000⟩ is identity; RY(0) is identity.
         assert!((s.probability(0) - 1.0).abs() < 1e-12);
         // With elision, only the CNOTs remain and still act trivially.
-        let opt = pc.bind_optimized(&vec![0.0; 8]);
+        let opt = pc.bind_optimized(&[0.0; 8]);
         assert_eq!(opt.gate_counts().0, 0);
     }
 
     #[test]
     fn nonzero_parameters_entangle() {
         let pc = fig8_ansatz(3);
-        let c = pc.bind(&vec![0.7; 6]);
+        let c = pc.bind(&[0.7; 6]);
         let s = StateVector::from_circuit(&c);
         // ⟨Z₀⟩ should not equal cos(0.7)·something trivially separable;
         // check the state is not a product of |q0⟩ ⊗ rest via purity of

@@ -113,7 +113,11 @@ pub fn table2_rows(
             m,
             direct,
             shadows,
-            winner: if direct <= shadows { "direct" } else { "shadows" },
+            winner: if direct <= shadows {
+                "direct"
+            } else {
+                "shadows"
+            },
         });
     }
 
@@ -131,7 +135,11 @@ pub fn table2_rows(
             m,
             direct,
             shadows,
-            winner: if direct <= shadows { "direct" } else { "shadows" },
+            winner: if direct <= shadows {
+                "direct"
+            } else {
+                "shadows"
+            },
         });
     }
 
@@ -149,7 +157,11 @@ pub fn table2_rows(
             m,
             direct,
             shadows,
-            winner: if direct <= shadows { "direct" } else { "shadows" },
+            winner: if direct <= shadows {
+                "direct"
+            } else {
+                "shadows"
+            },
         });
     }
 
@@ -167,7 +179,11 @@ pub fn table2_rows(
             m,
             direct,
             shadows,
-            winner: if direct <= shadows { "direct" } else { "shadows" },
+            winner: if direct <= shadows {
+                "direct"
+            } else {
+                "shadows"
+            },
         });
     }
 
@@ -191,7 +207,10 @@ mod tests {
     fn prop1_logarithmic_in_md() {
         let a = prop1_shots_per_neuron(10, 100, 0.1, 0.05);
         let b = prop1_shots_per_neuron(1000, 100, 0.1, 0.05);
-        assert!((b as f64) < 2.0 * a as f64, "per-neuron cost must grow only log");
+        assert!(
+            (b as f64) < 2.0 * a as f64,
+            "per-neuron cost must grow only log"
+        );
     }
 
     #[test]

@@ -23,7 +23,7 @@ use qsim::{Circuit, Gate};
 pub fn column_encoding(features: &[f64], n: usize) -> Circuit {
     assert!(n >= 1);
     assert!(
-        !features.is_empty() && features.len() % n == 0,
+        !features.is_empty() && features.len().is_multiple_of(n),
         "feature count {} must be a positive multiple of n = {n}",
         features.len()
     );

@@ -111,7 +111,9 @@ mod tests {
         let q = Mat::from_vec(
             d,
             m,
-            (0..d * m).map(|_| rng.random::<f64>() * 2.0 - 1.0).collect(),
+            (0..d * m)
+                .map(|_| rng.random::<f64>() * 2.0 - 1.0)
+                .collect(),
         );
         let alpha: Vec<f64> = (0..m)
             .map(|j| 0.5 * ((j as f64) * 0.7).sin() / (m as f64).sqrt())
@@ -169,8 +171,7 @@ mod tests {
     fn rank_stability_under_small_perturbation() {
         let (q, _) = synthetic_q(30, 6, 4);
         let svd = Svd::compute(&q);
-        let guard = svd.sigma_min_nonzero()
-            / ((6f64).sqrt() * 6.0 * 30.0).sqrt();
+        let guard = svd.sigma_min_nonzero() / ((6f64).sqrt() * 6.0 * 30.0).sqrt();
         let q_hat = perturb_uniform(&q, guard * 0.5, 7);
         assert!(ranks_match(&q, &q_hat));
     }

@@ -146,7 +146,9 @@ impl FeatureGenerator {
 
     /// Convenience: generate features for a single sample (1×m).
     pub fn generate_one(&self, x: &[f64]) -> Vec<f64> {
-        self.generate(std::slice::from_ref(&x.to_vec())).row(0).to_vec()
+        self.generate(std::slice::from_ref(&x.to_vec()))
+            .row(0)
+            .to_vec()
     }
 }
 
@@ -158,7 +160,11 @@ mod tests {
 
     fn toy_data(d: usize) -> Vec<Vec<f64>> {
         (0..d)
-            .map(|i| (0..16).map(|j| 0.3 + 0.11 * ((i * 16 + j) % 19) as f64).collect())
+            .map(|i| {
+                (0..16)
+                    .map(|j| 0.3 + 0.11 * ((i * 16 + j) % 19) as f64)
+                    .collect()
+            })
             .collect()
     }
 
@@ -241,7 +247,10 @@ mod tests {
         let make = || {
             FeatureGenerator::new(
                 s.clone(),
-                FeatureBackend::Shots { shots: 100, seed: 9 },
+                FeatureBackend::Shots {
+                    shots: 100,
+                    seed: 9,
+                },
             )
             .generate(&toy_data(3))
         };

@@ -40,8 +40,8 @@ pub mod shifts;
 pub mod strategy;
 pub mod variational;
 
-pub use encoding::fig7_encoding;
 pub use ansatz::fig8_ansatz;
+pub use encoding::fig7_encoding;
 pub use features::{FeatureBackend, FeatureGenerator};
 pub use model::{PostVarClassifier, PostVarMulticlass, PostVarRegressor};
 pub use strategy::{Strategy, StrategyKind};

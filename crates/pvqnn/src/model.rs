@@ -10,7 +10,10 @@ use crate::features::FeatureGenerator;
 use linalg::{lstsq, ridge_solve, Mat};
 use ml::loss::rmse_loss;
 use ml::optim::projected_gradient_descent;
-use ml::{accuracy, accuracy_multiclass, LogisticConfig, LogisticRegression, SoftmaxConfig, SoftmaxRegression};
+use ml::{
+    accuracy, accuracy_multiclass, LogisticConfig, LogisticRegression, SoftmaxConfig,
+    SoftmaxRegression,
+};
 
 /// How the linear-regression head is solved.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -34,7 +37,12 @@ pub struct PostVarRegressor {
 
 impl PostVarRegressor {
     /// Fits the head on features generated from `data` against targets `y`.
-    pub fn fit(generator: FeatureGenerator, data: &[Vec<f64>], y: &[f64], mode: RegressorMode) -> Self {
+    pub fn fit(
+        generator: FeatureGenerator,
+        data: &[Vec<f64>],
+        y: &[f64],
+        mode: RegressorMode,
+    ) -> Self {
         assert_eq!(data.len(), y.len());
         let q = generator.generate(data);
         let alpha = Self::solve(&q, y, mode);
@@ -63,8 +71,7 @@ impl PostVarRegressor {
                 };
                 let grad = |a: &[f64]| {
                     let pred = q.matvec(a);
-                    let resid: Vec<f64> =
-                        pred.iter().zip(y.iter()).map(|(p, t)| p - t).collect();
+                    let resid: Vec<f64> = pred.iter().zip(y.iter()).map(|(p, t)| p - t).collect();
                     q.t_matvec(&resid).iter().map(|g| 2.0 * g / d).collect()
                 };
                 projected_gradient_descent(f, grad, vec![0.0; q.cols()], radius, 4000, 0.5)
@@ -218,8 +225,7 @@ mod tests {
     #[test]
     fn constrained_regressor_respects_ball() {
         let (data, y, generator) = linear_task(30);
-        let model =
-            PostVarRegressor::fit(generator, &data, &y, RegressorMode::ConstrainedL2(1.0));
+        let model = PostVarRegressor::fit(generator, &data, &y, RegressorMode::ConstrainedL2(1.0));
         let norm: f64 = model.alpha().iter().map(|v| v * v).sum::<f64>().sqrt();
         assert!(norm <= 1.0 + 1e-9, "‖α‖ = {norm}");
     }
@@ -239,12 +245,8 @@ mod tests {
             .collect();
         let pos = labels.iter().filter(|&&l| l == 1.0).count();
         assert!(pos > 5 && pos < 55, "degenerate labelling ({pos} positive)");
-        let model = PostVarClassifier::fit(
-            generator,
-            &data,
-            &labels,
-            ml::LogisticConfig::default(),
-        );
+        let model =
+            PostVarClassifier::fit(generator, &data, &labels, ml::LogisticConfig::default());
         let (loss, acc) = model.evaluate(&data, &labels);
         // Median-threshold labels put samples on the decision boundary, so
         // demand strong-but-not-perfect separation.
@@ -267,13 +269,8 @@ mod tests {
                     .0
             })
             .collect();
-        let model = PostVarMulticlass::fit(
-            generator,
-            &data,
-            &labels,
-            3,
-            ml::SoftmaxConfig::default(),
-        );
+        let model =
+            PostVarMulticlass::fit(generator, &data, &labels, 3, ml::SoftmaxConfig::default());
         let (_, acc) = model.evaluate(&data, &labels);
         assert!(acc > 0.8, "accuracy {acc}");
     }

@@ -92,21 +92,14 @@ pub fn prune_by_gradient(
 /// `1 − mean_x F(ρ₊(x), ρ₋(x))`; parameters scoring below `threshold` are
 /// flat. Observable-free, so it also covers the multi-observable hybrid
 /// case.
-pub fn prune_by_fidelity(
-    strategy: &Strategy,
-    data: &[Vec<f64>],
-    threshold: f64,
-) -> PruningReport {
+pub fn prune_by_fidelity(strategy: &Strategy, data: &[Vec<f64>], threshold: f64) -> PruningReport {
     let ansatz = strategy.ansatz().expect("fidelity pruning needs an ansatz");
     let k = ansatz.num_params();
     let scores: Vec<f64> = (0..k)
         .map(|u| {
             let states = shifted_states(strategy, data, u);
-            let mean_f: f64 = states
-                .iter()
-                .map(|(sp, sm)| sp.fidelity(sm))
-                .sum::<f64>()
-                / data.len() as f64;
+            let mean_f: f64 =
+                states.iter().map(|(sp, sm)| sp.fidelity(sm)).sum::<f64>() / data.len() as f64;
             1.0 - mean_f
         })
         .collect();
@@ -151,7 +144,11 @@ mod tests {
 
     fn toy_data(d: usize) -> Vec<Vec<f64>> {
         (0..d)
-            .map(|i| (0..16).map(|j| 0.3 + 0.23 * ((i + 2 * j) % 13) as f64).collect())
+            .map(|i| {
+                (0..16)
+                    .map(|j| 0.3 + 0.23 * ((i + 2 * j) % 13) as f64)
+                    .collect()
+            })
             .collect()
     }
 
@@ -161,7 +158,10 @@ mod tests {
         let mut pc = ParamCircuit::new(4);
         pc.push_rot(RotAxis::Y, 0);
         pc.push_rot(RotAxis::Y, 1);
-        pc.push_fixed(Gate::Cnot { control: 0, target: 1 });
+        pc.push_fixed(Gate::Cnot {
+            control: 0,
+            target: 1,
+        });
         // Parameter 2 acts on qubit 3, disconnected from everything.
         pc.push_rot(RotAxis::Z, 3);
         pc
@@ -175,17 +175,12 @@ mod tests {
             Strategy::default_observable(4), // Z on qubit 0
         );
         let data = toy_data(8);
-        let report = prune_by_gradient(
-            &strategy,
-            &data,
-            &Strategy::default_observable(4),
-            1e-6,
-        );
+        let report = prune_by_gradient(&strategy, &data, &Strategy::default_observable(4), 1e-6);
         // Param 2 (RZ on q3) can't move ⟨Z₀⟩; params 0 is live.
         assert!(report.flat_params.contains(&2), "{:?}", report.flat_params);
         assert!(!report.flat_params.contains(&0));
         assert!(report.removed >= 2); // both ± shifts of param 2 dropped
-        // Base circuit survives.
+                                      // Base circuit survives.
         assert!(report.kept_shifts[0].iter().all(|&v| v == 0.0));
     }
 
@@ -203,7 +198,13 @@ mod tests {
         let data: Vec<Vec<f64>> = (0..6)
             .map(|i| {
                 (0..8)
-                    .map(|j| if j % 2 == 1 { 0.0 } else { 0.4 + 0.2 * (i % 3) as f64 })
+                    .map(|j| {
+                        if j % 2 == 1 {
+                            0.0
+                        } else {
+                            0.4 + 0.2 * (i % 3) as f64
+                        }
+                    })
                     .collect()
             })
             .collect();
@@ -221,12 +222,7 @@ mod tests {
         );
         let before = strategy.num_neurons();
         let data = toy_data(5);
-        let report = prune_by_gradient(
-            &strategy,
-            &data,
-            &Strategy::default_observable(4),
-            1e-6,
-        );
+        let report = prune_by_gradient(&strategy, &data, &Strategy::default_observable(4), 1e-6);
         let pruned = report.apply(strategy);
         assert!(pruned.num_neurons() < before);
         assert_eq!(pruned.num_neurons(), report.kept_shifts.len());
@@ -237,12 +233,7 @@ mod tests {
         let strategy =
             Strategy::ansatz_expansion(fig8_ansatz(4), 1, Strategy::default_observable(4));
         let data = toy_data(4);
-        let report = prune_by_gradient(
-            &strategy,
-            &data,
-            &Strategy::default_observable(4),
-            0.0,
-        );
+        let report = prune_by_gradient(&strategy, &data, &Strategy::default_observable(4), 0.0);
         assert!(report.flat_params.is_empty());
         assert_eq!(report.removed, 0);
     }

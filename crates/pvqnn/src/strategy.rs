@@ -165,7 +165,11 @@ impl Strategy {
 
     /// Maximum observable locality in the ensemble.
     pub fn max_locality(&self) -> usize {
-        self.observables.iter().map(|o| o.weight()).max().unwrap_or(0)
+        self.observables
+            .iter()
+            .map(|o| o.weight())
+            .max()
+            .unwrap_or(0)
     }
 
     /// The feature-column index of neuron `(shift a, observable b)`:
@@ -247,7 +251,10 @@ mod tests {
         for kind in [
             StrategyKind::AnsatzExpansion { order: 2 },
             StrategyKind::ObservableConstruction { locality: 2 },
-            StrategyKind::Hybrid { order: 1, locality: 2 },
+            StrategyKind::Hybrid {
+                order: 1,
+                locality: 2,
+            },
         ] {
             let s = match kind {
                 StrategyKind::AnsatzExpansion { order } => Strategy::ansatz_expansion(

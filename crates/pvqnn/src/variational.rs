@@ -124,9 +124,8 @@ impl VariationalClassifier {
                         .map(|(x, &t)| {
                             let f = model.head_value(x, &theta);
                             // Parameter-shift: ∂⟨O⟩/∂θu = (E₊ − E₋)/2.
-                            let de = (model.head_value(x, &plus)
-                                - model.head_value(x, &minus))
-                                / 2.0;
+                            let de =
+                                (model.head_value(x, &plus) - model.head_value(x, &minus)) / 2.0;
                             2.0 * (f - t) * de / d
                         })
                         .sum()
@@ -324,8 +323,7 @@ mod tests {
             plus[u] += FRAC_PI_2;
             let mut minus = model.theta.clone();
             minus[u] -= FRAC_PI_2;
-            let shift_grad =
-                (model.head_value(x, &plus) - model.head_value(x, &minus)) / 2.0;
+            let shift_grad = (model.head_value(x, &plus) - model.head_value(x, &minus)) / 2.0;
             let h = 1e-5;
             let mut fp = model.theta.clone();
             fp[u] += h;
@@ -364,7 +362,8 @@ mod tests {
             init_zero: false,
             seed: 3,
         };
-        let model = VariationalClassifier::fit_multiclass(fig8_ansatz(4), &data, &labels, 3, &config);
+        let model =
+            VariationalClassifier::fit_multiclass(fig8_ansatz(4), &data, &labels, 3, &config);
         let (loss, acc) = model.evaluate_multiclass(&data, &labels);
         assert!(loss.is_finite());
         assert!((0.0..=1.0).contains(&acc));

@@ -195,10 +195,14 @@ mod tests {
         assert_eq!(f.classes(), vec![0, 1]);
         // Original label 2 → 0, label 0 → 1.
         let first_orig_2 = d.labels.iter().position(|&l| l == 2).unwrap();
-        assert_eq!(f.labels[f.images
-            .iter()
-            .position(|img| img == &d.images[first_orig_2])
-            .unwrap()], 0);
+        assert_eq!(
+            f.labels[f
+                .images
+                .iter()
+                .position(|img| img == &d.images[first_orig_2])
+                .unwrap()],
+            0
+        );
     }
 
     #[test]
@@ -214,7 +218,10 @@ mod tests {
     #[test]
     fn balanced_subset_deterministic() {
         let d = tiny();
-        assert_eq!(d.balanced_subset(2, 7).labels, d.balanced_subset(2, 7).labels);
+        assert_eq!(
+            d.balanced_subset(2, 7).labels,
+            d.balanced_subset(2, 7).labels
+        );
     }
 
     #[test]

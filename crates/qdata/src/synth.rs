@@ -120,7 +120,13 @@ fn draw_class(c: &mut Canvas, class: FashionClass, j: &Jitter) {
         FashionClass::TShirt => {
             // Boxy torso with short sleeves.
             c.rect(cx - 5.0 * s, top + 2.0, cx + 5.0 * s, top + 18.0 * s, v);
-            c.rect(cx - 9.0 * s, top + 2.0, cx + 9.0 * s, top + 7.0 * s, v * 0.9);
+            c.rect(
+                cx - 9.0 * s,
+                top + 2.0,
+                cx + 9.0 * s,
+                top + 7.0 * s,
+                v * 0.9,
+            );
             c.erase_rect(cx - 2.0, top + 1.0, cx + 2.0, top + 3.0); // neckline
         }
         FashionClass::Trouser => {
@@ -132,9 +138,27 @@ fn draw_class(c: &mut Canvas, class: FashionClass, j: &Jitter) {
         FashionClass::Pullover => {
             // Torso with full-length sleeves hugging the sides.
             c.rect(cx - 5.5 * s, top + 2.0, cx + 5.5 * s, top + 17.0 * s, v);
-            c.rect(cx - 10.0 * s, top + 2.0, cx - 6.0 * s, top + 16.0 * s, v * 0.95);
-            c.rect(cx + 6.0 * s, top + 2.0, cx + 10.0 * s, top + 16.0 * s, v * 0.95);
-            c.rect(cx - 6.5 * s, top + 15.0 * s, cx + 6.5 * s, top + 17.5 * s, v); // ribbed hem
+            c.rect(
+                cx - 10.0 * s,
+                top + 2.0,
+                cx - 6.0 * s,
+                top + 16.0 * s,
+                v * 0.95,
+            );
+            c.rect(
+                cx + 6.0 * s,
+                top + 2.0,
+                cx + 10.0 * s,
+                top + 16.0 * s,
+                v * 0.95,
+            );
+            c.rect(
+                cx - 6.5 * s,
+                top + 15.0 * s,
+                cx + 6.5 * s,
+                top + 17.5 * s,
+                v,
+            ); // ribbed hem
         }
         FashionClass::Dress => {
             // Narrow bodice flaring into a wide skirt.
@@ -144,8 +168,20 @@ fn draw_class(c: &mut Canvas, class: FashionClass, j: &Jitter) {
         FashionClass::Coat => {
             // Long torso + sleeves + front seam; hem reaches low.
             c.rect(cx - 5.5 * s, top + 1.0, cx + 5.5 * s, top + 21.0 * s, v);
-            c.rect(cx - 9.5 * s, top + 1.0, cx - 6.0 * s, top + 18.0 * s, v * 0.9);
-            c.rect(cx + 6.0 * s, top + 1.0, cx + 9.5 * s, top + 18.0 * s, v * 0.9);
+            c.rect(
+                cx - 9.5 * s,
+                top + 1.0,
+                cx - 6.0 * s,
+                top + 18.0 * s,
+                v * 0.9,
+            );
+            c.rect(
+                cx + 6.0 * s,
+                top + 1.0,
+                cx + 9.5 * s,
+                top + 18.0 * s,
+                v * 0.9,
+            );
             c.erase_rect(cx - 0.5, top + 2.0, cx + 0.5, top + 21.0 * s); // front seam
         }
         FashionClass::Sandal => {
@@ -158,8 +194,20 @@ fn draw_class(c: &mut Canvas, class: FashionClass, j: &Jitter) {
             // Like Coat but shorter hem, collar notch, no front seam —
             // deliberately confusable.
             c.rect(cx - 5.5 * s, top + 1.5, cx + 5.5 * s, top + 17.0 * s, v);
-            c.rect(cx - 9.0 * s, top + 1.5, cx - 6.0 * s, top + 13.0 * s, v * 0.9);
-            c.rect(cx + 6.0 * s, top + 1.5, cx + 9.0 * s, top + 13.0 * s, v * 0.9);
+            c.rect(
+                cx - 9.0 * s,
+                top + 1.5,
+                cx - 6.0 * s,
+                top + 13.0 * s,
+                v * 0.9,
+            );
+            c.rect(
+                cx + 6.0 * s,
+                top + 1.5,
+                cx + 9.0 * s,
+                top + 13.0 * s,
+                v * 0.9,
+            );
             c.erase_rect(cx - 2.0, top + 0.5, cx + 2.0, top + 3.5); // collar
         }
         FashionClass::Sneaker => {
@@ -267,7 +315,11 @@ mod tests {
             m
         };
         let dist = |a: &[f64], b: &[f64]| -> f64 {
-            a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+            a.iter()
+                .zip(b)
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f64>()
+                .sqrt()
         };
         let mt = mean(&trousers);
         let mb = mean(&bags);
@@ -296,7 +348,11 @@ mod tests {
         let shirt = generate_sample(FashionClass::Shirt, &cfg, &mut rng);
         let trouser = generate_sample(FashionClass::Trouser, &cfg, &mut rng);
         let dist = |a: &[f64], b: &[f64]| -> f64 {
-            a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+            a.iter()
+                .zip(b)
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f64>()
+                .sqrt()
         };
         let coat_shirt = dist(&coat, &shirt);
         let coat_trouser = dist(&coat, &trouser);

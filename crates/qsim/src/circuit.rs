@@ -13,8 +13,11 @@ pub struct Circuit {
 impl Circuit {
     /// Empty circuit on `n` qubits.
     pub fn new(n: usize) -> Self {
-        assert!(n >= 1 && n <= pauli::MAX_QUBITS);
-        Circuit { n, gates: Vec::new() }
+        assert!((1..=pauli::MAX_QUBITS).contains(&n));
+        Circuit {
+            n,
+            gates: Vec::new(),
+        }
     }
 
     /// Number of qubits.
@@ -166,7 +169,7 @@ pub struct ParamCircuit {
 impl ParamCircuit {
     /// Empty parameterised circuit.
     pub fn new(n: usize) -> Self {
-        assert!(n >= 1 && n <= pauli::MAX_QUBITS);
+        assert!((1..=pauli::MAX_QUBITS).contains(&n));
         ParamCircuit {
             n,
             gates: Vec::new(),
@@ -270,7 +273,10 @@ mod tests {
     fn push_validates_qubits() {
         let mut c = Circuit::new(2);
         c.push(Gate::H(0));
-        c.push(Gate::Cnot { control: 0, target: 1 });
+        c.push(Gate::Cnot {
+            control: 0,
+            target: 1,
+        });
         assert_eq!(c.len(), 2);
     }
 
@@ -285,7 +291,10 @@ mod tests {
     #[should_panic]
     fn cnot_rejects_equal_qubits() {
         let mut c = Circuit::new(2);
-        c.push(Gate::Cnot { control: 1, target: 1 });
+        c.push(Gate::Cnot {
+            control: 1,
+            target: 1,
+        });
     }
 
     #[test]
@@ -293,9 +302,15 @@ mod tests {
         let mut c = Circuit::new(3);
         c.push(Gate::H(0)); // depth 1 on q0
         c.push(Gate::H(1)); // depth 1 on q1
-        c.push(Gate::Cnot { control: 0, target: 1 }); // depth 2 on q0,q1
+        c.push(Gate::Cnot {
+            control: 0,
+            target: 1,
+        }); // depth 2 on q0,q1
         c.push(Gate::H(2)); // depth 1 on q2
-        c.push(Gate::Cnot { control: 1, target: 2 }); // depth 3 on q1,q2
+        c.push(Gate::Cnot {
+            control: 1,
+            target: 2,
+        }); // depth 3 on q1,q2
         assert_eq!(c.depth(), 3);
         assert_eq!(c.gate_counts(), (3, 2));
     }
@@ -315,9 +330,18 @@ mod tests {
     fn dagger_reverses_and_inverts() {
         let mut c = Circuit::new(2);
         c.push(Gate::S(0));
-        c.push(Gate::Cnot { control: 0, target: 1 });
+        c.push(Gate::Cnot {
+            control: 0,
+            target: 1,
+        });
         let d = c.dagger();
-        assert_eq!(d.gates()[0], Gate::Cnot { control: 0, target: 1 });
+        assert_eq!(
+            d.gates()[0],
+            Gate::Cnot {
+                control: 0,
+                target: 1
+            }
+        );
         assert_eq!(d.gates()[1], Gate::Sdg(0));
     }
 
@@ -349,7 +373,10 @@ mod tests {
         let mut pc = ParamCircuit::new(2);
         pc.push_rot(RotAxis::Y, 0);
         pc.push_rot(RotAxis::Y, 1);
-        pc.push_fixed(Gate::Cnot { control: 0, target: 1 });
+        pc.push_fixed(Gate::Cnot {
+            control: 0,
+            target: 1,
+        });
         let c = pc.bind_optimized(&[0.0, 0.0]);
         assert_eq!(c.len(), 1); // only the CNOT survives
     }

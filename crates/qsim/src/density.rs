@@ -24,7 +24,10 @@ pub struct DensityMatrix {
 impl DensityMatrix {
     /// The pure state `|0…0⟩⟨0…0|`.
     pub fn zero_state(n: usize) -> Self {
-        assert!(n >= 1 && n <= 13, "density matrices limited to 13 qubits");
+        assert!(
+            (1..=13).contains(&n),
+            "density matrices limited to 13 qubits"
+        );
         let dim = 1usize << n;
         let mut rho = vec![C64::new(0.0, 0.0); dim * dim];
         rho[0] = C64::new(1.0, 0.0);
@@ -196,7 +199,10 @@ mod tests {
     fn bell_circuit() -> Circuit {
         let mut c = Circuit::new(2);
         c.push(Gate::H(0));
-        c.push(Gate::Cnot { control: 0, target: 1 });
+        c.push(Gate::Cnot {
+            control: 0,
+            target: 1,
+        });
         c
     }
 
@@ -259,7 +265,10 @@ mod tests {
 
         let mut c = Circuit::new(2);
         c.push(Gate::Ry(0, 0.9));
-        c.push(Gate::Cnot { control: 0, target: 1 });
+        c.push(Gate::Cnot {
+            control: 0,
+            target: 1,
+        });
         let p_depol = 0.1;
 
         // Exact: apply gates and depolarize after each, matching the
@@ -267,7 +276,10 @@ mod tests {
         let mut dm = DensityMatrix::zero_state(2);
         dm.apply_gate(&Gate::Ry(0, 0.9));
         dm.depolarize(0, p_depol);
-        dm.apply_gate(&Gate::Cnot { control: 0, target: 1 });
+        dm.apply_gate(&Gate::Cnot {
+            control: 0,
+            target: 1,
+        });
         dm.depolarize(0, p_depol);
         dm.depolarize(1, p_depol);
 

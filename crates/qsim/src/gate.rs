@@ -90,15 +90,27 @@ impl Gate {
             Gate::Z(_) => [[l, o], [o, -l]],
             Gate::S(_) => [[l, o], [o, i]],
             Gate::Sdg(_) => [[l, o], [o, -i]],
-            Gate::T(_) => [[l, o], [o, C64::from_polar(1.0, std::f64::consts::FRAC_PI_4)]],
-            Gate::Tdg(_) => [[l, o], [o, C64::from_polar(1.0, -std::f64::consts::FRAC_PI_4)]],
+            Gate::T(_) => [
+                [l, o],
+                [o, C64::from_polar(1.0, std::f64::consts::FRAC_PI_4)],
+            ],
+            Gate::Tdg(_) => [
+                [l, o],
+                [o, C64::from_polar(1.0, -std::f64::consts::FRAC_PI_4)],
+            ],
             Gate::Rx(_, th) => {
                 let (c, s) = ((th / 2.0).cos(), (th / 2.0).sin());
-                [[C64::new(c, 0.0), C64::new(0.0, -s)], [C64::new(0.0, -s), C64::new(c, 0.0)]]
+                [
+                    [C64::new(c, 0.0), C64::new(0.0, -s)],
+                    [C64::new(0.0, -s), C64::new(c, 0.0)],
+                ]
             }
             Gate::Ry(_, th) => {
                 let (c, s) = ((th / 2.0).cos(), (th / 2.0).sin());
-                [[C64::new(c, 0.0), C64::new(-s, 0.0)], [C64::new(s, 0.0), C64::new(c, 0.0)]]
+                [
+                    [C64::new(c, 0.0), C64::new(-s, 0.0)],
+                    [C64::new(s, 0.0), C64::new(c, 0.0)],
+                ]
             }
             Gate::Rz(_, th) => [
                 [C64::from_polar(1.0, -th / 2.0), o],
@@ -237,8 +249,15 @@ mod tests {
         assert_eq!(Gate::Rx(2, 0.5).dagger(), Gate::Rx(2, -0.5));
         assert_eq!(Gate::H(0).dagger(), Gate::H(0));
         assert_eq!(
-            Gate::Cnot { control: 0, target: 1 }.dagger(),
-            Gate::Cnot { control: 0, target: 1 }
+            Gate::Cnot {
+                control: 0,
+                target: 1
+            }
+            .dagger(),
+            Gate::Cnot {
+                control: 0,
+                target: 1
+            }
         );
     }
 
@@ -252,7 +271,14 @@ mod tests {
 
     #[test]
     fn qubits_listing() {
-        assert_eq!(Gate::Cnot { control: 3, target: 1 }.qubits(), vec![3, 1]);
+        assert_eq!(
+            Gate::Cnot {
+                control: 3,
+                target: 1
+            }
+            .qubits(),
+            vec![3, 1]
+        );
         assert_eq!(Gate::Ry(2, 0.1).qubits(), vec![2]);
         assert!(Gate::Ry(2, 0.1).is_single_qubit());
         assert!(!Gate::Cz(0, 1).is_single_qubit());

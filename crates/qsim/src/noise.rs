@@ -148,7 +148,10 @@ mod tests {
     fn noiseless_trajectory_is_exact() {
         let mut c = Circuit::new(2);
         c.push(Gate::H(0));
-        c.push(Gate::Cnot { control: 0, target: 1 });
+        c.push(Gate::Cnot {
+            control: 0,
+            target: 1,
+        });
         let mut rng = StdRng::seed_from_u64(3);
         let s = run_noisy_trajectory(&c, &NoiseModel::noiseless(), &mut rng);
         assert!((s.probability(0) - 0.5).abs() < 1e-12);

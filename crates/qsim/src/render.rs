@@ -135,7 +135,11 @@ pub fn render_circuit(c: &Circuit) -> String {
             for (col, w) in widths.iter().enumerate() {
                 let mid = (w + 2) / 2;
                 for pos in 0..w + 2 {
-                    out.push(if bars[q][col] && pos == mid { '│' } else { ' ' });
+                    out.push(if bars[q][col] && pos == mid {
+                        '│'
+                    } else {
+                        ' '
+                    });
                 }
             }
             out.push('\n');
@@ -162,7 +166,10 @@ mod tests {
     #[test]
     fn renders_cnot_connector() {
         let mut c = Circuit::new(3);
-        c.push(Gate::Cnot { control: 0, target: 2 });
+        c.push(Gate::Cnot {
+            control: 0,
+            target: 2,
+        });
         let art = render_circuit(&c);
         assert!(art.contains("●"));
         assert!(art.contains("⊕"));
@@ -174,7 +181,10 @@ mod tests {
         let mut c = Circuit::new(2);
         c.push(Gate::H(0));
         c.push(Gate::H(1)); // same column as the first H
-        c.push(Gate::Cnot { control: 0, target: 1 });
+        c.push(Gate::Cnot {
+            control: 0,
+            target: 1,
+        });
         let art = render_circuit(&c);
         let lines: Vec<&str> = art.lines().collect();
         // q0 and q1 rows plus one connector row.

@@ -197,7 +197,10 @@ mod tests {
     fn shot_estimates_converge_to_exact() {
         let mut c = Circuit::new(3);
         c.push(Gate::Ry(0, 0.8));
-        c.push(Gate::Cnot { control: 0, target: 1 });
+        c.push(Gate::Cnot {
+            control: 0,
+            target: 1,
+        });
         c.push(Gate::Rx(2, -0.4));
         let s = StateVector::from_circuit(&c);
         let mut rng = StdRng::seed_from_u64(99);
@@ -205,10 +208,7 @@ mod tests {
             let p = PauliString::parse(txt).unwrap();
             let exact = s.expectation(&p);
             let est = estimate_pauli_with_shots(&s, &p, 100_000, &mut rng);
-            assert!(
-                (exact - est).abs() < 2e-2,
-                "{txt}: exact={exact} est={est}"
-            );
+            assert!((exact - est).abs() < 2e-2, "{txt}: exact={exact} est={est}");
         }
     }
 
@@ -224,7 +224,10 @@ mod tests {
     fn grouped_estimation_matches_individual() {
         let mut c = Circuit::new(2);
         c.push(Gate::Ry(0, 0.9));
-        c.push(Gate::Cnot { control: 0, target: 1 });
+        c.push(Gate::Cnot {
+            control: 0,
+            target: 1,
+        });
         let s = StateVector::from_circuit(&c);
         let paulis: Vec<PauliString> = ["ZI", "IZ", "ZZ", "XX", "XI"]
             .iter()

@@ -39,7 +39,7 @@ pub struct StateVector {
 impl StateVector {
     /// The all-zeros ket `|0…0⟩`.
     pub fn zero_state(n: usize) -> Self {
-        assert!(n >= 1 && n <= 30, "state vector limited to 30 qubits");
+        assert!((1..=30).contains(&n), "state vector limited to 30 qubits");
         let mut amps = vec![C64::new(0.0, 0.0); 1usize << n];
         amps[0] = C64::new(1.0, 0.0);
         StateVector { n, amps }
@@ -293,7 +293,7 @@ impl StateVector {
         let z = p.z_mask();
         let y_phase = pauli::PhaseI::from_power(p.y_count() as u32).to_c64();
         let term = move |b: usize, amps: &[C64]| -> C64 {
-            let sign = if ((b as u64) & z).count_ones() % 2 == 0 {
+            let sign = if ((b as u64) & z).count_ones().is_multiple_of(2) {
                 1.0
             } else {
                 -1.0
@@ -319,10 +319,7 @@ impl StateVector {
 
     /// Expectation of a weighted Pauli sum.
     pub fn expectation_sum(&self, o: &PauliSum) -> f64 {
-        o.terms()
-            .iter()
-            .map(|(c, p)| c * self.expectation(p))
-            .sum()
+        o.terms().iter().map(|(c, p)| c * self.expectation(p)).sum()
     }
 }
 
@@ -368,17 +365,32 @@ mod tests {
     fn bell_state() {
         let mut c = Circuit::new(2);
         c.push(Gate::H(0));
-        c.push(Gate::Cnot { control: 0, target: 1 });
+        c.push(Gate::Cnot {
+            control: 0,
+            target: 1,
+        });
         let s = StateVector::from_circuit(&c);
         assert!(approx(s.probability(0b00), 0.5));
         assert!(approx(s.probability(0b11), 0.5));
         assert!(s.probability(0b01) < EPS && s.probability(0b10) < EPS);
         // ZZ expectation of a Bell state is +1, XX is +1, single Z is 0.
-        assert!(approx(s.expectation(&PauliString::parse("ZZ").unwrap()), 1.0));
-        assert!(approx(s.expectation(&PauliString::parse("XX").unwrap()), 1.0));
-        assert!(approx(s.expectation(&PauliString::parse("ZI").unwrap()), 0.0));
+        assert!(approx(
+            s.expectation(&PauliString::parse("ZZ").unwrap()),
+            1.0
+        ));
+        assert!(approx(
+            s.expectation(&PauliString::parse("XX").unwrap()),
+            1.0
+        ));
+        assert!(approx(
+            s.expectation(&PauliString::parse("ZI").unwrap()),
+            0.0
+        ));
         // YY of Φ+ is −1.
-        assert!(approx(s.expectation(&PauliString::parse("YY").unwrap()), -1.0));
+        assert!(approx(
+            s.expectation(&PauliString::parse("YY").unwrap()),
+            -1.0
+        ));
     }
 
     #[test]
@@ -389,11 +401,17 @@ mod tests {
             c.push(Gate::Ry(0, th));
             let s = StateVector::from_circuit(&c);
             assert!(
-                approx(s.expectation(&PauliString::single(1, 0, Pauli::Z)), th.cos()),
+                approx(
+                    s.expectation(&PauliString::single(1, 0, Pauli::Z)),
+                    th.cos()
+                ),
                 "Z at θ={th}"
             );
             assert!(
-                approx(s.expectation(&PauliString::single(1, 0, Pauli::X)), th.sin()),
+                approx(
+                    s.expectation(&PauliString::single(1, 0, Pauli::X)),
+                    th.sin()
+                ),
                 "X at θ={th}"
             );
         }
@@ -402,8 +420,14 @@ mod tests {
             let mut c = Circuit::new(1);
             c.push(Gate::Rx(0, th));
             let s = StateVector::from_circuit(&c);
-            assert!(approx(s.expectation(&PauliString::single(1, 0, Pauli::Z)), th.cos()));
-            assert!(approx(s.expectation(&PauliString::single(1, 0, Pauli::Y)), -th.sin()));
+            assert!(approx(
+                s.expectation(&PauliString::single(1, 0, Pauli::Z)),
+                th.cos()
+            ));
+            assert!(approx(
+                s.expectation(&PauliString::single(1, 0, Pauli::Y)),
+                -th.sin()
+            ));
         }
     }
 
@@ -429,15 +453,27 @@ mod tests {
         let mut prep = Circuit::new(3);
         prep.push(Gate::H(0));
         prep.push(Gate::Ry(1, 0.7));
-        prep.push(Gate::Cnot { control: 0, target: 2 });
+        prep.push(Gate::Cnot {
+            control: 0,
+            target: 2,
+        });
 
         let mut direct = prep.clone();
         direct.push(Gate::Swap(0, 2));
         let mut viacnot = prep.clone();
         for g in [
-            Gate::Cnot { control: 0, target: 2 },
-            Gate::Cnot { control: 2, target: 0 },
-            Gate::Cnot { control: 0, target: 2 },
+            Gate::Cnot {
+                control: 0,
+                target: 2,
+            },
+            Gate::Cnot {
+                control: 2,
+                target: 0,
+            },
+            Gate::Cnot {
+                control: 0,
+                target: 2,
+            },
         ] {
             viacnot.push(g);
         }
@@ -455,7 +491,10 @@ mod tests {
             c.push(Gate::Rx(q, -0.8 + 0.2 * q as f64));
         }
         for q in 0..3 {
-            c.push(Gate::Cnot { control: q, target: q + 1 });
+            c.push(Gate::Cnot {
+                control: q,
+                target: q + 1,
+            });
         }
         let s = StateVector::from_circuit(&c);
         assert!(approx(s.norm_sqr(), 1.0));
@@ -466,7 +505,10 @@ mod tests {
         let mut c = Circuit::new(3);
         c.push(Gate::H(0));
         c.push(Gate::Ry(1, 0.9));
-        c.push(Gate::Cnot { control: 0, target: 2 });
+        c.push(Gate::Cnot {
+            control: 0,
+            target: 2,
+        });
         c.push(Gate::S(2));
         let mut full = c.clone();
         full.extend(&c.dagger());
@@ -478,7 +520,10 @@ mod tests {
     fn expectation_identity_is_one() {
         let mut c = Circuit::new(3);
         c.push(Gate::H(0));
-        c.push(Gate::Cnot { control: 0, target: 1 });
+        c.push(Gate::Cnot {
+            control: 0,
+            target: 1,
+        });
         let s = StateVector::from_circuit(&c);
         assert!(approx(s.expectation(&PauliString::identity(3)), 1.0));
     }
@@ -508,7 +553,10 @@ mod tests {
         }
         c.push(Gate::Ry(7, 1.1));
         for q in 0..n - 1 {
-            c.push(Gate::Cnot { control: q, target: q + 1 });
+            c.push(Gate::Cnot {
+                control: q,
+                target: q + 1,
+            });
         }
         c.push(Gate::Cz(0, n - 1));
         c.push(Gate::Swap(2, n - 2));

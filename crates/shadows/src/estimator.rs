@@ -84,10 +84,7 @@ impl ShadowEstimator {
 
     /// Estimate of a weighted observable `Σ c_i P_i`.
     pub fn estimate_sum(&self, o: &PauliSum) -> f64 {
-        o.terms()
-            .iter()
-            .map(|(c, p)| c * self.estimate(p))
-            .sum()
+        o.terms().iter().map(|(c, p)| c * self.estimate(p)).sum()
     }
 }
 
@@ -100,7 +97,10 @@ mod tests {
     fn bell_state() -> StateVector {
         let mut c = Circuit::new(2);
         c.push(Gate::H(0));
-        c.push(Gate::Cnot { control: 0, target: 1 });
+        c.push(Gate::Cnot {
+            control: 0,
+            target: 1,
+        });
         StateVector::from_circuit(&c)
     }
 
@@ -109,7 +109,13 @@ mod tests {
         let s = bell_state();
         let shots = ShadowProtocol::new(60_000, 11).acquire(&s);
         let est = ShadowEstimator::new(shots, 10);
-        let cases = [("ZZ", 1.0), ("XX", 1.0), ("YY", -1.0), ("ZI", 0.0), ("IX", 0.0)];
+        let cases = [
+            ("ZZ", 1.0),
+            ("XX", 1.0),
+            ("YY", -1.0),
+            ("ZI", 0.0),
+            ("IX", 0.0),
+        ];
         for (txt, want) in cases {
             let p = PauliString::parse(txt).unwrap();
             let got = est.estimate(&p);

@@ -52,8 +52,14 @@ mod tests {
             pauli_shadow_norm_sq(&PauliString::parse("IIII").unwrap()),
             1.0
         );
-        assert_eq!(pauli_shadow_norm_sq(&PauliString::parse("ZIII").unwrap()), 3.0);
-        assert_eq!(pauli_shadow_norm_sq(&PauliString::parse("ZXIY").unwrap()), 27.0);
+        assert_eq!(
+            pauli_shadow_norm_sq(&PauliString::parse("ZIII").unwrap()),
+            3.0
+        );
+        assert_eq!(
+            pauli_shadow_norm_sq(&PauliString::parse("ZXIY").unwrap()),
+            27.0
+        );
     }
 
     #[test]

@@ -41,7 +41,7 @@ impl ShadowProtocol {
         (0..self.snapshots)
             .map(|_| {
                 let bases: Vec<Pauli> = (0..n)
-                    .map(|_| Pauli::NONTRIVIAL[rng.random_range(0..3)])
+                    .map(|_| Pauli::NONTRIVIAL[rng.random_range(0..3usize)])
                     .collect();
                 let basis_string = PauliString::from_letters(&bases);
                 let mut rotated = state.clone();
@@ -62,7 +62,10 @@ mod tests {
     fn acquisition_is_deterministic_per_seed() {
         let mut c = Circuit::new(2);
         c.push(Gate::H(0));
-        c.push(Gate::Cnot { control: 0, target: 1 });
+        c.push(Gate::Cnot {
+            control: 0,
+            target: 1,
+        });
         let s = StateVector::from_circuit(&c);
         let a = ShadowProtocol::new(50, 7).acquire(&s);
         let b = ShadowProtocol::new(50, 7).acquire(&s);

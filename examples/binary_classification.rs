@@ -24,7 +24,13 @@ fn main() {
     let to_y = |d: &postvar::qdata::Dataset| -> Vec<f64> {
         d.labels
             .iter()
-            .map(|&l| if l == FashionClass::Shirt.label() { 1.0 } else { 0.0 })
+            .map(|&l| {
+                if l == FashionClass::Shirt.label() {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
             .collect()
     };
     let (train_y, test_y) = (to_y(&train), to_y(&test));
@@ -54,7 +60,11 @@ fn main() {
     );
     let (_, tr) = vqc.evaluate_binary(&train_x, &train_y);
     let (_, te) = vqc.evaluate_binary(&test_x, &test_y);
-    println!("variational QNN     : train acc {:.1}% | test acc {:.1}%", tr * 100.0, te * 100.0);
+    println!(
+        "variational QNN     : train acc {:.1}% | test acc {:.1}%",
+        tr * 100.0,
+        te * 100.0
+    );
 
     // Post-variational strategies.
     for (name, strategy) in [
@@ -62,14 +72,24 @@ fn main() {
             "PV ansatz 1-order   ",
             Strategy::ansatz_expansion(fig8_ansatz(4), 1, Strategy::default_observable(4)),
         ),
-        ("PV observable 2-local", Strategy::observable_construction(4, 2)),
-        ("PV hybrid 1o+1l     ", Strategy::hybrid(fig8_ansatz(4), 1, 1)),
+        (
+            "PV observable 2-local",
+            Strategy::observable_construction(4, 2),
+        ),
+        (
+            "PV hybrid 1o+1l     ",
+            Strategy::hybrid(fig8_ansatz(4), 1, 1),
+        ),
     ] {
         let generator = FeatureGenerator::new(strategy, FeatureBackend::Exact);
         let model =
             PostVarClassifier::fit(generator, &train_x, &train_y, LogisticConfig::default());
         let (_, tr) = model.evaluate(&train_x, &train_y);
         let (_, te) = model.evaluate(&test_x, &test_y);
-        println!("{name}: train acc {:.1}% | test acc {:.1}%", tr * 100.0, te * 100.0);
+        println!(
+            "{name}: train acc {:.1}% | test acc {:.1}%",
+            tr * 100.0,
+            te * 100.0
+        );
     }
 }

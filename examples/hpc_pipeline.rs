@@ -21,7 +21,13 @@ fn main() {
     let labels: Vec<f64> = train
         .labels
         .iter()
-        .map(|&l| if l == FashionClass::Shirt.label() { 1.0 } else { 0.0 })
+        .map(|&l| {
+            if l == FashionClass::Shirt.label() {
+                1.0
+            } else {
+                0.0
+            }
+        })
         .collect();
 
     let strategy = Strategy::hybrid(fig8_ansatz(4), 1, 1);
@@ -74,10 +80,21 @@ fn main() {
     });
 
     println!("\npipeline report:");
-    println!("  quantum stage : {:.3}s ({:.0}% of total)", report.quantum_secs, report.quantum_fraction() * 100.0);
+    println!(
+        "  quantum stage : {:.3}s ({:.0}% of total)",
+        report.quantum_secs,
+        report.quantum_fraction() * 100.0
+    );
     println!("  classical fit : {:.3}s", report.classical_secs);
-    println!("  sim makespan  : {:.3}s on {} devices", report.pool.sim_makespan_secs, report.pool.jobs_per_device.len());
+    println!(
+        "  sim makespan  : {:.3}s on {} devices",
+        report.pool.sim_makespan_secs,
+        report.pool.jobs_per_device.len()
+    );
     println!("  device util   : {:.0}%", report.pool.utilization * 100.0);
     println!("  jobs/device   : {:?}", report.pool.jobs_per_device);
-    println!("\ntrain accuracy with 512-shot features: {:.1}%", accuracy_train * 100.0);
+    println!(
+        "\ntrain accuracy with 512-shot features: {:.1}%",
+        accuracy_train * 100.0
+    );
 }

@@ -14,9 +14,15 @@ fn main() {
     let mut ansatz = ParamCircuit::new(4);
     ansatz.push_rot(RotAxis::Y, 0);
     ansatz.push_rot(RotAxis::Y, 1);
-    ansatz.push_fixed(Gate::Cnot { control: 0, target: 1 });
+    ansatz.push_fixed(Gate::Cnot {
+        control: 0,
+        target: 1,
+    });
     ansatz.push_rot(RotAxis::Y, 2);
-    ansatz.push_fixed(Gate::Cnot { control: 1, target: 2 });
+    ansatz.push_fixed(Gate::Cnot {
+        control: 1,
+        target: 2,
+    });
     ansatz.push_rot(RotAxis::Z, 3); // dead weight
 
     let strategy = Strategy::ansatz_expansion(ansatz, 2, Strategy::default_observable(4));
@@ -26,14 +32,22 @@ fn main() {
     );
 
     let data: Vec<Vec<f64>> = (0..12)
-        .map(|i| (0..16).map(|j| 0.4 + 0.31 * ((i * 5 + j) % 9) as f64).collect())
+        .map(|i| {
+            (0..16)
+                .map(|j| 0.4 + 0.31 * ((i * 5 + j) % 9) as f64)
+                .collect()
+        })
         .collect();
 
     // Gradient-based pruning (needs the observable).
     let report = prune_by_gradient(&strategy, &data, &Strategy::default_observable(4), 1e-8);
     println!("\ngradient pruning (Eq. 17):");
     for (u, score) in report.scores.iter().enumerate() {
-        let flag = if report.flat_params.contains(&u) { "  ← pruned" } else { "" };
+        let flag = if report.flat_params.contains(&u) {
+            "  ← pruned"
+        } else {
+            ""
+        };
         println!("  param {u}: MSE of ±π/2 expectation gap = {score:.3e}{flag}");
     }
     println!(
@@ -46,7 +60,11 @@ fn main() {
     let fid = prune_by_fidelity(&strategy, &data, 1e-10);
     println!("\nfidelity pruning (Eq. 25):");
     for (u, score) in fid.scores.iter().enumerate() {
-        let flag = if fid.flat_params.contains(&u) { "  ← pruned" } else { "" };
+        let flag = if fid.flat_params.contains(&u) {
+            "  ← pruned"
+        } else {
+            ""
+        };
         println!("  param {u}: 1 − mean F(ρ₊, ρ₋) = {score:.3e}{flag}");
     }
 

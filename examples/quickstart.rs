@@ -14,7 +14,10 @@ fn main() {
     // 1. Data encoding (Fig. 7): 16 features in [0, 2π) → 4 qubits.
     let features: Vec<f64> = (0..16).map(|i| 0.35 * (i % 7) as f64).collect();
     let encoding = fig7_encoding(&features);
-    println!("Fig. 7 data-encoding circuit:\n{}", render_circuit(&encoding));
+    println!(
+        "Fig. 7 data-encoding circuit:\n{}",
+        render_circuit(&encoding)
+    );
 
     // 2. The Fig. 8 ansatz at a first-order shift (+π/2 on parameter 0).
     let ansatz = fig8_ansatz(4);
@@ -37,14 +40,20 @@ fn main() {
 
     // 4. Generate features for a toy dataset and fit a linear target.
     let data: Vec<Vec<f64>> = (0..24)
-        .map(|i| (0..16).map(|j| 0.3 + 0.21 * ((i * 3 + j) % 11) as f64).collect())
+        .map(|i| {
+            (0..16)
+                .map(|j| 0.3 + 0.21 * ((i * 3 + j) % 11) as f64)
+                .collect()
+        })
         .collect();
     let generator = FeatureGenerator::new(strategy, FeatureBackend::Exact);
     let q = generator.generate(&data);
     println!("feature matrix Q: {} × {}", q.rows(), q.cols());
 
     // Target: a known combination of the quantum features.
-    let alpha_true: Vec<f64> = (0..q.cols()).map(|j| ((j % 5) as f64 - 2.0) * 0.1).collect();
+    let alpha_true: Vec<f64> = (0..q.cols())
+        .map(|j| ((j % 5) as f64 - 2.0) * 0.1)
+        .collect();
     let y = q.matvec(&alpha_true);
 
     let model = PostVarRegressor::fit(generator, &data, &y, RegressorMode::Pinv);

@@ -15,7 +15,10 @@ fn main() {
 
     // All ≤2-local observables on 4 qubits (q = 67, Eq. (18)).
     let family = local_paulis(4, 2);
-    println!("estimating {} observables on one 4-qubit state\n", family.len());
+    println!(
+        "estimating {} observables on one 4-qubit state\n",
+        family.len()
+    );
 
     // Exact ground truth.
     let exact: Vec<f64> = family.iter().map(|p| state.expectation(p)).collect();

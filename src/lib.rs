@@ -28,9 +28,7 @@ pub use shadows;
 pub mod prelude {
     pub use hpcq::{HybridPipeline, QpuConfig, QpuDevice, QpuPool, SchedulePolicy};
     pub use linalg::Mat;
-    pub use ml::{
-        accuracy, LogisticRegression, Mlp, SoftmaxRegression,
-    };
+    pub use ml::{accuracy, LogisticRegression, Mlp, SoftmaxRegression};
     pub use pauli::{local_paulis, Pauli, PauliString, PauliSum};
     pub use pvqnn::ansatz::fig8_ansatz;
     pub use pvqnn::encoding::fig7_encoding;

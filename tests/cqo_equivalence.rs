@@ -60,12 +60,18 @@ fn full_locality_post_variational_reproduces_variational_exactly() {
     // tr(Pρ(x)) — so lstsq on Q must reach ~zero residual.
     let n = 3;
     let data: Vec<Vec<f64>> = (0..30)
-        .map(|i| (0..4 * n).map(|j| 0.2 + 0.37 * ((i * 7 + j * 3) % 13) as f64).collect())
+        .map(|i| {
+            (0..4 * n)
+                .map(|j| 0.2 + 0.37 * ((i * 7 + j * 3) % 13) as f64)
+                .collect()
+        })
         .collect();
 
     // Variational side.
     let ansatz = postvar::pvqnn::ansatz::hardware_efficient_ansatz(n, 2);
-    let theta: Vec<f64> = (0..ansatz.num_params()).map(|i| -0.3 + 0.17 * i as f64).collect();
+    let theta: Vec<f64> = (0..ansatz.num_params())
+        .map(|i| -0.3 + 0.17 * i as f64)
+        .collect();
     let obs = PauliString::single(n, 0, postvar::pauli::Pauli::Z);
     let variational: Vec<f64> = data
         .iter()
@@ -103,10 +109,16 @@ fn truncated_locality_is_an_approximation() {
     // nonzero for an entangling ansatz but shrink as L grows.
     let n = 3;
     let data: Vec<Vec<f64>> = (0..25)
-        .map(|i| (0..4 * n).map(|j| 0.3 + 0.29 * ((i * 5 + j) % 11) as f64).collect())
+        .map(|i| {
+            (0..4 * n)
+                .map(|j| 0.3 + 0.29 * ((i * 5 + j) % 11) as f64)
+                .collect()
+        })
         .collect();
     let ansatz = postvar::pvqnn::ansatz::hardware_efficient_ansatz(n, 2);
-    let theta: Vec<f64> = (0..ansatz.num_params()).map(|i| 0.5 - 0.13 * i as f64).collect();
+    let theta: Vec<f64> = (0..ansatz.num_params())
+        .map(|i| 0.5 - 0.13 * i as f64)
+        .collect();
     let obs = PauliString::single(n, 0, postvar::pauli::Pauli::Z);
     let target: Vec<f64> = data
         .iter()
@@ -135,7 +147,10 @@ fn truncated_locality_is_an_approximation() {
             .sqrt();
         errors.push(rmse);
     }
-    assert!(errors[n - 1] < 1e-8, "full locality must be exact: {errors:?}");
+    assert!(
+        errors[n - 1] < 1e-8,
+        "full locality must be exact: {errors:?}"
+    );
     assert!(
         errors[0] >= errors[n - 1],
         "error should not increase with locality: {errors:?}"
@@ -154,8 +169,8 @@ fn heisenberg_and_schroedinger_pictures_agree() {
     // Schrödinger: evolve the state, measure O.
     let mut full = encoding.clone();
     full.extend(&circuit);
-    let schroedinger = StateVector::from_circuit(&full)
-        .expectation(&PauliString::parse("ZI").unwrap());
+    let schroedinger =
+        StateVector::from_circuit(&full).expectation(&PauliString::parse("ZI").unwrap());
 
     // Heisenberg: conjugate the observable, measure on the encoded state.
     let u = circuit_unitary(&circuit);
@@ -177,7 +192,12 @@ fn heisenberg_and_schroedinger_pictures_agree() {
 
 #[test]
 fn local_pauli_family_sizes_match_eq18() {
-    for (n, l, want) in [(3usize, 1usize, 10u128), (3, 2, 37), (4, 2, 67), (4, 4, 256)] {
+    for (n, l, want) in [
+        (3usize, 1usize, 10u128),
+        (3, 2, 37),
+        (4, 2, 67),
+        (4, 4, 256),
+    ] {
         assert_eq!(local_paulis(n, l).len() as u128, want);
         assert_eq!(postvar::pauli::local_pauli_count(n, l), want);
     }

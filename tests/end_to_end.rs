@@ -5,7 +5,10 @@ use postvar::ml::LogisticConfig;
 use postvar::prelude::*;
 use postvar::qdata::{Dataset, SynthConfig};
 
-fn coat_shirt(train_per_class: usize, test_per_class: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>, Vec<Vec<f64>>, Vec<f64>) {
+/// `(train_x, train_y, test_x, test_y)` for a two-class task.
+type Split = (Vec<Vec<f64>>, Vec<f64>, Vec<Vec<f64>>, Vec<f64>);
+
+fn coat_shirt(train_per_class: usize, test_per_class: usize, seed: u64) -> Split {
     let ds = fashion_synthetic(
         &[FashionClass::Coat, FashionClass::Shirt],
         train_per_class + test_per_class,
@@ -17,7 +20,13 @@ fn coat_shirt(train_per_class: usize, test_per_class: usize, seed: u64) -> (Vec<
     let to_y = |d: &Dataset| -> Vec<f64> {
         d.labels
             .iter()
-            .map(|&l| if l == FashionClass::Shirt.label() { 1.0 } else { 0.0 })
+            .map(|&l| {
+                if l == FashionClass::Shirt.label() {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
             .collect()
     };
     let train_y = to_y(&train);
@@ -138,7 +147,10 @@ fn preprocessing_bounds_respected_end_to_end() {
     for row in train_x.iter().chain(test_x.iter()) {
         assert_eq!(row.len(), 16);
         for &v in row {
-            assert!((0.0..std::f64::consts::TAU).contains(&v), "feature {v} out of [0,2π)");
+            assert!(
+                (0.0..std::f64::consts::TAU).contains(&v),
+                "feature {v} out of [0,2π)"
+            );
         }
     }
 }

@@ -7,7 +7,11 @@ use postvar::prelude::*;
 
 fn toy_data(d: usize) -> Vec<Vec<f64>> {
     (0..d)
-        .map(|i| (0..16).map(|j| 0.3 + 0.19 * ((i * 3 + j * 5) % 17) as f64).collect())
+        .map(|i| {
+            (0..16)
+                .map(|j| 0.3 + 0.19 * ((i * 3 + j * 5) % 17) as f64)
+                .collect()
+        })
         .collect()
 }
 
@@ -19,7 +23,12 @@ fn jobs_for(generator: &FeatureGenerator, data: &[Vec<f64>]) -> Vec<CircuitJob> 
     let mut id = 0u64;
     for x in data {
         for a in 0..p {
-            out.push(CircuitJob::new(id, generator.circuit_for(x, a), obs.clone(), None));
+            out.push(CircuitJob::new(
+                id,
+                generator.circuit_for(x, a),
+                obs.clone(),
+                None,
+            ));
             id += 1;
         }
     }

@@ -24,7 +24,10 @@ fn circuit(n: usize, max_gates: usize) -> impl proptest::strategy::Strategy<Valu
             1 => Gate::Rx(q, angle),
             2 => Gate::Ry(q, angle),
             3 => Gate::Rz(q, angle),
-            4 => Gate::Cnot { control: q, target: q2 },
+            4 => Gate::Cnot {
+                control: q,
+                target: q2,
+            },
             _ => Gate::Cz(q, q2),
         }
     });
@@ -133,7 +136,7 @@ proptest! {
 
     #[test]
     fn encoded_features_give_normalised_states(
-        raw in proptest::collection::vec(0.0f64..6.28, 16),
+        raw in proptest::collection::vec(0.0f64..std::f64::consts::TAU, 16),
     ) {
         let s = StateVector::from_circuit(&fig7_encoding(&raw));
         prop_assert!((s.norm_sqr() - 1.0).abs() < 1e-10);
@@ -146,7 +149,7 @@ proptest! {
 
     #[test]
     fn identity_feature_column_is_always_one(
-        raw in proptest::collection::vec(0.0f64..6.28, 16),
+        raw in proptest::collection::vec(0.0f64..std::f64::consts::TAU, 16),
     ) {
         let generator = FeatureGenerator::new(
             PvStrategy::observable_construction(4, 1),

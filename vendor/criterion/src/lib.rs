@@ -1,0 +1,233 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment has no registry access, so this shim provides a
+//! small wall-clock harness behind criterion's API shape: no statistics,
+//! outlier rejection, or HTML reports — each benchmark is warmed up once
+//! and timed over `sample_size` batches, reporting min/mean per
+//! iteration. Good enough to (a) keep every bench target compiling under
+//! `cargo bench --no-run` in CI and (b) give rough local numbers. Swap
+//! the `[workspace.dependencies]` path entry for the real crate when a
+//! registry is available; call sites need no changes.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-iteration timer handed to benchmark closures.
+pub struct Bencher {
+    /// Iterations per timed batch (tuned so a batch is measurable).
+    batch: u64,
+    samples: usize,
+    /// Collected per-iteration durations, one per batch.
+    per_iter: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, running it in batches and recording the mean
+    /// duration of each batch.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up and batch-size calibration: grow the batch until one
+        // batch takes ≥ ~1 ms or we hit a cap, so cheap routines are
+        // measured over many iterations.
+        let mut batch = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 4;
+        }
+        self.batch = batch;
+        self.per_iter.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.per_iter.push(start.elapsed() / batch as u32);
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+fn report(id: &str, bencher: &Bencher) {
+    if bencher.per_iter.is_empty() {
+        println!("{id:<48} (no samples)");
+        return;
+    }
+    let min = bencher.per_iter.iter().min().copied().unwrap_or_default();
+    let total: Duration = bencher.per_iter.iter().sum();
+    let mean = total / bencher.per_iter.len() as u32;
+    println!(
+        "{id:<48} min {:>10}   mean {:>10}   ({} samples × {} iters)",
+        fmt_duration(min),
+        fmt_duration(mean),
+        bencher.per_iter.len(),
+        bencher.batch,
+    );
+}
+
+/// Identifier for a parameterised benchmark, e.g. `expectation/16`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed batches per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(2);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim has no fixed
+    /// measurement window.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            batch: 1,
+            samples: self.samples,
+            per_iter: Vec::new(),
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id.id), &b);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            batch: 1,
+            samples: self.samples,
+            per_iter: Vec::new(),
+        };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.id), &b);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Top-level harness state.
+pub struct Criterion {
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { samples: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("-- group {name}");
+        BenchmarkGroup {
+            name,
+            samples: self.samples,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            batch: 1,
+            samples: self.samples,
+            per_iter: Vec::new(),
+        };
+        f(&mut b);
+        report(id, &b);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring criterion's macro. Bench
+/// targets must set `harness = false` so this `main` is used.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,110 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! The build environment has no registry access, so this shim provides
+//! the one structure the scheduler uses: [`deque::Injector`], a
+//! multi-producer multi-consumer FIFO with crossbeam's `Steal` result
+//! protocol. Backed by `Mutex<VecDeque>` instead of a lock-free deque —
+//! correct under the same contract, slower under heavy contention. Swap
+//! the `[workspace.dependencies]` path entry for the real crate when a
+//! registry is available; call sites need no changes.
+
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    /// Result of a steal attempt.
+    #[derive(Debug)]
+    pub enum Steal<T> {
+        /// The queue was observed empty.
+        Empty,
+        /// A task was stolen.
+        Success(T),
+        /// The operation lost a race and should be retried.
+        Retry,
+    }
+
+    /// A FIFO injector queue shared by all workers.
+    #[derive(Debug, Default)]
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Injector<T> {
+        pub fn new() -> Self {
+            Injector {
+                queue: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Pushes a task onto the back of the queue.
+        pub fn push(&self, task: T) {
+            self.queue
+                .lock()
+                .expect("injector poisoned")
+                .push_back(task);
+        }
+
+        /// Pops a task from the front of the queue.
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().expect("injector poisoned").pop_front() {
+                Some(task) => Steal::Success(task),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Whether the queue was observed empty.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().expect("injector poisoned").is_empty()
+        }
+
+        /// Number of queued tasks at the moment of observation.
+        pub fn len(&self) -> usize {
+            self.queue.lock().expect("injector poisoned").len()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::deque::{Injector, Steal};
+
+    #[test]
+    fn fifo_order() {
+        let q = Injector::new();
+        q.push(1);
+        q.push(2);
+        match q.steal() {
+            Steal::Success(v) => assert_eq!(v, 1),
+            other => panic!("expected Success(1), got {other:?}"),
+        }
+        match q.steal() {
+            Steal::Success(v) => assert_eq!(v, 2),
+            other => panic!("expected Success(2), got {other:?}"),
+        }
+        assert!(matches!(q.steal(), Steal::Empty));
+    }
+
+    #[test]
+    fn concurrent_drain_loses_nothing() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let q = Injector::new();
+        for i in 0..1000 {
+            q.push(i);
+        }
+        let seen = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| loop {
+                    match q.steal() {
+                        Steal::Success(_) => {
+                            seen.fetch_add(1, Ordering::SeqCst);
+                        }
+                        Steal::Empty => break,
+                        Steal::Retry => continue,
+                    }
+                });
+            }
+        });
+        assert_eq!(seen.load(Ordering::SeqCst), 1000);
+    }
+}

@@ -1,0 +1,385 @@
+//! Offline stand-in for `num-complex`.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! a `Complex<T>` carrying exactly the surface the simulator and Pauli
+//! algebra use: construction, `norm`/`norm_sqr`, `conj`, `scale`, `exp`,
+//! `arg`, the ring operators (including mixed `f64` forms), and `Sum`.
+//! Swap the `[workspace.dependencies]` path entry for the real crate when
+//! a registry is available; call sites need no changes.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number `re + im·i`.
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct Complex<T> {
+    pub re: T,
+    pub im: T,
+}
+
+/// Double-precision complex, the workspace's amplitude type.
+pub type Complex64 = Complex<f64>;
+
+impl<T> Complex<T> {
+    #[inline]
+    pub const fn new(re: T, im: T) -> Self {
+        Complex { re, im }
+    }
+}
+
+impl Complex<f64> {
+    /// The imaginary unit.
+    pub const I: Self = Complex { re: 0.0, im: 1.0 };
+    pub const ZERO: Self = Complex { re: 0.0, im: 0.0 };
+    pub const ONE: Self = Complex { re: 1.0, im: 0.0 };
+
+    /// `|z|²` — cheaper than [`norm`](Self::norm) when only comparing.
+    #[inline]
+    pub fn norm_sqr(&self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// `|z|`.
+    #[inline]
+    pub fn norm(&self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(&self) -> Self {
+        Complex::new(self.re, -self.im)
+    }
+
+    /// Multiplies by a real scalar.
+    #[inline]
+    pub fn scale(&self, t: f64) -> Self {
+        Complex::new(self.re * t, self.im * t)
+    }
+
+    /// Divides by a real scalar.
+    #[inline]
+    pub fn unscale(&self, t: f64) -> Self {
+        Complex::new(self.re / t, self.im / t)
+    }
+
+    /// Argument (phase angle) in `(-π, π]`.
+    #[inline]
+    pub fn arg(&self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// `e^z = e^re · (cos im + i sin im)`.
+    #[inline]
+    pub fn exp(&self) -> Self {
+        let r = self.re.exp();
+        Complex::new(r * self.im.cos(), r * self.im.sin())
+    }
+
+    /// Builds `r·e^{iθ}`.
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Complex::new(r * theta.cos(), r * theta.sin())
+    }
+
+    /// Multiplicative inverse.
+    #[inline]
+    pub fn inv(&self) -> Self {
+        let d = self.norm_sqr();
+        Complex::new(self.re / d, -self.im / d)
+    }
+
+    /// Integer power by repeated squaring (negative via [`inv`](Self::inv)).
+    pub fn powi(&self, mut n: i32) -> Self {
+        let mut base = if n < 0 { self.inv() } else { *self };
+        if n < 0 {
+            n = -n;
+        }
+        let mut acc = Complex::ONE;
+        while n > 0 {
+            if n & 1 == 1 {
+                acc *= base;
+            }
+            base = base * base;
+            n >>= 1;
+        }
+        acc
+    }
+}
+
+impl fmt::Debug for Complex<f64> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{:+}i", self.re, self.im)
+    }
+}
+
+impl fmt::Display for Complex<f64> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{:+}i", self.re, self.im)
+    }
+}
+
+impl Add for Complex<f64> {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex<f64> {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex<f64> {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for Complex<f64> {
+    type Output = Self;
+    #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // z/w computed as z·w⁻¹
+    fn div(self, rhs: Self) -> Self {
+        self * rhs.inv()
+    }
+}
+
+impl Neg for Complex<f64> {
+    type Output = Self;
+    #[inline]
+    fn neg(self) -> Self {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl Add<f64> for Complex<f64> {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: f64) -> Self {
+        Complex::new(self.re + rhs, self.im)
+    }
+}
+
+impl Sub<f64> for Complex<f64> {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: f64) -> Self {
+        Complex::new(self.re - rhs, self.im)
+    }
+}
+
+impl Mul<f64> for Complex<f64> {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: f64) -> Self {
+        self.scale(rhs)
+    }
+}
+
+impl Div<f64> for Complex<f64> {
+    type Output = Self;
+    #[inline]
+    fn div(self, rhs: f64) -> Self {
+        self.unscale(rhs)
+    }
+}
+
+impl Mul<f64> for &Complex<f64> {
+    type Output = Complex<f64>;
+    #[inline]
+    fn mul(self, rhs: f64) -> Complex<f64> {
+        self.scale(rhs)
+    }
+}
+
+impl Div<f64> for &Complex<f64> {
+    type Output = Complex<f64>;
+    #[inline]
+    fn div(self, rhs: f64) -> Complex<f64> {
+        self.unscale(rhs)
+    }
+}
+
+impl Mul<&Complex<f64>> for f64 {
+    type Output = Complex<f64>;
+    #[inline]
+    fn mul(self, rhs: &Complex<f64>) -> Complex<f64> {
+        rhs.scale(self)
+    }
+}
+
+impl Mul<Complex<f64>> for f64 {
+    type Output = Complex<f64>;
+    #[inline]
+    fn mul(self, rhs: Complex<f64>) -> Complex<f64> {
+        rhs.scale(self)
+    }
+}
+
+macro_rules! forward_ref_binop {
+    ($trait:ident, $method:ident) => {
+        impl $trait<&Complex<f64>> for Complex<f64> {
+            type Output = Complex<f64>;
+            #[inline]
+            fn $method(self, rhs: &Complex<f64>) -> Complex<f64> {
+                $trait::$method(self, *rhs)
+            }
+        }
+        impl $trait<Complex<f64>> for &Complex<f64> {
+            type Output = Complex<f64>;
+            #[inline]
+            fn $method(self, rhs: Complex<f64>) -> Complex<f64> {
+                $trait::$method(*self, rhs)
+            }
+        }
+        impl $trait<&Complex<f64>> for &Complex<f64> {
+            type Output = Complex<f64>;
+            #[inline]
+            fn $method(self, rhs: &Complex<f64>) -> Complex<f64> {
+                $trait::$method(*self, *rhs)
+            }
+        }
+    };
+}
+
+forward_ref_binop!(Add, add);
+forward_ref_binop!(Sub, sub);
+forward_ref_binop!(Mul, mul);
+forward_ref_binop!(Div, div);
+
+impl Neg for &Complex<f64> {
+    type Output = Complex<f64>;
+    #[inline]
+    fn neg(self) -> Complex<f64> {
+        -*self
+    }
+}
+
+impl AddAssign for Complex<f64> {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl AddAssign<&Complex<f64>> for Complex<f64> {
+    #[inline]
+    fn add_assign(&mut self, rhs: &Complex<f64>) {
+        *self = *self + *rhs;
+    }
+}
+
+impl SubAssign<&Complex<f64>> for Complex<f64> {
+    #[inline]
+    fn sub_assign(&mut self, rhs: &Complex<f64>) {
+        *self = *self - *rhs;
+    }
+}
+
+impl SubAssign for Complex<f64> {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Complex<f64> {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl MulAssign<f64> for Complex<f64> {
+    #[inline]
+    fn mul_assign(&mut self, rhs: f64) {
+        *self = self.scale(rhs);
+    }
+}
+
+impl DivAssign<f64> for Complex<f64> {
+    #[inline]
+    fn div_assign(&mut self, rhs: f64) {
+        *self = self.unscale(rhs);
+    }
+}
+
+impl Sum for Complex<f64> {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Complex::ZERO, |a, b| a + b)
+    }
+}
+
+impl<'a> Sum<&'a Complex<f64>> for Complex<f64> {
+    fn sum<I: Iterator<Item = &'a Complex<f64>>>(iter: I) -> Self {
+        iter.fold(Complex::ZERO, |a, b| a + *b)
+    }
+}
+
+impl From<f64> for Complex<f64> {
+    #[inline]
+    fn from(re: f64) -> Self {
+        Complex::new(re, 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Complex64, b: Complex64) -> bool {
+        (a - b).norm() < 1e-12
+    }
+
+    #[test]
+    fn field_axioms_spot_checks() {
+        let z = Complex64::new(1.5, -2.0);
+        let w = Complex64::new(-0.25, 3.0);
+        assert!(close(z * w, w * z));
+        assert!(close(z * z.inv(), Complex64::ONE));
+        assert!(close((z / w) * w, z));
+    }
+
+    #[test]
+    fn norm_and_conj() {
+        let z = Complex64::new(3.0, 4.0);
+        assert!((z.norm() - 5.0).abs() < 1e-12);
+        assert!((z.norm_sqr() - 25.0).abs() < 1e-12);
+        assert!(close(z * z.conj(), Complex64::new(25.0, 0.0)));
+    }
+
+    #[test]
+    fn exp_and_polar() {
+        let th = 0.7;
+        let z = Complex64::new(0.0, th).exp();
+        assert!(close(z, Complex64::from_polar(1.0, th)));
+        assert!((z.arg() - th).abs() < 1e-12);
+    }
+
+    #[test]
+    fn powi_matches_repeated_mul() {
+        let i = Complex64::I;
+        assert!(close(i.powi(2), -Complex64::ONE));
+        assert!(close(i.powi(4), Complex64::ONE));
+        assert!(close(i.powi(-1), -i));
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let v = [Complex64::new(1.0, 1.0); 4];
+        let s: Complex64 = v.iter().sum();
+        assert!(close(s, Complex64::new(4.0, 4.0)));
+    }
+}

@@ -1,0 +1,308 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the small slice of `rand`'s API it actually uses: [`rngs::StdRng`]
+//! (xoshiro256++ seeded via SplitMix64), [`SeedableRng::seed_from_u64`],
+//! and the [`Rng`]/[`RngExt`] method surface (`random`, `random_range`).
+//! Swap the `[workspace.dependencies]` path entry for the real crate when
+//! a registry is available; call sites need no changes.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core random source: a stream of `u64`s.
+pub trait Rng {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Construction of a generator from seed material.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed (expanded with SplitMix64).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Convenience sampling methods, blanket-implemented for every [`Rng`].
+pub trait RngExt: Rng {
+    /// Samples a value of type `T` from its standard distribution
+    /// (uniform over the type's range; `[0, 1)` for floats).
+    fn random<T: Random>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::random(self)
+    }
+
+    /// Samples uniformly from a range, e.g. `0..3` or `0..=i`.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+        R: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+}
+
+impl<R: Rng> RngExt for R {}
+
+/// Types samplable from their "standard" distribution.
+pub trait Random: Sized {
+    fn random<R: Rng>(rng: &mut R) -> Self;
+}
+
+impl Random for u64 {
+    #[inline]
+    fn random<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Random for u32 {
+    #[inline]
+    fn random<R: Rng>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Random for u8 {
+    #[inline]
+    fn random<R: Rng>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 56) as u8
+    }
+}
+
+impl Random for usize {
+    #[inline]
+    fn random<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Random for i64 {
+    #[inline]
+    fn random<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64() as i64
+    }
+}
+
+impl Random for i32 {
+    #[inline]
+    fn random<R: Rng>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as i32
+    }
+}
+
+impl Random for bool {
+    #[inline]
+    fn random<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Random for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    fn random<R: Rng>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Random for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    #[inline]
+    fn random<R: Rng>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Ranges that support uniform sampling.
+pub trait SampleRange<T> {
+    fn sample_from<R: Rng>(self, rng: &mut R) -> T;
+}
+
+/// Uniform `u64` in `[0, span)` by rejection sampling (unbiased).
+#[inline]
+fn uniform_u64<R: Rng>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    // Largest multiple of `span` that fits in u64; reject above it.
+    let zone = u64::MAX - (u64::MAX % span);
+    loop {
+        let v = rng.next_u64();
+        if v < zone {
+            return v % span;
+        }
+    }
+}
+
+// The span must be computed in 64-bit arithmetic: subtracting in the
+// narrow type and then casting sign-extends any wrapped value (e.g.
+// `-100i8..100` wraps to -56i8 → huge u64), so widen *before*
+// subtracting. `$w` is the width-64 type of matching signedness; for
+// signed types `(end as i64) - (start as i64)` wraps only for spans
+// ≥ 2^63, where the i64→u64 cast still yields the span mod 2^64,
+// which is exact because every span fits in 64 bits.
+macro_rules! impl_int_range {
+    ($($t:ty => $w:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_from<R: Rng>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as $w).wrapping_sub(self.start as $w) as u64;
+                self.start.wrapping_add(uniform_u64(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample_from<R: Rng>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi as $w).wrapping_sub(lo as $w) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(uniform_u64(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_range!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64
+);
+
+impl SampleRange<f64> for Range<f64> {
+    #[inline]
+    fn sample_from<R: Rng>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + f64::random(rng) * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    #[inline]
+    fn sample_from<R: Rng>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "empty range");
+        self.start + f32::random(rng) * (self.end - self.start)
+    }
+}
+
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// xoshiro256++ — fast, high-quality, and deterministic across
+    /// platforms. Not cryptographically secure (neither is the workload).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl Rng for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for i in 1usize..50 {
+            let v = rng.random_range(0..=i);
+            assert!(v <= i);
+            let w = rng.random_range(0..3);
+            assert!((0..3).contains(&w));
+        }
+        for _ in 0..1000 {
+            let x = rng.random_range(-3.0f64..3.0);
+            assert!((-3.0..3.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn signed_ranges_stay_in_bounds() {
+        // Regression: spans wider than the narrow type must not
+        // sign-extend (e.g. -100i8..100 has span 200 > i8::MAX).
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..2000 {
+            let v: i8 = rng.random_range(-100i8..100);
+            assert!((-100..100).contains(&v), "out of range: {v}");
+            let w: i32 = rng.random_range(-2_000_000_000i32..=2_000_000_000);
+            assert!((-2_000_000_000..=2_000_000_000).contains(&w));
+        }
+    }
+
+    #[test]
+    fn inclusive_range_hits_endpoints() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let (mut lo_seen, mut hi_seen) = (false, false);
+        for _ in 0..2000 {
+            match rng.random_range(0..=1usize) {
+                0 => lo_seen = true,
+                _ => hi_seen = true,
+            }
+        }
+        assert!(lo_seen && hi_seen);
+    }
+}

@@ -1,0 +1,95 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The build environment has no registry access, so this shim maps the
+//! parallel-iterator surface the workspace uses onto *sequential* std
+//! iterators: `par_iter()` is `iter()`, `par_chunks_mut(n)` is
+//! `chunks_mut(n)`, and every downstream combinator (`zip`, `map`, `sum`,
+//! `enumerate`, `for_each`, `collect`) is the ordinary [`Iterator`]
+//! method. Semantics are identical; only the parallel speedup is absent.
+//! [`current_num_threads`] returns 1 so threshold code like
+//! `len / block >= 2 * current_num_threads()` stays meaningful.
+//!
+//! Swap the `[workspace.dependencies]` path entry for the real crate when
+//! a registry is available; call sites need no changes.
+
+/// Number of worker threads (this shim executes sequentially).
+#[inline]
+pub fn current_num_threads() -> usize {
+    1
+}
+
+pub mod prelude {
+    /// `into_par_iter()` for owned collections and ranges.
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {}
+
+    /// `par_iter()` on slices (and, via deref, `Vec`).
+    pub trait ParallelSlice<T> {
+        fn par_iter(&self) -> std::slice::Iter<'_, T>;
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        #[inline]
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+
+        #[inline]
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(chunk_size)
+        }
+    }
+
+    /// `par_iter_mut()` / `par_chunks_mut()` on mutable slices.
+    pub trait ParallelSliceMut<T> {
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        #[inline]
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+            self.iter_mut()
+        }
+
+        #[inline]
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_iter() {
+        let v = [1, 2, 3, 4];
+        let s: i32 = v.par_iter().map(|x| x * 2).sum();
+        assert_eq!(s, 20);
+    }
+
+    #[test]
+    fn par_chunks_mut_covers_slice() {
+        let mut v = vec![0u8; 8];
+        v.par_chunks_mut(2).enumerate().for_each(|(i, c)| {
+            for x in c {
+                *x = i as u8;
+            }
+        });
+        assert_eq!(v, [0, 0, 1, 1, 2, 2, 3, 3]);
+    }
+
+    #[test]
+    fn range_into_par_iter() {
+        let s: usize = (0..10usize).into_par_iter().sum();
+        assert_eq!(s, 45);
+    }
+}

@@ -1,0 +1,151 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Emits marker-trait impls for the stand-in `serde` crate. With no
+//! registry access there is no `syn`/`quote`, so the item header is
+//! parsed directly from the raw [`TokenStream`]: skip attributes and
+//! visibility, find the `struct`/`enum` keyword, take the name, and
+//! capture any generic parameters verbatim.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// The pieces of an item header needed to emit a generic impl block.
+struct ItemHeader {
+    name: String,
+    /// Generic parameter list without the angle brackets, e.g. `T: Clone`.
+    generics: String,
+    /// The parameter names only, e.g. `T`, for the `for Name<T>` position.
+    generic_args: String,
+}
+
+fn parse_header(input: TokenStream) -> ItemHeader {
+    let mut tokens = input.into_iter().peekable();
+
+    // Skip attributes (`#[...]`), doc comments, and visibility.
+    let name = loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // Consume the bracketed attribute body.
+                let _ = tokens.next();
+            }
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    match tokens.next() {
+                        Some(TokenTree::Ident(n)) => break n.to_string(),
+                        other => panic!("expected item name after `{s}`, got {other:?}"),
+                    }
+                }
+                // `pub`, `pub(crate)` group, etc. — keep scanning.
+            }
+            Some(_) => {}
+            None => panic!("derive input ended before `struct`/`enum` keyword"),
+        }
+    };
+
+    // Capture generics if present: everything between the matching `<`...`>`.
+    let mut generics = String::new();
+    let mut generic_args = String::new();
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            tokens.next();
+            let mut depth = 1usize;
+            let mut toks: Vec<TokenTree> = Vec::new();
+            for tok in tokens.by_ref() {
+                match &tok {
+                    TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                    TokenTree::Punct(p) if p.as_char() == '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                toks.push(tok);
+            }
+            // Render via TokenStream's Display, which keeps joint tokens
+            // like `'a` glued together (a naive join(" ") yields `' a`).
+            generics = toks.iter().cloned().collect::<TokenStream>().to_string();
+            // Split the parameter list at top-level commas, then take each
+            // parameter's name: `'a` (lifetime), `N` from `const N: usize`,
+            // or the leading ident of a type parameter.
+            let mut names: Vec<String> = Vec::new();
+            let mut segments: Vec<Vec<&TokenTree>> = vec![Vec::new()];
+            let mut bound_depth = 0usize;
+            for tok in &toks {
+                match tok {
+                    TokenTree::Punct(p) if p.as_char() == '<' => bound_depth += 1,
+                    TokenTree::Punct(p) if p.as_char() == '>' => {
+                        bound_depth = bound_depth.saturating_sub(1);
+                    }
+                    TokenTree::Punct(p) if p.as_char() == ',' && bound_depth == 0 => {
+                        segments.push(Vec::new());
+                        continue;
+                    }
+                    _ => {}
+                }
+                segments.last_mut().expect("non-empty").push(tok);
+            }
+            for seg in segments.iter().filter(|s| !s.is_empty()) {
+                let name = match (seg.first(), seg.get(1)) {
+                    (Some(TokenTree::Punct(p)), Some(TokenTree::Ident(lt)))
+                        if p.as_char() == '\'' =>
+                    {
+                        format!("'{lt}")
+                    }
+                    (Some(TokenTree::Ident(kw)), Some(TokenTree::Ident(n)))
+                        if kw.to_string() == "const" =>
+                    {
+                        n.to_string()
+                    }
+                    (Some(TokenTree::Ident(n)), _) => n.to_string(),
+                    other => panic!("unsupported generic parameter shape: {other:?}"),
+                };
+                names.push(name);
+            }
+            generic_args = names.join(", ");
+        }
+    }
+
+    ItemHeader {
+        name,
+        generics,
+        generic_args,
+    }
+}
+
+fn marker_impl(input: TokenStream, trait_path: &str, extra_lifetime: Option<&str>) -> TokenStream {
+    let header = parse_header(input);
+    let mut params: Vec<String> = Vec::new();
+    if let Some(lt) = extra_lifetime {
+        params.push(lt.to_string());
+    }
+    if !header.generics.is_empty() {
+        params.push(header.generics.clone());
+    }
+    let impl_generics = if params.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", params.join(", "))
+    };
+    let ty_generics = if header.generic_args.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", header.generic_args)
+    };
+    let code = format!(
+        "impl{impl_generics} {trait_path} for {name}{ty_generics} {{}}",
+        name = header.name,
+    );
+    code.parse().expect("generated impl should parse")
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "serde::Serialize", None)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "serde::Deserialize<'de>", Some("'de"))
+}
