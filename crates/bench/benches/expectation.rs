@@ -35,6 +35,25 @@ fn bench_single_expectation(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_expectation_many(c: &mut Criterion) {
+    // The fused multi-observable kernel vs the per-term loop, on the
+    // acceptance workload: a 16-qubit state and all 49 one-local Paulis.
+    let mut group = c.benchmark_group("expectation_many_16q_49obs");
+    group.sample_size(20);
+    let state = prepared_state(16);
+    let fam = local_paulis(16, 1);
+    group.bench_function("per_term", |b| {
+        b.iter(|| {
+            let s: f64 = fam.iter().map(|p| state.expectation(p)).sum();
+            black_box(s)
+        })
+    });
+    group.bench_function("fused", |b| {
+        b.iter(|| black_box(state.expectation_many(&fam)))
+    });
+    group.finish();
+}
+
 fn bench_local_family(c: &mut Criterion) {
     // All ≤L-local observables on 4 qubits: the per-state cost of the
     // observable-construction strategy.
@@ -53,5 +72,10 @@ fn bench_local_family(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_single_expectation, bench_local_family);
+criterion_group!(
+    benches,
+    bench_single_expectation,
+    bench_expectation_many,
+    bench_local_family
+);
 criterion_main!(benches);

@@ -7,20 +7,10 @@ use pvqnn::features::{FeatureBackend, FeatureGenerator};
 use pvqnn::strategy::Strategy;
 use std::hint::black_box;
 
-fn toy_data(d: usize) -> Vec<Vec<f64>> {
-    (0..d)
-        .map(|i| {
-            (0..16)
-                .map(|j| 0.3 + 0.17 * ((i * 16 + j) % 23) as f64)
-                .collect()
-        })
-        .collect()
-}
-
 fn bench_strategies(c: &mut Criterion) {
     let mut group = c.benchmark_group("feature_generation_d32");
     group.sample_size(10);
-    let data = toy_data(32);
+    let data = bench::feature_data(32);
     let cases: Vec<(&str, Strategy)> = vec![
         (
             "ansatz_1order",
@@ -39,7 +29,7 @@ fn bench_strategies(c: &mut Criterion) {
 fn bench_backends(c: &mut Criterion) {
     let mut group = c.benchmark_group("feature_backends_d8_1local");
     group.sample_size(10);
-    let data = toy_data(8);
+    let data = bench::feature_data(8);
     let strategy = Strategy::observable_construction(4, 1);
     let backends = [
         ("exact", FeatureBackend::Exact),
@@ -66,5 +56,31 @@ fn bench_backends(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_strategies, bench_backends);
+fn bench_row_throughput(c: &mut Criterion) {
+    // Feature-row throughput of the hybrid strategy, and the same workload
+    // computed the pre-reuse way (full circuit from |0…0⟩ per shift, one
+    // state pass per observable) — the gap is the encoding-state-reuse +
+    // fused-expectation win.
+    let mut group = c.benchmark_group("feature_rows_hybrid_1o_1l");
+    group.sample_size(10);
+    let data = bench::feature_data(16);
+    let generator = FeatureGenerator::new(
+        Strategy::hybrid(fig8_ansatz(4), 1, 1),
+        FeatureBackend::Exact,
+    );
+    group.bench_function("reuse_encoding_state", |b| {
+        b.iter(|| black_box(generator.generate(&data)))
+    });
+    group.bench_function("naive_resimulate", |b| {
+        b.iter(|| black_box(bench::naive_feature_sweep(&generator, &data)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_strategies,
+    bench_backends,
+    bench_row_throughput
+);
 criterion_main!(benches);

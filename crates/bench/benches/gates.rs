@@ -1,29 +1,10 @@
 //! Gate-kernel microbenchmarks: validates the serial/parallel threshold
 //! choice in `qsim::state` (perf-book: measure, don't guess).
 
+use bench::layer_circuit;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use qsim::{Circuit, Gate, StateVector};
+use qsim::{Gate, StateVector};
 use std::hint::black_box;
-
-fn layer_circuit(n: usize) -> Circuit {
-    let mut c = Circuit::new(n);
-    for q in 0..n {
-        c.push(Gate::H(q));
-    }
-    for q in 0..n {
-        c.push(Gate::Ry(q, 0.3));
-    }
-    for q in 0..n {
-        c.push(Gate::Rz(q, 0.7));
-    }
-    for q in 0..n - 1 {
-        c.push(Gate::Cnot {
-            control: q,
-            target: q + 1,
-        });
-    }
-    c
-}
 
 fn bench_gate_layers(c: &mut Criterion) {
     let mut group = c.benchmark_group("gate_layers");
@@ -65,5 +46,46 @@ fn bench_single_gate_kinds(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_gate_layers, bench_single_gate_kinds);
+fn bench_thread_scaling(c: &mut Criterion) {
+    // The real thread pool on a 2^20-amplitude dense kernel: 1 thread vs
+    // every power of two up to the hardware count. Validates both the
+    // PARALLEL_THRESHOLD choice and the pool's scaling.
+    let mut group = c.benchmark_group("thread_scaling_20q_dense");
+    group.sample_size(10);
+    let n = 20;
+    let base = StateVector::from_circuit(&layer_circuit(n));
+    let hw = rayon::current_num_threads();
+    let mut counts = vec![1usize];
+    let mut t = 2;
+    while t <= hw {
+        counts.push(t);
+        t *= 2;
+    }
+    if *counts.last().unwrap() != hw {
+        counts.push(hw);
+    }
+    for threads in counts {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    rayon::with_num_threads(threads, || {
+                        let mut s = base.clone();
+                        s.apply_gate(black_box(&Gate::Ry(10, 0.4)));
+                        black_box(s)
+                    })
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_gate_layers,
+    bench_single_gate_kinds,
+    bench_thread_scaling
+);
 criterion_main!(benches);

@@ -1,14 +1,24 @@
 //! The SC-system experiment: strong scaling of the quantum feature stage
 //! over the simulated QPU pool, scheduler comparison, and the hybrid
-//! pipeline's stage breakdown.
+//! pipeline's stage breakdown — plus the single-node kernel metrics that
+//! are written to `BENCH_scaling.json` so CI can track the performance
+//! trajectory across PRs.
 //!
 //! Run: `cargo run -p bench --bin exp_scaling --release`
+//! Smoke mode (kernel metrics + JSON only, used by CI):
+//!      `cargo run -p bench --bin exp_scaling --release -- --smoke`
 
-use bench::{binary_task, TablePrinter};
+use bench::{
+    binary_task, feature_data, layer_circuit, naive_feature_sweep, time_secs, ScalingReport,
+    TablePrinter,
+};
 use hpcq::{strong_scaling, CircuitJob, HybridPipeline, QpuConfig, QpuPool, SchedulePolicy};
+use pauli::local_paulis;
 use pvqnn::ansatz::fig8_ansatz;
 use pvqnn::features::{FeatureBackend, FeatureGenerator};
 use pvqnn::strategy::Strategy;
+use qsim::StateVector;
+use std::path::Path;
 
 /// Builds the full Algorithm-1 job batch for the hybrid 1-order+1-local
 /// strategy: one job per (data point, shift), all 13 observables shared.
@@ -59,8 +69,97 @@ fn heavy_jobs(count: usize) -> Vec<CircuitJob> {
         .collect()
 }
 
+/// Measures the single-node kernel metrics and writes `BENCH_scaling.json`.
+///
+/// Metrics: gate-apply ns/amplitude, feature rows/s, shadow estimates/s,
+/// the fused-vs-per-term expectation speedup, the encoding-state-reuse
+/// speedup of `FeatureGenerator::generate` (both single-thread), and the
+/// thread-pool scaling factor on a large gate kernel.
+fn kernel_metrics() {
+    println!("-- single-node kernel metrics (written to BENCH_scaling.json) --");
+    let threads = rayon::current_num_threads();
+    let mut report = ScalingReport::new();
+    report.put_str("schema", "postvar.bench_scaling.v1");
+    report.put("threads", threads as f64);
+
+    // Gate application cost per amplitude: one dense layer on 2^18 amps.
+    let n = 18;
+    let circuit = layer_circuit(n);
+    let amps = (1usize << n) as f64;
+    let secs = time_secs(3, || StateVector::from_circuit(&circuit));
+    let gate_ns_per_amp = secs * 1e9 / (amps * circuit.len() as f64);
+    println!(
+        "gate apply:          {gate_ns_per_amp:>9.3} ns/amp ({} gates, 2^{n} amps)",
+        circuit.len()
+    );
+    report.put("gate_apply_ns_per_amp", gate_ns_per_amp);
+
+    // Thread-pool scaling on the same workload (1 thread vs all).
+    let t1 = rayon::with_num_threads(1, || time_secs(3, || StateVector::from_circuit(&circuit)));
+    let tn = time_secs(3, || StateVector::from_circuit(&circuit));
+    let pool_speedup = t1 / tn.max(1e-12);
+    println!("thread pool:         {pool_speedup:>9.2}x speedup at {threads} thread(s)");
+    report.put("thread_pool_speedup", pool_speedup);
+
+    // Fused multi-observable expectation vs the per-term loop: 16-qubit
+    // state, all 49 one-local Paulis (the acceptance workload).
+    let state = StateVector::from_circuit(&layer_circuit(16));
+    let fam = local_paulis(16, 1);
+    let t_per_term = time_secs(3, || fam.iter().map(|p| state.expectation(p)).sum::<f64>());
+    let t_fused = time_secs(3, || state.expectation_many(&fam).iter().sum::<f64>());
+    let fused_speedup = t_per_term / t_fused.max(1e-12);
+    println!(
+        "expectation_many:    {fused_speedup:>9.2}x vs per-term ({} observables, 16 qubits)",
+        fam.len()
+    );
+    report.put("expectation_many_speedup", fused_speedup);
+    report.put("expectation_many_observables", fam.len() as f64);
+
+    // Feature generation throughput (hybrid 1-order + 1-local, exact), and
+    // the encoding-state-reuse win over re-simulating S(x) per shift —
+    // both pinned to one thread so the ratio isolates the reuse.
+    let data = feature_data(16);
+    let generator = FeatureGenerator::new(
+        Strategy::hybrid(fig8_ansatz(4), 1, 1),
+        FeatureBackend::Exact,
+    );
+    let t_reuse = rayon::with_num_threads(1, || time_secs(3, || generator.generate(&data)));
+    let rows_per_s = data.len() as f64 / time_secs(3, || generator.generate(&data));
+    let t_naive = rayon::with_num_threads(1, || {
+        time_secs(3, || naive_feature_sweep(&generator, &data))
+    });
+    let reuse_speedup = t_naive / t_reuse.max(1e-12);
+    println!("feature rows:        {rows_per_s:>9.1} rows/s (hybrid 1o+1l, exact)");
+    println!("encoding reuse:      {reuse_speedup:>9.2}x vs re-simulating per shift (1 thread)");
+    report.put("features_rows_per_s", rows_per_s);
+    report.put("feature_reuse_speedup", reuse_speedup);
+
+    // Shadow estimation throughput: estimates/s over a shared snapshot set.
+    let shadow_state = StateVector::from_circuit(&layer_circuit(4));
+    let snapshots = shadows::ShadowProtocol::new(20_000, 7).acquire(&shadow_state);
+    let est = shadows::ShadowEstimator::new(snapshots, 10);
+    let shadow_fam = local_paulis(4, 2);
+    let t_shadow = time_secs(3, || est.estimate_many(&shadow_fam));
+    let est_per_s = shadow_fam.len() as f64 / t_shadow.max(1e-12);
+    println!(
+        "shadow estimates:    {est_per_s:>9.1} est/s ({} observables, 20k snapshots)\n",
+        shadow_fam.len()
+    );
+    report.put("shadows_est_per_s", est_per_s);
+
+    let path = Path::new("BENCH_scaling.json");
+    match report.write_to(path) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+    }
+}
+
 fn main() {
-    println!("== HPC-QC system: strong scaling of the quantum feature stage ==\n");
+    kernel_metrics();
+    if std::env::args().any(|a| a == "--smoke") {
+        return;
+    }
+    println!("\n== HPC-QC system: strong scaling of the quantum feature stage ==\n");
     let task = binary_task(50, 0, 3);
     let (jobs, p) = feature_jobs(&task.train_x, Some(256));
     println!(

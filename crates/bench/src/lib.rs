@@ -4,8 +4,13 @@
 //! figure of the paper (see DESIGN.md's experiment index), plus pretty
 //! table printing. Criterion microbenchmarks live in `benches/`.
 
+pub mod report;
 pub mod setup;
 pub mod table;
 
-pub use setup::{binary_task, multiclass_task, BinaryTask, MulticlassTask};
+pub use report::{time_secs, ScalingReport};
+pub use setup::{
+    binary_task, feature_data, layer_circuit, multiclass_task, naive_feature_sweep, BinaryTask,
+    MulticlassTask,
+};
 pub use table::TablePrinter;

@@ -1,0 +1,100 @@
+//! Machine-readable benchmark reports.
+//!
+//! The CI perf job runs the smoke benches and uploads the resulting
+//! `BENCH_scaling.json` as an artifact, so the performance trajectory is
+//! tracked across PRs instead of asserted in prose. JSON is hand-rolled
+//! (no `serde_json` in the offline vendor set): flat string/number fields
+//! only, which is all the schema needs.
+
+use std::io::Write;
+use std::path::Path;
+
+/// A flat metrics report serialised as a single JSON object.
+#[derive(Clone, Debug, Default)]
+pub struct ScalingReport {
+    strings: Vec<(String, String)>,
+    numbers: Vec<(String, f64)>,
+}
+
+impl ScalingReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a string field.
+    pub fn put_str(&mut self, key: &str, value: &str) {
+        self.strings.push((key.to_string(), value.to_string()));
+    }
+
+    /// Adds a numeric metric (non-finite values are recorded as `null`).
+    pub fn put(&mut self, key: &str, value: f64) {
+        self.numbers.push((key.to_string(), value));
+    }
+
+    /// The report as a JSON object string.
+    pub fn to_json(&self) -> String {
+        let mut fields: Vec<String> = Vec::with_capacity(self.strings.len() + self.numbers.len());
+        for (k, v) in &self.strings {
+            fields.push(format!("\"{}\": \"{}\"", escape(k), escape(v)));
+        }
+        for (k, v) in &self.numbers {
+            let num = if v.is_finite() {
+                format!("{v:.6}")
+            } else {
+                "null".to_string()
+            };
+            fields.push(format!("\"{}\": {num}", escape(k)));
+        }
+        format!("{{\n  {}\n}}\n", fields.join(",\n  "))
+    }
+
+    /// Writes the JSON report to `path`.
+    pub fn write_to(&self, path: &Path) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.to_json().as_bytes())
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Seconds per run of `f`, minimum over `reps` timed runs (one warm-up run
+/// first). Minimum — not mean — because scheduler noise only ever adds
+/// time.
+pub fn time_secs<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    assert!(reps >= 1);
+    std::hint::black_box(f());
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = std::time::Instant::now();
+        std::hint::black_box(f());
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape() {
+        let mut r = ScalingReport::new();
+        r.put_str("schema", "postvar.bench_scaling.v1");
+        r.put("gate_apply_ns_per_amp", 1.25);
+        r.put("bad", f64::NAN);
+        let j = r.to_json();
+        assert!(j.starts_with('{') && j.ends_with("}\n"));
+        assert!(j.contains("\"schema\": \"postvar.bench_scaling.v1\""));
+        assert!(j.contains("\"gate_apply_ns_per_amp\": 1.250000"));
+        assert!(j.contains("\"bad\": null"));
+    }
+
+    #[test]
+    fn time_secs_is_positive() {
+        let t = time_secs(2, || (0..1000u64).sum::<u64>());
+        assert!(t >= 0.0 && t.is_finite());
+    }
+}

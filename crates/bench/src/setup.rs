@@ -1,8 +1,60 @@
 //! Dataset assembly matching the paper's experimental protocol (§VII.B):
 //! binary coat-vs-shirt with 200 train + 50 test per class, and 10-class
-//! multiclass with 400 evenly sampled training images.
+//! multiclass with 400 evenly sampled training images — plus the shared
+//! kernel-bench workloads used by both the Criterion benches and the
+//! `BENCH_scaling.json` metrics, so the two measurements can never drift
+//! onto different baselines.
 
+use pvqnn::features::FeatureGenerator;
 use qdata::{fashion_synthetic, preprocess_4x4, Dataset, FashionClass, SynthConfig};
+use qsim::{Circuit, Gate, StateVector};
+
+/// A dense rotation + entangler layer circuit on `n` qubits — the gate mix
+/// the kernel benches apply.
+pub fn layer_circuit(n: usize) -> Circuit {
+    let mut c = Circuit::new(n);
+    for q in 0..n {
+        c.push(Gate::H(q));
+        c.push(Gate::Ry(q, 0.3 + 0.01 * q as f64));
+        c.push(Gate::Rz(q, 0.7));
+    }
+    for q in 0..n - 1 {
+        c.push(Gate::Cnot {
+            control: q,
+            target: q + 1,
+        });
+    }
+    c
+}
+
+/// Deterministic feature rows in the Fig. 7 shape (16 features per row).
+pub fn feature_data(d: usize) -> Vec<Vec<f64>> {
+    (0..d)
+        .map(|i| {
+            (0..16)
+                .map(|j| 0.3 + 0.17 * ((i * 16 + j) % 23) as f64)
+                .collect()
+        })
+        .collect()
+}
+
+/// The pre-optimisation feature sweep used as the reuse-speedup baseline:
+/// one full circuit simulation from `|0…0⟩` per (row, shift) and one state
+/// pass per observable. Returns a value sum so the work can't be elided.
+pub fn naive_feature_sweep(generator: &FeatureGenerator, data: &[Vec<f64>]) -> f64 {
+    let obs = generator.strategy().observables();
+    let p = generator.strategy().num_ansatze();
+    let mut acc = 0.0;
+    for x in data {
+        for a in 0..p {
+            let s = StateVector::from_circuit(&generator.circuit_for(x, a));
+            for o in obs {
+                acc += s.expectation(o);
+            }
+        }
+    }
+    acc
+}
 
 /// A harder generator setting than the library default: larger positional
 /// jitter pushes silhouettes across max-pool cell boundaries, so the 16

@@ -29,7 +29,7 @@ pub use dense::{pauli_to_dense, sum_to_dense, CMat};
 pub use enumerate::{local_pauli_count, local_paulis, LocalPauliIter};
 pub use phase::PhaseI;
 pub use single::Pauli;
-pub use string::PauliString;
+pub use string::{BasisKernel, PauliString};
 pub use sum::PauliSum;
 
 /// Maximum number of qubits supported by the bitmask representation.

@@ -20,6 +20,23 @@ pub struct PauliString {
     z: u64,
 }
 
+/// Precomputed basis-action data of one string, ready for hot expectation
+/// loops: `P|b⟩ = phase · (−1)^{|b ∧ z|} |b ⊕ x⟩`.
+///
+/// Hoisting this out of per-amplitude loops lets fused multi-observable
+/// kernels (e.g. `StateVector::expectation_many`) evaluate many strings in
+/// one pass over the amplitudes without touching [`PauliString`] methods
+/// per element.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BasisKernel {
+    /// X-type mask: the basis flip `b → b ⊕ x`.
+    pub x: u64,
+    /// Z-type mask: the sign `(−1)^{|b ∧ z|}`.
+    pub z: u64,
+    /// Global phase `i^{#Y}` from the `Y` letters.
+    pub phase: PhaseI,
+}
+
 impl PauliString {
     /// The identity string on `n` qubits.
     ///
@@ -192,6 +209,17 @@ impl PauliString {
         (a + b).is_multiple_of(2)
     }
 
+    /// Precomputes the basis-action kernel (masks and `Y` phase) for hot
+    /// expectation loops; see [`BasisKernel`].
+    #[inline]
+    pub fn basis_kernel(&self) -> BasisKernel {
+        BasisKernel {
+            x: self.x,
+            z: self.z,
+            phase: PhaseI::from_power(self.y_count() as u32),
+        }
+    }
+
     /// Action on a computational-basis state: `P |b⟩ = λ(b) |b ⊕ x⟩`.
     ///
     /// Returns `(λ(b), b ⊕ x)` where `λ(b) = i^{#Y} · (−1)^{|b ∧ z|}` is a
@@ -323,6 +351,22 @@ mod tests {
         assert_eq!((ph, b2), (PhaseI::I, 1));
         let (ph, b2) = y0.apply_to_basis(1);
         assert_eq!((ph, b2), (PhaseI::MINUS_I, 0));
+    }
+
+    #[test]
+    fn basis_kernel_matches_apply_to_basis() {
+        for s in ["XIZY", "YYYY", "ZZII", "IXIX", "IIII"] {
+            let p = PauliString::parse(s).unwrap();
+            let k = p.basis_kernel();
+            assert_eq!(k.x, p.x_mask(), "{s}");
+            assert_eq!(k.z, p.z_mask(), "{s}");
+            for b in 0..16u64 {
+                let (phase, b2) = p.apply_to_basis(b);
+                assert_eq!(b2, b ^ k.x, "{s} b={b}");
+                let sign_power = 2 * (b & k.z).count_ones();
+                assert_eq!(phase, k.phase * PhaseI::from_power(sign_power), "{s} b={b}");
+            }
+        }
     }
 
     #[test]

@@ -24,10 +24,25 @@ use crate::C64;
 use pauli::{PauliString, PauliSum};
 use rayon::prelude::*;
 
-/// Amplitude count above which kernels use rayon. `2^14` doubles ≈ 256 KiB,
-/// around where per-thread work starts to dominate rayon's overhead on
-/// typical hardware; validated in `bench/benches/gates.rs`.
-pub const PARALLEL_THRESHOLD: usize = 1 << 14;
+/// Tolerance below which a rotation angle counts as the identity and its
+/// gate is skipped by [`StateVector::apply_circuit`]; matches the
+/// transpile-time `Circuit::elide_identities` default.
+const IDENTITY_TOL: f64 = 1e-12;
+
+/// Amplitude count above which kernels use rayon. The vendored rayon spawns
+/// scoped threads per call (no persistent pool), costing ~10–25 µs per
+/// worker on Linux; a dense 2^14-amp kernel runs in ~30–60 µs single-thread,
+/// so fan-out only pays for itself from ~2^16 amplitudes (1 MiB of doubles)
+/// upward. Re-validated with `bench/benches/gates.rs` (`thread_scaling`
+/// group).
+pub const PARALLEL_THRESHOLD: usize = 1 << 16;
+
+/// Fixed amplitude-chunk size for the fused multi-observable kernel: 2^11
+/// doubles ≈ 32 KiB keeps a chunk L1-resident while every observable's
+/// tight loop re-reads it. Chunk boundaries must not depend on the thread
+/// count so partial sums combine in a deterministic order (bit-for-bit
+/// reproducible results for any thread count).
+const EXPECTATION_CHUNK: usize = 1 << 11;
 
 /// A pure `n`-qubit state.
 #[derive(Clone, Debug)]
@@ -136,10 +151,17 @@ impl StateVector {
         }
     }
 
-    /// Applies every gate of a circuit in order.
+    /// Applies every gate of a circuit in order, skipping gates that are
+    /// the identity to tolerance (zero-angle rotations from the paper's
+    /// zero-initialised shift grids) — a full state pass saved per elided
+    /// gate, even for circuits that never went through
+    /// `Circuit::elide_identities`.
     pub fn apply_circuit(&mut self, c: &Circuit) {
         assert_eq!(c.num_qubits(), self.n, "qubit-count mismatch");
         for g in c.gates() {
+            if g.is_identity(IDENTITY_TOL) {
+                continue;
+            }
             self.apply_gate(g);
         }
     }
@@ -317,9 +339,242 @@ impl StateVector {
         val.re
     }
 
-    /// Expectation of a weighted Pauli sum.
+    /// Exact expectations of **many** Pauli strings in one cache-friendly
+    /// sweep over the amplitudes — the fused kernel behind Algorithm 1's
+    /// per-state observable batches.
+    ///
+    /// Per string the basis action is precomputed once
+    /// ([`pauli::BasisKernel`]); the sweep walks the amplitudes in
+    /// cache-resident chunks and, within each chunk, runs one tight
+    /// branch-free loop per string (loop-invariant masks in registers), so
+    /// every string reads the chunk while it is still hot instead of
+    /// streaming the whole state once per observable. Two structural facts
+    /// cut the arithmetic further:
+    ///
+    /// * **diagonal** strings (`x = 0`) need only `±|ψ[b]|²` — pure real
+    ///   arithmetic, no second amplitude load;
+    /// * **off-diagonal** strings pair `b ↔ b ⊕ x` into complex-conjugate
+    ///   contributions, so only the representative with the highest `x`
+    ///   bit clear is visited (half the work) and only the real component
+    ///   `2·Re(i^{#Y} · conj(ψ[b⊕x]) ψ[b] (−1)^{|b∧z|})` is accumulated.
+    ///
+    /// Amplitude chunking is fixed-size and combined in chunk order, so
+    /// results are bit-for-bit identical for any thread count.
+    pub fn expectation_many(&self, paulis: &[PauliString]) -> Vec<f64> {
+        if paulis.is_empty() {
+            return Vec::new();
+        }
+        struct Diag {
+            z: usize,
+            out: usize,
+        }
+        struct OffDiag {
+            x: usize,
+            z: usize,
+            /// Highest set bit of `x`: `b` is the pair representative iff
+            /// this bit is clear.
+            high: usize,
+            /// Which component of `t = conj(ψ[b⊕x])·ψ[b]` carries
+            /// `Re(i^{#Y}·t)`: `Im(t)` when the `Y` count is odd, `Re(t)`
+            /// when even.
+            use_im: bool,
+            /// Its sign (`Re, −Im, −Re, +Im` for `#Y ≡ 0, 1, 2, 3`).
+            coef: f64,
+            out: usize,
+        }
+        let m = paulis.len();
+        let mut diags: Vec<Diag> = Vec::new();
+        let mut offs: Vec<OffDiag> = Vec::new();
+        for (k, p) in paulis.iter().enumerate() {
+            assert_eq!(p.num_qubits(), self.n, "qubit-count mismatch");
+            let kern = p.basis_kernel();
+            if kern.x == 0 {
+                diags.push(Diag {
+                    z: kern.z as usize,
+                    out: k,
+                });
+            } else {
+                // Re(i^{#Y}·t) = Re, −Im, −Re, +Im of t for #Y ≡ 0..3.
+                let (use_im, coef) = match kern.phase.power() {
+                    0 => (false, 1.0),
+                    1 => (true, -1.0),
+                    2 => (false, -1.0),
+                    _ => (true, 1.0),
+                };
+                offs.push(OffDiag {
+                    x: kern.x as usize,
+                    z: kern.z as usize,
+                    high: 1usize << (63 - kern.x.leading_zeros()),
+                    use_im,
+                    coef,
+                    out: k,
+                });
+            }
+        }
+        let amps = &self.amps;
+        // ±1 from the Z-mask parity, branch-free.
+        #[inline(always)]
+        fn parity_sign(b: usize, z: usize) -> f64 {
+            1.0 - 2.0 * ((b & z).count_ones() & 1) as f64
+        }
+        // Partial sums over amplitudes [lo, hi). `lo` is aligned to the
+        // power-of-two length `hi - lo`, which the run decomposition below
+        // relies on: over a run of indices sharing their upper bits the
+        // Z-parity sign only depends on those upper bits, so it is hoisted
+        // out and computed once per run — the inner loops are pure
+        // floating-point (for 1-local strings, entirely popcount-free).
+        let scan = |lo: usize, hi: usize| -> Vec<f64> {
+            let clen = hi - lo;
+            let mut acc = vec![0.0f64; m];
+            // Norm sum of a contiguous slice (bounds-check-free).
+            let norms = |base: usize, len: usize| -> f64 {
+                let mut s = 0.0;
+                for a in &amps[base..base + len] {
+                    s += a.norm_sqr();
+                }
+                s
+            };
+            for d in &diags {
+                let mut s = 0.0;
+                if d.z == 0 {
+                    // Identity: plain norm sum.
+                    s = norms(lo, clen);
+                } else {
+                    // Sign is constant over runs below the lowest Z bit and
+                    // alternates between adjacent runs; parity over the
+                    // remaining Z bits only changes with the run base.
+                    let zl = d.z & d.z.wrapping_neg();
+                    if zl >= clen {
+                        s = parity_sign(lo, d.z) * norms(lo, clen);
+                    } else {
+                        let z_base = d.z & !(2 * zl - 1);
+                        let mut base = lo;
+                        while base < hi {
+                            let sign = if z_base == 0 {
+                                1.0
+                            } else {
+                                parity_sign(base, z_base)
+                            };
+                            s += sign * (norms(base, zl) - norms(base + zl, zl));
+                            base += 2 * zl;
+                        }
+                    }
+                }
+                acc[d.out] = s;
+            }
+            for o in &offs {
+                // Sum of the pair component (Re(t) or Im(t) of
+                // t = conj(ψ[b⊕x])·ψ[b]) over one representative run:
+                // `cur` holds the representatives, `par` their partners
+                // (same run permuted by the low X bits `x_in`), and `z_in`
+                // is the Z parity that still varies inside the run.
+                let run_sum = |cur_base: usize, par_base: usize, len: usize| -> f64 {
+                    let x_in = o.x & (len - 1);
+                    let z_in = o.z & (len - 1);
+                    let cur = &amps[cur_base..cur_base + len];
+                    let par = &amps[par_base..par_base + len];
+                    let mut run = 0.0;
+                    if x_in == 0 && z_in == 0 {
+                        // Common fast path (every ≤2-local string lands
+                        // here): two parallel streams, no index math, and
+                        // two interleaved accumulator chains to hide FP-add
+                        // latency (a fixed tree — still deterministic).
+                        let (mut r0, mut r1) = (0.0, 0.0);
+                        let mut cur2 = cur.chunks_exact(2);
+                        let mut par2 = par.chunks_exact(2);
+                        if o.use_im {
+                            for (c, a) in (&mut cur2).zip(&mut par2) {
+                                r0 += a[0].re * c[0].im - a[0].im * c[0].re;
+                                r1 += a[1].re * c[1].im - a[1].im * c[1].re;
+                            }
+                            for (c, a) in cur2.remainder().iter().zip(par2.remainder()) {
+                                r0 += a.re * c.im - a.im * c.re;
+                            }
+                        } else {
+                            for (c, a) in (&mut cur2).zip(&mut par2) {
+                                r0 += a[0].re * c[0].re + a[0].im * c[0].im;
+                                r1 += a[1].re * c[1].re + a[1].im * c[1].im;
+                            }
+                            for (c, a) in cur2.remainder().iter().zip(par2.remainder()) {
+                                r0 += a.re * c.re + a.im * c.im;
+                            }
+                        }
+                        run = r0 + r1;
+                    } else {
+                        for (t, c) in cur.iter().enumerate() {
+                            let a = par[t ^ x_in];
+                            let v = if o.use_im {
+                                a.re * c.im - a.im * c.re
+                            } else {
+                                a.re * c.re + a.im * c.im
+                            };
+                            run += if z_in == 0 {
+                                v
+                            } else {
+                                parity_sign(t, z_in) * v
+                            };
+                        }
+                    }
+                    run
+                };
+                let mut s = 0.0;
+                if o.high >= clen {
+                    // The `high` bit is constant across this aligned chunk:
+                    // either every index is a representative or none is.
+                    // Partners live in the mirror chunk at `lo ^ x_out`.
+                    if lo & o.high == 0 {
+                        let x_out = o.x & !(clen - 1);
+                        s = parity_sign(lo, o.z) * run_sum(lo, lo ^ x_out, clen);
+                    }
+                } else {
+                    // Representatives come in runs of `high` (stride
+                    // 2·high); the run's upper-bit sign is hoisted. Bits of
+                    // Z at or below `high` never contribute to it.
+                    let z_base = o.z & !(2 * o.high - 1);
+                    let mut base = lo;
+                    while base < hi {
+                        let sign = if z_base == 0 {
+                            1.0
+                        } else {
+                            parity_sign(base, z_base)
+                        };
+                        s += sign * run_sum(base, base + o.high, o.high);
+                        base += 2 * o.high;
+                    }
+                }
+                acc[o.out] = o.coef * s;
+            }
+            acc
+        };
+        let len = amps.len();
+        let mut total: Vec<f64> = if len >= PARALLEL_THRESHOLD {
+            let chunks = len / EXPECTATION_CHUNK;
+            let partials: Vec<Vec<f64>> = (0..chunks)
+                .into_par_iter()
+                .map(|ci| scan(ci * EXPECTATION_CHUNK, (ci + 1) * EXPECTATION_CHUNK))
+                .collect();
+            let mut total = vec![0.0f64; m];
+            for part in partials {
+                for (t, v) in total.iter_mut().zip(part) {
+                    *t += v;
+                }
+            }
+            total
+        } else {
+            scan(0, len)
+        };
+        for o in &offs {
+            total[o.out] *= 2.0;
+        }
+        total
+    }
+
+    /// Expectation of a weighted Pauli sum; all terms are evaluated by one
+    /// fused [`Self::expectation_many`] pass over the amplitudes.
     pub fn expectation_sum(&self, o: &PauliSum) -> f64 {
-        o.terms().iter().map(|(c, p)| c * self.expectation(p)).sum()
+        let paulis: Vec<PauliString> = o.terms().iter().map(|(_, p)| *p).collect();
+        let values = self.expectation_many(&paulis);
+        o.terms().iter().zip(values).map(|((c, _), v)| c * v).sum()
     }
 }
 
@@ -542,11 +797,10 @@ mod tests {
 
     #[test]
     fn parallel_kernels_match_serial_on_large_state() {
-        // 15 qubits crosses PARALLEL_THRESHOLD; compare against an 8-qubit
-        // sub-circuit embedded identically. Instead, easier: apply the same
-        // circuit twice on a large register and verify norm + a known
-        // analytic expectation.
-        let n = 15;
+        // 17 qubits crosses PARALLEL_THRESHOLD (2^16 amplitudes); apply a
+        // layered circuit on a large register and verify norm, then undo it
+        // and verify return to |0⟩.
+        let n = 17;
         let mut c = Circuit::new(n);
         for q in 0..n {
             c.push(Gate::H(q));
@@ -567,6 +821,94 @@ mod tests {
         full.extend(&c.dagger());
         let s2 = StateVector::from_circuit(&full);
         assert!((s2.probability(0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expectation_many_matches_per_term() {
+        // Entangled 5-qubit state; a family mixing diagonal (I/Z-only),
+        // X-type, and Y-bearing strings.
+        let mut c = Circuit::new(5);
+        for q in 0..5 {
+            c.push(Gate::H(q));
+            c.push(Gate::Rz(q, 0.31 * (q as f64 + 1.0)));
+            c.push(Gate::Ry(q, -0.47 + 0.2 * q as f64));
+        }
+        for q in 0..4 {
+            c.push(Gate::Cnot {
+                control: q,
+                target: q + 1,
+            });
+        }
+        let s = StateVector::from_circuit(&c);
+        let fam: Vec<PauliString> = [
+            "IIIII", "ZIIII", "IIZIZ", "ZZZZZ", "XIIII", "IXXII", "YIIII", "IYZIX", "YYIIZ",
+            "XYZXY",
+        ]
+        .iter()
+        .map(|t| PauliString::parse(t).unwrap())
+        .collect();
+        let fused = s.expectation_many(&fam);
+        assert_eq!(fused.len(), fam.len());
+        for (p, &v) in fam.iter().zip(fused.iter()) {
+            assert!(
+                (v - s.expectation(p)).abs() < 1e-12,
+                "{p}: fused {v} vs per-term {}",
+                s.expectation(p)
+            );
+        }
+    }
+
+    #[test]
+    fn expectation_many_above_parallel_threshold() {
+        // 17 qubits exercises the chunked parallel path of the fused kernel.
+        let n = 17;
+        let mut c = Circuit::new(n);
+        for q in 0..n {
+            c.push(Gate::Ry(q, 0.1 + 0.05 * q as f64));
+        }
+        for q in 0..n - 1 {
+            c.push(Gate::Cnot {
+                control: q,
+                target: q + 1,
+            });
+        }
+        let s = StateVector::from_circuit(&c);
+        let fam = vec![
+            PauliString::single(n, 0, Pauli::Z),
+            PauliString::single(n, n - 1, Pauli::X),
+            PauliString::single(n, 7, Pauli::Y),
+            PauliString::identity(n),
+        ];
+        let fused = s.expectation_many(&fam);
+        for (p, &v) in fam.iter().zip(fused.iter()) {
+            assert!((v - s.expectation(p)).abs() < 1e-10, "{p}");
+        }
+    }
+
+    #[test]
+    fn expectation_many_empty_is_empty() {
+        let s = StateVector::zero_state(2);
+        assert!(s.expectation_many(&[]).is_empty());
+    }
+
+    #[test]
+    fn apply_circuit_skips_identity_gates() {
+        // A circuit containing exact-zero rotations must act exactly like
+        // its elided counterpart.
+        let mut c = Circuit::new(3);
+        c.push(Gate::H(0));
+        c.push(Gate::Rx(1, 0.0));
+        c.push(Gate::Ry(2, 0.8));
+        c.push(Gate::Rz(0, 0.0));
+        c.push(Gate::Cnot {
+            control: 0,
+            target: 1,
+        });
+        let full = StateVector::from_circuit(&c);
+        let elided = StateVector::from_circuit(&c.elide_identities(1e-12));
+        for (a, b) in full.amplitudes().iter().zip(elided.amplitudes()) {
+            assert!((a - b).norm() < 1e-15);
+        }
     }
 
     #[test]

@@ -4,12 +4,21 @@ use pauli::{Pauli, PauliString};
 
 /// A single randomized-measurement record: the per-qubit basis that was
 /// measured and the observed bitstring.
+///
+/// The bases are also stored as a symplectic mask pair `(bx, bz)` (bit `k`
+/// of `bx`/`bz` set iff basis `k` is X-or-Y / Z-or-Y), precomputed once at
+/// construction so estimators can test basis agreement with a handful of
+/// mask operations instead of a per-qubit letter walk.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Snapshot {
     /// Measurement basis per qubit (always X, Y or Z — never I).
     bases: Vec<Pauli>,
     /// Measured bits; bit `k` is qubit `k`'s outcome.
     outcome: u64,
+    /// X-type basis mask (bit `k` set iff basis `k` ∈ {X, Y}).
+    bx: u64,
+    /// Z-type basis mask (bit `k` set iff basis `k` ∈ {Z, Y}).
+    bz: u64,
 }
 
 impl Snapshot {
@@ -23,7 +32,22 @@ impl Snapshot {
             "measurement basis must be X, Y or Z on every qubit"
         );
         assert!(!bases.is_empty() && bases.len() <= 64);
-        Snapshot { bases, outcome }
+        let (mut bx, mut bz) = (0u64, 0u64);
+        for (k, b) in bases.iter().enumerate() {
+            let (xb, zb) = b.xz_bits();
+            if xb {
+                bx |= 1u64 << k;
+            }
+            if zb {
+                bz |= 1u64 << k;
+            }
+        }
+        Snapshot {
+            bases,
+            outcome,
+            bx,
+            bz,
+        }
     }
 
     /// Number of qubits.
@@ -54,24 +78,27 @@ impl Snapshot {
         self.outcome
     }
 
+    /// The precomputed symplectic basis masks `(bx, bz)`.
+    #[inline]
+    pub fn basis_masks(&self) -> (u64, u64) {
+        (self.bx, self.bz)
+    }
+
     /// The single-snapshot estimator of `tr(P ρ)` for Pauli string `p`:
     ///
     /// `∏_{k ∈ supp(P)} [basis_k = P_k] · 3 · (±1)_k`, i.e. `3^{|P|}`
     /// times the outcome sign when all support bases match, else 0.
     /// Identity qubits always contribute factor 1.
+    ///
+    /// Evaluated with mask arithmetic: the bases agree on the whole
+    /// support iff both symplectic masks match there.
     pub fn estimate_pauli(&self, p: &PauliString) -> f64 {
         debug_assert_eq!(p.num_qubits(), self.num_qubits());
-        let mut value = 1.0;
-        let mut support = p.support_mask();
-        while support != 0 {
-            let q = support.trailing_zeros() as usize;
-            support &= support - 1;
-            if self.bases[q] != p.get(q) {
-                return 0.0;
-            }
-            value *= 3.0 * self.eigenvalue(q);
+        let supp = p.support_mask();
+        if (self.bx ^ p.x_mask()) & supp != 0 || (self.bz ^ p.z_mask()) & supp != 0 {
+            return 0.0;
         }
-        value
+        3f64.powi(supp.count_ones() as i32) * p.outcome_sign(self.outcome)
     }
 }
 

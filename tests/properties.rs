@@ -161,4 +161,60 @@ proptest! {
             prop_assert!(v.abs() <= 1.0 + 1e-9);
         }
     }
+
+    #[test]
+    fn expectation_many_matches_per_term(
+        c in circuit(4, 16),
+        paulis in proptest::collection::vec(pauli_string(4), 1..12),
+    ) {
+        let s = StateVector::from_circuit(&c);
+        let fused = s.expectation_many(&paulis);
+        prop_assert_eq!(fused.len(), paulis.len());
+        for (p, &v) in paulis.iter().zip(fused.iter()) {
+            let per_term = s.expectation(p);
+            prop_assert!(
+                (v - per_term).abs() < 1e-10,
+                "{}: fused {} vs per-term {}", p, v, per_term
+            );
+        }
+    }
+}
+
+// Thread-count determinism needs states above PARALLEL_THRESHOLD (2^16
+// amplitudes → 17 qubits), so these run with fewer cases.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn parallel_kernels_bit_identical_across_thread_counts(c in circuit(17, 10)) {
+        // Gate kernels write disjoint items and reductions use fixed
+        // chunking, so 1-thread and 4-thread runs must agree bit-for-bit.
+        let s1 = rayon::with_num_threads(1, || StateVector::from_circuit(&c));
+        let s4 = rayon::with_num_threads(4, || StateVector::from_circuit(&c));
+        for (a, b) in s1.amplitudes().iter().zip(s4.amplitudes()) {
+            prop_assert_eq!(a.re.to_bits(), b.re.to_bits());
+            prop_assert_eq!(a.im.to_bits(), b.im.to_bits());
+        }
+        let p = PauliString::from_masks(17, 0b1, 0b10);
+        let e1 = rayon::with_num_threads(1, || s1.expectation(&p));
+        let e4 = rayon::with_num_threads(4, || s1.expectation(&p));
+        prop_assert_eq!(e1.to_bits(), e4.to_bits());
+        let i1 = rayon::with_num_threads(1, || s1.inner(&s4));
+        let i4 = rayon::with_num_threads(4, || s1.inner(&s4));
+        prop_assert_eq!(i1.re.to_bits(), i4.re.to_bits());
+        prop_assert_eq!(i1.im.to_bits(), i4.im.to_bits());
+    }
+
+    #[test]
+    fn expectation_many_bit_identical_across_thread_counts(
+        c in circuit(17, 10),
+        paulis in proptest::collection::vec(pauli_string(17), 1..6),
+    ) {
+        let s = StateVector::from_circuit(&c);
+        let v1 = rayon::with_num_threads(1, || s.expectation_many(&paulis));
+        let v4 = rayon::with_num_threads(4, || s.expectation_many(&paulis));
+        for (a, b) in v1.iter().zip(v4.iter()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
 }

@@ -1,66 +1,633 @@
-//! Offline stand-in for `rayon`.
+//! Offline stand-in for `rayon`, backed by **real threads**.
 //!
-//! The build environment has no registry access, so this shim maps the
-//! parallel-iterator surface the workspace uses onto *sequential* std
-//! iterators: `par_iter()` is `iter()`, `par_chunks_mut(n)` is
-//! `chunks_mut(n)`, and every downstream combinator (`zip`, `map`, `sum`,
-//! `enumerate`, `for_each`, `collect`) is the ordinary [`Iterator`]
-//! method. Semantics are identical; only the parallel speedup is absent.
-//! [`current_num_threads`] returns 1 so threshold code like
-//! `len / block >= 2 * current_num_threads()` stays meaningful.
+//! The build environment has no registry access, so this shim provides the
+//! parallel-iterator surface the workspace uses (`par_iter`,
+//! `par_iter_mut`, `par_chunks[_mut]`, `into_par_iter`, and the
+//! `map`/`zip`/`enumerate`/`for_each`/`sum`/`collect` combinators) on top
+//! of `std::thread::scope`: each terminal operation splits its source into
+//! contiguous parts and fans the parts out over
+//! [`current_num_threads`] scoped worker threads. Semantics match rayon's
+//! indexed parallel iterators — results come back in source order.
+//!
+//! Determinism guarantees, relied on by the workspace's property tests:
+//!
+//! * `for_each` and `collect` touch disjoint items, so results are
+//!   bit-for-bit identical for any thread count.
+//! * `sum` reduces over **fixed-size chunks** ([`SUM_CHUNK`] items) whose
+//!   boundaries do not depend on the thread count, and combines the
+//!   partial sums in chunk order — so floating-point sums are also
+//!   bit-for-bit identical whether run on 1 thread or 64.
+//!
+//! Thread count resolution: `POSTVAR_NUM_THREADS` env var, then
+//! `RAYON_NUM_THREADS`, then `std::thread::available_parallelism()`.
+//! [`with_num_threads`] pins the count for a closure (used by tests and
+//! benches to compare thread counts in-process). Nested parallel calls
+//! from inside a worker run sequentially instead of spawning recursively.
 //!
 //! Swap the `[workspace.dependencies]` path entry for the real crate when
 //! a registry is available; call sites need no changes.
 
-/// Number of worker threads (this shim executes sequentially).
+use std::cell::Cell;
+use std::sync::OnceLock;
+
+/// Items per partial reduction in [`ParallelIterator::sum`]. Fixed (not
+/// thread-count-dependent) so the reduction tree — and therefore the
+/// floating-point result — is identical for any thread count.
+pub const SUM_CHUNK: usize = 1 << 12;
+
+thread_local! {
+    /// Per-thread override installed by [`with_num_threads`] (0 = none).
+    static THREAD_OVERRIDE: Cell<usize> = const { Cell::new(0) };
+    /// Set inside pool workers so nested parallel calls run sequentially
+    /// instead of spawning threads recursively.
+    static IN_POOL: Cell<bool> = const { Cell::new(false) };
+}
+
+fn default_threads() -> usize {
+    static CACHE: OnceLock<usize> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        std::env::var("POSTVAR_NUM_THREADS")
+            .or_else(|_| std::env::var("RAYON_NUM_THREADS"))
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|p| p.get())
+                    .unwrap_or(1)
+            })
+    })
+}
+
+/// Number of worker threads parallel operations fan out over.
 #[inline]
 pub fn current_num_threads() -> usize {
-    1
+    let o = THREAD_OVERRIDE.with(Cell::get);
+    if o != 0 {
+        o
+    } else {
+        default_threads()
+    }
+}
+
+/// Runs `f` with the thread count pinned to `n` on the calling thread
+/// (restored afterwards, even on panic). Lets tests and benches compare
+/// e.g. 1-thread and 4-thread execution in one process.
+pub fn with_num_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    assert!(n >= 1, "thread count must be at least 1");
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(THREAD_OVERRIDE.with(|c| {
+        let prev = c.get();
+        c.set(n);
+        prev
+    }));
+    f()
+}
+
+/// RAII marker for pool workers: suppresses nested fan-out for its scope.
+struct PoolGuard(bool);
+
+impl PoolGuard {
+    fn enter() -> Self {
+        PoolGuard(IN_POOL.with(|c| {
+            let prev = c.get();
+            c.set(true);
+            prev
+        }))
+    }
+}
+
+impl Drop for PoolGuard {
+    fn drop(&mut self) {
+        IN_POOL.with(|c| c.set(self.0));
+    }
+}
+
+/// Threads a terminal operation may fan out over right now (1 when the
+/// caller is itself a pool worker).
+fn fanout() -> usize {
+    if IN_POOL.with(Cell::get) {
+        1
+    } else {
+        current_num_threads()
+    }
+}
+
+/// Splits `iter` into contiguous parts of `part_len` items (last part
+/// holds the remainder; a zero-length source yields one empty part).
+fn split_by_part_len<P: ParallelIterator>(mut iter: P, part_len: usize) -> Vec<P> {
+    let part_len = part_len.max(1);
+    let mut parts = Vec::with_capacity(iter.pi_len() / part_len + 1);
+    while iter.pi_len() > part_len {
+        let (head, tail) = iter.pi_split_at(part_len);
+        parts.push(head);
+        iter = tail;
+    }
+    parts.push(iter);
+    parts
+}
+
+/// Consumes every part, fanning contiguous runs of parts out over scoped
+/// worker threads. Per-part results come back in part order regardless of
+/// the thread count. The calling thread works on the first run itself.
+fn run_parts<P, R, F>(parts: Vec<P>, consume: F) -> Vec<R>
+where
+    P: ParallelIterator,
+    R: Send,
+    F: Fn(P) -> R + Sync,
+{
+    let threads = fanout().min(parts.len());
+    if threads <= 1 {
+        let _guard = PoolGuard::enter();
+        return parts.into_iter().map(consume).collect();
+    }
+    let total = parts.len();
+    let mut run_sizes = vec![total / threads; threads];
+    for s in run_sizes.iter_mut().take(total % threads) {
+        *s += 1;
+    }
+    let mut parts_iter = parts.into_iter();
+    let mut runs: Vec<Vec<P>> = Vec::with_capacity(threads);
+    for sz in run_sizes {
+        runs.push(parts_iter.by_ref().take(sz).collect());
+    }
+    let consume = &consume;
+    std::thread::scope(|s| {
+        let mut runs_iter = runs.into_iter();
+        let first = runs_iter.next().expect("at least one run");
+        let handles: Vec<_> = runs_iter
+            .map(|run| {
+                s.spawn(move || {
+                    let _guard = PoolGuard::enter();
+                    run.into_iter().map(consume).collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        let mut out = {
+            let _guard = PoolGuard::enter();
+            first.into_iter().map(consume).collect::<Vec<R>>()
+        };
+        for h in handles {
+            match h.join() {
+                Ok(rs) => out.extend(rs),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        out
+    })
+}
+
+/// An indexed parallel iterator: a splittable source with a known length
+/// whose parts can be consumed as ordinary sequential iterators.
+pub trait ParallelIterator: Sized + Send {
+    /// The element type.
+    type Item: Send;
+    /// The sequential iterator a part degrades to.
+    type Seq: Iterator<Item = Self::Item>;
+
+    /// Remaining item count.
+    fn pi_len(&self) -> usize;
+    /// Splits into `[0, index)` and `[index, len)`.
+    fn pi_split_at(self, index: usize) -> (Self, Self);
+    /// Degrades to a sequential iterator.
+    fn pi_seq(self) -> Self::Seq;
+
+    /// Maps each item through `f` (applied on the worker threads).
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Clone + Send,
+        R: Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Zips with another parallel iterator (length = the shorter one).
+    fn zip<B: ParallelIterator>(self, other: B) -> Zip<Self, B> {
+        Zip { a: self, b: other }
+    }
+
+    /// Pairs each item with its global index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate {
+            base: self,
+            offset: 0,
+        }
+    }
+
+    /// Calls `f` on every item across the worker threads.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Send + Sync,
+    {
+        let part_len = self.pi_len().div_ceil(fanout().max(1)).max(1);
+        let parts = split_by_part_len(self, part_len);
+        run_parts(parts, |p| p.pi_seq().for_each(&f));
+    }
+
+    /// Sums the items. Reduces over fixed [`SUM_CHUNK`]-item chunks and
+    /// combines partials in chunk order, so the result is bit-for-bit
+    /// identical for any thread count.
+    fn sum<S>(self) -> S
+    where
+        S: Send + std::iter::Sum<Self::Item> + std::iter::Sum<S>,
+    {
+        let parts = split_by_part_len(self, SUM_CHUNK);
+        run_parts(parts, |p| p.pi_seq().sum::<S>())
+            .into_iter()
+            .sum()
+    }
+
+    /// Collects into `C`, preserving source order.
+    fn collect<C>(self) -> C
+    where
+        C: FromIterator<Self::Item>,
+    {
+        let part_len = self.pi_len().div_ceil(fanout().max(1)).max(1);
+        let parts = split_by_part_len(self, part_len);
+        run_parts(parts, |p| p.pi_seq().collect::<Vec<_>>())
+            .into_iter()
+            .flatten()
+            .collect()
+    }
+}
+
+/// Conversion into a [`ParallelIterator`] (`0..n` ranges, `Vec<T>`).
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item: Send;
+    /// The parallel iterator produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    type Iter = RangeParIter;
+
+    fn into_par_iter(self) -> RangeParIter {
+        RangeParIter {
+            start: self.start,
+            end: self.end.max(self.start),
+        }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecParIter<T>;
+
+    fn into_par_iter(self) -> VecParIter<T> {
+        VecParIter { vec: self }
+    }
+}
+
+/// Parallel iterator over `Range<usize>`.
+pub struct RangeParIter {
+    start: usize,
+    end: usize,
+}
+
+impl ParallelIterator for RangeParIter {
+    type Item = usize;
+    type Seq = std::ops::Range<usize>;
+
+    fn pi_len(&self) -> usize {
+        self.end - self.start
+    }
+
+    fn pi_split_at(self, index: usize) -> (Self, Self) {
+        let mid = (self.start + index).min(self.end);
+        (
+            RangeParIter {
+                start: self.start,
+                end: mid,
+            },
+            RangeParIter {
+                start: mid,
+                end: self.end,
+            },
+        )
+    }
+
+    fn pi_seq(self) -> Self::Seq {
+        self.start..self.end
+    }
+}
+
+/// Parallel iterator over an owned `Vec<T>`.
+pub struct VecParIter<T> {
+    vec: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for VecParIter<T> {
+    type Item = T;
+    type Seq = std::vec::IntoIter<T>;
+
+    fn pi_len(&self) -> usize {
+        self.vec.len()
+    }
+
+    fn pi_split_at(mut self, index: usize) -> (Self, Self) {
+        let tail = self.vec.split_off(index.min(self.vec.len()));
+        (self, VecParIter { vec: tail })
+    }
+
+    fn pi_seq(self) -> Self::Seq {
+        self.vec.into_iter()
+    }
+}
+
+/// Parallel iterator over `&[T]` (from `par_iter`).
+pub struct SliceParIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceParIter<'a, T> {
+    type Item = &'a T;
+    type Seq = std::slice::Iter<'a, T>;
+
+    fn pi_len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn pi_split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.slice.split_at(index.min(self.slice.len()));
+        (SliceParIter { slice: l }, SliceParIter { slice: r })
+    }
+
+    fn pi_seq(self) -> Self::Seq {
+        self.slice.iter()
+    }
+}
+
+/// Parallel iterator over `&mut [T]` (from `par_iter_mut`).
+pub struct SliceParIterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParallelIterator for SliceParIterMut<'a, T> {
+    type Item = &'a mut T;
+    type Seq = std::slice::IterMut<'a, T>;
+
+    fn pi_len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn pi_split_at(self, index: usize) -> (Self, Self) {
+        let mid = index.min(self.slice.len());
+        let (l, r) = self.slice.split_at_mut(mid);
+        (SliceParIterMut { slice: l }, SliceParIterMut { slice: r })
+    }
+
+    fn pi_seq(self) -> Self::Seq {
+        self.slice.iter_mut()
+    }
+}
+
+/// Parallel iterator over immutable chunks (from `par_chunks`).
+pub struct ChunksParIter<'a, T> {
+    slice: &'a [T],
+    chunk: usize,
+}
+
+impl<'a, T: Sync> ParallelIterator for ChunksParIter<'a, T> {
+    type Item = &'a [T];
+    type Seq = std::slice::Chunks<'a, T>;
+
+    fn pi_len(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk)
+    }
+
+    fn pi_split_at(self, index: usize) -> (Self, Self) {
+        let mid = (index * self.chunk).min(self.slice.len());
+        let (l, r) = self.slice.split_at(mid);
+        (
+            ChunksParIter {
+                slice: l,
+                chunk: self.chunk,
+            },
+            ChunksParIter {
+                slice: r,
+                chunk: self.chunk,
+            },
+        )
+    }
+
+    fn pi_seq(self) -> Self::Seq {
+        self.slice.chunks(self.chunk)
+    }
+}
+
+/// Parallel iterator over mutable chunks (from `par_chunks_mut`).
+pub struct ChunksMutParIter<'a, T> {
+    slice: &'a mut [T],
+    chunk: usize,
+}
+
+impl<'a, T: Send> ParallelIterator for ChunksMutParIter<'a, T> {
+    type Item = &'a mut [T];
+    type Seq = std::slice::ChunksMut<'a, T>;
+
+    fn pi_len(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk)
+    }
+
+    fn pi_split_at(self, index: usize) -> (Self, Self) {
+        let mid = (index * self.chunk).min(self.slice.len());
+        let (l, r) = self.slice.split_at_mut(mid);
+        (
+            ChunksMutParIter {
+                slice: l,
+                chunk: self.chunk,
+            },
+            ChunksMutParIter {
+                slice: r,
+                chunk: self.chunk,
+            },
+        )
+    }
+
+    fn pi_seq(self) -> Self::Seq {
+        self.slice.chunks_mut(self.chunk)
+    }
+}
+
+/// Mapping adapter (see [`ParallelIterator::map`]).
+pub struct Map<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, F, R> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    F: Fn(P::Item) -> R + Clone + Send,
+    R: Send,
+{
+    type Item = R;
+    type Seq = std::iter::Map<P::Seq, F>;
+
+    fn pi_len(&self) -> usize {
+        self.base.pi_len()
+    }
+
+    fn pi_split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.base.pi_split_at(index);
+        (
+            Map {
+                base: l,
+                f: self.f.clone(),
+            },
+            Map { base: r, f: self.f },
+        )
+    }
+
+    fn pi_seq(self) -> Self::Seq {
+        self.base.pi_seq().map(self.f)
+    }
+}
+
+/// Zipping adapter (see [`ParallelIterator::zip`]).
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A, B> ParallelIterator for Zip<A, B>
+where
+    A: ParallelIterator,
+    B: ParallelIterator,
+{
+    type Item = (A::Item, B::Item);
+    type Seq = std::iter::Zip<A::Seq, B::Seq>;
+
+    fn pi_len(&self) -> usize {
+        self.a.pi_len().min(self.b.pi_len())
+    }
+
+    fn pi_split_at(self, index: usize) -> (Self, Self) {
+        let (al, ar) = self.a.pi_split_at(index);
+        let (bl, br) = self.b.pi_split_at(index);
+        (Zip { a: al, b: bl }, Zip { a: ar, b: br })
+    }
+
+    fn pi_seq(self) -> Self::Seq {
+        self.a.pi_seq().zip(self.b.pi_seq())
+    }
+}
+
+/// Enumerating adapter (see [`ParallelIterator::enumerate`]); indices are
+/// global, not part-local.
+pub struct Enumerate<P> {
+    base: P,
+    offset: usize,
+}
+
+impl<P: ParallelIterator> ParallelIterator for Enumerate<P> {
+    type Item = (usize, P::Item);
+    type Seq = EnumerateSeq<P::Seq>;
+
+    fn pi_len(&self) -> usize {
+        self.base.pi_len()
+    }
+
+    fn pi_split_at(self, index: usize) -> (Self, Self) {
+        let split = index.min(self.base.pi_len());
+        let (l, r) = self.base.pi_split_at(index);
+        (
+            Enumerate {
+                base: l,
+                offset: self.offset,
+            },
+            Enumerate {
+                base: r,
+                offset: self.offset + split,
+            },
+        )
+    }
+
+    fn pi_seq(self) -> Self::Seq {
+        EnumerateSeq {
+            inner: self.base.pi_seq(),
+            next: self.offset,
+        }
+    }
+}
+
+/// Sequential form of [`Enumerate`] carrying the global base index.
+pub struct EnumerateSeq<I> {
+    inner: I,
+    next: usize,
+}
+
+impl<I: Iterator> Iterator for EnumerateSeq<I> {
+    type Item = (usize, I::Item);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let item = self.inner.next()?;
+        let i = self.next;
+        self.next += 1;
+        Some((i, item))
+    }
 }
 
 pub mod prelude {
-    /// `into_par_iter()` for owned collections and ranges.
-    pub trait IntoParallelIterator: IntoIterator + Sized {
-        fn into_par_iter(self) -> Self::IntoIter {
-            self.into_iter()
-        }
+    //! The traits call sites import with `use rayon::prelude::*`.
+
+    pub use crate::{IntoParallelIterator, ParallelIterator};
+
+    /// `par_iter()` / `par_chunks()` on slices (and, via deref, `Vec`).
+    pub trait ParallelSlice<T: Sync> {
+        /// Parallel iterator over `&T`.
+        fn par_iter(&self) -> crate::SliceParIter<'_, T>;
+        /// Parallel iterator over `chunk_size`-item subslices.
+        fn par_chunks(&self, chunk_size: usize) -> crate::ChunksParIter<'_, T>;
     }
 
-    impl<I: IntoIterator> IntoParallelIterator for I {}
-
-    /// `par_iter()` on slices (and, via deref, `Vec`).
-    pub trait ParallelSlice<T> {
-        fn par_iter(&self) -> std::slice::Iter<'_, T>;
-        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
-    }
-
-    impl<T> ParallelSlice<T> for [T] {
+    impl<T: Sync> ParallelSlice<T> for [T] {
         #[inline]
-        fn par_iter(&self) -> std::slice::Iter<'_, T> {
-            self.iter()
+        fn par_iter(&self) -> crate::SliceParIter<'_, T> {
+            crate::SliceParIter { slice: self }
         }
 
         #[inline]
-        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
-            self.chunks(chunk_size)
+        fn par_chunks(&self, chunk_size: usize) -> crate::ChunksParIter<'_, T> {
+            assert!(chunk_size > 0, "chunk size must be positive");
+            crate::ChunksParIter {
+                slice: self,
+                chunk: chunk_size,
+            }
         }
     }
 
     /// `par_iter_mut()` / `par_chunks_mut()` on mutable slices.
-    pub trait ParallelSliceMut<T> {
-        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
-        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    pub trait ParallelSliceMut<T: Send> {
+        /// Parallel iterator over `&mut T`.
+        fn par_iter_mut(&mut self) -> crate::SliceParIterMut<'_, T>;
+        /// Parallel iterator over mutable `chunk_size`-item subslices.
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> crate::ChunksMutParIter<'_, T>;
     }
 
-    impl<T> ParallelSliceMut<T> for [T] {
+    impl<T: Send> ParallelSliceMut<T> for [T] {
         #[inline]
-        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
-            self.iter_mut()
+        fn par_iter_mut(&mut self) -> crate::SliceParIterMut<'_, T> {
+            crate::SliceParIterMut { slice: self }
         }
 
         #[inline]
-        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
-            self.chunks_mut(chunk_size)
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> crate::ChunksMutParIter<'_, T> {
+            assert!(chunk_size > 0, "chunk size must be positive");
+            crate::ChunksMutParIter {
+                slice: self,
+                chunk: chunk_size,
+            }
         }
     }
 }
@@ -91,5 +658,75 @@ mod tests {
     fn range_into_par_iter() {
         let s: usize = (0..10usize).into_par_iter().sum();
         assert_eq!(s, 45);
+    }
+
+    #[test]
+    fn large_for_each_touches_every_item_once() {
+        let mut v = vec![0u32; 100_000];
+        crate::with_num_threads(4, || {
+            v.par_iter_mut()
+                .enumerate()
+                .for_each(|(i, x)| *x = i as u32 + 1);
+        });
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i as u32 + 1));
+    }
+
+    #[test]
+    fn collect_preserves_order_across_threads() {
+        let seq: Vec<usize> = (0..10_000usize).into_par_iter().map(|i| i * 3).collect();
+        let par: Vec<usize> = crate::with_num_threads(8, || {
+            (0..10_000usize).into_par_iter().map(|i| i * 3).collect()
+        });
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn float_sum_bit_identical_across_thread_counts() {
+        let data: Vec<f64> = (0..50_000).map(|i| (i as f64 * 0.37).sin()).collect();
+        let one = crate::with_num_threads(1, || data.par_iter().map(|x| x * x).sum::<f64>());
+        let many = crate::with_num_threads(7, || data.par_iter().map(|x| x * x).sum::<f64>());
+        assert_eq!(one.to_bits(), many.to_bits());
+    }
+
+    #[test]
+    fn zip_pairs_by_index() {
+        let a: Vec<usize> = (0..5_000).collect();
+        let b: Vec<usize> = (0..5_000).map(|i| i * 2).collect();
+        let s: usize = crate::with_num_threads(3, || {
+            a.par_iter().zip(b.par_iter()).map(|(x, y)| x + y).sum()
+        });
+        assert_eq!(s, (0..5_000usize).map(|i| 3 * i).sum());
+    }
+
+    #[test]
+    fn nested_parallelism_runs_without_explosion() {
+        let rows: Vec<usize> = crate::with_num_threads(4, || {
+            (0..64usize)
+                .into_par_iter()
+                .map(|i| {
+                    let inner: Vec<usize> = (0..100usize).collect();
+                    inner.par_iter().map(|x| x + i).sum::<usize>()
+                })
+                .collect()
+        });
+        assert_eq!(rows.len(), 64);
+        assert_eq!(rows[0], (0..100usize).sum::<usize>());
+    }
+
+    #[test]
+    fn with_num_threads_restores() {
+        let before = crate::current_num_threads();
+        crate::with_num_threads(13, || {
+            assert_eq!(crate::current_num_threads(), 13);
+        });
+        assert_eq!(crate::current_num_threads(), before);
+    }
+
+    #[test]
+    fn empty_sources_are_fine() {
+        let v: Vec<i32> = Vec::new();
+        assert_eq!(v.par_iter().map(|x| x + 1).sum::<i32>(), 0);
+        let out: Vec<i32> = v.par_iter().map(|x| x + 1).collect();
+        assert!(out.is_empty());
     }
 }
