@@ -82,10 +82,40 @@ fn bench_thread_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_threshold_sweep(c: &mut Criterion) {
+    // Serial vs pooled execution on dense kernels straddling
+    // PARALLEL_THRESHOLD (2^13 amplitudes): with the persistent executor
+    // the parallel path should stop losing right around the threshold —
+    // this group is the measurement behind the constant's value.
+    let mut group = c.benchmark_group("threshold_sweep_dense");
+    group.sample_size(20);
+    for n in [12usize, 13, 14, 15] {
+        let base = StateVector::from_circuit(&layer_circuit(n));
+        group.bench_with_input(BenchmarkId::new("serial", n), &n, |b, _| {
+            b.iter(|| {
+                rayon::with_num_threads(1, || {
+                    let mut s = base.clone();
+                    s.apply_gate(black_box(&Gate::Ry(n / 2, 0.4)));
+                    black_box(s)
+                })
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("pooled", n), &n, |b, _| {
+            b.iter(|| {
+                let mut s = base.clone();
+                s.apply_gate(black_box(&Gate::Ry(n / 2, 0.4)));
+                black_box(s)
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_gate_layers,
     bench_single_gate_kinds,
-    bench_thread_scaling
+    bench_thread_scaling,
+    bench_threshold_sweep
 );
 criterion_main!(benches);

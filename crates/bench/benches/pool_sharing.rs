@@ -1,0 +1,38 @@
+//! Device pool + kernel executor sharing: the `hpcq` pool running its
+//! device tasks on the shared rayon executor (with fair-share inner-thread
+//! hints) versus the oversubscribed baseline it replaced — one private OS
+//! thread per device with uncapped kernel fan-out, which competes with
+//! itself once jobs cross `qsim`'s parallel threshold. Uses the same
+//! `bench::setup` workload builders as the `pool_shared_speedup` metric in
+//! `BENCH_scaling.json`, just sized down for the Criterion loop.
+
+use bench::{mixed_pool_jobs, oversubscribed_batch};
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpcq::{QpuConfig, QpuPool, SchedulePolicy};
+use std::hint::black_box;
+
+fn bench_pool_sharing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pool_executor_sharing");
+    group.sample_size(10);
+    // 16-qubit big jobs (2^16 amps, still 8× the kernel threshold) keep
+    // one Criterion iteration in the low milliseconds.
+    let jobs = mixed_pool_jobs(16, 9, 2, 3, 6);
+    let n_dev = 4;
+
+    group.bench_function("shared_executor", |b| {
+        b.iter(|| {
+            let mut pool =
+                QpuPool::homogeneous(n_dev, QpuConfig::default(), SchedulePolicy::WorkStealing);
+            black_box(pool.execute_batch(black_box(jobs.clone())))
+        })
+    });
+
+    group.bench_function("oversubscribed_baseline", |b| {
+        b.iter(|| oversubscribed_batch(black_box(&jobs), n_dev))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_pool_sharing);
+criterion_main!(benches);

@@ -7,10 +7,12 @@
 //! Run: `cargo run -p bench --bin exp_scaling --release`
 //! Smoke mode (kernel metrics + JSON only, used by CI):
 //!      `cargo run -p bench --bin exp_scaling --release -- --smoke`
+//! Regression gate (CI): `-- --smoke --baseline <committed BENCH_scaling.json>`
+//!      exits nonzero when a tracked metric regresses by more than 25%.
 
 use bench::{
-    binary_task, feature_data, layer_circuit, naive_feature_sweep, time_secs, ScalingReport,
-    TablePrinter,
+    binary_task, feature_data, layer_circuit, mixed_pool_jobs, naive_feature_sweep,
+    oversubscribed_batch, read_numbers, time_secs, ScalingReport, TablePrinter,
 };
 use hpcq::{strong_scaling, CircuitJob, HybridPipeline, QpuConfig, QpuPool, SchedulePolicy};
 use pauli::local_paulis;
@@ -19,6 +21,17 @@ use pvqnn::features::{FeatureBackend, FeatureGenerator};
 use pvqnn::strategy::Strategy;
 use qsim::StateVector;
 use std::path::Path;
+
+/// Tracked metrics for the CI regression gate: `(key, higher_is_better)`.
+/// A >25% move in the losing direction fails the smoke job.
+const GATED_METRICS: [(&str, bool); 3] = [
+    ("gate_apply_ns_per_amp", false),
+    ("expectation_many_speedup", true),
+    ("features_rows_per_s", true),
+];
+
+/// Allowed relative regression before the gate trips.
+const REGRESSION_TOLERANCE: f64 = 0.25;
 
 /// Builds the full Algorithm-1 job batch for the hybrid 1-order+1-local
 /// strategy: one job per (data point, shift), all 13 observables shared.
@@ -71,11 +84,13 @@ fn heavy_jobs(count: usize) -> Vec<CircuitJob> {
 
 /// Measures the single-node kernel metrics and writes `BENCH_scaling.json`.
 ///
-/// Metrics: gate-apply ns/amplitude, feature rows/s, shadow estimates/s,
-/// the fused-vs-per-term expectation speedup, the encoding-state-reuse
-/// speedup of `FeatureGenerator::generate` (both single-thread), and the
-/// thread-pool scaling factor on a large gate kernel.
-fn kernel_metrics() {
+/// Metrics: gate-apply ns/amplitude, feature rows/s (exact and batched
+/// finite-shot backends), shadow estimates/s, the fused-vs-per-term
+/// expectation speedup, the encoding-state-reuse speedup of
+/// `FeatureGenerator::generate` (both single-thread), the thread-pool
+/// scaling factor on a large gate kernel, and the shared-executor vs
+/// oversubscribed device-pool comparison on mixed job sizes.
+fn kernel_metrics() -> ScalingReport {
     println!("-- single-node kernel metrics (written to BENCH_scaling.json) --");
     let threads = rayon::current_num_threads();
     let mut report = ScalingReport::new();
@@ -134,6 +149,37 @@ fn kernel_metrics() {
     report.put("features_rows_per_s", rows_per_s);
     report.put("feature_reuse_speedup", reuse_speedup);
 
+    // Batched finite-shot feature throughput: the Shots backend samples
+    // all shifts of a row in one pass (one RNG per row, one rotation +
+    // CDF sampler per commuting observable group).
+    let shot_generator = FeatureGenerator::new(
+        Strategy::hybrid(fig8_ansatz(4), 1, 1),
+        FeatureBackend::Shots {
+            shots: 128,
+            seed: 7,
+        },
+    );
+    let shot_rows_per_s = data.len() as f64 / time_secs(3, || shot_generator.generate(&data));
+    println!("feature rows (shots): {shot_rows_per_s:>8.1} rows/s (128 shots, batched sampling)");
+    report.put("features_shots_rows_per_s", shot_rows_per_s);
+
+    // Devices + kernels sharing one executor vs the oversubscribed
+    // baseline (private device threads, uncapped kernel fan-out) on a
+    // mixed-size batch.
+    let mixed = mixed_pool_jobs(17, 10, 4, 6, 8);
+    let n_dev = 4;
+    let t_shared = time_secs(2, || {
+        let mut pool =
+            QpuPool::homogeneous(n_dev, QpuConfig::default(), SchedulePolicy::WorkStealing);
+        pool.execute_batch(mixed.clone())
+    });
+    let t_oversub = time_secs(2, || oversubscribed_batch(&mixed, n_dev));
+    let pool_shared_speedup = t_oversub / t_shared.max(1e-12);
+    println!(
+        "pool executor share:  {pool_shared_speedup:>8.2}x vs oversubscribed ({n_dev} devices, mixed 17q/10q jobs)"
+    );
+    report.put("pool_shared_speedup", pool_shared_speedup);
+
     // Shadow estimation throughput: estimates/s over a shared snapshot set.
     let shadow_state = StateVector::from_circuit(&layer_circuit(4));
     let snapshots = shadows::ShadowProtocol::new(20_000, 7).acquire(&shadow_state);
@@ -152,11 +198,71 @@ fn kernel_metrics() {
         Ok(()) => println!("wrote {}", path.display()),
         Err(e) => eprintln!("failed to write {}: {e}", path.display()),
     }
+    report
+}
+
+/// Diffs the fresh metrics against a committed baseline report and
+/// returns the human-readable failures (direction-aware, >25% moves in
+/// the losing direction only — improvements never fail the gate).
+fn baseline_regressions(fresh: &ScalingReport, baseline_path: &Path) -> Vec<String> {
+    let baseline = match read_numbers(baseline_path) {
+        Ok(nums) => nums,
+        Err(e) => {
+            return vec![format!(
+                "cannot read baseline {}: {e}",
+                baseline_path.display()
+            )]
+        }
+    };
+    let base_get = |key: &str| baseline.iter().find(|(k, _)| k == key).map(|&(_, v)| v);
+    let mut failures = Vec::new();
+    for (key, higher_is_better) in GATED_METRICS {
+        let (Some(new), Some(old)) = (fresh.get(key), base_get(key)) else {
+            failures.push(format!(
+                "metric {key} missing from fresh report or baseline"
+            ));
+            continue;
+        };
+        if old <= 0.0 {
+            continue;
+        }
+        let ratio = new / old;
+        let regressed = if higher_is_better {
+            ratio < 1.0 - REGRESSION_TOLERANCE
+        } else {
+            ratio > 1.0 + REGRESSION_TOLERANCE
+        };
+        if regressed {
+            failures.push(format!(
+                "{key} regressed: baseline {old:.4} -> fresh {new:.4} ({:+.1}%)",
+                (ratio - 1.0) * 100.0
+            ));
+        }
+    }
+    failures
 }
 
 fn main() {
-    kernel_metrics();
-    if std::env::args().any(|a| a == "--smoke") {
+    let args: Vec<String> = std::env::args().collect();
+    let report = kernel_metrics();
+    if let Some(pos) = args.iter().position(|a| a == "--baseline") {
+        let path = args
+            .get(pos + 1)
+            .expect("--baseline needs a path to the committed BENCH_scaling.json");
+        let failures = baseline_regressions(&report, Path::new(path));
+        if failures.is_empty() {
+            println!(
+                "baseline check: all gated metrics within {:.0}%",
+                REGRESSION_TOLERANCE * 100.0
+            );
+        } else {
+            for f in &failures {
+                eprintln!("baseline check FAILED: {f}");
+            }
+            std::process::exit(1);
+        }
+    }
+    if args.iter().any(|a| a == "--smoke") {
         return;
     }
     println!("\n== HPC-QC system: strong scaling of the quantum feature stage ==\n");

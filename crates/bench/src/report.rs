@@ -54,6 +54,31 @@ impl ScalingReport {
         let mut f = std::fs::File::create(path)?;
         f.write_all(self.to_json().as_bytes())
     }
+
+    /// The value of a numeric metric, if recorded.
+    pub fn get(&self, key: &str) -> Option<f64> {
+        self.numbers.iter().find(|(k, _)| k == key).map(|&(_, v)| v)
+    }
+}
+
+/// Reads the flat numeric fields back out of a report previously written
+/// by [`ScalingReport::write_to`] — the baseline side of the CI perf-diff
+/// check. Line-based, matching exactly the `"key": number` shape this
+/// module emits (string fields and `null`s are skipped).
+pub fn read_numbers(path: &Path) -> std::io::Result<Vec<(String, f64)>> {
+    let text = std::fs::read_to_string(path)?;
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some((key, value)) = line.split_once(':') else {
+            continue;
+        };
+        let key = key.trim().trim_matches('"');
+        if let Ok(num) = value.trim().parse::<f64>() {
+            out.push((key.to_string(), num));
+        }
+    }
+    Ok(out)
 }
 
 fn escape(s: &str) -> String {
@@ -96,5 +121,26 @@ mod tests {
     fn time_secs_is_positive() {
         let t = time_secs(2, || (0..1000u64).sum::<u64>());
         assert!(t >= 0.0 && t.is_finite());
+    }
+
+    #[test]
+    fn read_numbers_round_trips() {
+        let mut r = ScalingReport::new();
+        r.put_str("schema", "postvar.bench_scaling.v1");
+        r.put("gate_apply_ns_per_amp", 1.75);
+        r.put("features_rows_per_s", 74820.5);
+        r.put("nan_metric", f64::NAN);
+        let dir = std::env::temp_dir().join("postvar_report_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.json");
+        r.write_to(&path).unwrap();
+        let nums = read_numbers(&path).unwrap();
+        let find = |k: &str| nums.iter().find(|(n, _)| n == k).map(|&(_, v)| v);
+        assert_eq!(find("gate_apply_ns_per_amp"), Some(1.75));
+        assert_eq!(find("features_rows_per_s"), Some(74820.5));
+        assert_eq!(find("nan_metric"), None, "null values are skipped");
+        assert_eq!(find("schema"), None, "string fields are skipped");
+        assert_eq!(r.get("gate_apply_ns_per_amp"), Some(1.75));
+        assert_eq!(r.get("missing"), None);
     }
 }

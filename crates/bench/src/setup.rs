@@ -5,6 +5,7 @@
 //! `BENCH_scaling.json` metrics, so the two measurements can never drift
 //! onto different baselines.
 
+use hpcq::{CircuitJob, QpuConfig, QpuDevice};
 use pvqnn::features::FeatureGenerator;
 use qdata::{fashion_synthetic, preprocess_4x4, Dataset, FashionClass, SynthConfig};
 use qsim::{Circuit, Gate, StateVector};
@@ -54,6 +55,73 @@ pub fn naive_feature_sweep(generator: &FeatureGenerator, data: &[Vec<f64>]) -> f
         }
     }
     acc
+}
+
+/// A mixed-size job batch for the executor-sharing comparisons: `groups`
+/// repetitions of one `big_n`-qubit job (sized to cross `qsim`'s parallel
+/// threshold, so its kernels want to fan out) followed by `small_per_big`
+/// `small_n`-qubit jobs that never do — the regime where private
+/// per-device threads with uncapped kernel fan-out used to oversubscribe
+/// to devices × cores. Every job measures the first 1-local Paulis, exact.
+pub fn mixed_pool_jobs(
+    big_n: usize,
+    small_n: usize,
+    groups: usize,
+    small_per_big: usize,
+    obs_per_job: usize,
+) -> Vec<CircuitJob> {
+    let mut jobs = Vec::new();
+    let mut id = 0u64;
+    let entangled = |n: usize, base: f64| {
+        let mut c = Circuit::new(n);
+        for q in 0..n {
+            c.push(Gate::Ry(q, base * (q as f64 + 1.0)));
+        }
+        for q in 0..n - 1 {
+            c.push(Gate::Cnot {
+                control: q,
+                target: q + 1,
+            });
+        }
+        c
+    };
+    for group in 0..groups {
+        jobs.push(CircuitJob::new(
+            id,
+            entangled(big_n, 0.07 + 0.01 * group as f64),
+            pauli::local_paulis(big_n, 1)[..obs_per_job].to_vec(),
+            None,
+        ));
+        id += 1;
+        for k in 0..small_per_big {
+            jobs.push(CircuitJob::new(
+                id,
+                entangled(small_n, 0.11 + 0.01 * k as f64),
+                pauli::local_paulis(small_n, 1)[..obs_per_job].to_vec(),
+                None,
+            ));
+            id += 1;
+        }
+    }
+    jobs
+}
+
+/// The PR-2 scheduling baseline the shared executor replaced: one private
+/// OS thread per device, each executing its round-robin share of `jobs`
+/// with **uncapped** kernel fan-out — so every large job's amplitude
+/// kernels compete for the whole rayon pool from inside every device
+/// thread at once.
+pub fn oversubscribed_batch(jobs: &[CircuitJob], n_dev: usize) {
+    std::thread::scope(|scope| {
+        for d in 0..n_dev {
+            scope.spawn(move || {
+                let mut dev = QpuDevice::new(d, QpuConfig::default());
+                for job in jobs.iter().skip(d).step_by(n_dev) {
+                    std::hint::black_box(dev.execute(job));
+                }
+            });
+        }
+    });
 }
 
 /// A harder generator setting than the library default: larger positional

@@ -12,8 +12,11 @@
 //!   shot noise + optional NISQ noise model + a latency/queue cost model
 //!   (gate time, readout time, per-job submission overhead),
 //! * [`QpuPool`] — a device pool with three scheduling policies
-//!   (round-robin, least-loaded, crossbeam work-stealing), executing on
-//!   real OS threads,
+//!   (round-robin, least-loaded, simulated-time work-stealing), running
+//!   its device tasks on the **same persistent rayon executor** the
+//!   `qsim` amplitude kernels fan out on — one shared core budget with
+//!   per-task fair-share fan-out hints instead of devices × cores
+//!   oversubscription,
 //! * [`HybridPipeline`] — the two-stage quantum→classical pipeline with
 //!   per-stage timing,
 //! * [`scaling`] — strong-scaling harness (speedup/efficiency vs worker

@@ -5,6 +5,13 @@
 //! needs **one** quantum stage and **one** classical stage, with no
 //! feedback — so the quantum stage can be batched, scheduled, and scaled
 //! like any other HPC workload.
+//!
+//! Both stages share one thread budget: the quantum stage's device tasks
+//! run as scoped tasks on the persistent rayon executor (see
+//! [`crate::pool`]), and any parallel kernels the classical closure uses
+//! (matrix assembly, the convex fit) fan out on that same executor after
+//! the quantum stage has fully drained — no private thread pools anywhere
+//! in the pipeline.
 
 use crate::job::{CircuitJob, JobResult};
 use crate::pool::{PoolReport, QpuPool};

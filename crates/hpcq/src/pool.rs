@@ -8,16 +8,24 @@
 //! * [`SchedulePolicy::LeastLoaded`] — greedy offline assignment by the
 //!   devices' simulated clocks using each job's cost estimate (classic
 //!   LPT-style list scheduling).
-//! * [`SchedulePolicy::WorkStealing`] — dynamic: one crossbeam injector
-//!   queue, every device thread pops work as it frees up.
+//! * [`SchedulePolicy::WorkStealing`] — dynamic: one shared queue,
+//!   drained in *simulated* time by whichever device's clock frees up
+//!   first (placement is independent of host thread count and fully
+//!   reproducible).
 //!
-//! All policies execute devices on real OS threads; results are returned
-//! in job-id order regardless of completion order.
+//! All policies run their device tasks on the **shared rayon executor**
+//! (`rayon::scope`), the same persistent pool the `qsim` amplitude
+//! kernels fan out on — device-level and amplitude-level parallelism
+//! cooperate under one core budget instead of multiplying (the old
+//! per-device `std::thread` spawns oversubscribed to devices × cores
+//! once a job's state crossed the kernel threshold). Each device task
+//! carries a `rayon::with_inner_threads` hint — its fair share of the
+//! pool, `threads / active_devices` — so one job's kernels cannot flood
+//! the queues and starve the other devices. Results are returned in
+//! job-id order regardless of completion order.
 
 use crate::device::{QpuConfig, QpuDevice};
 use crate::job::{CircuitJob, JobResult};
-use crossbeam::deque::{Injector, Steal};
-use parking_lot::Mutex;
 use std::time::Instant;
 
 /// Job-to-device assignment policy.
@@ -139,18 +147,26 @@ impl QpuPool {
         (results, report)
     }
 
-    /// Runs pre-assigned queues, one thread per device. Transient failures
-    /// (fault injection) are retried in place on the owning device.
+    /// Fair-share kernel fan-out per device task: with `active` device
+    /// tasks sharing `rayon::current_num_threads()` pool threads, each
+    /// job's inner amplitude kernels get `threads / active` of them (at
+    /// least 1 — which runs the kernels inline on the device task).
+    fn inner_threads_hint(active: usize) -> usize {
+        (rayon::current_num_threads() / active.max(1)).max(1)
+    }
+
+    /// Runs pre-assigned queues, one scoped executor task per device.
+    /// Transient failures (fault injection) are retried in place on the
+    /// owning device.
     fn run_static(&mut self, queues: Vec<Vec<CircuitJob>>) -> Vec<JobResult> {
-        let mut out = Vec::new();
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .devices
-                .iter_mut()
-                .zip(queues)
-                .map(|(dev, queue)| {
-                    scope.spawn(move || {
-                        queue
+        let hint = Self::inner_threads_hint(queues.iter().filter(|q| !q.is_empty()).count());
+        let mut outs: Vec<Vec<JobResult>> = Vec::with_capacity(self.devices.len());
+        outs.resize_with(self.devices.len(), Vec::new);
+        rayon::scope(|s| {
+            for ((dev, queue), out) in self.devices.iter_mut().zip(queues).zip(outs.iter_mut()) {
+                s.spawn(move || {
+                    rayon::with_inner_threads(hint, || {
+                        *out = queue
                             .iter()
                             .map(|job| {
                                 let mut attempt = 0u32;
@@ -162,61 +178,64 @@ impl QpuPool {
                                     assert!(attempt < 1000, "device stuck failing job {}", job.id);
                                 }
                             })
-                            .collect::<Vec<JobResult>>()
-                    })
-                })
-                .collect();
-            for h in handles {
-                out.extend(h.join().expect("device thread panicked"));
-            }
-        });
-        out
-    }
-
-    /// Dynamic work stealing over a shared injector queue. Failed jobs are
-    /// re-injected (with an incremented attempt counter) so another —
-    /// or the same — device picks them up; the pending counter keeps
-    /// workers alive until every job has actually completed.
-    fn run_stealing(&mut self, jobs: Vec<CircuitJob>) -> Vec<JobResult> {
-        use std::sync::atomic::{AtomicUsize, Ordering};
-        let pending = AtomicUsize::new(jobs.len());
-        let injector = Injector::new();
-        for job in jobs {
-            injector.push((job, 0u32));
-        }
-        let collected = Mutex::new(Vec::new());
-        std::thread::scope(|scope| {
-            for dev in self.devices.iter_mut() {
-                let injector = &injector;
-                let collected = &collected;
-                let pending = &pending;
-                scope.spawn(move || {
-                    let mut local = Vec::new();
-                    loop {
-                        match injector.steal() {
-                            Steal::Success((job, attempt)) => {
-                                match dev.try_execute(&job, attempt) {
-                                    Some(r) => {
-                                        local.push(r);
-                                        pending.fetch_sub(1, Ordering::SeqCst);
-                                    }
-                                    None => injector.push((job, attempt + 1)),
-                                }
-                            }
-                            Steal::Empty => {
-                                if pending.load(Ordering::SeqCst) == 0 {
-                                    break;
-                                }
-                                std::thread::yield_now();
-                            }
-                            Steal::Retry => continue,
-                        }
-                    }
-                    collected.lock().extend(local);
+                            .collect();
+                    });
                 });
             }
         });
-        collected.into_inner()
+        outs.into_iter().flatten().collect()
+    }
+
+    /// Dynamic work stealing, dispatched in **simulated time**: a shared
+    /// injector queue is drained by whichever device's simulated clock
+    /// frees up first, exactly like real QPUs pulling from a batch queue.
+    /// Injected failures charge the submission overhead and re-queue the
+    /// job (with an incremented attempt counter) for whichever device
+    /// frees up next. Placement therefore depends only on the latency
+    /// model — not on host thread count or OS scheduling races, which
+    /// used to skew job balance whenever the host had fewer cores than
+    /// the pool had devices (and made `jobs_per_device` nondeterministic).
+    /// The placed queues then execute in parallel on the shared rayon
+    /// executor; `try_execute` re-makes the same deterministic failure
+    /// draws the placement predicted, so the simulated clocks charge
+    /// identically.
+    fn run_stealing(&mut self, jobs: Vec<CircuitJob>) -> Vec<JobResult> {
+        use std::collections::VecDeque;
+        let n_dev = self.devices.len();
+        let hint = Self::inner_threads_hint(n_dev.min(jobs.len()));
+        let mut clock: Vec<u64> = self.devices.iter().map(QpuDevice::sim_busy_ns).collect();
+        let mut queue: VecDeque<(CircuitJob, u32)> =
+            jobs.into_iter().map(|job| (job, 0u32)).collect();
+        let mut queues: Vec<Vec<(CircuitJob, u32)>> = vec![Vec::new(); n_dev];
+        while let Some((job, attempt)) = queue.pop_front() {
+            assert!(attempt < 1000, "device pool stuck failing job {}", job.id);
+            let dev = (0..n_dev).min_by_key(|&i| clock[i]).unwrap();
+            if self.devices[dev].would_fail(&job, attempt) {
+                clock[dev] += self.devices[dev].config().submit_overhead_ns;
+                queues[dev].push((job.clone(), attempt));
+                queue.push_back((job, attempt + 1));
+            } else {
+                clock[dev] += self.devices[dev].sim_cost_ns(&job);
+                queues[dev].push((job, attempt));
+            }
+        }
+        let mut outs: Vec<Vec<JobResult>> = Vec::with_capacity(n_dev);
+        outs.resize_with(n_dev, Vec::new);
+        rayon::scope(|s| {
+            for ((dev, queue), out) in self.devices.iter_mut().zip(queues).zip(outs.iter_mut()) {
+                s.spawn(move || {
+                    rayon::with_inner_threads(hint, || {
+                        // Predicted failures return `None` (charging the
+                        // overhead); their retries were queued elsewhere.
+                        *out = queue
+                            .iter()
+                            .filter_map(|(job, attempt)| dev.try_execute(job, *attempt))
+                            .collect();
+                    });
+                });
+            }
+        });
+        outs.into_iter().flatten().collect()
     }
 }
 

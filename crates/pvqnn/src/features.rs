@@ -16,17 +16,23 @@
 //! precisely the structure the hybrid HPC-QC runtime (`hpcq`) exploits
 //! across simulated QPUs.
 //!
-//! Two state-reuse optimisations shape the inner loop: per data point the
+//! Three batching optimisations shape the inner loop: per data point the
 //! shared encoding state `S(x_i)|0⟩` is simulated once and cloned per
 //! ansatz shift (the shifts only append the — usually tiny, identity-
-//! elided — ansatz tail), and per prepared state all observables are
+//! elided — ansatz tail); per prepared state all observables are
 //! evaluated by one fused `StateVector::expectation_many` pass for the
-//! exact backend.
+//! exact backend; and the stochastic backends sample **all shifts of one
+//! row in a single pass** — one RNG per row (instead of one per
+//! `(row, shift)` pair) and, for `Shots`, one measurement rotation + CDF
+//! sampler per qubit-wise-commuting observable group
+//! (`qsim::estimate_paulis_batched`), so sampler setup is amortized
+//! across the shifts while every neuron still draws its own independent
+//! shots (Proposition 1's estimator).
 
 use crate::encoding::column_encoding;
 use crate::strategy::Strategy;
 use linalg::Mat;
-use qsim::{estimate_pauli_with_shots, Circuit, StateVector};
+use qsim::{estimate_paulis_batched, Circuit, StateVector};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
@@ -38,7 +44,8 @@ pub enum FeatureBackend {
     /// Noiseless expectation values from the state vector.
     Exact,
     /// Independent finite-shot sample means, `shots` per neuron
-    /// (Proposition 1). Deterministic given `seed`.
+    /// (Proposition 1), drawn in one batched pass per row (rotations and
+    /// CDF samplers shared, shots not). Deterministic given `seed`.
     Shots {
         /// Measurement shots per (data point, neuron).
         shots: usize,
@@ -65,12 +72,12 @@ pub struct FeatureGenerator {
     backend: FeatureBackend,
 }
 
-/// Derives a stream-independent seed for (datum `i`, ansatz `a`).
-fn derive_seed(base: u64, i: usize, a: usize) -> u64 {
-    base ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
-        ^ (a as u64)
-            .wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
-            .wrapping_add(0x1656_67B1_9E37_79F9)
+/// Derives a stream-independent seed for data row `i`. One RNG serves the
+/// whole row — consumed in fixed shift-then-observable order, so results
+/// stay deterministic for any thread count — instead of re-seeding per
+/// `(row, shift)` pair.
+fn derive_row_seed(base: u64, i: usize) -> u64 {
+    base ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x1656_67B1_9E37_79F9
 }
 
 impl FeatureGenerator {
@@ -119,23 +126,31 @@ impl FeatureGenerator {
     /// and then cloned-and-extended per ansatz shift, instead of re-running
     /// the full circuit from `|0…0⟩` for every shift — for the hybrid
     /// strategy (17 shifts at 1-order) that cuts circuit simulation ~17×.
+    /// Stochastic backends additionally sample all shifts in one pass
+    /// through a single row-level RNG.
     fn row_for(&self, i: usize, x: &[f64], shift_circuits: &[Option<Circuit>]) -> Vec<f64> {
         let m = self.strategy.num_neurons();
         let q = self.strategy.num_observables();
         let n = self.strategy.num_qubits();
         let mut row = vec![0.0; m];
         let encoded = StateVector::from_circuit(&column_encoding(x, n));
+        let mut rng = match self.backend {
+            FeatureBackend::Exact => None,
+            FeatureBackend::Shots { seed, .. } | FeatureBackend::Shadows { seed, .. } => {
+                Some(StdRng::seed_from_u64(derive_row_seed(seed, i)))
+            }
+        };
         for (a, shifted) in shift_circuits.iter().enumerate() {
             let out = &mut row[a * q..(a + 1) * q];
             match shifted {
                 Some(c) if !c.is_empty() => {
                     let mut state = encoded.clone();
                     state.apply_circuit(c);
-                    self.fill_observables(&state, i, a, out);
+                    self.fill_observables(&state, rng.as_mut(), out);
                 }
                 // No ansatz (observable construction) or a fully-elided
                 // shift (the all-zeros base circuit): measure S(x)|0⟩.
-                _ => self.fill_observables(&encoded, i, a, out),
+                _ => self.fill_observables(&encoded, rng.as_mut(), out),
             }
         }
         row
@@ -155,26 +170,27 @@ impl FeatureGenerator {
         Mat::from_rows(&rows)
     }
 
-    /// Evaluates all observables of one prepared state into `out`.
-    fn fill_observables(&self, state: &StateVector, i: usize, a: usize, out: &mut [f64]) {
+    /// Evaluates all observables of one prepared state into `out`,
+    /// drawing any shot noise from the row-level RNG (`None` only for the
+    /// exact backend).
+    fn fill_observables(&self, state: &StateVector, rng: Option<&mut StdRng>, out: &mut [f64]) {
         let obs = self.strategy.observables();
         match self.backend {
             FeatureBackend::Exact => {
                 out.copy_from_slice(&state.expectation_many(obs));
             }
-            FeatureBackend::Shots { shots, seed } => {
-                let mut rng = StdRng::seed_from_u64(derive_seed(seed, i, a));
-                for (slot, p) in out.iter_mut().zip(obs.iter()) {
-                    *slot = estimate_pauli_with_shots(state, p, shots, &mut rng);
-                }
+            FeatureBackend::Shots { shots, .. } => {
+                // One rotation + CDF sampler per commuting observable
+                // group; every neuron still draws its own `shots`.
+                let rng = rng.expect("stochastic backend needs a row RNG");
+                out.copy_from_slice(&estimate_paulis_batched(state, obs, shots, rng));
             }
             FeatureBackend::Shadows {
-                snapshots,
-                groups,
-                seed,
+                snapshots, groups, ..
             } => {
-                let protocol = ShadowProtocol::new(snapshots, derive_seed(seed, i, a));
-                let est = ShadowEstimator::new(protocol.acquire(state), groups);
+                let rng = rng.expect("stochastic backend needs a row RNG");
+                let protocol = ShadowProtocol::new(snapshots, 0);
+                let est = ShadowEstimator::new(protocol.acquire_with_rng(state, rng), groups);
                 let values = est.estimate_many(obs);
                 out.copy_from_slice(&values);
             }

@@ -33,7 +33,10 @@ pub use circuit::{Circuit, ParamCircuit, ParamGate, RotAxis};
 pub use density::DensityMatrix;
 pub use gate::Gate;
 pub use noise::NoiseModel;
-pub use sample::{estimate_pauli_with_shots, measurement_rotation, sample_counts};
+pub use sample::{
+    estimate_pauli_with_shots, estimate_paulis_batched, measurement_rotation, sample_counts,
+    CdfSampler,
+};
 pub use state::StateVector;
 
 /// Complex amplitude type used throughout the simulator.

@@ -12,27 +12,47 @@ use pauli::{Pauli, PauliString};
 use rand::{Rng, RngExt};
 use std::collections::HashMap;
 
+/// A reusable inverse-CDF sampler over a state's outcome distribution.
+///
+/// Building one costs `O(2^n)` (the cumulative table — the alias-table
+/// analogue of this codebase); each [`draw`](Self::draw) is then
+/// `O(log 2^n)`. Splitting setup from drawing lets one table be amortized
+/// over many **independent** shot batches — the batched feature backends
+/// draw a separate batch per observable from one rotated state.
+pub struct CdfSampler {
+    cdf: Vec<f64>,
+}
+
+impl CdfSampler {
+    /// Builds the cumulative outcome table of `state`.
+    pub fn new(state: &StateVector) -> Self {
+        let mut cdf = state.probabilities();
+        let mut acc = 0.0;
+        for p in cdf.iter_mut() {
+            acc += *p;
+            *p = acc;
+        }
+        // Guard the tail against rounding: force the last entry to cover 1.0.
+        if let Some(last) = cdf.last_mut() {
+            *last = f64::max(*last, 1.0);
+        }
+        CdfSampler { cdf }
+    }
+
+    /// Draws one basis-state sample.
+    #[inline]
+    pub fn draw<R: Rng>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.random();
+        // partition_point returns the first index with cdf[i] >= u.
+        self.cdf.partition_point(|&c| c < u) as u64
+    }
+}
+
 /// Draws `shots` basis-state samples using inverse-CDF sampling over the
 /// cumulative outcome distribution (`O(2^n + shots·n)`).
 pub fn sample_bitstrings<R: Rng>(state: &StateVector, shots: usize, rng: &mut R) -> Vec<u64> {
-    let probs = state.probabilities();
-    let mut cdf = Vec::with_capacity(probs.len());
-    let mut acc = 0.0;
-    for p in &probs {
-        acc += p;
-        cdf.push(acc);
-    }
-    // Guard the tail against rounding: force the last entry to cover 1.0.
-    if let Some(last) = cdf.last_mut() {
-        *last = f64::max(*last, 1.0);
-    }
-    (0..shots)
-        .map(|_| {
-            let u: f64 = rng.random();
-            // partition_point returns the first index with cdf[i] >= u.
-            cdf.partition_point(|&c| c < u) as u64
-        })
-        .collect()
+    let sampler = CdfSampler::new(state);
+    (0..shots).map(|_| sampler.draw(rng)).collect()
 }
 
 /// Histogram of sampled outcomes.
@@ -87,24 +107,17 @@ pub fn estimate_pauli_with_shots<R: Rng>(
     sum / shots as f64
 }
 
-/// Finite-shot estimates for several Pauli strings sharing one prepared
-/// state. Observables are grouped by their measurement rotation so strings
-/// that are diagonal in the same basis share shots — `qubit-wise
-/// commuting` grouping, the standard measurement-reduction trick.
-pub fn estimate_paulis_grouped<R: Rng>(
-    state: &StateVector,
-    paulis: &[PauliString],
-    shots_per_group: usize,
-    rng: &mut R,
-) -> Vec<f64> {
-    // Group key: per-qubit basis letter (X/Y/Z or wildcard I).
-    // Two strings can share when on every qubit they agree or one is I.
-    // Greedy grouping in input order.
-    let n = if paulis.is_empty() {
+/// Greedily groups strings by qubit-wise-commuting measurement basis.
+///
+/// Group key: per-qubit basis letter (X/Y/Z or wildcard I). Two strings
+/// can share a group when on every qubit they agree or one is I; strings
+/// are considered in input order. Returns each group's merged basis and
+/// the member indices into `paulis`.
+fn group_by_basis(paulis: &[PauliString]) -> Vec<(Vec<Pauli>, Vec<usize>)> {
+    let Some(first) = paulis.first() else {
         return Vec::new();
-    } else {
-        paulis[0].num_qubits()
     };
+    let n = first.num_qubits();
     let mut groups: Vec<(Vec<Pauli>, Vec<usize>)> = Vec::new();
     'outer: for (idx, p) in paulis.iter().enumerate() {
         assert_eq!(p.num_qubits(), n);
@@ -131,9 +144,21 @@ pub fn estimate_paulis_grouped<R: Rng>(
         }
         groups.push((p.letters(), vec![idx]));
     }
+    groups
+}
 
+/// Finite-shot estimates for several Pauli strings sharing one prepared
+/// state. Observables are grouped by their measurement rotation so strings
+/// that are diagonal in the same basis share shots — `qubit-wise
+/// commuting` grouping, the standard measurement-reduction trick.
+pub fn estimate_paulis_grouped<R: Rng>(
+    state: &StateVector,
+    paulis: &[PauliString],
+    shots_per_group: usize,
+    rng: &mut R,
+) -> Vec<f64> {
     let mut out = vec![0.0; paulis.len()];
-    for (basis, members) in groups {
+    for (basis, members) in group_by_basis(paulis) {
         let basis_string = PauliString::from_letters(&basis);
         let mut rotated = state.clone();
         rotated.apply_circuit(&measurement_rotation(&basis_string));
@@ -146,6 +171,46 @@ pub fn estimate_paulis_grouped<R: Rng>(
             }
             let sum: f64 = outcomes.iter().map(|&b| p.outcome_sign(b)).sum();
             out[idx] = sum / shots_per_group as f64;
+        }
+    }
+    out
+}
+
+/// **Independent** per-observable shot estimates with amortized setup —
+/// the batched form of [`estimate_pauli_with_shots`].
+///
+/// Observables are grouped by qubit-wise-commuting measurement basis; the
+/// state is rotated and its [`CdfSampler`] built once per *group*, and
+/// each member then draws its own independent `shots` outcomes from the
+/// shared table. Statistically this is exactly Proposition 1's per-neuron
+/// sample-mean estimator (no shot sharing between observables — contrast
+/// [`estimate_paulis_grouped`]); only the repeated rotation + CDF setup
+/// is eliminated. The identity string returns exactly 1 without spending
+/// shots.
+pub fn estimate_paulis_batched<R: Rng>(
+    state: &StateVector,
+    paulis: &[PauliString],
+    shots: usize,
+    rng: &mut R,
+) -> Vec<f64> {
+    assert!(shots > 0, "need at least one shot");
+    let mut out = vec![0.0; paulis.len()];
+    for (basis, members) in group_by_basis(paulis) {
+        let basis_string = PauliString::from_letters(&basis);
+        let mut rotated = state.clone();
+        rotated.apply_circuit(&measurement_rotation(&basis_string));
+        let sampler = CdfSampler::new(&rotated);
+        for &idx in &members {
+            let p = &paulis[idx];
+            if p.is_identity() {
+                out[idx] = 1.0;
+                continue;
+            }
+            let mut sum = 0.0;
+            for _ in 0..shots {
+                sum += p.outcome_sign(sampler.draw(rng));
+            }
+            out[idx] = sum / shots as f64;
         }
     }
     out
@@ -239,6 +304,62 @@ mod tests {
             let exact = s.expectation(p);
             assert!((exact - est).abs() < 3e-2, "{p}: exact={exact} est={est}");
         }
+    }
+
+    #[test]
+    fn batched_estimation_matches_exact_statistically() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::Ry(0, 0.8));
+        c.push(Gate::Cnot {
+            control: 0,
+            target: 1,
+        });
+        c.push(Gate::Rx(2, -0.4));
+        let s = StateVector::from_circuit(&c);
+        let paulis: Vec<PauliString> = ["ZZI", "IZZ", "XXI", "III", "YII"]
+            .iter()
+            .map(|t| PauliString::parse(t).unwrap())
+            .collect();
+        let mut rng = StdRng::seed_from_u64(42);
+        let ests = estimate_paulis_batched(&s, &paulis, 60_000, &mut rng);
+        for (p, est) in paulis.iter().zip(ests.iter()) {
+            let exact = s.expectation(p);
+            assert!((exact - est).abs() < 3e-2, "{p}: exact={exact} est={est}");
+        }
+        // Identity spends no shots and is exactly 1.
+        assert_eq!(ests[3], 1.0);
+    }
+
+    #[test]
+    fn batched_estimation_is_deterministic_per_seed() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::Ry(0, 1.1));
+        let s = StateVector::from_circuit(&c);
+        let paulis: Vec<PauliString> = ["ZI", "XI"]
+            .iter()
+            .map(|t| PauliString::parse(t).unwrap())
+            .collect();
+        let run = || {
+            let mut rng = StdRng::seed_from_u64(11);
+            estimate_paulis_batched(&s, &paulis, 500, &mut rng)
+        };
+        assert_eq!(run(), run());
+        assert!(estimate_paulis_batched(&s, &[], 10, &mut StdRng::seed_from_u64(0)).is_empty());
+    }
+
+    #[test]
+    fn cdf_sampler_matches_sample_bitstrings() {
+        // Same RNG stream → identical draws: the sampler refactor must not
+        // change a single bit of downstream shot noise.
+        let mut c = Circuit::new(3);
+        c.push(Gate::H(0));
+        c.push(Gate::Ry(1, 0.9));
+        let s = StateVector::from_circuit(&c);
+        let via_fn = sample_bitstrings(&s, 100, &mut StdRng::seed_from_u64(3));
+        let sampler = CdfSampler::new(&s);
+        let mut rng = StdRng::seed_from_u64(3);
+        let via_sampler: Vec<u64> = (0..100).map(|_| sampler.draw(&mut rng)).collect();
+        assert_eq!(via_fn, via_sampler);
     }
 
     #[test]

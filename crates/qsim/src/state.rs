@@ -29,13 +29,16 @@ use rayon::prelude::*;
 /// transpile-time `Circuit::elide_identities` default.
 const IDENTITY_TOL: f64 = 1e-12;
 
-/// Amplitude count above which kernels use rayon. The vendored rayon spawns
-/// scoped threads per call (no persistent pool), costing ~10–25 µs per
-/// worker on Linux; a dense 2^14-amp kernel runs in ~30–60 µs single-thread,
-/// so fan-out only pays for itself from ~2^16 amplitudes (1 MiB of doubles)
-/// upward. Re-validated with `bench/benches/gates.rs` (`thread_scaling`
-/// group).
-pub const PARALLEL_THRESHOLD: usize = 1 << 16;
+/// Amplitude count above which kernels use rayon. The vendored rayon runs
+/// a **persistent** work-stealing pool, so dispatching a parallel call is
+/// a handful of queue pushes plus a condvar wake (~1–3 µs total) instead
+/// of the ~10–25 µs/worker scoped-spawn cost that used to force this up
+/// to 2^16. A dense 2^13-amp kernel runs in ~15 µs single-thread
+/// (~1.8 ns/amp), so fan-out starts paying for itself right around 2^13
+/// amplitudes (128 KiB of doubles). Re-validated with
+/// `bench/benches/gates.rs` (`thread_scaling` + `threshold_sweep` groups)
+/// and recorded in `BENCH_scaling.json`.
+pub const PARALLEL_THRESHOLD: usize = 1 << 13;
 
 /// Fixed amplitude-chunk size for the fused multi-observable kernel: 2^11
 /// doubles ≈ 32 KiB keeps a chunk L1-resident while every observable's
@@ -426,10 +429,23 @@ impl StateVector {
         let scan = |lo: usize, hi: usize| -> Vec<f64> {
             let clen = hi - lo;
             let mut acc = vec![0.0f64; m];
-            // Norm sum of a contiguous slice (bounds-check-free).
+            // Norm sum of a contiguous slice (bounds-check-free), reduced
+            // over four independent f64 lanes so the FP adds vectorize /
+            // pipeline instead of serializing on one accumulator chain.
+            // The lane tree is fixed (lanes combined in one order, then
+            // the remainder), so the result does not depend on thread
+            // count.
             let norms = |base: usize, len: usize| -> f64 {
-                let mut s = 0.0;
-                for a in &amps[base..base + len] {
+                let mut l = [0.0f64; 4];
+                let mut quads = amps[base..base + len].chunks_exact(4);
+                for q in &mut quads {
+                    l[0] += q[0].norm_sqr();
+                    l[1] += q[1].norm_sqr();
+                    l[2] += q[2].norm_sqr();
+                    l[3] += q[3].norm_sqr();
+                }
+                let mut s = (l[0] + l[1]) + (l[2] + l[3]);
+                for a in quads.remainder() {
                     s += a.norm_sqr();
                 }
                 s
@@ -477,29 +493,36 @@ impl StateVector {
                     if x_in == 0 && z_in == 0 {
                         // Common fast path (every ≤2-local string lands
                         // here): two parallel streams, no index math, and
-                        // two interleaved accumulator chains to hide FP-add
-                        // latency (a fixed tree — still deterministic).
-                        let (mut r0, mut r1) = (0.0, 0.0);
-                        let mut cur2 = cur.chunks_exact(2);
-                        let mut par2 = par.chunks_exact(2);
+                        // four independent f64 accumulator lanes so the
+                        // FP reduction vectorizes (256-bit = 4×f64) and
+                        // hides add latency. The lane tree is fixed —
+                        // still deterministic for any thread count.
+                        let mut l = [0.0f64; 4];
+                        let mut cur4 = cur.chunks_exact(4);
+                        let mut par4 = par.chunks_exact(4);
                         if o.use_im {
-                            for (c, a) in (&mut cur2).zip(&mut par2) {
-                                r0 += a[0].re * c[0].im - a[0].im * c[0].re;
-                                r1 += a[1].re * c[1].im - a[1].im * c[1].re;
+                            for (c, a) in (&mut cur4).zip(&mut par4) {
+                                l[0] += a[0].re * c[0].im - a[0].im * c[0].re;
+                                l[1] += a[1].re * c[1].im - a[1].im * c[1].re;
+                                l[2] += a[2].re * c[2].im - a[2].im * c[2].re;
+                                l[3] += a[3].re * c[3].im - a[3].im * c[3].re;
                             }
-                            for (c, a) in cur2.remainder().iter().zip(par2.remainder()) {
-                                r0 += a.re * c.im - a.im * c.re;
+                            run = (l[0] + l[1]) + (l[2] + l[3]);
+                            for (c, a) in cur4.remainder().iter().zip(par4.remainder()) {
+                                run += a.re * c.im - a.im * c.re;
                             }
                         } else {
-                            for (c, a) in (&mut cur2).zip(&mut par2) {
-                                r0 += a[0].re * c[0].re + a[0].im * c[0].im;
-                                r1 += a[1].re * c[1].re + a[1].im * c[1].im;
+                            for (c, a) in (&mut cur4).zip(&mut par4) {
+                                l[0] += a[0].re * c[0].re + a[0].im * c[0].im;
+                                l[1] += a[1].re * c[1].re + a[1].im * c[1].im;
+                                l[2] += a[2].re * c[2].re + a[2].im * c[2].im;
+                                l[3] += a[3].re * c[3].re + a[3].im * c[3].im;
                             }
-                            for (c, a) in cur2.remainder().iter().zip(par2.remainder()) {
-                                r0 += a.re * c.re + a.im * c.im;
+                            run = (l[0] + l[1]) + (l[2] + l[3]);
+                            for (c, a) in cur4.remainder().iter().zip(par4.remainder()) {
+                                run += a.re * c.re + a.im * c.im;
                             }
                         }
-                        run = r0 + r1;
                     } else {
                         for (t, c) in cur.iter().enumerate() {
                             let a = par[t ^ x_in];

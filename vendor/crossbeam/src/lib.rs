@@ -1,16 +1,18 @@
 //! Offline stand-in for `crossbeam`.
 //!
 //! The build environment has no registry access, so this shim provides
-//! the one structure the scheduler uses: [`deque::Injector`], a
-//! multi-producer multi-consumer FIFO with crossbeam's `Steal` result
-//! protocol. Backed by `Mutex<VecDeque>` instead of a lock-free deque —
-//! correct under the same contract, slower under heavy contention. Swap
-//! the `[workspace.dependencies]` path entry for the real crate when a
-//! registry is available; call sites need no changes.
+//! the deque structures the schedulers use: [`deque::Injector`], a
+//! multi-producer multi-consumer FIFO, and the [`deque::Worker`] /
+//! [`deque::Stealer`] pair (a worker-owned deque popped LIFO by its owner
+//! and stolen FIFO by other threads), all speaking crossbeam's `Steal`
+//! result protocol. Backed by `Mutex<VecDeque>` instead of lock-free
+//! deques — correct under the same contract, slower under heavy
+//! contention. Swap the `[workspace.dependencies]` path entry for the
+//! real crate when a registry is available; call sites need no changes.
 
 pub mod deque {
     use std::collections::VecDeque;
-    use std::sync::Mutex;
+    use std::sync::{Arc, Mutex};
 
     /// Result of a steal attempt.
     #[derive(Debug)]
@@ -62,6 +64,94 @@ pub mod deque {
             self.queue.lock().expect("injector poisoned").len()
         }
     }
+
+    /// The owner's handle of a work-stealing deque. The owner pushes and
+    /// pops at the back (LIFO — newest task is cache-hottest); thieves
+    /// steal from the front via [`Stealer`] handles (FIFO — oldest task
+    /// first, the one the owner is least likely to want next).
+    #[derive(Debug)]
+    pub struct Worker<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Worker<T> {
+        /// Creates a deque whose owner pops in LIFO order.
+        pub fn new_lifo() -> Self {
+            Worker {
+                queue: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+
+        /// Pushes a task onto the owner's end.
+        pub fn push(&self, task: T) {
+            self.queue
+                .lock()
+                .expect("worker deque poisoned")
+                .push_back(task);
+        }
+
+        /// Pops the most recently pushed task (owner side).
+        pub fn pop(&self) -> Option<T> {
+            self.queue.lock().expect("worker deque poisoned").pop_back()
+        }
+
+        /// Whether the deque was observed empty.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().expect("worker deque poisoned").is_empty()
+        }
+
+        /// Number of queued tasks at the moment of observation.
+        pub fn len(&self) -> usize {
+            self.queue.lock().expect("worker deque poisoned").len()
+        }
+
+        /// A handle other threads use to steal from this deque.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    impl<T> Default for Worker<T> {
+        fn default() -> Self {
+            Self::new_lifo()
+        }
+    }
+
+    /// A thief's handle onto a [`Worker`] deque.
+    #[derive(Debug)]
+    pub struct Stealer<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Stealer<T> {
+        /// Steals the oldest task from the owner's deque.
+        pub fn steal(&self) -> Steal<T> {
+            match self
+                .queue
+                .lock()
+                .expect("worker deque poisoned")
+                .pop_front()
+            {
+                Some(task) => Steal::Success(task),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Whether the deque was observed empty.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().expect("worker deque poisoned").is_empty()
+        }
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -82,6 +172,55 @@ mod tests {
             other => panic!("expected Success(2), got {other:?}"),
         }
         assert!(matches!(q.steal(), Steal::Empty));
+    }
+
+    #[test]
+    fn worker_pops_lifo_stealer_steals_fifo() {
+        use super::deque::Worker;
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.pop(), Some(3), "owner pops newest");
+        match s.steal() {
+            Steal::Success(v) => assert_eq!(v, 1, "thief steals oldest"),
+            other => panic!("expected Success(1), got {other:?}"),
+        }
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.pop(), Some(2));
+        assert!(w.is_empty() && s.is_empty());
+        assert!(matches!(s.steal(), Steal::Empty));
+    }
+
+    #[test]
+    fn concurrent_worker_drain_loses_nothing() {
+        use super::deque::Worker;
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let w = Worker::new_lifo();
+        for i in 0..500 {
+            w.push(i);
+        }
+        let seen = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                let s = w.stealer();
+                let seen = &seen;
+                scope.spawn(move || loop {
+                    match s.steal() {
+                        Steal::Success(_) => {
+                            seen.fetch_add(1, Ordering::SeqCst);
+                        }
+                        Steal::Empty => break,
+                        Steal::Retry => continue,
+                    }
+                });
+            }
+            while w.pop().is_some() {
+                seen.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        assert_eq!(seen.load(Ordering::SeqCst), 500);
     }
 
     #[test]

@@ -1,0 +1,374 @@
+//! The persistent work-stealing executor behind every parallel operation.
+//!
+//! One process-wide pool, built lazily on first use: `N − 1` background
+//! worker threads (`N` = [`crate::current_num_threads`]'s default
+//! resolution at startup), each owning a [`Worker`] deque popped LIFO and
+//! stolen FIFO, plus a global FIFO [`Injector`] that external threads
+//! submit through. Idle workers park on a condvar guarded by a sleepers
+//! counter — `submit` re-checks the counter under the same lock, so a
+//! wakeup can never be lost between "queue observed empty" and "parked".
+//!
+//! The public entry point is [`scope`]: a structured-concurrency region
+//! whose [`Scope::spawn`]ed closures may borrow from the enclosing stack
+//! frame. The scope owner *helps* — while its tasks are outstanding it
+//! pops and runs queued work (its own tasks first, then anything else) —
+//! so callers never idle-block and nested scopes on worker threads cannot
+//! deadlock: every thread waiting on a scope is also draining the queues.
+//!
+//! Panics inside a spawned task are caught on the worker, stashed in the
+//! scope, and re-thrown from `scope()` on the owner's thread — the worker
+//! itself survives, so a panicking task never poisons the pool.
+//!
+//! Safety: `Scope::spawn` erases the closure's `'scope` lifetime to park
+//! it in the `'static` worker queues (the same trick real rayon uses).
+//! This is sound because `scope()` does not return until the task count
+//! reaches zero, so every borrow the closure captured outlives its
+//! execution. This module is the only unsafe code in the workspace.
+
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+use std::any::Any;
+use std::cell::{Cell, RefCell};
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+/// A unit of queued work. Always a wrapper built by [`Scope::spawn`], so
+/// executing one can never unwind into the worker loop.
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+thread_local! {
+    /// The local deque of the current pool worker (`None` on external
+    /// threads); submissions from a worker go here instead of the
+    /// injector, and are popped LIFO while still cache-hot.
+    static LOCAL: RefCell<Option<Worker<Task>>> = const { RefCell::new(None) };
+    /// This worker's index into `Executor::stealers` (skipped when
+    /// stealing).
+    static WORKER_INDEX: Cell<Option<usize>> = const { Cell::new(None) };
+    /// Task-execution nesting depth on this thread; the live-thread gauge
+    /// below counts threads, not stack frames.
+    static EXEC_DEPTH: Cell<usize> = const { Cell::new(0) };
+}
+
+/// The process-wide pool.
+pub(crate) struct Executor {
+    injector: Injector<Task>,
+    stealers: Vec<Stealer<Task>>,
+    /// Count of parked workers, guarded with [`Self::wake`].
+    sleepers: Mutex<usize>,
+    wake: Condvar,
+    /// Threads currently executing pool tasks (workers + helping callers).
+    live: AtomicUsize,
+    /// High-water mark of [`Self::live`] — the oversubscription gauge the
+    /// hpcq regression tests read via [`crate::max_live_workers`].
+    max_live: AtomicUsize,
+}
+
+/// The executor, starting its worker threads on first use.
+pub(crate) fn global() -> &'static Executor {
+    static EXEC: OnceLock<&'static Executor> = OnceLock::new();
+    EXEC.get_or_init(|| {
+        let workers = crate::default_threads().saturating_sub(1);
+        let queues: Vec<Worker<Task>> = (0..workers).map(|_| Worker::new_lifo()).collect();
+        let exec: &'static Executor = Box::leak(Box::new(Executor {
+            injector: Injector::new(),
+            stealers: queues.iter().map(Worker::stealer).collect(),
+            sleepers: Mutex::new(0),
+            wake: Condvar::new(),
+            live: AtomicUsize::new(0),
+            max_live: AtomicUsize::new(0),
+        }));
+        for (index, queue) in queues.into_iter().enumerate() {
+            std::thread::Builder::new()
+                .name(format!("postvar-worker-{index}"))
+                .spawn(move || exec.worker_main(index, queue))
+                .expect("failed to spawn pool worker");
+        }
+        exec
+    })
+}
+
+impl Executor {
+    /// Queues a task: onto the calling worker's own deque when the caller
+    /// is a pool worker, else onto the global injector; then wakes a
+    /// parked worker if any.
+    fn submit(&self, task: Task) {
+        let overflow = LOCAL.with(|l| match l.borrow().as_ref() {
+            Some(worker) => {
+                worker.push(task);
+                None
+            }
+            None => Some(task),
+        });
+        if let Some(task) = overflow {
+            self.injector.push(task);
+        }
+        let sleepers = self.sleepers.lock().expect("executor lock poisoned");
+        if *sleepers > 0 {
+            self.wake.notify_one();
+        }
+    }
+
+    /// Finds a task: own deque (LIFO) → injector (FIFO) → steal from
+    /// sibling workers, round-robin from after the caller's own slot.
+    fn find_task(&self) -> Option<Task> {
+        if let Some(task) = LOCAL.with(|l| l.borrow().as_ref().and_then(Worker::pop)) {
+            return Some(task);
+        }
+        loop {
+            match self.injector.steal() {
+                Steal::Success(task) => return Some(task),
+                Steal::Empty => break,
+                Steal::Retry => continue,
+            }
+        }
+        let n = self.stealers.len();
+        let own = WORKER_INDEX.with(Cell::get);
+        let start = own.map_or(0, |i| i + 1);
+        for k in 0..n {
+            let i = (start + k) % n;
+            if own == Some(i) {
+                continue;
+            }
+            loop {
+                match self.stealers[i].steal() {
+                    Steal::Success(task) => return Some(task),
+                    Steal::Empty => break,
+                    Steal::Retry => continue,
+                }
+            }
+        }
+        None
+    }
+
+    /// Runs one task, maintaining the live-thread gauge (outermost frame
+    /// only — helping while waiting must not double-count a thread).
+    fn run_task(&self, task: Task) {
+        let depth = EXEC_DEPTH.with(|d| {
+            let v = d.get();
+            d.set(v + 1);
+            v
+        });
+        if depth == 0 {
+            let live = self.live.fetch_add(1, Ordering::Relaxed) + 1;
+            self.max_live.fetch_max(live, Ordering::Relaxed);
+        }
+        task();
+        EXEC_DEPTH.with(|d| d.set(d.get() - 1));
+        if depth == 0 {
+            self.live.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether any queue holds a task (checked under the sleep lock before
+    /// parking, closing the submit/park race).
+    fn has_visible_work(&self) -> bool {
+        !self.injector.is_empty() || self.stealers.iter().any(|s| !s.is_empty())
+    }
+
+    /// A background worker's whole life: run tasks; park when idle.
+    fn worker_main(&'static self, index: usize, queue: Worker<Task>) {
+        LOCAL.with(|l| *l.borrow_mut() = Some(queue));
+        WORKER_INDEX.with(|w| w.set(Some(index)));
+        loop {
+            if let Some(task) = self.find_task() {
+                self.run_task(task);
+                continue;
+            }
+            let mut sleepers = self.sleepers.lock().expect("executor lock poisoned");
+            if self.has_visible_work() {
+                continue;
+            }
+            *sleepers += 1;
+            // Untimed wait is safe: `submit` pushes *before* taking this
+            // lock and notifies whenever `sleepers > 0`, and we re-check
+            // the queues under the lock above — a wakeup cannot be lost,
+            // and an idle pool costs zero CPU.
+            let mut guard = self.wake.wait(sleepers).expect("executor lock poisoned");
+            *guard -= 1;
+        }
+    }
+
+    /// High-water mark of threads concurrently executing pool tasks.
+    pub(crate) fn max_live(&self) -> usize {
+        self.max_live.load(Ordering::Relaxed)
+    }
+
+    /// Resets the high-water mark to the current live count.
+    pub(crate) fn reset_max_live(&self) {
+        self.max_live
+            .store(self.live.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+}
+
+/// Shared bookkeeping of one [`scope`] call.
+struct ScopeData {
+    /// Outstanding references: one per unfinished spawned task, plus one
+    /// held by the scope body itself.
+    pending: AtomicUsize,
+    /// First panic payload captured from a spawned task.
+    panic: Mutex<Option<Box<dyn Any + Send + 'static>>>,
+    done_lock: Mutex<()>,
+    done: Condvar,
+}
+
+impl ScopeData {
+    fn complete_one(&self) {
+        if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Takes the lock so a waiter can't check-then-park between our
+            // decrement and this notify.
+            let _guard = self.done_lock.lock().expect("scope lock poisoned");
+            self.done.notify_all();
+        }
+    }
+}
+
+/// A structured-concurrency region whose spawned tasks may borrow from
+/// the enclosing stack frame (see [`scope`]).
+pub struct Scope<'scope> {
+    data: Arc<ScopeData>,
+    /// Invariant in `'scope`, like `std::thread::Scope`.
+    _marker: PhantomData<&'scope mut &'scope ()>,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Queues `f` on the shared executor. The closure may borrow anything
+    /// that outlives the `scope` call; it runs at most once, possibly on
+    /// the scope owner's own thread while it helps.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        self.data.pending.fetch_add(1, Ordering::AcqRel);
+        let data = Arc::clone(&self.data);
+        let task: Box<dyn FnOnce() + Send + 'scope> = Box::new(f);
+        // SAFETY: `scope` blocks until `pending` reaches zero, so the task
+        // — and every `'scope` borrow it captured — outlives its
+        // execution. The lifetime is erased only to park the closure in
+        // the executor's `'static` queues.
+        let task: Task =
+            unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Task>(task) };
+        let wrapped: Task = Box::new(move || {
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(task)) {
+                let mut slot = data.panic.lock().expect("scope lock poisoned");
+                slot.get_or_insert(payload);
+            }
+            data.complete_one();
+        });
+        global().submit(wrapped);
+    }
+}
+
+/// Runs `f` with a [`Scope`] handle and returns once every task spawned
+/// on it has finished. While waiting, the calling thread executes queued
+/// pool tasks itself (its own spawns first). A panic — from the body or
+/// from any spawned task — is re-thrown here after all tasks complete,
+/// leaving the pool fully usable.
+pub fn scope<'scope, R>(f: impl FnOnce(&Scope<'scope>) -> R) -> R {
+    let data = Arc::new(ScopeData {
+        pending: AtomicUsize::new(1),
+        panic: Mutex::new(None),
+        done_lock: Mutex::new(()),
+        done: Condvar::new(),
+    });
+    let scope = Scope {
+        data: Arc::clone(&data),
+        _marker: PhantomData,
+    };
+    let body = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+    data.complete_one(); // the body's own reference
+    let exec = global();
+    while data.pending.load(Ordering::Acquire) != 0 {
+        if let Some(task) = exec.find_task() {
+            exec.run_task(task);
+            continue;
+        }
+        let guard = data.done_lock.lock().expect("scope lock poisoned");
+        if data.pending.load(Ordering::Acquire) == 0 {
+            break;
+        }
+        // Short timed wait: completions notify promptly; the timeout lets
+        // the helper re-poll for *new* tasks submitted while it parked.
+        let _ = data
+            .done
+            .wait_timeout(guard, Duration::from_micros(200))
+            .expect("scope lock poisoned");
+    }
+    let task_panic = data.panic.lock().expect("scope lock poisoned").take();
+    match (body, task_panic) {
+        (Err(payload), _) => resume_unwind(payload),
+        (_, Some(payload)) => resume_unwind(payload),
+        (Ok(result), None) => result,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_tasks_borrow_stack_data() {
+        let mut out = [0usize; 8];
+        let base = 10usize;
+        scope(|s| {
+            for (i, slot) in out.iter_mut().enumerate() {
+                let base = &base;
+                s.spawn(move || *slot = i + base);
+            }
+        });
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, i + 10);
+        }
+    }
+
+    #[test]
+    fn nested_scopes_complete() {
+        let mut totals = [0usize; 6];
+        scope(|s| {
+            for (i, t) in totals.iter_mut().enumerate() {
+                s.spawn(move || {
+                    let mut inner = [0usize; 4];
+                    scope(|s2| {
+                        for (j, slot) in inner.iter_mut().enumerate() {
+                            s2.spawn(move || *slot = i * 4 + j);
+                        }
+                    });
+                    *t = inner.iter().sum();
+                });
+            }
+        });
+        for (i, &t) in totals.iter().enumerate() {
+            assert_eq!(t, (0..4).map(|j| i * 4 + j).sum::<usize>());
+        }
+    }
+
+    #[test]
+    fn scope_task_panic_propagates_and_pool_survives() {
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            scope(|s| {
+                s.spawn(|| panic!("task boom"));
+                s.spawn(|| {});
+            });
+        }));
+        assert!(caught.is_err());
+        // Pool still works after the panic.
+        let mut ok = false;
+        scope(|s| s.spawn(|| ok = true));
+        assert!(ok);
+    }
+
+    #[test]
+    fn scope_body_panic_still_waits_for_tasks() {
+        use std::sync::atomic::AtomicBool;
+        let ran = AtomicBool::new(false);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            scope(|s| {
+                s.spawn(|| ran.store(true, Ordering::SeqCst));
+                panic!("body boom");
+            })
+        }));
+        assert!(caught.is_err());
+        assert!(ran.load(Ordering::SeqCst), "spawned task must have run");
+    }
+}

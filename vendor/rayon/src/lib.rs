@@ -1,13 +1,19 @@
-//! Offline stand-in for `rayon`, backed by **real threads**.
+//! Offline stand-in for `rayon`, backed by a **persistent work-stealing
+//! pool**.
 //!
 //! The build environment has no registry access, so this shim provides the
 //! parallel-iterator surface the workspace uses (`par_iter`,
 //! `par_iter_mut`, `par_chunks[_mut]`, `into_par_iter`, and the
-//! `map`/`zip`/`enumerate`/`for_each`/`sum`/`collect` combinators) on top
-//! of `std::thread::scope`: each terminal operation splits its source into
-//! contiguous parts and fans the parts out over
-//! [`current_num_threads`] scoped worker threads. Semantics match rayon's
-//! indexed parallel iterators — results come back in source order.
+//! `map`/`zip`/`enumerate`/`for_each`/`sum`/`collect` combinators) plus a
+//! [`scope`]/[`Scope::spawn`] structured-task API, all multiplexed onto
+//! one lazily-started executor (see [`executor`]): per-worker
+//! `crossbeam::deque` LIFO queues, a global FIFO injector, and parked
+//! workers woken on submit. Terminal operations split their source into
+//! contiguous parts (about two runs per available thread, so stealing can
+//! rebalance uneven work) and the calling thread executes queued runs
+//! itself while it waits — spawn cost is amortized across the process
+//! instead of paid per call. Semantics match rayon's indexed parallel
+//! iterators — results come back in source order.
 //!
 //! Determinism guarantees, relied on by the workspace's property tests:
 //!
@@ -16,16 +22,27 @@
 //! * `sum` reduces over **fixed-size chunks** ([`SUM_CHUNK`] items) whose
 //!   boundaries do not depend on the thread count, and combines the
 //!   partial sums in chunk order — so floating-point sums are also
-//!   bit-for-bit identical whether run on 1 thread or 64.
+//!   bit-for-bit identical whether run on 1 thread or 64, and across
+//!   reuses of the pool.
 //!
 //! Thread count resolution: `POSTVAR_NUM_THREADS` env var, then
-//! `RAYON_NUM_THREADS`, then `std::thread::available_parallelism()`.
-//! [`with_num_threads`] pins the count for a closure (used by tests and
-//! benches to compare thread counts in-process). Nested parallel calls
-//! from inside a worker run sequentially instead of spawning recursively.
+//! `RAYON_NUM_THREADS`, then `std::thread::available_parallelism()` — all
+//! read once, when the pool starts. [`with_num_threads`] pins the
+//! *fan-out* for a closure (used by tests and benches to compare thread
+//! counts in-process; `1` runs inline with no pool traffic at all).
+//! [`with_inner_threads`] *caps* the fan-out for a closure without
+//! changing what [`current_num_threads`] reports — the cooperation hint
+//! coarse-grained schedulers (the `hpcq` device pool) set so a task's
+//! inner kernels claim only their fair share of the one shared pool.
+//! Nested parallel calls are fine: they queue onto the same executor,
+//! which is bounded, instead of spawning recursively.
 //!
 //! Swap the `[workspace.dependencies]` path entry for the real crate when
 //! a registry is available; call sites need no changes.
+
+pub mod executor;
+
+pub use executor::{scope, Scope};
 
 use std::cell::Cell;
 use std::sync::OnceLock;
@@ -38,12 +55,12 @@ pub const SUM_CHUNK: usize = 1 << 12;
 thread_local! {
     /// Per-thread override installed by [`with_num_threads`] (0 = none).
     static THREAD_OVERRIDE: Cell<usize> = const { Cell::new(0) };
-    /// Set inside pool workers so nested parallel calls run sequentially
-    /// instead of spawning threads recursively.
-    static IN_POOL: Cell<bool> = const { Cell::new(false) };
+    /// Per-thread fan-out cap installed by [`with_inner_threads`]
+    /// (0 = uncapped).
+    static INNER_CAP: Cell<usize> = const { Cell::new(0) };
 }
 
-fn default_threads() -> usize {
+pub(crate) fn default_threads() -> usize {
     static CACHE: OnceLock<usize> = OnceLock::new();
     *CACHE.get_or_init(|| {
         std::env::var("POSTVAR_NUM_THREADS")
@@ -89,33 +106,55 @@ pub fn with_num_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
     f()
 }
 
-/// RAII marker for pool workers: suppresses nested fan-out for its scope.
-struct PoolGuard(bool);
-
-impl PoolGuard {
-    fn enter() -> Self {
-        PoolGuard(IN_POOL.with(|c| {
-            let prev = c.get();
-            c.set(true);
-            prev
-        }))
+/// Runs `f` with this thread's parallel fan-out **capped** at `n`, on top
+/// of whatever [`current_num_threads`] reports (restored afterwards, even
+/// on panic). This is the cooperation hint for coarse-grained schedulers
+/// sharing the executor: a device task handling one of `d` concurrent
+/// jobs sets `n = threads / d` so its inner kernels split into their fair
+/// share of parts instead of flooding the shared queues — replacing the
+/// old all-or-nothing "nested calls run sequentially" guard. `n = 1`
+/// makes parallel calls inside `f` run inline.
+pub fn with_inner_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    assert!(n >= 1, "inner thread cap must be at least 1");
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            INNER_CAP.with(|c| c.set(self.0));
+        }
     }
+    let _restore = Restore(INNER_CAP.with(|c| {
+        let prev = c.get();
+        c.set(n);
+        prev
+    }));
+    f()
 }
 
-impl Drop for PoolGuard {
-    fn drop(&mut self) {
-        IN_POOL.with(|c| c.set(self.0));
-    }
-}
-
-/// Threads a terminal operation may fan out over right now (1 when the
-/// caller is itself a pool worker).
+/// Threads a terminal operation may fan out over right now: the current
+/// thread count, clipped by any [`with_inner_threads`] cap.
 fn fanout() -> usize {
-    if IN_POOL.with(Cell::get) {
-        1
+    let cap = INNER_CAP.with(Cell::get);
+    let n = current_num_threads();
+    if cap == 0 {
+        n
     } else {
-        current_num_threads()
+        n.min(cap)
     }
+}
+
+/// High-water mark of threads concurrently executing pool tasks since the
+/// last [`reset_max_live_workers`] — workers plus callers helping while
+/// they wait. The `hpcq` oversubscription regression test asserts this
+/// stays within [`current_num_threads`] when device- and amplitude-level
+/// parallelism share the executor.
+pub fn max_live_workers() -> usize {
+    executor::global().max_live()
+}
+
+/// Resets the [`max_live_workers`] high-water mark to the current live
+/// count.
+pub fn reset_max_live_workers() {
+    executor::global().reset_max_live()
 }
 
 /// Splits `iter` into contiguous parts of `part_len` items (last part
@@ -132,9 +171,12 @@ fn split_by_part_len<P: ParallelIterator>(mut iter: P, part_len: usize) -> Vec<P
     parts
 }
 
-/// Consumes every part, fanning contiguous runs of parts out over scoped
-/// worker threads. Per-part results come back in part order regardless of
-/// the thread count. The calling thread works on the first run itself.
+/// Consumes every part by fanning contiguous *runs* of parts out over the
+/// persistent executor as scoped tasks — about two runs per available
+/// thread, so work stealing can rebalance uneven runs (the adaptive-split
+/// policy). Per-part results come back in part order regardless of the
+/// thread count or of which worker ran which run; the calling thread
+/// executes queued runs itself while it waits.
 fn run_parts<P, R, F>(parts: Vec<P>, consume: F) -> Vec<R>
 where
     P: ParallelIterator,
@@ -143,43 +185,33 @@ where
 {
     let threads = fanout().min(parts.len());
     if threads <= 1 {
-        let _guard = PoolGuard::enter();
         return parts.into_iter().map(consume).collect();
     }
     let total = parts.len();
-    let mut run_sizes = vec![total / threads; threads];
-    for s in run_sizes.iter_mut().take(total % threads) {
+    let nruns = (threads * 2).min(total);
+    let mut run_sizes = vec![total / nruns; nruns];
+    for s in run_sizes.iter_mut().take(total % nruns) {
         *s += 1;
     }
     let mut parts_iter = parts.into_iter();
-    let mut runs: Vec<Vec<P>> = Vec::with_capacity(threads);
-    for sz in run_sizes {
-        runs.push(parts_iter.by_ref().take(sz).collect());
-    }
+    let runs: Vec<Vec<P>> = run_sizes
+        .into_iter()
+        .map(|sz| parts_iter.by_ref().take(sz).collect())
+        .collect();
+    // One result slot per run, filled by exactly one task each; slot order
+    // — not completion order — defines the combine order.
+    let mut slots: Vec<Option<Vec<R>>> = Vec::with_capacity(nruns);
+    slots.resize_with(nruns, || None);
     let consume = &consume;
-    std::thread::scope(|s| {
-        let mut runs_iter = runs.into_iter();
-        let first = runs_iter.next().expect("at least one run");
-        let handles: Vec<_> = runs_iter
-            .map(|run| {
-                s.spawn(move || {
-                    let _guard = PoolGuard::enter();
-                    run.into_iter().map(consume).collect::<Vec<R>>()
-                })
-            })
-            .collect();
-        let mut out = {
-            let _guard = PoolGuard::enter();
-            first.into_iter().map(consume).collect::<Vec<R>>()
-        };
-        for h in handles {
-            match h.join() {
-                Ok(rs) => out.extend(rs),
-                Err(payload) => std::panic::resume_unwind(payload),
-            }
+    executor::scope(|s| {
+        for (slot, run) in slots.iter_mut().zip(runs) {
+            s.spawn(move || *slot = Some(run.into_iter().map(consume).collect()));
         }
-        out
-    })
+    });
+    slots
+        .into_iter()
+        .flat_map(|r| r.expect("scope waits for every run"))
+        .collect()
 }
 
 /// An indexed parallel iterator: a splittable source with a known length
@@ -224,7 +256,8 @@ pub trait ParallelIterator: Sized + Send {
     where
         F: Fn(Self::Item) + Send + Sync,
     {
-        let part_len = self.pi_len().div_ceil(fanout().max(1)).max(1);
+        // ~2 parts per thread: enough slack for stealing to rebalance.
+        let part_len = self.pi_len().div_ceil(fanout() * 2).max(1);
         let parts = split_by_part_len(self, part_len);
         run_parts(parts, |p| p.pi_seq().for_each(&f));
     }
@@ -247,7 +280,7 @@ pub trait ParallelIterator: Sized + Send {
     where
         C: FromIterator<Self::Item>,
     {
-        let part_len = self.pi_len().div_ceil(fanout().max(1)).max(1);
+        let part_len = self.pi_len().div_ceil(fanout() * 2).max(1);
         let parts = split_by_part_len(self, part_len);
         run_parts(parts, |p| p.pi_seq().collect::<Vec<_>>())
             .into_iter()
@@ -720,6 +753,88 @@ mod tests {
             assert_eq!(crate::current_num_threads(), 13);
         });
         assert_eq!(crate::current_num_threads(), before);
+    }
+
+    #[test]
+    fn with_num_threads_is_reentrant() {
+        let before = crate::current_num_threads();
+        crate::with_num_threads(4, || {
+            assert_eq!(crate::current_num_threads(), 4);
+            crate::with_num_threads(2, || {
+                assert_eq!(crate::current_num_threads(), 2);
+                crate::with_num_threads(6, || assert_eq!(crate::current_num_threads(), 6));
+                assert_eq!(crate::current_num_threads(), 2);
+            });
+            assert_eq!(crate::current_num_threads(), 4);
+            // A panicking inner pin must restore the outer one too.
+            let caught = std::panic::catch_unwind(|| {
+                crate::with_num_threads(9, || panic!("inner"));
+            });
+            assert!(caught.is_err());
+            assert_eq!(crate::current_num_threads(), 4);
+        });
+        assert_eq!(crate::current_num_threads(), before);
+    }
+
+    #[test]
+    fn with_inner_threads_caps_and_restores() {
+        let data: Vec<f64> = (0..20_000).map(|i| (i as f64 * 0.7).sin()).collect();
+        let free = crate::with_num_threads(4, || data.par_iter().map(|x| x + 1.0).sum::<f64>());
+        let capped = crate::with_num_threads(4, || {
+            crate::with_inner_threads(1, || {
+                // current_num_threads is unchanged — only fan-out is capped.
+                assert_eq!(crate::current_num_threads(), 4);
+                data.par_iter().map(|x| x + 1.0).sum::<f64>()
+            })
+        });
+        assert_eq!(free.to_bits(), capped.to_bits());
+        // Nested caps restore outward.
+        crate::with_inner_threads(3, || {
+            crate::with_inner_threads(2, || {});
+            let s: usize = (0..100usize).into_par_iter().sum();
+            assert_eq!(s, 4950);
+        });
+    }
+
+    #[test]
+    fn sum_bit_identical_across_thread_counts_after_pool_reuse() {
+        let data: Vec<f64> = (0..60_000).map(|i| (i as f64 * 0.13).cos()).collect();
+        let work = || data.par_iter().map(|x| x * 1.5 - x * x).sum::<f64>();
+        let reference = crate::with_num_threads(1, work);
+        // Three rounds over the *same* persistent pool: reuse must not
+        // perturb chunk boundaries or combine order.
+        for round in 0..3 {
+            for &t in &[1usize, 2, 8] {
+                let s = crate::with_num_threads(t, work);
+                assert_eq!(
+                    s.to_bits(),
+                    reference.to_bits(),
+                    "round {round}, {t} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn panic_propagates_without_poisoning_pool() {
+        let caught = std::panic::catch_unwind(|| {
+            crate::with_num_threads(4, || {
+                (0..2_048usize).into_par_iter().for_each(|i| {
+                    if i == 1_500 {
+                        panic!("kernel boom");
+                    }
+                });
+            })
+        });
+        assert!(caught.is_err());
+        // The persistent pool must keep working after the unwind.
+        let s: usize = crate::with_num_threads(4, || (0..10_000usize).into_par_iter().sum());
+        assert_eq!(s, 49_995_000);
+        let v: Vec<usize> = crate::with_num_threads(4, || {
+            (0..1_000usize).into_par_iter().map(|i| i * 2).collect()
+        });
+        assert_eq!(v.len(), 1_000);
+        assert_eq!(v[999], 1_998);
     }
 
     #[test]
