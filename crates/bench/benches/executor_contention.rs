@@ -1,0 +1,201 @@
+//! Deque contention under fine-grained task splitting — the workload the
+//! Chase-Lev rewrite targets.
+//!
+//! Two angles:
+//!
+//! * `deque_steal_storm` — the raw queue protocols head to head: the
+//!   lock-free Chase-Lev `crossbeam::deque::Worker`/`Stealer` with
+//!   batched steals versus the `Mutex<VecDeque>` deque it replaced
+//!   (reconstructed here as `MutexDeque`), one producing owner against
+//!   several draining thieves. The mutex pays one lock round-trip per
+//!   task; Chase-Lev pays one CAS per task and one steal *operation* per
+//!   ~half queue.
+//! * `tiny_scoped_tasks` — the executor end to end: many small
+//!   `rayon::scope` tasks (the shape `par_iter` produces just above
+//!   `PARALLEL_THRESHOLD`) at 1/2/4/8 threads. On a multicore host the
+//!   ≥2-thread rows must beat the old mutex-deque executor; on a 1-core
+//!   container they measure scheduling overhead only.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use crossbeam::deque::{Steal, Worker};
+use std::collections::VecDeque;
+use std::hint::black_box;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The mutex-backed deque the pre-Chase-Lev executor used, kept here as
+/// the bench baseline: every operation — owner or thief — takes the lock.
+struct MutexDeque<T> {
+    queue: Mutex<VecDeque<T>>,
+}
+
+impl<T> MutexDeque<T> {
+    fn new() -> Self {
+        MutexDeque {
+            queue: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    fn push(&self, task: T) {
+        self.queue.lock().unwrap().push_back(task);
+    }
+
+    fn pop(&self) -> Option<T> {
+        self.queue.lock().unwrap().pop_back()
+    }
+
+    fn steal(&self) -> Option<T> {
+        self.queue.lock().unwrap().pop_front()
+    }
+}
+
+const TASKS: usize = 20_000;
+const THIEVES: usize = 3;
+
+/// Owner pushes `TASKS` items in bursts and pops some back; thieves drain
+/// the rest. Returns only when every task is accounted for.
+fn storm_mutex() -> usize {
+    let q: MutexDeque<usize> = MutexDeque::new();
+    let drained = AtomicUsize::new(0);
+    let produced = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..THIEVES {
+            let (q, drained, produced) = (&q, &drained, &produced);
+            scope.spawn(move || loop {
+                match q.steal() {
+                    Some(v) => {
+                        black_box(v);
+                        drained.fetch_add(1, Ordering::SeqCst);
+                    }
+                    None => {
+                        if produced.load(Ordering::SeqCst) == TASKS
+                            && drained.load(Ordering::SeqCst) == TASKS
+                        {
+                            break;
+                        }
+                        std::hint::spin_loop();
+                    }
+                }
+            });
+        }
+        for burst in 0..(TASKS / 100) {
+            for i in 0..100 {
+                q.push(burst * 100 + i);
+            }
+            produced.fetch_add(100, Ordering::SeqCst);
+            for _ in 0..20 {
+                if let Some(v) = q.pop() {
+                    black_box(v);
+                    drained.fetch_add(1, Ordering::SeqCst);
+                }
+            }
+        }
+        while drained.load(Ordering::SeqCst) < TASKS {
+            if let Some(v) = q.pop() {
+                black_box(v);
+                drained.fetch_add(1, Ordering::SeqCst);
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    });
+    drained.load(Ordering::SeqCst)
+}
+
+/// Same storm over the lock-free Chase-Lev deque, thieves using batched
+/// steals into their own local deques.
+fn storm_chase_lev() -> usize {
+    let w: Worker<usize> = Worker::new_lifo();
+    let drained = AtomicUsize::new(0);
+    let produced = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..THIEVES {
+            let s = w.stealer();
+            let (drained, produced) = (&drained, &produced);
+            scope.spawn(move || {
+                let mine: Worker<usize> = Worker::new_lifo();
+                loop {
+                    match s.steal_batch_and_pop(&mine) {
+                        Steal::Success(v) => {
+                            black_box(v);
+                            drained.fetch_add(1, Ordering::SeqCst);
+                            while let Some(v) = mine.pop() {
+                                black_box(v);
+                                drained.fetch_add(1, Ordering::SeqCst);
+                            }
+                        }
+                        Steal::Empty => {
+                            if produced.load(Ordering::SeqCst) == TASKS
+                                && drained.load(Ordering::SeqCst) == TASKS
+                            {
+                                break;
+                            }
+                            std::hint::spin_loop();
+                        }
+                        Steal::Retry => std::hint::spin_loop(),
+                    }
+                }
+            });
+        }
+        for burst in 0..(TASKS / 100) {
+            for i in 0..100 {
+                w.push(burst * 100 + i);
+            }
+            produced.fetch_add(100, Ordering::SeqCst);
+            for _ in 0..20 {
+                if let Some(v) = w.pop() {
+                    black_box(v);
+                    drained.fetch_add(1, Ordering::SeqCst);
+                }
+            }
+        }
+        while drained.load(Ordering::SeqCst) < TASKS {
+            if let Some(v) = w.pop() {
+                black_box(v);
+                drained.fetch_add(1, Ordering::SeqCst);
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    });
+    drained.load(Ordering::SeqCst)
+}
+
+fn bench_deque_storm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("deque_steal_storm");
+    group.sample_size(10);
+    group.bench_function("mutex_deque", |b| b.iter(storm_mutex));
+    group.bench_function("chase_lev_batched", |b| b.iter(storm_chase_lev));
+    group.finish();
+}
+
+/// Many tiny scoped tasks — each just bumps a counter — so virtually all
+/// the time is queue traffic and scheduling, none of it kernel work.
+fn tiny_task_round(scopes: usize, tasks_per_scope: usize) -> usize {
+    let hits = AtomicUsize::new(0);
+    for _ in 0..scopes {
+        rayon::scope(|s| {
+            for _ in 0..tasks_per_scope {
+                let hits = &hits;
+                s.spawn(move || {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+    }
+    hits.load(Ordering::Relaxed)
+}
+
+fn bench_tiny_scoped_tasks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tiny_scoped_tasks");
+    group.sample_size(10);
+    for &threads in &[1usize, 2, 4, 8] {
+        group.bench_function(format!("{threads}_threads"), |b| {
+            b.iter(|| rayon::with_num_threads(threads, || black_box(tiny_task_round(50, 64))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_deque_storm, bench_tiny_scoped_tasks);
+criterion_main!(benches);

@@ -34,8 +34,8 @@ pub use density::DensityMatrix;
 pub use gate::Gate;
 pub use noise::NoiseModel;
 pub use sample::{
-    estimate_pauli_with_shots, estimate_paulis_batched, measurement_rotation, sample_counts,
-    CdfSampler,
+    estimate_pauli_with_shots, estimate_paulis_batched, measurement_group_count,
+    measurement_rotation, sample_counts, CdfSampler,
 };
 pub use state::StateVector;
 

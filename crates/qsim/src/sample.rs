@@ -107,19 +107,28 @@ pub fn estimate_pauli_with_shots<R: Rng>(
     sum / shots as f64
 }
 
-/// Greedily groups strings by qubit-wise-commuting measurement basis.
+/// Greedily groups strings by qubit-wise-commuting measurement basis,
+/// considering them in input order.
 ///
 /// Group key: per-qubit basis letter (X/Y/Z or wildcard I). Two strings
-/// can share a group when on every qubit they agree or one is I; strings
-/// are considered in input order. Returns each group's merged basis and
-/// the member indices into `paulis`.
+/// can share a group when on every qubit they agree or one is I. Returns
+/// each group's merged basis and the member indices into `paulis`.
 fn group_by_basis(paulis: &[PauliString]) -> Vec<(Vec<Pauli>, Vec<usize>)> {
+    let order: Vec<usize> = (0..paulis.len()).collect();
+    group_by_basis_in(paulis, &order)
+}
+
+/// [`group_by_basis`] considering the strings in the order given by
+/// `order` (a permutation of `0..paulis.len()`); member indices still
+/// refer to positions in `paulis`.
+fn group_by_basis_in(paulis: &[PauliString], order: &[usize]) -> Vec<(Vec<Pauli>, Vec<usize>)> {
     let Some(first) = paulis.first() else {
         return Vec::new();
     };
     let n = first.num_qubits();
     let mut groups: Vec<(Vec<Pauli>, Vec<usize>)> = Vec::new();
-    'outer: for (idx, p) in paulis.iter().enumerate() {
+    'outer: for &idx in order {
+        let p = &paulis[idx];
         assert_eq!(p.num_qubits(), n);
         for (basis, members) in groups.iter_mut() {
             let mut merged = basis.clone();
@@ -145,6 +154,48 @@ fn group_by_basis(paulis: &[PauliString]) -> Vec<(Vec<Pauli>, Vec<usize>)> {
         groups.push((p.letters(), vec![idx]));
     }
     groups
+}
+
+/// Collation rank for grouping: concrete letters first (so strings with
+/// the same explicit basis become adjacent), the I wildcard last — an
+/// early I-heavy string would otherwise merge into whichever group came
+/// first and poison it for later concrete strings.
+fn basis_rank(letter: Pauli) -> u8 {
+    match letter {
+        Pauli::X => 0,
+        Pauli::Y => 1,
+        Pauli::Z => 2,
+        Pauli::I => 3,
+    }
+}
+
+/// The canonical grouping order: indices of `paulis` sorted by per-qubit
+/// basis letter ([`basis_rank`], lexicographic). Distinct strings get
+/// distinct keys, so the order — and therefore the greedy grouping and
+/// every observable's RNG stream in [`estimate_paulis_batched`] — is
+/// invariant under permutations of the input family.
+fn sorted_basis_order(paulis: &[PauliString]) -> Vec<usize> {
+    let n = paulis.first().map_or(0, PauliString::num_qubits);
+    let mut order: Vec<usize> = (0..paulis.len()).collect();
+    order.sort_by(|&a, &b| {
+        for q in 0..n {
+            let ord = basis_rank(paulis[a].get(q)).cmp(&basis_rank(paulis[b].get(q)));
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    order
+}
+
+/// Number of qubit-wise-commuting measurement groups
+/// [`estimate_paulis_batched`] will rotate into for this family — i.e.
+/// the number of distinct circuit preparations a finite-shot estimation
+/// pass costs. Uses the canonical sorted order, so the count is
+/// permutation-invariant.
+pub fn measurement_group_count(paulis: &[PauliString]) -> usize {
+    group_by_basis_in(paulis, &sorted_basis_order(paulis)).len()
 }
 
 /// Finite-shot estimates for several Pauli strings sharing one prepared
@@ -179,14 +230,18 @@ pub fn estimate_paulis_grouped<R: Rng>(
 /// **Independent** per-observable shot estimates with amortized setup —
 /// the batched form of [`estimate_pauli_with_shots`].
 ///
-/// Observables are grouped by qubit-wise-commuting measurement basis; the
-/// state is rotated and its [`CdfSampler`] built once per *group*, and
-/// each member then draws its own independent `shots` outcomes from the
-/// shared table. Statistically this is exactly Proposition 1's per-neuron
-/// sample-mean estimator (no shot sharing between observables — contrast
-/// [`estimate_paulis_grouped`]); only the repeated rotation + CDF setup
-/// is eliminated. The identity string returns exactly 1 without spending
-/// shots.
+/// Observables are grouped by qubit-wise-commuting measurement basis —
+/// after a canonical sort by basis letters ([`measurement_group_count`]),
+/// so large mixed families collapse into fewer groups than greedy
+/// input-order assembly would find, and the grouping (hence each
+/// observable's RNG stream) is invariant under permutations of the
+/// family. The state is rotated and its [`CdfSampler`] built once per
+/// *group*, and each member then draws its own independent `shots`
+/// outcomes from the shared table. Statistically this is exactly
+/// Proposition 1's per-neuron sample-mean estimator (no shot sharing
+/// between observables — contrast [`estimate_paulis_grouped`]); only the
+/// repeated rotation + CDF setup is eliminated. The identity string
+/// returns exactly 1 without spending shots.
 pub fn estimate_paulis_batched<R: Rng>(
     state: &StateVector,
     paulis: &[PauliString],
@@ -195,7 +250,7 @@ pub fn estimate_paulis_batched<R: Rng>(
 ) -> Vec<f64> {
     assert!(shots > 0, "need at least one shot");
     let mut out = vec![0.0; paulis.len()];
-    for (basis, members) in group_by_basis(paulis) {
+    for (basis, members) in group_by_basis_in(paulis, &sorted_basis_order(paulis)) {
         let basis_string = PauliString::from_letters(&basis);
         let mut rotated = state.clone();
         rotated.apply_circuit(&measurement_rotation(&basis_string));
@@ -360,6 +415,70 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let via_sampler: Vec<u64> = (0..100).map(|_| sampler.draw(&mut rng)).collect();
         assert_eq!(via_fn, via_sampler);
+    }
+
+    #[test]
+    fn sorted_grouping_beats_input_order_on_shuffled_family() {
+        // Shuffled mixed family: the I-heavy strings come first, so
+        // greedy input-order grouping lets IX absorb ZI's basis slot and
+        // then needs a third group — the sorted order collates X-basis
+        // and Z-basis strings and gets by with two.
+        let family: Vec<PauliString> = ["IX", "ZI", "XX", "ZZ"]
+            .iter()
+            .map(|t| PauliString::parse(t).unwrap())
+            .collect();
+        let unsorted = group_by_basis(&family).len();
+        let sorted = measurement_group_count(&family);
+        assert_eq!(unsorted, 3, "input-order greedy grouping fragments");
+        assert_eq!(sorted, 2, "sorted grouping finds the 2-group cover");
+        // Scaled-up shuffle: interleave 1-local X and Z strings on 6
+        // qubits front-loaded with identity-heavy members.
+        let n = 6;
+        let mut big: Vec<PauliString> = Vec::new();
+        for q in (0..n).rev() {
+            for letter in ["X", "Z"] {
+                let mut s: Vec<&str> = vec!["I"; n];
+                s[q] = letter;
+                big.push(PauliString::parse(&s.concat()).unwrap());
+            }
+        }
+        assert_eq!(
+            measurement_group_count(&big),
+            2,
+            "all 1-local X (resp. Z) strings share one rotated basis"
+        );
+    }
+
+    #[test]
+    fn batched_estimates_invariant_under_family_permutation() {
+        // The canonical sort makes the grouping — and therefore each
+        // observable's draw stream — independent of input order: the
+        // same seed must give the *same* estimate per string, however
+        // the family is arranged.
+        let mut c = Circuit::new(3);
+        c.push(Gate::Ry(0, 0.8));
+        c.push(Gate::Cnot {
+            control: 0,
+            target: 1,
+        });
+        c.push(Gate::Rx(2, -0.4));
+        let s = StateVector::from_circuit(&c);
+        let texts = ["ZZI", "IZZ", "XXI", "YII", "IIX", "ZIZ"];
+        let family: Vec<PauliString> = texts
+            .iter()
+            .map(|t| PauliString::parse(t).unwrap())
+            .collect();
+        let shuffled_idx = [3usize, 0, 5, 2, 4, 1];
+        let shuffled: Vec<PauliString> = shuffled_idx.iter().map(|&i| family[i]).collect();
+        let a = estimate_paulis_batched(&s, &family, 400, &mut StdRng::seed_from_u64(21));
+        let b = estimate_paulis_batched(&s, &shuffled, 400, &mut StdRng::seed_from_u64(21));
+        for (pos, &orig) in shuffled_idx.iter().enumerate() {
+            assert_eq!(
+                a[orig], b[pos],
+                "estimate for {} must not depend on family order",
+                texts[orig]
+            );
+        }
     }
 
     #[test]

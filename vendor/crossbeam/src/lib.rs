@@ -3,15 +3,50 @@
 //! The build environment has no registry access, so this shim provides
 //! the deque structures the schedulers use: [`deque::Injector`], a
 //! multi-producer multi-consumer FIFO, and the [`deque::Worker`] /
-//! [`deque::Stealer`] pair (a worker-owned deque popped LIFO by its owner
-//! and stolen FIFO by other threads), all speaking crossbeam's `Steal`
-//! result protocol. Backed by `Mutex<VecDeque>` instead of lock-free
-//! deques — correct under the same contract, slower under heavy
-//! contention. Swap the `[workspace.dependencies]` path entry for the
-//! real crate when a registry is available; call sites need no changes.
+//! [`deque::Stealer`] pair — a **lock-free Chase-Lev deque** (single
+//! owner pushing/popping LIFO at the bottom, any number of thieves
+//! stealing FIFO from the top), all speaking crossbeam's `Steal` result
+//! protocol. Thieves can also move half a victim's queue in one
+//! operation ([`deque::Stealer::steal_batch_and_pop`]), which is what
+//! keeps fine-grained task splitting cheap under contention: one steal
+//! round-trip amortizes over many tasks instead of paying one per task.
+//! Swap the `[workspace.dependencies]` path entry for the real crate
+//! when a registry is available; call sites need no changes.
 
 pub mod deque {
+    //! Work-stealing deques.
+    //!
+    //! [`Worker`]/[`Stealer`] implement the Chase-Lev dynamic circular
+    //! work-stealing deque (Chase & Lev, SPAA'05, with the memory-order
+    //! corrections of Lê et al., PPoPP'13):
+    //!
+    //! * `bottom` is owned by the single [`Worker`] handle — `push`
+    //!   writes there and bumps it, `pop` decrements it and resolves the
+    //!   one-element race against thieves with a CAS on `top`.
+    //! * `top` only ever increases; every steal claims the element at
+    //!   `top` with a `compare_exchange`, so a lost race costs a
+    //!   [`Steal::Retry`] spin instead of a blocked mutex.
+    //! * The circular buffer grows geometrically when full. Retired
+    //!   buffers are kept alive until the deque drops (thieves may still
+    //!   hold the old pointer mid-steal), so no epoch/hazard machinery is
+    //!   needed; the retired chain totals less than one current buffer.
+    //!
+    //! [`Stealer::steal_batch_and_pop`] claims up to half the victim's
+    //! queue (capped at [`MAX_BATCH`]), one CAS per task, re-checking
+    //! `bottom` between claims so a concurrently popping owner can never
+    //! be double-served; the surplus lands in the thief's own deque.
+    //!
+    //! The [`Injector`] stays a mutex-backed FIFO: it is the cold global
+    //! submission queue, and its batch drain locks once per ~half-queue
+    //! rather than once per task.
+
+    use std::cell::Cell;
     use std::collections::VecDeque;
+    use std::marker::PhantomData;
+    use std::mem;
+    use std::mem::MaybeUninit;
+    use std::ptr;
+    use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, Ordering};
     use std::sync::{Arc, Mutex};
 
     /// Result of a steal attempt.
@@ -24,6 +59,14 @@ pub mod deque {
         /// The operation lost a race and should be retried.
         Retry,
     }
+
+    /// Most tasks one batch steal may claim (including the returned one).
+    /// Matches crossbeam's bound: big enough to amortize the steal
+    /// round-trip, small enough that a thief cannot hoard a whole queue.
+    pub const MAX_BATCH: usize = 32;
+
+    /// Initial circular-buffer capacity (power of two).
+    const MIN_CAP: usize = 64;
 
     /// A FIFO injector queue shared by all workers.
     #[derive(Debug, Default)]
@@ -54,6 +97,25 @@ pub mod deque {
             }
         }
 
+        /// Pops one task and moves up to half the rest of the queue
+        /// (capped at [`MAX_BATCH`] total) into `dest` under a single
+        /// lock acquisition. `dest` must be the calling thread's own
+        /// worker deque.
+        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+            let mut queue = self.queue.lock().expect("injector poisoned");
+            let Some(first) = queue.pop_front() else {
+                return Steal::Empty;
+            };
+            let extra = queue.len().div_ceil(2).min(MAX_BATCH - 1);
+            for _ in 0..extra {
+                match queue.pop_front() {
+                    Some(task) => dest.push(task),
+                    None => break,
+                }
+            }
+            Steal::Success(first)
+        }
+
         /// Whether the queue was observed empty.
         pub fn is_empty(&self) -> bool {
             self.queue.lock().expect("injector poisoned").is_empty()
@@ -65,50 +127,220 @@ pub mod deque {
         }
     }
 
-    /// The owner's handle of a work-stealing deque. The owner pushes and
-    /// pops at the back (LIFO — newest task is cache-hottest); thieves
-    /// steal from the front via [`Stealer`] handles (FIFO — oldest task
-    /// first, the one the owner is least likely to want next).
-    #[derive(Debug)]
-    pub struct Worker<T> {
-        queue: Arc<Mutex<VecDeque<T>>>,
+    /// A growable circular array indexed by the deque's unbounded
+    /// `top`/`bottom` counters (wrapped modulo the power-of-two capacity).
+    /// Slots are `MaybeUninit` raw storage: reads and writes are plain
+    /// byte copies that never materialize a `T`, and ownership is tracked
+    /// entirely by the `top`/`bottom` indices — a thief only
+    /// `assume_init`s its copy *after* winning the CAS on `top`, so a
+    /// racy speculative read of a slot the owner is recycling is a
+    /// harmless dead byte copy, never an invalid value.
+    struct Buffer<T> {
+        ptr: *mut MaybeUninit<T>,
+        /// Power-of-two logical capacity used for index masking.
+        cap: usize,
+        /// The allocation's true capacity — `Vec::with_capacity` may
+        /// round up past `cap`, and `dealloc` must hand back exactly
+        /// what was allocated.
+        alloc_cap: usize,
     }
+
+    impl<T> Buffer<T> {
+        fn alloc(cap: usize) -> Buffer<T> {
+            debug_assert!(cap.is_power_of_two());
+            let mut v: Vec<MaybeUninit<T>> = Vec::with_capacity(cap);
+            let alloc_cap = v.capacity();
+            let ptr = v.as_mut_ptr();
+            mem::forget(v);
+            Buffer {
+                ptr,
+                cap,
+                alloc_cap,
+            }
+        }
+
+        /// Frees the allocation without dropping any element.
+        unsafe fn dealloc(ptr: *mut Buffer<T>) {
+            let buf = Box::from_raw(ptr);
+            drop(Vec::from_raw_parts(buf.ptr, 0, buf.alloc_cap));
+        }
+
+        unsafe fn slot(&self, index: isize) -> *mut MaybeUninit<T> {
+            self.ptr.offset(index & (self.cap as isize - 1))
+        }
+
+        unsafe fn write(&self, index: isize, task: MaybeUninit<T>) {
+            ptr::write(self.slot(index), task)
+        }
+
+        unsafe fn read(&self, index: isize) -> MaybeUninit<T> {
+            ptr::read(self.slot(index))
+        }
+    }
+
+    /// State shared by one [`Worker`] and its [`Stealer`]s.
+    struct Inner<T> {
+        /// Steal end. Only ever incremented, always by CAS.
+        top: AtomicIsize,
+        /// Owner end. Written only by the owner.
+        bottom: AtomicIsize,
+        /// Current circular buffer.
+        buffer: AtomicPtr<Buffer<T>>,
+        /// Buffers replaced by growth, freed when the deque drops — a
+        /// thief may still read from an old buffer mid-steal, and keeping
+        /// retirees alive (a geometric series, < one current buffer in
+        /// total) avoids epoch-based reclamation entirely.
+        retired: Mutex<Vec<*mut Buffer<T>>>,
+    }
+
+    unsafe impl<T: Send> Send for Inner<T> {}
+    unsafe impl<T: Send> Sync for Inner<T> {}
+
+    impl<T> Inner<T> {
+        /// Replaces the buffer with one of twice the capacity, copying
+        /// the live range `[top, bottom)`. Owner-only.
+        unsafe fn grow(&self, top: isize, bottom: isize, old: *mut Buffer<T>) -> *mut Buffer<T> {
+            let new = Box::into_raw(Box::new(Buffer::<T>::alloc((*old).cap * 2)));
+            let mut i = top;
+            while i != bottom {
+                (*new).write(i, (*old).read(i));
+                i = i.wrapping_add(1);
+            }
+            self.buffer.store(new, Ordering::Release);
+            self.retired.lock().expect("deque poisoned").push(old);
+            new
+        }
+    }
+
+    impl<T> Drop for Inner<T> {
+        fn drop(&mut self) {
+            // Sole remaining handle: plain loads are fine.
+            let top = self.top.load(Ordering::Relaxed);
+            let bottom = self.bottom.load(Ordering::Relaxed);
+            let buf = self.buffer.load(Ordering::Relaxed);
+            unsafe {
+                let mut i = top;
+                while i != bottom {
+                    drop((*buf).read(i).assume_init());
+                    i = i.wrapping_add(1);
+                }
+                Buffer::dealloc(buf);
+                for old in self.retired.lock().expect("deque poisoned").drain(..) {
+                    Buffer::dealloc(old);
+                }
+            }
+        }
+    }
+
+    /// The owner's handle of a work-stealing deque. The owner pushes and
+    /// pops at the bottom (LIFO — newest task is cache-hottest); thieves
+    /// steal from the top via [`Stealer`] handles (FIFO — oldest task
+    /// first, the one the owner is least likely to want next). Exactly
+    /// one thread may use a given `Worker` (it is `Send` but not `Sync`).
+    pub struct Worker<T> {
+        inner: Arc<Inner<T>>,
+        /// Owner operations are single-threaded; forbid `&Worker` from
+        /// crossing threads.
+        _not_sync: PhantomData<Cell<()>>,
+    }
+
+    unsafe impl<T: Send> Send for Worker<T> {}
 
     impl<T> Worker<T> {
         /// Creates a deque whose owner pops in LIFO order.
         pub fn new_lifo() -> Self {
+            let buffer = Box::into_raw(Box::new(Buffer::<T>::alloc(MIN_CAP)));
             Worker {
-                queue: Arc::new(Mutex::new(VecDeque::new())),
+                inner: Arc::new(Inner {
+                    top: AtomicIsize::new(0),
+                    bottom: AtomicIsize::new(0),
+                    buffer: AtomicPtr::new(buffer),
+                    retired: Mutex::new(Vec::new()),
+                }),
+                _not_sync: PhantomData,
             }
         }
 
         /// Pushes a task onto the owner's end.
         pub fn push(&self, task: T) {
-            self.queue
-                .lock()
-                .expect("worker deque poisoned")
-                .push_back(task);
+            let bottom = self.inner.bottom.load(Ordering::Relaxed);
+            let top = self.inner.top.load(Ordering::Acquire);
+            let mut buf = self.inner.buffer.load(Ordering::Relaxed);
+            unsafe {
+                if bottom.wrapping_sub(top) >= (*buf).cap as isize {
+                    buf = self.inner.grow(top, bottom, buf);
+                }
+                (*buf).write(bottom, MaybeUninit::new(task));
+            }
+            // Publish the slot before publishing the new bottom.
+            self.inner
+                .bottom
+                .store(bottom.wrapping_add(1), Ordering::Release);
         }
 
-        /// Pops the most recently pushed task (owner side).
+        /// Pops the most recently pushed task (owner side). The
+        /// last-element race against thieves is resolved by a CAS on
+        /// `top`; losing it returns `None`.
         pub fn pop(&self) -> Option<T> {
-            self.queue.lock().expect("worker deque poisoned").pop_back()
+            let bottom = self.inner.bottom.load(Ordering::Relaxed).wrapping_sub(1);
+            let buf = self.inner.buffer.load(Ordering::Relaxed);
+            self.inner.bottom.store(bottom, Ordering::Relaxed);
+            fence(Ordering::SeqCst);
+            let top = self.inner.top.load(Ordering::Relaxed);
+            let len = bottom.wrapping_sub(top);
+            if len < 0 {
+                // Was empty: restore bottom.
+                self.inner
+                    .bottom
+                    .store(bottom.wrapping_add(1), Ordering::Relaxed);
+                return None;
+            }
+            // A byte copy only — `assume_init` waits until ownership of
+            // the slot is certain.
+            let task = unsafe { (*buf).read(bottom) };
+            if len == 0 {
+                // Last element: win it from the thieves or concede it.
+                let won = self
+                    .inner
+                    .top
+                    .compare_exchange(
+                        top,
+                        top.wrapping_add(1),
+                        Ordering::SeqCst,
+                        Ordering::Relaxed,
+                    )
+                    .is_ok();
+                self.inner
+                    .bottom
+                    .store(bottom.wrapping_add(1), Ordering::Relaxed);
+                // A lost race discards the dead copy — `MaybeUninit`
+                // never drops, so nothing to forget.
+                if won {
+                    Some(unsafe { task.assume_init() })
+                } else {
+                    None
+                }
+            } else {
+                Some(unsafe { task.assume_init() })
+            }
         }
 
         /// Whether the deque was observed empty.
         pub fn is_empty(&self) -> bool {
-            self.queue.lock().expect("worker deque poisoned").is_empty()
+            self.len() == 0
         }
 
         /// Number of queued tasks at the moment of observation.
         pub fn len(&self) -> usize {
-            self.queue.lock().expect("worker deque poisoned").len()
+            let bottom = self.inner.bottom.load(Ordering::Relaxed);
+            let top = self.inner.top.load(Ordering::Relaxed);
+            bottom.wrapping_sub(top).max(0) as usize
         }
 
         /// A handle other threads use to steal from this deque.
         pub fn stealer(&self) -> Stealer<T> {
             Stealer {
-                queue: Arc::clone(&self.queue),
+                inner: Arc::clone(&self.inner),
             }
         }
     }
@@ -119,44 +351,127 @@ pub mod deque {
         }
     }
 
-    /// A thief's handle onto a [`Worker`] deque.
-    #[derive(Debug)]
-    pub struct Stealer<T> {
-        queue: Arc<Mutex<VecDeque<T>>>,
+    impl<T> std::fmt::Debug for Worker<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("Worker").field("len", &self.len()).finish()
+        }
     }
 
+    /// A thief's handle onto a [`Worker`] deque.
+    pub struct Stealer<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    unsafe impl<T: Send> Send for Stealer<T> {}
+    unsafe impl<T: Send> Sync for Stealer<T> {}
+
     impl<T> Stealer<T> {
-        /// Steals the oldest task from the owner's deque.
+        /// Steals the oldest task from the owner's deque. [`Steal::Retry`]
+        /// means the CAS on `top` lost a race with the owner or another
+        /// thief — spin and retry instead of blocking.
         pub fn steal(&self) -> Steal<T> {
-            match self
-                .queue
-                .lock()
-                .expect("worker deque poisoned")
-                .pop_front()
-            {
+            let top = self.inner.top.load(Ordering::Acquire);
+            fence(Ordering::SeqCst);
+            let bottom = self.inner.bottom.load(Ordering::Acquire);
+            if bottom.wrapping_sub(top) <= 0 {
+                return Steal::Empty;
+            }
+            let buf = self.inner.buffer.load(Ordering::Acquire);
+            // Speculative byte copy; only a winning CAS may treat it as
+            // an initialized `T` (a losing copy is dead bytes, discarded).
+            let task = unsafe { (*buf).read(top) };
+            match self.inner.top.compare_exchange(
+                top,
+                top.wrapping_add(1),
+                Ordering::SeqCst,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => Steal::Success(unsafe { task.assume_init() }),
+                Err(_) => Steal::Retry,
+            }
+        }
+
+        /// Steals up to half the victim's queue (capped at [`MAX_BATCH`]
+        /// tasks): returns the oldest stolen task and pushes the rest
+        /// onto `dest`, the calling thread's own deque. Claims one CAS
+        /// per task, re-reading `bottom` between claims so a concurrently
+        /// popping owner is never double-served; a partial batch is still
+        /// [`Steal::Success`].
+        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+            let mut top = self.inner.top.load(Ordering::Acquire);
+            fence(Ordering::SeqCst);
+            let bottom = self.inner.bottom.load(Ordering::Acquire);
+            let len = bottom.wrapping_sub(top);
+            if len <= 0 {
+                return Steal::Empty;
+            }
+            let limit = (((len + 1) / 2) as usize).min(MAX_BATCH);
+            // The buffer pointer is read once: growth never mutates the
+            // observed live range `[top, bottom)` of the old buffer, so
+            // these slots stay valid for the whole batch.
+            let buf = self.inner.buffer.load(Ordering::Acquire);
+            let mut first: Option<T> = None;
+            for taken in 0..limit {
+                if taken > 0 {
+                    // Re-check that the owner hasn't popped the range
+                    // down to (or past) the next claim.
+                    fence(Ordering::SeqCst);
+                    let bottom = self.inner.bottom.load(Ordering::Acquire);
+                    if bottom.wrapping_sub(top) <= 0 {
+                        break;
+                    }
+                }
+                let task = unsafe { (*buf).read(top) };
+                match self.inner.top.compare_exchange(
+                    top,
+                    top.wrapping_add(1),
+                    Ordering::SeqCst,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        let task = unsafe { task.assume_init() };
+                        match first {
+                            None => first = Some(task),
+                            Some(_) => dest.push(task),
+                        }
+                        top = top.wrapping_add(1);
+                    }
+                    Err(_) => break,
+                }
+            }
+            match first {
                 Some(task) => Steal::Success(task),
-                None => Steal::Empty,
+                None => Steal::Retry,
             }
         }
 
         /// Whether the deque was observed empty.
         pub fn is_empty(&self) -> bool {
-            self.queue.lock().expect("worker deque poisoned").is_empty()
+            let top = self.inner.top.load(Ordering::Relaxed);
+            let bottom = self.inner.bottom.load(Ordering::Relaxed);
+            bottom.wrapping_sub(top) <= 0
         }
     }
 
     impl<T> Clone for Stealer<T> {
         fn clone(&self) -> Self {
             Stealer {
-                queue: Arc::clone(&self.queue),
+                inner: Arc::clone(&self.inner),
             }
+        }
+    }
+
+    impl<T> std::fmt::Debug for Stealer<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("Stealer").finish()
         }
     }
 }
 
 #[cfg(test)]
 mod tests {
-    use super::deque::{Injector, Steal};
+    use super::deque::{Injector, Steal, Worker};
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn fifo_order() {
@@ -176,7 +491,6 @@ mod tests {
 
     #[test]
     fn worker_pops_lifo_stealer_steals_fifo() {
-        use super::deque::Worker;
         let w = Worker::new_lifo();
         let s = w.stealer();
         w.push(1);
@@ -194,9 +508,85 @@ mod tests {
     }
 
     #[test]
+    fn buffer_grows_past_initial_capacity() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        // Far beyond MIN_CAP, with interleaved pops to move the indices.
+        for round in 0..3 {
+            for i in 0..1_000 {
+                w.push(round * 1_000 + i);
+            }
+            for _ in 0..500 {
+                assert!(w.pop().is_some());
+            }
+        }
+        let mut seen = 0;
+        while w.pop().is_some() {
+            seen += 1;
+        }
+        loop {
+            match s.steal() {
+                Steal::Success(_) => seen += 1,
+                Steal::Empty => break,
+                Steal::Retry => continue,
+            }
+        }
+        assert_eq!(seen, 1_500);
+    }
+
+    #[test]
+    fn batch_steal_moves_surplus_into_dest() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        for i in 0..10 {
+            w.push(i);
+        }
+        let mine = Worker::new_lifo();
+        match s.steal_batch_and_pop(&mine) {
+            Steal::Success(v) => assert_eq!(v, 0, "batch returns the oldest"),
+            other => panic!("expected Success(0), got {other:?}"),
+        }
+        // Half of 10 rounded up = 5 stolen: one returned, four in `mine`.
+        assert_eq!(mine.len(), 4);
+        assert_eq!(w.len(), 5);
+        let mut got: Vec<i32> = Vec::new();
+        while let Some(v) = mine.pop() {
+            got.push(v);
+        }
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn batch_steal_empty_and_single() {
+        let w: Worker<u8> = Worker::new_lifo();
+        let s = w.stealer();
+        let mine = Worker::new_lifo();
+        assert!(matches!(s.steal_batch_and_pop(&mine), Steal::Empty));
+        w.push(7);
+        match s.steal_batch_and_pop(&mine) {
+            Steal::Success(v) => assert_eq!(v, 7),
+            other => panic!("expected Success(7), got {other:?}"),
+        }
+        assert!(mine.is_empty() && w.is_empty());
+    }
+
+    #[test]
+    fn drop_releases_undrained_elements() {
+        // Boxes left in the deque (and in retired grow buffers) must be
+        // dropped exactly once — Miri/leak-check would flag mistakes.
+        let w: Worker<Box<usize>> = Worker::new_lifo();
+        for i in 0..300 {
+            w.push(Box::new(i));
+        }
+        for _ in 0..100 {
+            assert!(w.pop().is_some());
+        }
+        drop(w);
+    }
+
+    #[test]
     fn concurrent_worker_drain_loses_nothing() {
-        use super::deque::Worker;
-        use std::sync::atomic::{AtomicUsize, Ordering};
         let w = Worker::new_lifo();
         for i in 0..500 {
             w.push(i);
@@ -225,7 +615,6 @@ mod tests {
 
     #[test]
     fn concurrent_drain_loses_nothing() {
-        use std::sync::atomic::{AtomicUsize, Ordering};
         let q = Injector::new();
         for i in 0..1000 {
             q.push(i);
@@ -245,5 +634,111 @@ mod tests {
             }
         });
         assert_eq!(seen.load(Ordering::SeqCst), 1000);
+    }
+
+    #[test]
+    fn injector_batch_drain_loses_nothing() {
+        let q = Injector::new();
+        for i in 0..1_000u64 {
+            q.push(i);
+        }
+        let total = AtomicUsize::new(0);
+        let sum = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let (total, sum, q) = (&total, &sum, &q);
+                scope.spawn(move || {
+                    let mine = Worker::new_lifo();
+                    loop {
+                        match q.steal_batch_and_pop(&mine) {
+                            Steal::Success(v) => {
+                                total.fetch_add(1, Ordering::SeqCst);
+                                sum.fetch_add(v as usize, Ordering::SeqCst);
+                                while let Some(v) = mine.pop() {
+                                    total.fetch_add(1, Ordering::SeqCst);
+                                    sum.fetch_add(v as usize, Ordering::SeqCst);
+                                }
+                            }
+                            Steal::Empty => break,
+                            Steal::Retry => continue,
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::SeqCst), 1_000);
+        assert_eq!(sum.load(Ordering::SeqCst), 499_500);
+    }
+
+    /// The hammer test the thread-matrix CI job runs: one producing owner
+    /// interleaving pushes and pops with several batch-stealing thieves,
+    /// with a global exactly-once checksum over everything drained.
+    #[test]
+    fn stress_push_pop_steal_batch_checksum() {
+        const ITEMS: usize = 40_000;
+        const THIEVES: usize = 4;
+        let w = Worker::new_lifo();
+        let taken = AtomicUsize::new(0);
+        let checksum = AtomicUsize::new(0);
+        let done = AtomicUsize::new(0);
+        let expected_sum: usize = (0..ITEMS).sum();
+        std::thread::scope(|scope| {
+            for _ in 0..THIEVES {
+                let s = w.stealer();
+                let (taken, checksum, done) = (&taken, &checksum, &done);
+                scope.spawn(move || {
+                    let mine = Worker::new_lifo();
+                    loop {
+                        match s.steal_batch_and_pop(&mine) {
+                            Steal::Success(v) => {
+                                taken.fetch_add(1, Ordering::SeqCst);
+                                checksum.fetch_add(v, Ordering::SeqCst);
+                                while let Some(v) = mine.pop() {
+                                    taken.fetch_add(1, Ordering::SeqCst);
+                                    checksum.fetch_add(v, Ordering::SeqCst);
+                                }
+                            }
+                            Steal::Empty => {
+                                if done.load(Ordering::SeqCst) == 1 {
+                                    break;
+                                }
+                                std::hint::spin_loop();
+                            }
+                            Steal::Retry => std::hint::spin_loop(),
+                        }
+                    }
+                });
+            }
+            // Owner: push in bursts, pop some back — the LIFO end churns
+            // while thieves chew on the FIFO end.
+            for burst in 0..(ITEMS / 100) {
+                for i in 0..100 {
+                    w.push(burst * 100 + i);
+                }
+                for _ in 0..30 {
+                    if let Some(v) = w.pop() {
+                        taken.fetch_add(1, Ordering::SeqCst);
+                        checksum.fetch_add(v, Ordering::SeqCst);
+                    }
+                }
+            }
+            while let Some(v) = w.pop() {
+                taken.fetch_add(1, Ordering::SeqCst);
+                checksum.fetch_add(v, Ordering::SeqCst);
+            }
+            done.store(1, Ordering::SeqCst);
+        });
+        // Thieves may have drained tasks the owner's final loop missed;
+        // drain anything they left in limbo (they exited on Empty+done).
+        while let Some(v) = w.pop() {
+            taken.fetch_add(1, Ordering::SeqCst);
+            checksum.fetch_add(v, Ordering::SeqCst);
+        }
+        assert_eq!(
+            taken.load(Ordering::SeqCst),
+            ITEMS,
+            "every task exactly once"
+        );
+        assert_eq!(checksum.load(Ordering::SeqCst), expected_sum);
     }
 }

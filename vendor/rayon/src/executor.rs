@@ -2,18 +2,32 @@
 //!
 //! One process-wide pool, built lazily on first use: `N − 1` background
 //! worker threads (`N` = [`crate::current_num_threads`]'s default
-//! resolution at startup), each owning a [`Worker`] deque popped LIFO and
-//! stolen FIFO, plus a global FIFO [`Injector`] that external threads
-//! submit through. Idle workers park on a condvar guarded by a sleepers
-//! counter — `submit` re-checks the counter under the same lock, so a
-//! wakeup can never be lost between "queue observed empty" and "parked".
+//! resolution at startup), each owning a lock-free Chase-Lev [`Worker`]
+//! deque popped LIFO and stolen FIFO. Idle workers park on a condvar
+//! guarded by a sleepers counter — `submit` re-checks the counter under
+//! the same lock, so a wakeup can never be lost between "queue observed
+//! empty" and "parked".
 //!
-//! The public entry point is [`scope`]: a structured-concurrency region
-//! whose [`Scope::spawn`]ed closures may borrow from the enclosing stack
-//! frame. The scope owner *helps* — while its tasks are outstanding it
-//! pops and runs queued work (its own tasks first, then anything else) —
-//! so callers never idle-block and nested scopes on worker threads cannot
-//! deadlock: every thread waiting on a scope is also draining the queues.
+//! Task routing and stealing:
+//!
+//! * A spawn from a pool worker goes to that worker's own deque
+//!   (lock-free push, popped LIFO while cache-hot).
+//! * A spawn from an external thread goes to the **owning scope's own
+//!   FIFO queue**, registered in a process-wide scope list so workers
+//!   can drain it. Keeping external submissions segregated per scope is
+//!   what gives the helping owner *scope affinity*: while its tasks are
+//!   outstanding it drains its own scope's queue first and only then
+//!   helps with unrelated work — a small scope on a loaded pool no
+//!   longer waits behind someone else's queue (the old latency
+//!   inversion).
+//! * A worker that runs dry steals **in batches**: up to half the
+//!   victim's queue moves into the thief's own deque in one operation
+//!   ([`Stealer::steal_batch_and_pop`]), so fine-grained task splitting
+//!   pays one steal round-trip per ~16 tasks instead of one per task.
+//!   Victims are scanned in a randomized rotation whose xorshift seed is
+//!   fixed per worker index, so the scan order is deterministic for a
+//!   given worker yet decorrelated across workers (no thundering herd on
+//!   victim 0).
 //!
 //! Panics inside a spawned task are caught on the worker, stashed in the
 //! scope, and re-thrown from `scope()` on the owner's thread — the worker
@@ -23,15 +37,16 @@
 //! it in the `'static` worker queues (the same trick real rayon uses).
 //! This is sound because `scope()` does not return until the task count
 //! reaches zero, so every borrow the closure captured outlives its
-//! execution. This module is the only unsafe code in the workspace.
+//! execution. This module and the `crossbeam` deque are the only unsafe
+//! code in the workspace.
 
 use crossbeam::deque::{Injector, Steal, Stealer, Worker};
 use std::any::Any;
 use std::cell::{Cell, RefCell};
 use std::marker::PhantomData;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, RwLock};
 use std::time::Duration;
 
 /// A unit of queued work. Always a wrapper built by [`Scope::spawn`], so
@@ -40,8 +55,8 @@ type Task = Box<dyn FnOnce() + Send + 'static>;
 
 thread_local! {
     /// The local deque of the current pool worker (`None` on external
-    /// threads); submissions from a worker go here instead of the
-    /// injector, and are popped LIFO while still cache-hot.
+    /// threads); submissions from a worker go here instead of a scope
+    /// queue, and are popped LIFO while still cache-hot.
     static LOCAL: RefCell<Option<Worker<Task>>> = const { RefCell::new(None) };
     /// This worker's index into `Executor::stealers` (skipped when
     /// stealing).
@@ -49,12 +64,19 @@ thread_local! {
     /// Task-execution nesting depth on this thread; the live-thread gauge
     /// below counts threads, not stack frames.
     static EXEC_DEPTH: Cell<usize> = const { Cell::new(0) };
+    /// xorshift64* state for this thread's victim-scan rotation (0 =
+    /// not yet seeded).
+    static STEAL_RNG: Cell<u64> = const { Cell::new(0) };
 }
 
 /// The process-wide pool.
 pub(crate) struct Executor {
-    injector: Injector<Task>,
     stealers: Vec<Stealer<Task>>,
+    /// Queues of the currently active externally-owned scopes, in
+    /// registration order (oldest scope first, a FIFO fairness bias).
+    /// Read-locked on every steal scan; write-locked only on scope
+    /// entry/exit.
+    scopes: RwLock<Vec<Arc<ScopeData>>>,
     /// Count of parked workers, guarded with [`Self::wake`].
     sleepers: Mutex<usize>,
     wake: Condvar,
@@ -63,6 +85,15 @@ pub(crate) struct Executor {
     /// High-water mark of [`Self::live`] — the oversubscription gauge the
     /// hpcq regression tests read via [`crate::max_live_workers`].
     max_live: AtomicUsize,
+    /// Successful steal operations (scope-queue or sibling-deque).
+    steal_ops: AtomicU64,
+    /// Tasks moved by those operations — `steal_tasks / steal_ops > 1`
+    /// is batching at work (the `BENCH_scaling.json` metric). Batch
+    /// sizes are measured as the thief-deque length delta, so a sibling
+    /// raiding the freshly stolen batch within that window makes this a
+    /// slight undercount — the raid is then counted by the raider, and
+    /// `Steal::Success` stays the crossbeam-compatible return type.
+    steal_tasks: AtomicU64,
 }
 
 /// The executor, starting its worker threads on first use.
@@ -72,12 +103,14 @@ pub(crate) fn global() -> &'static Executor {
         let workers = crate::default_threads().saturating_sub(1);
         let queues: Vec<Worker<Task>> = (0..workers).map(|_| Worker::new_lifo()).collect();
         let exec: &'static Executor = Box::leak(Box::new(Executor {
-            injector: Injector::new(),
             stealers: queues.iter().map(Worker::stealer).collect(),
+            scopes: RwLock::new(Vec::new()),
             sleepers: Mutex::new(0),
             wake: Condvar::new(),
             live: AtomicUsize::new(0),
             max_live: AtomicUsize::new(0),
+            steal_ops: AtomicU64::new(0),
+            steal_tasks: AtomicU64::new(0),
         }));
         for (index, queue) in queues.into_iter().enumerate() {
             std::thread::Builder::new()
@@ -89,11 +122,34 @@ pub(crate) fn global() -> &'static Executor {
     })
 }
 
+/// One xorshift64* step over the thread-local state, seeding it
+/// deterministically on first use: pool workers hash their worker index,
+/// external helpers share a fixed seed. Random enough to decorrelate
+/// victim scans; deterministic per worker so runs are reproducible.
+fn steal_rand() -> u64 {
+    STEAL_RNG.with(|c| {
+        let mut x = c.get();
+        if x == 0 {
+            let salt = WORKER_INDEX.with(Cell::get).map_or(u64::MAX, |i| i as u64);
+            // splitmix64 of the salt gives a well-mixed nonzero seed.
+            let mut z = salt.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            x = (z ^ (z >> 31)) | 1;
+        }
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        c.set(x);
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    })
+}
+
 impl Executor {
     /// Queues a task: onto the calling worker's own deque when the caller
-    /// is a pool worker, else onto the global injector; then wakes a
+    /// is a pool worker, else onto the owning scope's queue; then wakes a
     /// parked worker if any.
-    fn submit(&self, task: Task) {
+    fn submit(&self, scope: &ScopeData, task: Task) {
         let overflow = LOCAL.with(|l| match l.borrow().as_ref() {
             Some(worker) => {
                 worker.push(task);
@@ -102,7 +158,7 @@ impl Executor {
             None => Some(task),
         });
         if let Some(task) = overflow {
-            self.injector.push(task);
+            scope.queue.push(task);
         }
         let sleepers = self.sleepers.lock().expect("executor lock poisoned");
         if *sleepers > 0 {
@@ -110,36 +166,129 @@ impl Executor {
         }
     }
 
-    /// Finds a task: own deque (LIFO) → injector (FIFO) → steal from
-    /// sibling workers, round-robin from after the caller's own slot.
-    fn find_task(&self) -> Option<Task> {
+    /// Makes an externally-owned scope's queue visible to the workers.
+    fn register(&self, scope: &Arc<ScopeData>) {
+        self.scopes
+            .write()
+            .expect("executor lock poisoned")
+            .push(Arc::clone(scope));
+    }
+
+    /// Removes a finished scope from the worker-visible list.
+    fn unregister(&self, scope: &Arc<ScopeData>) {
+        self.scopes
+            .write()
+            .expect("executor lock poisoned")
+            .retain(|s| !Arc::ptr_eq(s, scope));
+    }
+
+    /// Takes from a scope queue: batched into the caller's local deque
+    /// when the caller is a pool worker, single-task otherwise (an
+    /// external helper has no stealable deque to batch into — hoarding
+    /// tasks where no thief can reach them could strand another scope).
+    fn take_from_scope(&self, scope: &ScopeData) -> Option<Task> {
+        LOCAL.with(|l| {
+            let local = l.borrow();
+            match local.as_ref() {
+                Some(worker) => {
+                    let before = worker.len();
+                    match scope.queue.steal_batch_and_pop(worker) {
+                        Steal::Success(task) => {
+                            self.count_steal(worker.len() - before + 1);
+                            Some(task)
+                        }
+                        _ => None,
+                    }
+                }
+                None => match scope.queue.steal() {
+                    Steal::Success(task) => {
+                        self.count_steal(1);
+                        Some(task)
+                    }
+                    _ => None,
+                },
+            }
+        })
+    }
+
+    /// Finds a task. Search order:
+    ///
+    /// 1. the caller's own deque (LIFO, cache-hot);
+    /// 2. `prefer`'s queue — the helping owner's scope affinity;
+    /// 3. registered scope queues, oldest scope first;
+    /// 4. sibling worker deques, batch-stolen in a randomized rotation.
+    fn find_task(&self, prefer: Option<&ScopeData>) -> Option<Task> {
         if let Some(task) = LOCAL.with(|l| l.borrow().as_ref().and_then(Worker::pop)) {
             return Some(task);
         }
-        loop {
-            match self.injector.steal() {
-                Steal::Success(task) => return Some(task),
-                Steal::Empty => break,
-                Steal::Retry => continue,
+        if let Some(scope) = prefer {
+            if let Some(task) = self.take_from_scope(scope) {
+                return Some(task);
             }
         }
-        let n = self.stealers.len();
-        let own = WORKER_INDEX.with(Cell::get);
-        let start = own.map_or(0, |i| i + 1);
-        for k in 0..n {
-            let i = (start + k) % n;
-            if own == Some(i) {
-                continue;
-            }
-            loop {
-                match self.stealers[i].steal() {
-                    Steal::Success(task) => return Some(task),
-                    Steal::Empty => break,
-                    Steal::Retry => continue,
+        {
+            let scopes = self.scopes.read().expect("executor lock poisoned");
+            for scope in scopes.iter() {
+                if let Some(task) = self.take_from_scope(scope) {
+                    return Some(task);
                 }
             }
         }
-        None
+        self.steal_from_siblings()
+    }
+
+    /// One randomized-rotation scan over the sibling deques, batch-
+    /// stealing into the caller's own deque when it has one. `Retry`
+    /// results spin on the same victim a bounded number of times, then
+    /// move on — the caller's outer loop re-scans anyway.
+    fn steal_from_siblings(&self) -> Option<Task> {
+        let n = self.stealers.len();
+        if n == 0 {
+            return None;
+        }
+        let own = WORKER_INDEX.with(Cell::get);
+        let start = (steal_rand() % n as u64) as usize;
+        LOCAL.with(|l| {
+            let local = l.borrow();
+            for k in 0..n {
+                let i = (start + k) % n;
+                if own == Some(i) {
+                    continue;
+                }
+                for _attempt in 0..4 {
+                    let steal = match local.as_ref() {
+                        Some(worker) => {
+                            let before = worker.len();
+                            match self.stealers[i].steal_batch_and_pop(worker) {
+                                Steal::Success(task) => {
+                                    self.count_steal(worker.len() - before + 1);
+                                    return Some(task);
+                                }
+                                other => other,
+                            }
+                        }
+                        None => match self.stealers[i].steal() {
+                            Steal::Success(task) => {
+                                self.count_steal(1);
+                                return Some(task);
+                            }
+                            other => other,
+                        },
+                    };
+                    match steal {
+                        Steal::Empty => break,
+                        Steal::Retry => std::hint::spin_loop(),
+                        Steal::Success(_) => unreachable!("handled above"),
+                    }
+                }
+            }
+            None
+        })
+    }
+
+    fn count_steal(&self, tasks: usize) {
+        self.steal_ops.fetch_add(1, Ordering::Relaxed);
+        self.steal_tasks.fetch_add(tasks as u64, Ordering::Relaxed);
     }
 
     /// Runs one task, maintaining the live-thread gauge (outermost frame
@@ -164,7 +313,14 @@ impl Executor {
     /// Whether any queue holds a task (checked under the sleep lock before
     /// parking, closing the submit/park race).
     fn has_visible_work(&self) -> bool {
-        !self.injector.is_empty() || self.stealers.iter().any(|s| !s.is_empty())
+        if self.stealers.iter().any(|s| !s.is_empty()) {
+            return true;
+        }
+        self.scopes
+            .read()
+            .expect("executor lock poisoned")
+            .iter()
+            .any(|s| !s.queue.is_empty())
     }
 
     /// A background worker's whole life: run tasks; park when idle.
@@ -172,7 +328,7 @@ impl Executor {
         LOCAL.with(|l| *l.borrow_mut() = Some(queue));
         WORKER_INDEX.with(|w| w.set(Some(index)));
         loop {
-            if let Some(task) = self.find_task() {
+            if let Some(task) = self.find_task(None) {
                 self.run_task(task);
                 continue;
             }
@@ -200,10 +356,22 @@ impl Executor {
         self.max_live
             .store(self.live.load(Ordering::Relaxed), Ordering::Relaxed);
     }
+
+    /// Cumulative `(steal operations, tasks moved)` counters.
+    pub(crate) fn steal_stats(&self) -> (u64, u64) {
+        (
+            self.steal_ops.load(Ordering::Relaxed),
+            self.steal_tasks.load(Ordering::Relaxed),
+        )
+    }
 }
 
 /// Shared bookkeeping of one [`scope`] call.
 struct ScopeData {
+    /// Tasks spawned from outside the pool land here (workers spawn onto
+    /// their own deques instead); registered with the executor while the
+    /// scope is externally owned, and drained first by the helping owner.
+    queue: Injector<Task>,
     /// Outstanding references: one per unfinished spawned task, plus one
     /// held by the scope body itself.
     pending: AtomicUsize,
@@ -256,31 +424,40 @@ impl<'scope> Scope<'scope> {
             }
             data.complete_one();
         });
-        global().submit(wrapped);
+        global().submit(&self.data, wrapped);
     }
 }
 
 /// Runs `f` with a [`Scope`] handle and returns once every task spawned
 /// on it has finished. While waiting, the calling thread executes queued
-/// pool tasks itself (its own spawns first). A panic — from the body or
-/// from any spawned task — is re-thrown here after all tasks complete,
-/// leaving the pool fully usable.
+/// pool tasks itself — **its own scope's tasks first** (affinity), then
+/// anything else. A panic — from the body or from any spawned task — is
+/// re-thrown here after all tasks complete, leaving the pool fully
+/// usable.
 pub fn scope<'scope, R>(f: impl FnOnce(&Scope<'scope>) -> R) -> R {
     let data = Arc::new(ScopeData {
+        queue: Injector::new(),
         pending: AtomicUsize::new(1),
         panic: Mutex::new(None),
         done_lock: Mutex::new(()),
         done: Condvar::new(),
     });
+    let exec = global();
+    // Scopes owned by a pool worker spawn onto that worker's own deque;
+    // only externally-owned scopes route through their queue and need to
+    // be visible to the workers.
+    let external = LOCAL.with(|l| l.borrow().is_none());
+    if external {
+        exec.register(&data);
+    }
     let scope = Scope {
         data: Arc::clone(&data),
         _marker: PhantomData,
     };
     let body = catch_unwind(AssertUnwindSafe(|| f(&scope)));
     data.complete_one(); // the body's own reference
-    let exec = global();
     while data.pending.load(Ordering::Acquire) != 0 {
-        if let Some(task) = exec.find_task() {
+        if let Some(task) = exec.find_task(Some(&data)) {
             exec.run_task(task);
             continue;
         }
@@ -294,6 +471,9 @@ pub fn scope<'scope, R>(f: impl FnOnce(&Scope<'scope>) -> R) -> R {
             .done
             .wait_timeout(guard, Duration::from_micros(200))
             .expect("scope lock poisoned");
+    }
+    if external {
+        exec.unregister(&data);
     }
     let task_panic = data.panic.lock().expect("scope lock poisoned").take();
     match (body, task_panic) {
@@ -370,5 +550,59 @@ mod tests {
         }));
         assert!(caught.is_err());
         assert!(ran.load(Ordering::SeqCst), "spawned task must have run");
+    }
+
+    #[test]
+    fn scope_registry_does_not_leak() {
+        // Other tests in this binary may hold scopes open concurrently,
+        // so exact emptiness would be flaky; instead pin that our own 50
+        // finished scopes don't accumulate — a broken unregister would
+        // leave all 50 behind.
+        let exec = global();
+        let before = exec.scopes.read().unwrap().len();
+        for _ in 0..50 {
+            scope(|s| {
+                for _ in 0..16 {
+                    s.spawn(|| {});
+                }
+            });
+        }
+        let after = exec.scopes.read().unwrap().len();
+        assert!(
+            after <= before + 8,
+            "finished scopes must unregister (before {before}, after {after})"
+        );
+    }
+
+    #[test]
+    fn steal_stats_are_monotonic() {
+        let exec = global();
+        let (ops_before, tasks_before) = exec.steal_stats();
+        scope(|s| {
+            for _ in 0..256 {
+                s.spawn(|| std::hint::black_box(()));
+            }
+        });
+        let (ops_after, tasks_after) = exec.steal_stats();
+        assert!(ops_after >= ops_before);
+        assert!(tasks_after >= tasks_before);
+        assert!(tasks_after - tasks_before >= ops_after - ops_before || ops_after == ops_before);
+    }
+
+    #[test]
+    fn many_small_scopes_complete() {
+        // The fine-grained regime the Chase-Lev deques target: lots of
+        // scopes, each with a handful of tiny tasks.
+        let mut total = 0usize;
+        for round in 0..200 {
+            let mut parts = [0usize; 4];
+            scope(|s| {
+                for (i, p) in parts.iter_mut().enumerate() {
+                    s.spawn(move || *p = round + i);
+                }
+            });
+            total += parts.iter().sum::<usize>();
+        }
+        assert_eq!(total, (0..200).map(|r| 4 * r + 6).sum::<usize>());
     }
 }

@@ -6,8 +6,10 @@
 //! `par_iter_mut`, `par_chunks[_mut]`, `into_par_iter`, and the
 //! `map`/`zip`/`enumerate`/`for_each`/`sum`/`collect` combinators) plus a
 //! [`scope`]/[`Scope::spawn`] structured-task API, all multiplexed onto
-//! one lazily-started executor (see [`executor`]): per-worker
-//! `crossbeam::deque` LIFO queues, a global FIFO injector, and parked
+//! one lazily-started executor (see [`executor`]): per-worker **lock-free
+//! Chase-Lev** `crossbeam::deque` LIFO queues stolen in batches, per-scope
+//! FIFO queues for external submissions (giving helping scope owners
+//! affinity for their own tasks), randomized victim scans, and parked
 //! workers woken on submit. Terminal operations split their source into
 //! contiguous parts (about two runs per available thread, so stealing can
 //! rebalance uneven work) and the calling thread executes queued runs
@@ -155,6 +157,17 @@ pub fn max_live_workers() -> usize {
 /// count.
 pub fn reset_max_live_workers() {
     executor::global().reset_max_live()
+}
+
+/// Cumulative executor steal counters since process start:
+/// `(steal_operations, tasks_moved)`. A successful steal moves one task
+/// plus — when the thief is a pool worker — up to half the victim's
+/// queue into the thief's own deque, so `tasks_moved / steal_operations`
+/// above 1 is the batching win made visible (`BENCH_scaling.json`
+/// records it as `executor_steal_tasks_per_op`). Monotonic; diff two
+/// readings to meter one workload.
+pub fn executor_steal_stats() -> (u64, u64) {
+    executor::global().steal_stats()
 }
 
 /// Splits `iter` into contiguous parts of `part_len` items (last part
