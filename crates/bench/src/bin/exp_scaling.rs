@@ -11,8 +11,8 @@
 //!      exits nonzero when a tracked metric regresses by more than 25%.
 
 use bench::{
-    binary_task, feature_data, layer_circuit, mixed_pool_jobs, naive_feature_sweep,
-    oversubscribed_batch, read_numbers, time_secs, ScalingReport, TablePrinter,
+    baseline_gate_failures, binary_task, feature_data, layer_circuit, mixed_pool_jobs,
+    naive_feature_sweep, oversubscribed_batch, time_secs, ScalingReport, TablePrinter,
 };
 use hpcq::{strong_scaling, CircuitJob, HybridPipeline, QpuConfig, QpuPool, SchedulePolicy};
 use pauli::local_paulis;
@@ -256,41 +256,7 @@ fn kernel_metrics() -> ScalingReport {
 /// returns the human-readable failures (direction-aware, >25% moves in
 /// the losing direction only — improvements never fail the gate).
 fn baseline_regressions(fresh: &ScalingReport, baseline_path: &Path) -> Vec<String> {
-    let baseline = match read_numbers(baseline_path) {
-        Ok(nums) => nums,
-        Err(e) => {
-            return vec![format!(
-                "cannot read baseline {}: {e}",
-                baseline_path.display()
-            )]
-        }
-    };
-    let base_get = |key: &str| baseline.iter().find(|(k, _)| k == key).map(|&(_, v)| v);
-    let mut failures = Vec::new();
-    for (key, higher_is_better) in GATED_METRICS {
-        let (Some(new), Some(old)) = (fresh.get(key), base_get(key)) else {
-            failures.push(format!(
-                "metric {key} missing from fresh report or baseline"
-            ));
-            continue;
-        };
-        if old <= 0.0 {
-            continue;
-        }
-        let ratio = new / old;
-        let regressed = if higher_is_better {
-            ratio < 1.0 - REGRESSION_TOLERANCE
-        } else {
-            ratio > 1.0 + REGRESSION_TOLERANCE
-        };
-        if regressed {
-            failures.push(format!(
-                "{key} regressed: baseline {old:.4} -> fresh {new:.4} ({:+.1}%)",
-                (ratio - 1.0) * 100.0
-            ));
-        }
-    }
-    failures
+    baseline_gate_failures(fresh, baseline_path, &GATED_METRICS, REGRESSION_TOLERANCE)
 }
 
 /// Absolute multicore scaling gates — only meaningful when the runner

@@ -1,0 +1,247 @@
+//! The serving experiment: a deterministic closed-loop load generator
+//! over the micro-batching inference server, measuring simulated-time
+//! throughput and tail latency against the unbatched, uncached
+//! single-request baseline.
+//!
+//! Run:        `cargo run -p bench --bin exp_serving --release`
+//! Smoke (CI): `cargo run -p bench --bin exp_serving --release -- --smoke`
+//! Gate (CI):  `-- --smoke --baseline <committed BENCH_scaling.json>`
+//!
+//! The two serving metrics are **merged into** `BENCH_scaling.json`
+//! (written beforehand by `exp_scaling --smoke` in CI), so one artifact
+//! tracks the whole performance trajectory. Everything here runs on the
+//! server's simulated clock with a seeded Zipf stream, so the metrics
+//! are bit-for-bit reproducible across hosts — the smoke assertions
+//! (micro-batching beats the single-request baseline; the Zipf stream
+//! hits the cache) and the >25% baseline gate can never flake.
+
+use bench::{baseline_gate_failures, read_numbers, ScalingReport, TablePrinter};
+use pvqnn::features::FeatureBackend;
+use pvqnn::model::RegressorMode;
+use pvqnn::{FeatureGenerator, PostVarRegressor, Strategy};
+use serve::{
+    demo_catalogue, run_closed_loop, LoadGenConfig, LoadReport, Rejected, Server, ServerConfig,
+};
+use std::path::Path;
+
+/// Gate tolerance, matching exp_scaling's.
+const REGRESSION_TOLERANCE: f64 = 0.25;
+
+/// `(key, higher_is_better)` for the baseline gate.
+const GATED_METRICS: [(&str, bool); 2] = [("serving_rows_per_s", true), ("serving_p99_ms", false)];
+
+/// Distinct data points the request stream draws from.
+const CATALOGUE: usize = 64;
+
+fn catalogue() -> Vec<Vec<f64>> {
+    demo_catalogue(CATALOGUE)
+}
+
+fn model() -> PostVarRegressor {
+    let data = catalogue();
+    let y: Vec<f64> = (0..CATALOGUE).map(|i| (i as f64 * 0.31).sin()).collect();
+    let generator = FeatureGenerator::new(
+        Strategy::observable_construction(4, 1),
+        FeatureBackend::Exact,
+    );
+    PostVarRegressor::fit(generator, &data, &y, RegressorMode::Ridge(1e-6))
+}
+
+/// One closed-loop run over a fresh server.
+fn run(config: ServerConfig, gen_cfg: &LoadGenConfig, points: &[Vec<f64>]) -> LoadReport {
+    let server = Server::new(config);
+    server.deploy(model());
+    run_closed_loop(&server, points, gen_cfg)
+}
+
+/// The Zipf-skewed workload both measured phases share.
+fn workload() -> LoadGenConfig {
+    LoadGenConfig {
+        clients: 8,
+        total_requests: 2000,
+        zipf_s: 1.1,
+        seed: 42,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let points = catalogue();
+
+    println!("-- serving: micro-batched vs single-request (simulated time) --");
+
+    // Baseline: one client, one row per dispatch, no cache — what
+    // serving a request stream without this subsystem would cost.
+    let single = run(
+        ServerConfig {
+            max_batch: 1,
+            cache_capacity: 0,
+            default_deadline_ns: 0,
+            ..Default::default()
+        },
+        &LoadGenConfig {
+            clients: 1,
+            ..workload()
+        },
+        &points,
+    );
+
+    // The serving pipeline: micro-batches + feature cache on the same
+    // Zipf stream.
+    let batched = run(
+        ServerConfig {
+            default_deadline_ns: 0,
+            ..Default::default()
+        },
+        &workload(),
+        &points,
+    );
+
+    println!(
+        "single-request:      {:>9.0} rows/s | p50 {:>7.2} ms | p99 {:>7.2} ms",
+        single.rows_per_s, single.stats.p50_ms, single.stats.p99_ms
+    );
+    println!(
+        "micro-batched:       {:>9.0} rows/s | p50 {:>7.2} ms | p99 {:>7.2} ms | {:.0}% cache hits | mean batch {:.1}",
+        batched.rows_per_s,
+        batched.stats.p50_ms,
+        batched.stats.p99_ms,
+        batched.cache_hit_rate * 100.0,
+        batched.stats.mean_batch_size()
+    );
+    println!(
+        "speedup:             {:>9.2}x rows/s, {} unique simulations for {} rows",
+        batched.rows_per_s / single.rows_per_s.max(1e-12),
+        batched.stats.unique_simulations,
+        batched.completed
+    );
+
+    // Overload behaviour: a burst beyond the high-water mark is shed
+    // with typed rejections, then the queue drains and admission reopens.
+    let server = Server::new(ServerConfig {
+        queue_capacity: 64,
+        high_water: 32,
+        default_deadline_ns: 0,
+        ..Default::default()
+    });
+    server.deploy(model());
+    let mut admitted = Vec::new();
+    let mut shed = 0usize;
+    for i in 0..64 {
+        match server.submit(points[i % CATALOGUE].clone()) {
+            Ok(h) => admitted.push(h),
+            Err(Rejected::Overloaded { .. }) => shed += 1,
+            Err(other) => panic!("unexpected rejection {other}"),
+        }
+    }
+    server.drain();
+    let served = admitted
+        .into_iter()
+        .filter(|h| matches!(h.try_take(), Some(Ok(_))))
+        .count();
+    println!(
+        "overload burst:      64 submitted -> {served} served, {shed} shed at high-water 32, \
+         admission reopen: {}",
+        server.submit(points[0].clone()).is_ok()
+    );
+    let _ = server.drain();
+
+    // Merge the serving metrics into BENCH_scaling.json (preserving
+    // whatever exp_scaling already wrote there).
+    let path = Path::new("BENCH_scaling.json");
+    let mut report = ScalingReport::new();
+    report.put_str("schema", "postvar.bench_scaling.v1");
+    if let Ok(existing) = read_numbers(path) {
+        for (key, value) in existing {
+            if !key.starts_with("serving_") {
+                report.put(&key, value);
+            }
+        }
+    }
+    report.put("serving_rows_per_s", batched.rows_per_s);
+    report.put("serving_p99_ms", batched.stats.p99_ms);
+    report.put("serving_single_rows_per_s", single.rows_per_s);
+    report.put("serving_cache_hit_rate", batched.cache_hit_rate);
+    match report.write_to(path) {
+        Ok(()) => println!("merged serving metrics into {}", path.display()),
+        Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+    }
+
+    // Acceptance assertions — always on, so CI cannot silently lose the
+    // serving win.
+    let mut failures: Vec<String> = Vec::new();
+    if batched.rows_per_s < single.rows_per_s {
+        failures.push(format!(
+            "micro-batched throughput {:.0} rows/s below single-request baseline {:.0}",
+            batched.rows_per_s, single.rows_per_s
+        ));
+    }
+    if batched.cache_hit_rate <= 0.0 {
+        failures.push("Zipf stream produced zero cache hits".to_string());
+    }
+    if batched.completed != workload().total_requests as u64 {
+        failures.push(format!(
+            "closed loop lost requests: {} of {}",
+            batched.completed,
+            workload().total_requests
+        ));
+    }
+
+    if let Some(pos) = args.iter().position(|a| a == "--baseline") {
+        let baseline_path = args
+            .get(pos + 1)
+            .expect("--baseline needs a path to the committed BENCH_scaling.json");
+        failures.extend(baseline_gate_failures(
+            &report,
+            Path::new(baseline_path),
+            &GATED_METRICS,
+            REGRESSION_TOLERANCE,
+        ));
+    }
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("serving check FAILED: {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("serving checks passed (batched ≥ single, cache hits > 0)");
+
+    if smoke {
+        return;
+    }
+
+    // Full mode: batch-size sweep on the fixed workload.
+    println!("\n-- micro-batch size sweep (8 clients, Zipf 1.1, 64-point catalogue) --");
+    let mut table = TablePrinter::new(&[
+        "max_batch",
+        "rows/s",
+        "p50 ms",
+        "p99 ms",
+        "cache hits",
+        "mean batch",
+    ]);
+    for max_batch in [1usize, 2, 4, 8, 16, 32] {
+        let r = run(
+            ServerConfig {
+                max_batch,
+                default_deadline_ns: 0,
+                ..Default::default()
+            },
+            &workload(),
+            &points,
+        );
+        table.row(&[
+            max_batch.to_string(),
+            format!("{:.0}", r.rows_per_s),
+            format!("{:.2}", r.stats.p50_ms),
+            format!("{:.2}", r.stats.p99_ms),
+            format!("{:.0}%", r.cache_hit_rate * 100.0),
+            format!("{:.1}", r.stats.mean_batch_size()),
+        ]);
+    }
+    table.print();
+    println!("\nbatching amortizes the dispatch overhead; the cache removes repeat simulations —");
+    println!("together they turn the per-request quantum stage into an O(unique inputs) cost.");
+}

@@ -81,6 +81,55 @@ pub fn read_numbers(path: &Path) -> std::io::Result<Vec<(String, f64)>> {
     Ok(out)
 }
 
+/// Diffs `fresh` against a committed baseline report, returning the
+/// human-readable failures for every metric in `gated` — `(key,
+/// higher_is_better)` pairs — that moved more than `tolerance` in the
+/// losing direction (improvements never fail; metrics missing from
+/// either side do). Shared by the exp_scaling and exp_serving CI gates
+/// so the tolerance semantics cannot diverge.
+pub fn baseline_gate_failures(
+    fresh: &ScalingReport,
+    baseline_path: &Path,
+    gated: &[(&str, bool)],
+    tolerance: f64,
+) -> Vec<String> {
+    let baseline = match read_numbers(baseline_path) {
+        Ok(nums) => nums,
+        Err(e) => {
+            return vec![format!(
+                "cannot read baseline {}: {e}",
+                baseline_path.display()
+            )]
+        }
+    };
+    let base_get = |key: &str| baseline.iter().find(|(k, _)| k == key).map(|&(_, v)| v);
+    let mut failures = Vec::new();
+    for &(key, higher_is_better) in gated {
+        let (Some(new), Some(old)) = (fresh.get(key), base_get(key)) else {
+            failures.push(format!(
+                "metric {key} missing from fresh report or baseline"
+            ));
+            continue;
+        };
+        if old <= 0.0 {
+            continue;
+        }
+        let ratio = new / old;
+        let regressed = if higher_is_better {
+            ratio < 1.0 - tolerance
+        } else {
+            ratio > 1.0 + tolerance
+        };
+        if regressed {
+            failures.push(format!(
+                "{key} regressed: baseline {old:.4} -> fresh {new:.4} ({:+.1}%)",
+                (ratio - 1.0) * 100.0
+            ));
+        }
+    }
+    failures
+}
+
 fn escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }

@@ -170,4 +170,94 @@ mod tests {
         };
         let _ = results_to_rows(&[r]);
     }
+
+    #[test]
+    #[should_panic(expected = "duplicate job id")]
+    fn results_to_rows_rejects_duplicates() {
+        let r = |id| JobResult {
+            id,
+            values: vec![1.0],
+            device: 0,
+            sim_busy_ns: 0,
+        };
+        let _ = results_to_rows(&[r(0), r(0)]);
+    }
+
+    #[test]
+    fn results_to_rows_empty_is_empty() {
+        assert!(results_to_rows(&[]).is_empty());
+    }
+
+    #[test]
+    fn pipeline_handles_empty_job_list() {
+        // A serving micro-batch where every request was shed or served
+        // from cache submits nothing: the pipeline must still run the
+        // classical stage (on zero rows) and report sane timings.
+        for policy in [
+            SchedulePolicy::RoundRobin,
+            SchedulePolicy::LeastLoaded,
+            SchedulePolicy::WorkStealing,
+        ] {
+            let pool = QpuPool::homogeneous(2, QpuConfig::default(), policy);
+            let mut pipeline = HybridPipeline::new(pool);
+            let (rows, report) = pipeline.run(Vec::new(), results_to_rows);
+            assert!(rows.is_empty());
+            assert!(report.quantum_secs >= 0.0);
+            assert!(
+                report.pool.sim_makespan_secs == 0.0,
+                "no device was charged"
+            );
+            assert_eq!(report.pool.throughput, 0.0);
+        }
+    }
+
+    #[test]
+    fn pipeline_single_device_pool() {
+        // Degenerate pool: one device takes every job, utilization is
+        // exactly 1, and results still arrive complete and ordered.
+        for policy in [
+            SchedulePolicy::RoundRobin,
+            SchedulePolicy::LeastLoaded,
+            SchedulePolicy::WorkStealing,
+        ] {
+            let pool = QpuPool::homogeneous(1, QpuConfig::default(), policy);
+            let mut pipeline = HybridPipeline::new(pool);
+            let (rows, report) = pipeline.run(jobs(6), results_to_rows);
+            assert_eq!(rows.len(), 6);
+            assert_eq!(report.pool.jobs_per_device, vec![6]);
+            assert!((report.pool.utilization - 1.0).abs() < 1e-12);
+            assert!((rows[0][0] - 1.0).abs() < 1e-12, "Ry(0): ⟨Z⟩ = 1");
+        }
+    }
+
+    #[test]
+    fn pipeline_survives_jobs_that_all_fail_first() {
+        // Heavy fault injection: with fail_prob = 0.95 essentially every
+        // job fails at least once (and most several times); every policy
+        // must still deliver every result, bit-identical to a noiseless
+        // pool, with the failed submissions charged to the sim clock.
+        let clean_pool = QpuPool::homogeneous(2, QpuConfig::default(), SchedulePolicy::RoundRobin);
+        let (clean, _) = HybridPipeline::new(clean_pool).run(jobs(6), results_to_rows);
+        let flaky = QpuConfig {
+            fail_prob: 0.95,
+            ..Default::default()
+        };
+        for policy in [
+            SchedulePolicy::RoundRobin,
+            SchedulePolicy::LeastLoaded,
+            SchedulePolicy::WorkStealing,
+        ] {
+            let pool = QpuPool::homogeneous(2, flaky, policy);
+            let mut pipeline = HybridPipeline::new(pool);
+            let (rows, report) = pipeline.run(jobs(6), results_to_rows);
+            assert_eq!(rows, clean, "retries must not change exact results");
+            // 6 jobs at 0.95 fail-prob retry ~20× each on average; the
+            // charged overhead must exceed the 6 clean submissions.
+            let clean_submit_ns = 6.0 * flaky.submit_overhead_ns as f64;
+            assert!(
+                report.pool.sim_makespan_secs * 1e9 > clean_submit_ns,
+                "failed submissions must charge the simulated clock"
+            );
+        }
+    }
 }

@@ -107,19 +107,27 @@ impl LogisticRegression {
         &self.config
     }
 
+    /// Decision-function value `w·x + b` for one feature row — the
+    /// row-wise entry point serving-style callers use; bit-for-bit
+    /// identical to the corresponding [`Self::decision_function`] entry.
+    pub fn decision_one(&self, row: &[f64]) -> f64 {
+        assert_eq!(row.len(), self.weights.len(), "feature-count mismatch");
+        row.iter()
+            .zip(self.weights.iter())
+            .map(|(a, b)| a * b)
+            .sum::<f64>()
+            + self.bias
+    }
+
+    /// Probability `p(y=1|x)` for one feature row.
+    pub fn predict_proba_one(&self, row: &[f64]) -> f64 {
+        sigmoid(self.decision_one(row))
+    }
+
     /// Decision-function values `w·x + b` per row.
     pub fn decision_function(&self, x: &Mat) -> Vec<f64> {
         assert_eq!(x.cols(), self.weights.len(), "feature-count mismatch");
-        (0..x.rows())
-            .map(|i| {
-                x.row(i)
-                    .iter()
-                    .zip(self.weights.iter())
-                    .map(|(a, b)| a * b)
-                    .sum::<f64>()
-                    + self.bias
-            })
-            .collect()
+        (0..x.rows()).map(|i| self.decision_one(x.row(i))).collect()
     }
 
     /// Probabilities `p(y=1|x)` per row.

@@ -202,6 +202,28 @@ impl FeatureGenerator {
     pub fn generate_one(&self, x: &[f64]) -> Vec<f64> {
         self.row_for(0, x, &self.bound_shift_circuits())
     }
+
+    /// One feature row per input, each seeded exactly like a standalone
+    /// [`Self::generate_one`] call (row index 0) — so a row depends only
+    /// on its own data point, never on where it sits in the batch. This
+    /// is the batch entry point for online inference: the serving layer
+    /// coalesces concurrent single requests into micro-batches and caches
+    /// rows by input, which is only sound when the batched row is
+    /// bit-for-bit the row a lone request would have produced. Shift
+    /// circuits are bound once and rows fan out on the shared executor.
+    ///
+    /// Contrast [`Self::generate`], which seeds stochastic backends per
+    /// row *index* — right for training datasets (independent noise per
+    /// sample), wrong for a cache keyed on the input alone.
+    pub fn generate_rows_standalone(&self, xs: &[&[f64]]) -> Vec<Vec<f64>> {
+        if xs.is_empty() {
+            return Vec::new();
+        }
+        let shift_circuits = self.bound_shift_circuits();
+        xs.par_iter()
+            .map(|x| self.row_for(0, x, &shift_circuits))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -326,6 +348,29 @@ mod tests {
         let q = generator.generate(&data);
         let one = generator.generate_one(&data[1]);
         assert_eq!(q.row(1), &one[..]);
+    }
+
+    #[test]
+    fn standalone_rows_match_generate_one_for_stochastic_backends() {
+        // Every row of a standalone batch must be bit-for-bit the row a
+        // lone generate_one call produces — including shot noise, which
+        // generate() would instead seed by row index.
+        let s = Strategy::observable_construction(4, 1);
+        let generator = FeatureGenerator::new(
+            s,
+            FeatureBackend::Shots {
+                shots: 200,
+                seed: 13,
+            },
+        );
+        let data = toy_data(3);
+        let refs: Vec<&[f64]> = data.iter().map(Vec::as_slice).collect();
+        let rows = generator.generate_rows_standalone(&refs);
+        assert_eq!(rows.len(), 3);
+        for (x, row) in data.iter().zip(rows.iter()) {
+            assert_eq!(row, &generator.generate_one(x));
+        }
+        assert!(generator.generate_rows_standalone(&[]).is_empty());
     }
 
     #[test]

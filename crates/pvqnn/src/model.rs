@@ -89,9 +89,31 @@ impl PostVarRegressor {
         self.mode
     }
 
+    /// The feature generator.
+    pub fn generator(&self) -> &FeatureGenerator {
+        &self.generator
+    }
+
+    /// Predictions `Qα` from a precomputed feature matrix — the
+    /// batch-friendly half of [`Self::predict`], for callers (the serving
+    /// layer, head sweeps) that produce feature rows themselves, e.g.
+    /// through a cache. Bit-for-bit identical to `predict` on the same
+    /// rows.
+    pub fn predict_features(&self, q: &Mat) -> Vec<f64> {
+        q.matvec(&self.alpha)
+    }
+
+    /// Prediction for one precomputed feature row; bit-for-bit identical
+    /// to the corresponding [`Self::predict_features`] entry (same dot-
+    /// product order as `Mat::matvec`).
+    pub fn predict_row(&self, row: &[f64]) -> f64 {
+        assert_eq!(row.len(), self.alpha.len(), "feature-count mismatch");
+        row.iter().zip(self.alpha.iter()).map(|(a, b)| a * b).sum()
+    }
+
     /// Predictions `Qα` for new raw data.
     pub fn predict(&self, data: &[Vec<f64>]) -> Vec<f64> {
-        self.generator.generate(data).matvec(&self.alpha)
+        self.predict_features(&self.generator.generate(data))
     }
 
     /// RMSE on a dataset.
@@ -131,9 +153,21 @@ impl PostVarClassifier {
         &self.generator
     }
 
+    /// `p(y=1|x)` from a precomputed feature matrix — the batch-friendly
+    /// half of [`Self::predict_proba`] for serving-style callers.
+    pub fn predict_proba_features(&self, q: &Mat) -> Vec<f64> {
+        self.head.predict_proba(q)
+    }
+
+    /// `p(y=1|x)` for one precomputed feature row; bit-for-bit identical
+    /// to the corresponding [`Self::predict_proba_features`] entry.
+    pub fn predict_proba_row(&self, row: &[f64]) -> f64 {
+        self.head.predict_proba_one(row)
+    }
+
     /// `p(y=1|x)` for raw data rows.
     pub fn predict_proba(&self, data: &[Vec<f64>]) -> Vec<f64> {
-        self.head.predict_proba(&self.generator.generate(data))
+        self.predict_proba_features(&self.generator.generate(data))
     }
 
     /// `(BCE loss, accuracy)` on a dataset — the two columns Table III
@@ -167,9 +201,19 @@ impl PostVarMulticlass {
         PostVarMulticlass { generator, head }
     }
 
+    /// The feature generator.
+    pub fn generator(&self) -> &FeatureGenerator {
+        &self.generator
+    }
+
+    /// Class predictions from a precomputed feature matrix.
+    pub fn predict_features(&self, q: &Mat) -> Vec<usize> {
+        self.head.predict(q)
+    }
+
     /// Class predictions for raw data rows.
     pub fn predict(&self, data: &[Vec<f64>]) -> Vec<usize> {
-        self.head.predict(&self.generator.generate(data))
+        self.predict_features(&self.generator.generate(data))
     }
 
     /// `(cross-entropy loss, accuracy)` — the Table IV columns.
@@ -252,6 +296,45 @@ mod tests {
         // demand strong-but-not-perfect separation.
         assert!(acc >= 0.9, "accuracy {acc}");
         assert!(loss < 0.45, "loss {loss}");
+    }
+
+    #[test]
+    fn batch_friendly_entry_points_match_raw_paths_bitwise() {
+        // The serving layer computes feature rows itself (one at a time,
+        // through a cache) and feeds them to the heads — every split
+        // entry point must reproduce the raw-data path bit for bit.
+        let (data, y, generator) = linear_task(20);
+        let model = PostVarRegressor::fit(generator.clone(), &data, &y, RegressorMode::Pinv);
+        let q = model.generator().generate(&data);
+        let direct = model.predict(&data);
+        assert_eq!(model.predict_features(&q), direct);
+        for (i, &want) in direct.iter().enumerate() {
+            assert_eq!(model.predict_row(q.row(i)), want, "row {i}");
+            // A row generated alone must equal the batch row (index-free
+            // seeding), so cached single-row inference is exact too.
+            assert_eq!(
+                model.predict_row(&model.generator().generate_one(&data[i])),
+                want,
+                "generate_one row {i}"
+            );
+        }
+
+        let labels: Vec<f64> = (0..data.len()).map(|i| (i % 2) as f64).collect();
+        let clf = PostVarClassifier::fit(
+            generator,
+            &data,
+            &labels,
+            ml::LogisticConfig {
+                epochs: 50,
+                ..Default::default()
+            },
+        );
+        let qc = clf.generator().generate(&data);
+        let direct = clf.predict_proba(&data);
+        assert_eq!(clf.predict_proba_features(&qc), direct);
+        for (i, &want) in direct.iter().enumerate() {
+            assert_eq!(clf.predict_proba_row(qc.row(i)), want, "row {i}");
+        }
     }
 
     #[test]

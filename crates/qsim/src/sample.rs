@@ -107,18 +107,20 @@ pub fn estimate_pauli_with_shots<R: Rng>(
     sum / shots as f64
 }
 
-/// Greedily groups strings by qubit-wise-commuting measurement basis,
-/// considering them in input order.
+/// Greedily groups strings by qubit-wise-commuting measurement basis in
+/// the canonical sorted order ([`sorted_basis_order`]) — the grouping
+/// both estimation entry points share, so a family costs the same number
+/// of distinct rotations whether it is estimated with shared or
+/// independent shots, and the grouping is permutation-invariant.
 ///
 /// Group key: per-qubit basis letter (X/Y/Z or wildcard I). Two strings
 /// can share a group when on every qubit they agree or one is I. Returns
 /// each group's merged basis and the member indices into `paulis`.
-fn group_by_basis(paulis: &[PauliString]) -> Vec<(Vec<Pauli>, Vec<usize>)> {
-    let order: Vec<usize> = (0..paulis.len()).collect();
-    group_by_basis_in(paulis, &order)
+fn group_canonical(paulis: &[PauliString]) -> Vec<(Vec<Pauli>, Vec<usize>)> {
+    group_by_basis_in(paulis, &sorted_basis_order(paulis))
 }
 
-/// [`group_by_basis`] considering the strings in the order given by
+/// Greedy grouping considering the strings in the order given by
 /// `order` (a permutation of `0..paulis.len()`); member indices still
 /// refer to positions in `paulis`.
 fn group_by_basis_in(paulis: &[PauliString], order: &[usize]) -> Vec<(Vec<Pauli>, Vec<usize>)> {
@@ -195,13 +197,20 @@ fn sorted_basis_order(paulis: &[PauliString]) -> Vec<usize> {
 /// pass costs. Uses the canonical sorted order, so the count is
 /// permutation-invariant.
 pub fn measurement_group_count(paulis: &[PauliString]) -> usize {
-    group_by_basis_in(paulis, &sorted_basis_order(paulis)).len()
+    group_canonical(paulis).len()
 }
 
 /// Finite-shot estimates for several Pauli strings sharing one prepared
 /// state. Observables are grouped by their measurement rotation so strings
 /// that are diagonal in the same basis share shots — `qubit-wise
 /// commuting` grouping, the standard measurement-reduction trick.
+///
+/// Grouping uses the same canonical basis sort as
+/// [`estimate_paulis_batched`] (this estimator shares shots within a
+/// group, so it has no per-observable RNG-stream-compat constraint):
+/// shuffled mixed families collapse into [`measurement_group_count`]
+/// groups instead of whatever fragmentation the input order produces,
+/// and the group structure is invariant under family permutations.
 pub fn estimate_paulis_grouped<R: Rng>(
     state: &StateVector,
     paulis: &[PauliString],
@@ -209,7 +218,7 @@ pub fn estimate_paulis_grouped<R: Rng>(
     rng: &mut R,
 ) -> Vec<f64> {
     let mut out = vec![0.0; paulis.len()];
-    for (basis, members) in group_by_basis(paulis) {
+    for (basis, members) in group_canonical(paulis) {
         let basis_string = PauliString::from_letters(&basis);
         let mut rotated = state.clone();
         rotated.apply_circuit(&measurement_rotation(&basis_string));
@@ -250,7 +259,7 @@ pub fn estimate_paulis_batched<R: Rng>(
 ) -> Vec<f64> {
     assert!(shots > 0, "need at least one shot");
     let mut out = vec![0.0; paulis.len()];
-    for (basis, members) in group_by_basis_in(paulis, &sorted_basis_order(paulis)) {
+    for (basis, members) in group_canonical(paulis) {
         let basis_string = PauliString::from_letters(&basis);
         let mut rotated = state.clone();
         rotated.apply_circuit(&measurement_rotation(&basis_string));
@@ -276,6 +285,13 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+
+    /// The pre-canonical-sort behaviour (greedy grouping in input order),
+    /// kept here as the baseline the sorted grouping is pinned against.
+    fn group_input_order(paulis: &[PauliString]) -> Vec<(Vec<Pauli>, Vec<usize>)> {
+        let order: Vec<usize> = (0..paulis.len()).collect();
+        group_by_basis_in(paulis, &order)
+    }
 
     #[test]
     fn sampling_matches_distribution() {
@@ -427,7 +443,7 @@ mod tests {
             .iter()
             .map(|t| PauliString::parse(t).unwrap())
             .collect();
-        let unsorted = group_by_basis(&family).len();
+        let unsorted = group_input_order(&family).len();
         let sorted = measurement_group_count(&family);
         assert_eq!(unsorted, 3, "input-order greedy grouping fragments");
         assert_eq!(sorted, 2, "sorted grouping finds the 2-group cover");
@@ -472,6 +488,56 @@ mod tests {
         let shuffled: Vec<PauliString> = shuffled_idx.iter().map(|&i| family[i]).collect();
         let a = estimate_paulis_batched(&s, &family, 400, &mut StdRng::seed_from_u64(21));
         let b = estimate_paulis_batched(&s, &shuffled, 400, &mut StdRng::seed_from_u64(21));
+        for (pos, &orig) in shuffled_idx.iter().enumerate() {
+            assert_eq!(
+                a[orig], b[pos],
+                "estimate for {} must not depend on family order",
+                texts[orig]
+            );
+        }
+    }
+
+    #[test]
+    fn grouped_uses_fewer_groups_than_input_order_on_shuffled_family() {
+        // The shuffled mixed family where greedy input-order grouping
+        // fragments (IX first poisons the X-basis slot for ZI): the
+        // estimator now rotates into the canonical 2-group cover, one
+        // fewer circuit preparation per estimation pass.
+        let family: Vec<PauliString> = ["IX", "ZI", "XX", "ZZ"]
+            .iter()
+            .map(|t| PauliString::parse(t).unwrap())
+            .collect();
+        assert_eq!(group_input_order(&family).len(), 3);
+        assert_eq!(group_canonical(&family).len(), 2);
+        assert_eq!(
+            group_canonical(&family).len(),
+            measurement_group_count(&family),
+            "estimate_paulis_grouped and estimate_paulis_batched share one grouping"
+        );
+    }
+
+    #[test]
+    fn grouped_estimates_invariant_under_family_permutation() {
+        // With input-order grouping a permutation could change which
+        // strings share a rotation (hence which shots they share); the
+        // canonical sort makes grouped estimates permutation-invariant
+        // per seed, matching the batched estimator's guarantee.
+        let mut c = Circuit::new(2);
+        c.push(Gate::Ry(0, 0.9));
+        c.push(Gate::Cnot {
+            control: 0,
+            target: 1,
+        });
+        let s = StateVector::from_circuit(&c);
+        let texts = ["IX", "ZI", "XX", "ZZ"];
+        let family: Vec<PauliString> = texts
+            .iter()
+            .map(|t| PauliString::parse(t).unwrap())
+            .collect();
+        let shuffled_idx = [2usize, 0, 3, 1];
+        let shuffled: Vec<PauliString> = shuffled_idx.iter().map(|&i| family[i]).collect();
+        let a = estimate_paulis_grouped(&s, &family, 400, &mut StdRng::seed_from_u64(17));
+        let b = estimate_paulis_grouped(&s, &shuffled, 400, &mut StdRng::seed_from_u64(17));
         for (pos, &orig) in shuffled_idx.iter().enumerate() {
             assert_eq!(
                 a[orig], b[pos],

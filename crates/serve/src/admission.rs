@@ -1,0 +1,187 @@
+//! Admission control: bounded queueing with hysteretic load shedding.
+//!
+//! An online service protects its latency by refusing work it cannot
+//! serve in time, and it must refuse *cheaply* — at the queue door,
+//! before any quantum simulation is spent. Two mechanisms layer here:
+//!
+//! * a **hard bound** (`queue_capacity`): the queue never exceeds it,
+//!   full stop — the memory-safety backstop ([`Rejected::QueueFull`]);
+//! * a **high-water mark** with hysteresis: crossing `high_water` trips
+//!   shedding mode ([`Rejected::Overloaded`]), which holds until depth
+//!   drains below `low_water`. The gap keeps the controller from
+//!   flapping at the threshold — a burst is shed as a burst, then
+//!   admission reopens with real headroom.
+//!
+//! Deadlines are the third, later line of defence: an admitted request
+//! whose budget expires while queued is dropped at dispatch
+//! ([`Rejected::DeadlineExceeded`]) rather than served uselessly late.
+
+use std::error::Error;
+use std::fmt;
+
+/// Why the server refused a request. Every variant is a *normal*
+/// operating condition the client is expected to handle (back off,
+/// retry, or fail over) — none indicates a server fault.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Rejected {
+    /// The queue is at its hard capacity bound.
+    QueueFull {
+        /// Queue depth observed at rejection.
+        depth: usize,
+    },
+    /// The shedding controller is active (depth crossed the high-water
+    /// mark and has not yet drained below the low-water mark).
+    Overloaded {
+        /// Queue depth observed at rejection.
+        depth: usize,
+        /// The high-water mark that tripped shedding.
+        high_water: usize,
+    },
+    /// The request's deadline budget expired before dispatch.
+    DeadlineExceeded {
+        /// The simulated-time deadline the request carried (ns).
+        deadline_ns: u64,
+        /// Simulated time at dispatch (ns).
+        now_ns: u64,
+    },
+    /// No model is deployed.
+    NoActiveModel,
+    /// The input length is not a positive multiple of the serving
+    /// model's qubit count (checked at submit against the active model
+    /// and re-checked at dispatch, since a hot-swap can change it).
+    InvalidInput {
+        /// Offered input length.
+        len: usize,
+        /// Qubit count of the serving model's encoding.
+        qubits: usize,
+    },
+    /// An input coordinate is non-finite (NaN/∞) or outside the
+    /// servable magnitude range — such values would alias in the
+    /// feature cache's saturating key quantization and poison entries
+    /// for legitimate inputs.
+    InvalidValue {
+        /// Index of the offending coordinate.
+        index: usize,
+    },
+    /// The server is shutting down and no longer admits requests (the
+    /// queue drains; already-admitted requests are still answered).
+    ShuttingDown,
+}
+
+impl fmt::Display for Rejected {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rejected::QueueFull { depth } => write!(f, "queue full (depth {depth})"),
+            Rejected::Overloaded { depth, high_water } => {
+                write!(f, "shedding load (depth {depth} ≥ high water {high_water})")
+            }
+            Rejected::DeadlineExceeded {
+                deadline_ns,
+                now_ns,
+            } => write!(
+                f,
+                "deadline exceeded ({deadline_ns} ns < dispatch at {now_ns} ns)"
+            ),
+            Rejected::NoActiveModel => write!(f, "no model deployed"),
+            Rejected::InvalidInput { len, qubits } => write!(
+                f,
+                "input length {len} is not a positive multiple of {qubits} qubits"
+            ),
+            Rejected::InvalidValue { index } => {
+                write!(f, "input coordinate {index} is non-finite or out of range")
+            }
+            Rejected::ShuttingDown => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+impl Error for Rejected {}
+
+/// The queue-door controller. Lives inside the server's queue mutex, so
+/// its decisions are serialized with enqueue/dequeue.
+#[derive(Clone, Copy, Debug)]
+pub struct AdmissionController {
+    capacity: usize,
+    high_water: usize,
+    low_water: usize,
+    shedding: bool,
+}
+
+impl AdmissionController {
+    /// A controller over a queue of `capacity`, shedding above
+    /// `high_water` until depth drains to `low_water` (= half the
+    /// high-water mark). `high_water ≥ capacity` disables soft shedding,
+    /// leaving only the hard bound.
+    pub fn new(capacity: usize, high_water: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        assert!(high_water > 0, "high-water mark must be positive");
+        AdmissionController {
+            capacity,
+            high_water,
+            low_water: high_water / 2,
+            shedding: false,
+        }
+    }
+
+    /// Decides admission for one request given the current queue depth.
+    pub fn admit(&mut self, depth: usize) -> Result<(), Rejected> {
+        if depth >= self.capacity {
+            return Err(Rejected::QueueFull { depth });
+        }
+        if self.shedding {
+            if depth > self.low_water {
+                return Err(Rejected::Overloaded {
+                    depth,
+                    high_water: self.high_water,
+                });
+            }
+            self.shedding = false;
+        } else if depth >= self.high_water {
+            self.shedding = true;
+            return Err(Rejected::Overloaded {
+                depth,
+                high_water: self.high_water,
+            });
+        }
+        Ok(())
+    }
+
+    /// Whether the controller is currently shedding.
+    pub fn is_shedding(&self) -> bool {
+        self.shedding
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admits_below_high_water() {
+        let mut a = AdmissionController::new(16, 8);
+        for depth in 0..8 {
+            assert!(a.admit(depth).is_ok(), "depth {depth}");
+        }
+    }
+
+    #[test]
+    fn sheds_at_high_water_with_hysteresis() {
+        let mut a = AdmissionController::new(16, 8);
+        assert!(matches!(a.admit(8), Err(Rejected::Overloaded { .. })));
+        assert!(a.is_shedding());
+        // Still shedding just above low water (4).
+        assert!(matches!(a.admit(5), Err(Rejected::Overloaded { .. })));
+        // Draining to the low-water mark reopens admission.
+        assert!(a.admit(4).is_ok());
+        assert!(!a.is_shedding());
+        assert!(a.admit(7).is_ok(), "headroom restored after drain");
+    }
+
+    #[test]
+    fn hard_bound_applies_even_when_shedding_disabled() {
+        // high_water ≥ capacity: only the hard bound remains.
+        let mut a = AdmissionController::new(4, 4);
+        assert!(a.admit(3).is_ok());
+        assert_eq!(a.admit(4), Err(Rejected::QueueFull { depth: 4 }));
+    }
+}

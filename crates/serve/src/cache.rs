@@ -1,0 +1,348 @@
+//! LRU feature cache keyed on quantized inputs.
+//!
+//! A feature row is a pure function of the data point (rows are generated
+//! with [`pvqnn::FeatureGenerator::generate_rows_standalone`] semantics,
+//! so not even the stochastic backends depend on batch position), which
+//! makes the quantum stage — by far the expensive part of serving — a
+//! perfect caching target: one `S(x)|0⟩` simulation per *unique* data
+//! point, ever, until the entry ages out.
+//!
+//! Keys quantize each input coordinate to a fixed grid
+//! (`round(x · quant_scale)`), so float jitter below half a grid step
+//! maps to the same entry. The grid step is therefore a *serving
+//! resolution* knob: requests closer than `0.5 / quant_scale` per
+//! coordinate are deliberately served the same features. The default
+//! scale (1e8) is far below any physically meaningful angle difference.
+//!
+//! The LRU list is intrusive (index links into a slot arena), so `get`
+//! and `insert` are O(1) plus hashing, with no per-operation allocation
+//! beyond the key.
+
+use std::collections::HashMap;
+
+/// Sentinel for "no neighbour" in the intrusive list.
+const NIL: usize = usize::MAX;
+
+/// A cache slot: key + feature row + recency links.
+#[derive(Debug)]
+struct Slot {
+    key: Vec<i64>,
+    row: Vec<f64>,
+    prev: usize,
+    next: usize,
+}
+
+/// Hit/miss/eviction counters, snapshot via [`FeatureCache::stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that required a fresh simulation.
+    pub misses: u64,
+    /// Entries displaced by capacity pressure.
+    pub evictions: u64,
+    /// Current entry count.
+    pub len: usize,
+}
+
+impl CacheStats {
+    /// Hits over lookups (0 when the cache was never consulted).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// An LRU map from quantized inputs to feature rows.
+#[derive(Debug)]
+pub struct FeatureCache {
+    capacity: usize,
+    quant_scale: f64,
+    map: HashMap<Vec<i64>, usize>,
+    slots: Vec<Slot>,
+    free: Vec<usize>,
+    /// Most recently used slot (NIL when empty).
+    head: usize,
+    /// Least recently used slot (NIL when empty) — the eviction victim.
+    tail: usize,
+    /// Fingerprint of the feature generator whose rows live here (see
+    /// [`Self::ensure_tag`]); 0 until first tagged.
+    tag: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl FeatureCache {
+    /// A cache holding at most `capacity` rows (0 disables caching: every
+    /// lookup misses and inserts are dropped), quantizing inputs at
+    /// `quant_scale` buckets per unit.
+    pub fn new(capacity: usize, quant_scale: f64) -> Self {
+        assert!(quant_scale > 0.0, "quantization scale must be positive");
+        FeatureCache {
+            capacity,
+            quant_scale,
+            map: HashMap::with_capacity(capacity),
+            slots: Vec::with_capacity(capacity.min(1024)),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            tag: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Ensures the cache holds rows for the generator identified by
+    /// `tag`, dropping every entry when the tag changes. Cached rows
+    /// are valid only for the feature generator that produced them; a
+    /// hot-swap to a model with a *different* generator (strategy,
+    /// backend, or seeds) must not serve the old generator's rows, so
+    /// the server tags the cache with a generator fingerprint at every
+    /// batch. Counters survive the flush (the flush itself is part of
+    /// the serving history).
+    pub fn ensure_tag(&mut self, tag: u64) {
+        if self.tag != tag {
+            self.clear();
+            self.tag = tag;
+        }
+    }
+
+    /// The generator tag the current entries belong to (0 = untagged).
+    /// Writers that computed rows outside the cache lock must re-check
+    /// this before inserting: a concurrent [`Self::ensure_tag`] flush
+    /// means their rows belong to a generator the cache no longer
+    /// serves.
+    pub fn tag(&self) -> u64 {
+        self.tag
+    }
+
+    /// Drops every entry, keeping capacity, quantization, and counters.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slots.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
+    /// Maximum entry count.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current entry count.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The cache key for a raw input.
+    pub fn quantize(&self, x: &[f64]) -> Vec<i64> {
+        x.iter()
+            .map(|&v| (v * self.quant_scale).round() as i64)
+            .collect()
+    }
+
+    /// Looks up a quantized key, promoting it to most-recently-used on a
+    /// hit. Counts the lookup either way.
+    pub fn get(&mut self, key: &[i64]) -> Option<&[f64]> {
+        match self.map.get(key).copied() {
+            Some(slot) => {
+                self.hits += 1;
+                self.detach(slot);
+                self.attach_front(slot);
+                Some(&self.slots[slot].row)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a freshly computed row, evicting the least-recently-used
+    /// entry if at capacity. Re-inserting an existing key refreshes its
+    /// row and recency.
+    pub fn insert(&mut self, key: Vec<i64>, row: Vec<f64>) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(&slot) = self.map.get(&key) {
+            self.slots[slot].row = row;
+            self.detach(slot);
+            self.attach_front(slot);
+            return;
+        }
+        if self.map.len() >= self.capacity {
+            let victim = self.tail;
+            debug_assert_ne!(victim, NIL);
+            self.detach(victim);
+            self.map.remove(&self.slots[victim].key);
+            self.free.push(victim);
+            self.evictions += 1;
+        }
+        let slot = match self.free.pop() {
+            Some(i) => {
+                self.slots[i] = Slot {
+                    key: key.clone(),
+                    row,
+                    prev: NIL,
+                    next: NIL,
+                };
+                i
+            }
+            None => {
+                self.slots.push(Slot {
+                    key: key.clone(),
+                    row,
+                    prev: NIL,
+                    next: NIL,
+                });
+                self.slots.len() - 1
+            }
+        };
+        self.map.insert(key, slot);
+        self.attach_front(slot);
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            len: self.map.len(),
+        }
+    }
+
+    /// Unlinks `slot` from the recency list (no-op if not linked).
+    fn detach(&mut self, slot: usize) {
+        let (prev, next) = (self.slots[slot].prev, self.slots[slot].next);
+        if prev != NIL {
+            self.slots[prev].next = next;
+        } else if self.head == slot {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next].prev = prev;
+        } else if self.tail == slot {
+            self.tail = prev;
+        }
+        self.slots[slot].prev = NIL;
+        self.slots[slot].next = NIL;
+    }
+
+    /// Links `slot` in as most-recently-used.
+    fn attach_front(&mut self, slot: usize) {
+        self.slots[slot].prev = NIL;
+        self.slots[slot].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(v: i64) -> Vec<i64> {
+        vec![v, v + 1]
+    }
+
+    #[test]
+    fn hit_miss_and_promotion() {
+        let mut c = FeatureCache::new(2, 1e8);
+        assert!(c.get(&key(1)).is_none());
+        c.insert(key(1), vec![1.0]);
+        c.insert(key(2), vec![2.0]);
+        assert_eq!(c.get(&key(1)).unwrap(), &[1.0]);
+        // 1 was just promoted; inserting 3 must evict 2, not 1.
+        c.insert(key(3), vec![3.0]);
+        assert!(c.get(&key(2)).is_none());
+        assert_eq!(c.get(&key(1)).unwrap(), &[1.0]);
+        assert_eq!(c.get(&key(3)).unwrap(), &[3.0]);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.evictions, s.len), (3, 2, 1, 2));
+    }
+
+    #[test]
+    fn lru_order_under_churn() {
+        let mut c = FeatureCache::new(3, 1e8);
+        for i in 0..10 {
+            c.insert(key(i), vec![i as f64]);
+        }
+        // Only the 3 most recent survive.
+        for i in 0..7 {
+            assert!(c.get(&key(i)).is_none(), "key {i} should be evicted");
+        }
+        for i in 7..10 {
+            assert_eq!(c.get(&key(i)).unwrap(), &[i as f64]);
+        }
+        assert_eq!(c.stats().evictions, 7);
+    }
+
+    #[test]
+    fn reinsert_refreshes_row_without_growth() {
+        let mut c = FeatureCache::new(2, 1e8);
+        c.insert(key(1), vec![1.0]);
+        c.insert(key(1), vec![1.5]);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(&key(1)).unwrap(), &[1.5]);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = FeatureCache::new(0, 1e8);
+        c.insert(key(1), vec![1.0]);
+        assert!(c.get(&key(1)).is_none());
+        assert_eq!(c.stats().misses, 1);
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn quantization_merges_only_near_identical_inputs() {
+        let c = FeatureCache::new(4, 100.0); // grid step 0.01
+        assert_eq!(c.quantize(&[0.1234]), c.quantize(&[0.1236]));
+        assert_ne!(c.quantize(&[0.12]), c.quantize(&[0.13]));
+    }
+
+    #[test]
+    fn tag_change_flushes_entries_but_keeps_counters() {
+        let mut c = FeatureCache::new(4, 1.0);
+        c.ensure_tag(7);
+        c.insert(vec![1], vec![1.0]);
+        assert!(c.get(&[1]).is_some());
+        c.ensure_tag(7);
+        assert_eq!(c.len(), 1, "same tag keeps entries");
+        c.ensure_tag(8);
+        assert_eq!(c.len(), 0, "new tag flushes");
+        assert!(c.get(&[1]).is_none());
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (1, 1), "counters survive the flush");
+    }
+
+    #[test]
+    fn hit_rate() {
+        let mut c = FeatureCache::new(2, 1.0);
+        assert_eq!(c.stats().hit_rate(), 0.0);
+        c.insert(vec![0], vec![0.0]);
+        let _ = c.get(&[0]);
+        let _ = c.get(&[9]);
+        assert!((c.stats().hit_rate() - 0.5).abs() < 1e-12);
+    }
+}

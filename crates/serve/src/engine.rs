@@ -1,0 +1,151 @@
+//! How a micro-batch's cache misses get their feature rows computed.
+//!
+//! The serving layer deliberately separates *what* to compute (one row
+//! per unique data point, standalone-seeded) from *where*: the local
+//! path fans the rows out on the shared work-stealing executor — one
+//! `S(x)|0⟩` simulation plus one fused `expectation_many` /
+//! `estimate_paulis_batched` sweep per prepared state — while the pool
+//! path packages the same work as [`hpcq::CircuitJob`]s and scatters it
+//! across a simulated QPU pool, the deployment shape the paper's hybrid
+//! HPC-QC system targets for the finite-shot backends.
+
+use hpcq::{CircuitJob, QpuConfig, QpuPool, SchedulePolicy};
+use pvqnn::features::FeatureBackend;
+use pvqnn::FeatureGenerator;
+use std::sync::Mutex;
+
+/// The compute backend for cache misses.
+pub enum FeatureEngine {
+    /// In-process: rows fan out on the shared rayon executor. This is
+    /// the default and the path with the bit-for-bit guarantee against
+    /// one-at-a-time `predict`.
+    Local,
+    /// Through a simulated QPU pool: one job per `(data point, shift)`,
+    /// scheduled by the pool's policy. For the `Shots` backend each job
+    /// carries the backend's shot budget; `Shadows` is approximated with
+    /// per-observable shots equal to the snapshot budget (the pool's
+    /// devices measure observables directly, not shadow snapshots);
+    /// `Exact` jobs run noiseless. Shot noise here follows the *device*
+    /// seeds, so pool-routed stochastic predictions are deterministic
+    /// but not bitwise equal to the local path.
+    Pool(Mutex<QpuPool>),
+}
+
+impl FeatureEngine {
+    /// The in-process engine.
+    pub fn local() -> Self {
+        FeatureEngine::Local
+    }
+
+    /// A pool engine over `devices` homogeneous simulated QPUs.
+    pub fn pool(devices: usize, config: QpuConfig, policy: SchedulePolicy) -> Self {
+        FeatureEngine::Pool(Mutex::new(QpuPool::homogeneous(devices, config, policy)))
+    }
+
+    /// One standalone-seeded feature row per unique data point.
+    pub fn compute_rows(&self, generator: &FeatureGenerator, xs: &[&[f64]]) -> Vec<Vec<f64>> {
+        match self {
+            FeatureEngine::Local => generator.generate_rows_standalone(xs),
+            FeatureEngine::Pool(pool) => {
+                if xs.is_empty() {
+                    return Vec::new();
+                }
+                let strategy = generator.strategy();
+                let p = strategy.num_ansatze();
+                let q = strategy.num_observables();
+                let observables = strategy.observables().to_vec();
+                let shots = match generator.backend() {
+                    FeatureBackend::Exact => None,
+                    FeatureBackend::Shots { shots, .. } => Some(shots),
+                    FeatureBackend::Shadows { snapshots, .. } => Some(snapshots),
+                };
+                let mut jobs = Vec::with_capacity(xs.len() * p);
+                for (i, x) in xs.iter().enumerate() {
+                    for a in 0..p {
+                        jobs.push(CircuitJob::new(
+                            (i * p + a) as u64,
+                            generator.circuit_for(x, a),
+                            observables.clone(),
+                            shots,
+                        ));
+                    }
+                }
+                let (results, _) = pool.lock().expect("pool lock poisoned").execute_batch(jobs);
+                let mut rows = vec![vec![0.0; p * q]; xs.len()];
+                for r in results {
+                    let i = r.id as usize / p;
+                    let a = r.id as usize % p;
+                    rows[i][a * q..(a + 1) * q].copy_from_slice(&r.values);
+                }
+                rows
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pvqnn::Strategy;
+
+    fn points(n: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| {
+                (0..16)
+                    .map(|j| 0.25 + 0.13 * ((i * 7 + j) % 11) as f64)
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pool_engine_matches_local_for_exact_backend() {
+        // Exact jobs on noiseless devices compute the same expectations
+        // the fused local sweep does (to rounding; summation orders
+        // differ between the kernels).
+        let generator = FeatureGenerator::new(
+            Strategy::observable_construction(4, 1),
+            FeatureBackend::Exact,
+        );
+        let data = points(3);
+        let refs: Vec<&[f64]> = data.iter().map(Vec::as_slice).collect();
+        let local = FeatureEngine::local().compute_rows(&generator, &refs);
+        let pool = FeatureEngine::pool(2, QpuConfig::default(), SchedulePolicy::WorkStealing);
+        let pooled = pool.compute_rows(&generator, &refs);
+        assert_eq!(local.len(), pooled.len());
+        for (lr, pr) in local.iter().zip(pooled.iter()) {
+            assert_eq!(lr.len(), pr.len());
+            for (l, p) in lr.iter().zip(pr.iter()) {
+                assert!((l - p).abs() < 1e-10, "local {l} vs pool {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn pool_engine_is_deterministic_for_shots_backend() {
+        let generator = FeatureGenerator::new(
+            Strategy::observable_construction(4, 1),
+            FeatureBackend::Shots { shots: 64, seed: 3 },
+        );
+        let data = points(2);
+        let refs: Vec<&[f64]> = data.iter().map(Vec::as_slice).collect();
+        let run = || {
+            FeatureEngine::pool(2, QpuConfig::default(), SchedulePolicy::RoundRobin)
+                .compute_rows(&generator, &refs)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn empty_miss_set_is_free() {
+        let generator = FeatureGenerator::new(
+            Strategy::observable_construction(4, 1),
+            FeatureBackend::Exact,
+        );
+        let pool = FeatureEngine::pool(1, QpuConfig::default(), SchedulePolicy::RoundRobin);
+        assert!(pool.compute_rows(&generator, &[]).is_empty());
+        assert!(FeatureEngine::local()
+            .compute_rows(&generator, &[])
+            .is_empty());
+    }
+}

@@ -1,0 +1,75 @@
+//! # serve — online inference for post-variational models
+//!
+//! The paper's hybrid HPC-QC pipeline ends at offline training and
+//! evaluation; this crate is the missing online half: a micro-batching
+//! inference server that turns a trained [`pvqnn`] model into a request
+//! endpoint designed around the two facts that dominate quantum-stage
+//! serving cost:
+//!
+//! 1. **State preparation is the expensive part** — so requests are
+//!    coalesced into micro-batches and a per-input LRU [`FeatureCache`]
+//!    guarantees one `S(x)|0⟩` simulation per *unique* data point, with
+//!    misses fanned out on the shared work-stealing executor (or
+//!    scattered across an [`hpcq`] QPU pool).
+//! 2. **Predictions must not depend on batching** — feature rows are
+//!    standalone-seeded, so a served prediction is bit-for-bit what a
+//!    lone `predict` call would return, for any batch composition,
+//!    cache state, or thread count. Batching and caching are pure
+//!    latency/throughput optimizations.
+//!
+//! Around that core sit the operational pieces an online service needs:
+//! a versioned [`ModelRegistry`] with atomic hot-swap (deploy v2 while
+//! v1 drains, instant rollback), an [`AdmissionController`] with a hard
+//! queue bound and hysteretic load shedding, per-request deadline
+//! budgets, and a [`ServerStats`] snapshot with throughput and
+//! p50/p95/p99 latency quantiles measured on a deterministic simulated
+//! clock ([`SimClock`]) — reproducible to the bit across hosts, which is
+//! what lets CI gate on them.
+//!
+//! ```
+//! use pvqnn::features::FeatureBackend;
+//! use pvqnn::model::RegressorMode;
+//! use pvqnn::{FeatureGenerator, PostVarRegressor, Strategy};
+//! use serve::{Server, ServerConfig};
+//!
+//! // Train a tiny model.
+//! let data: Vec<Vec<f64>> = (0..12)
+//!     .map(|i| (0..16).map(|j| 0.1 + 0.2 * ((i + j) % 5) as f64).collect())
+//!     .collect();
+//! let y: Vec<f64> = (0..12).map(|i| i as f64 * 0.1).collect();
+//! let generator = FeatureGenerator::new(
+//!     Strategy::observable_construction(4, 1),
+//!     FeatureBackend::Exact,
+//! );
+//! let model = PostVarRegressor::fit(generator, &data, &y, RegressorMode::Ridge(1e-6));
+//!
+//! // Serve it.
+//! let server = Server::new(ServerConfig::default());
+//! server.deploy(model.clone());
+//! let handle = server.submit(data[3].clone()).unwrap();
+//! server.drain();
+//! let response = handle.wait().unwrap();
+//! assert_eq!(response.prediction.as_f64(), model.predict(&data[3..4])[0]);
+//! ```
+
+pub mod admission;
+pub mod cache;
+pub mod clock;
+pub mod engine;
+pub mod loadgen;
+pub mod model;
+pub mod registry;
+pub mod server;
+pub mod stats;
+
+pub use admission::{AdmissionController, Rejected};
+pub use cache::{CacheStats, FeatureCache};
+pub use clock::{CostModel, SimClock};
+pub use engine::FeatureEngine;
+pub use loadgen::{demo_catalogue, run_closed_loop, LoadGenConfig, LoadReport, ZipfStream};
+pub use model::{Prediction, ServedModel};
+pub use registry::{ModelRegistry, ModelVersion};
+pub use server::{
+    spawn_worker, Response, ResponseHandle, ServeResult, Server, ServerConfig, MAX_COORDINATE,
+};
+pub use stats::{LatencyHistogram, ServerStats};

@@ -1,0 +1,555 @@
+//! The micro-batching inference server.
+//!
+//! A synchronous core driven by threads: clients [`Server::submit`]
+//! single data points and block (or poll) on a per-request channel;
+//! whoever drives the server — a dedicated worker thread
+//! ([`spawn_worker`]), a deterministic test harness, or the closed-loop
+//! load generator — repeatedly calls [`Server::step`], which pops up to
+//! `max_batch` queued requests and serves them as one micro-batch:
+//!
+//! ```text
+//! submit ──► admission ──► bounded queue ──► batcher ──► feature cache
+//!              │ shed                          │            │ miss
+//!              ▼                               │            ▼
+//!           Rejected                           │      engine (executor
+//!                                              │        or QPU pool)
+//!                                              ▼            │
+//!                           fused head sweep ◄─ rows ◄──────┘
+//!                                              │
+//!                              responses + latency histogram
+//! ```
+//!
+//! The contract that makes this safe to batch and cache aggressively:
+//! **batching is invisible in the outputs**. Feature rows are
+//! standalone-seeded ([`pvqnn::FeatureGenerator::generate_rows_standalone`]),
+//! so a prediction is bit-for-bit what a lone `predict` call on the same
+//! model would return, for any batch composition, cache state, or
+//! thread count. Only *when* a response arrives depends on load — and
+//! that is measured on the deterministic [`SimClock`].
+
+use crate::admission::{AdmissionController, Rejected};
+use crate::cache::FeatureCache;
+use crate::clock::SimClock;
+use crate::engine::FeatureEngine;
+use crate::model::{Prediction, ServedModel};
+use crate::registry::{ModelRegistry, ModelVersion};
+use crate::stats::{LatencyHistogram, ServerStats};
+use crate::CostModel;
+use linalg::Mat;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Largest accepted input-coordinate magnitude. Encoding angles are
+/// 2π-periodic, so legitimate inputs are tiny; the bound's real job is
+/// keeping every admitted coordinate far inside the range where the
+/// cache's key quantization (`round(v · quant_scale) as i64`) is exact —
+/// the saturating cast would alias everything beyond ±2^63/scale onto
+/// one key (as NaN aliases onto 0), poisoning entries for legitimate
+/// inputs.
+pub const MAX_COORDINATE: f64 = 1e6;
+
+/// Server tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Maximum rows per micro-batch.
+    pub max_batch: usize,
+    /// Hard queue bound ([`Rejected::QueueFull`] above it).
+    pub queue_capacity: usize,
+    /// Shedding threshold with hysteresis ([`Rejected::Overloaded`]);
+    /// set `≥ queue_capacity` to disable soft shedding.
+    pub high_water: usize,
+    /// Feature-cache entries (0 disables caching).
+    pub cache_capacity: usize,
+    /// Cache-key quantization: buckets per unit of input angle.
+    pub quant_scale: f64,
+    /// Default per-request deadline budget in simulated ns (0 = none).
+    pub default_deadline_ns: u64,
+    /// Simulated batch cost model.
+    pub cost: CostModel,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_batch: 16,
+            queue_capacity: 256,
+            high_water: 192,
+            cache_capacity: 1024,
+            quant_scale: 1e8,
+            default_deadline_ns: 50_000_000, // 50 simulated ms
+            cost: CostModel::default(),
+        }
+    }
+}
+
+/// A served prediction.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Response {
+    /// Server-assigned request id.
+    pub id: u64,
+    /// The model output.
+    pub prediction: Prediction,
+    /// Which model version served it.
+    pub model: ModelVersion,
+    /// Queue-to-response latency in simulated ns.
+    pub latency_ns: u64,
+    /// Whether the feature row came from the cache.
+    pub cache_hit: bool,
+}
+
+/// What a request ultimately resolves to.
+pub type ServeResult = Result<Response, Rejected>;
+
+/// The client's end of one submitted request.
+#[derive(Debug)]
+pub struct ResponseHandle {
+    id: u64,
+    rx: Receiver<ServeResult>,
+}
+
+impl ResponseHandle {
+    /// The server-assigned request id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Blocks until the response arrives.
+    pub fn wait(self) -> ServeResult {
+        self.rx.recv().expect("server dropped without responding")
+    }
+
+    /// Non-blocking poll; `None` while the request is still queued or
+    /// in flight.
+    pub fn try_take(&self) -> Option<ServeResult> {
+        match self.rx.try_recv() {
+            Ok(r) => Some(r),
+            Err(TryRecvError::Empty) => None,
+            Err(TryRecvError::Disconnected) => panic!("server dropped without responding"),
+        }
+    }
+}
+
+/// One queued request.
+struct Pending {
+    id: u64,
+    x: Vec<f64>,
+    arrival_ns: u64,
+    /// Simulated-time deadline; `u64::MAX` when none.
+    deadline_ns: u64,
+    tx: Sender<ServeResult>,
+}
+
+/// Queue + admission under one lock, so decisions serialize with
+/// enqueue/dequeue.
+struct QueueState {
+    queue: VecDeque<Pending>,
+    admission: AdmissionController,
+}
+
+/// Counters behind the stats mutex.
+#[derive(Default)]
+struct Counters {
+    submitted: u64,
+    completed: u64,
+    rejected_queue_full: u64,
+    rejected_overloaded: u64,
+    rejected_deadline: u64,
+    rejected_invalid: u64,
+    batches: u64,
+    batch_rows: u64,
+    unique_simulations: u64,
+    hist: LatencyHistogram,
+}
+
+/// The inference server. Share it via [`Arc`]: `submit` and `step` both
+/// take `&self`.
+pub struct Server {
+    config: ServerConfig,
+    registry: ModelRegistry,
+    engine: FeatureEngine,
+    clock: SimClock,
+    start_ns: u64,
+    state: Mutex<QueueState>,
+    work: Condvar,
+    cache: Mutex<FeatureCache>,
+    stats: Mutex<Counters>,
+    next_id: AtomicU64,
+    stopping: AtomicBool,
+}
+
+impl Server {
+    /// A server with the in-process [`FeatureEngine::Local`] engine.
+    pub fn new(config: ServerConfig) -> Self {
+        Self::with_engine(config, FeatureEngine::local())
+    }
+
+    /// A server computing cache misses on the given engine.
+    pub fn with_engine(config: ServerConfig, engine: FeatureEngine) -> Self {
+        assert!(config.max_batch > 0, "max_batch must be positive");
+        let clock = SimClock::new();
+        let start_ns = clock.now_ns();
+        Server {
+            registry: ModelRegistry::new(),
+            engine,
+            start_ns,
+            state: Mutex::new(QueueState {
+                queue: VecDeque::with_capacity(config.queue_capacity),
+                admission: AdmissionController::new(config.queue_capacity, config.high_water),
+            }),
+            work: Condvar::new(),
+            cache: Mutex::new(FeatureCache::new(config.cache_capacity, config.quant_scale)),
+            stats: Mutex::new(Counters::default()),
+            next_id: AtomicU64::new(0),
+            stopping: AtomicBool::new(false),
+            clock,
+            config,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// The model registry (deploy/rollback through this).
+    pub fn registry(&self) -> &ModelRegistry {
+        &self.registry
+    }
+
+    /// Convenience: deploy a model as the new active version.
+    pub fn deploy(&self, model: impl Into<ServedModel>) -> ModelVersion {
+        self.registry.deploy(model)
+    }
+
+    /// The simulated clock (tests and load generators advance it).
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Submits one data point with the default deadline budget.
+    pub fn submit(&self, x: Vec<f64>) -> Result<ResponseHandle, Rejected> {
+        let budget = self.config.default_deadline_ns;
+        self.submit_with_budget(x, if budget == 0 { None } else { Some(budget) })
+    }
+
+    /// Submits one data point with an explicit deadline budget in
+    /// simulated ns (`None` = no deadline). Admission control runs here,
+    /// synchronously — a rejected request never enters the queue.
+    pub fn submit_with_budget(
+        &self,
+        x: Vec<f64>,
+        budget_ns: Option<u64>,
+    ) -> Result<ResponseHandle, Rejected> {
+        let Some((_, model)) = self.registry.active() else {
+            return Err(Rejected::NoActiveModel);
+        };
+        let qubits = model.num_qubits();
+        if x.is_empty() || !x.len().is_multiple_of(qubits) {
+            return Err(self.count_rejection(Rejected::InvalidInput {
+                len: x.len(),
+                qubits,
+            }));
+        }
+        if let Some(index) = x
+            .iter()
+            .position(|v| !v.is_finite() || v.abs() > MAX_COORDINATE)
+        {
+            return Err(self.count_rejection(Rejected::InvalidValue { index }));
+        }
+        let verdict = {
+            let mut state = self.state.lock().expect("server lock poisoned");
+            // Checked under the queue lock so a submit can never slip a
+            // request in after the worker's final drained-and-stopping
+            // check — admitted implies answered.
+            if self.stopping.load(Ordering::SeqCst) {
+                return Err(Rejected::ShuttingDown);
+            }
+            let depth = state.queue.len();
+            match state.admission.admit(depth) {
+                Err(e) => Err(e),
+                Ok(()) => {
+                    let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+                    let arrival_ns = self.clock.now_ns();
+                    let deadline_ns = match budget_ns {
+                        Some(b) => arrival_ns.saturating_add(b),
+                        None => u64::MAX,
+                    };
+                    let (tx, rx) = channel();
+                    state.queue.push_back(Pending {
+                        id,
+                        x,
+                        arrival_ns,
+                        deadline_ns,
+                        tx,
+                    });
+                    // Counted while the queue lock is still held, so no
+                    // worker can complete (count) this request before it
+                    // is counted as submitted — the books always balance.
+                    self.stats.lock().expect("server lock poisoned").submitted += 1;
+                    Ok(ResponseHandle { id, rx })
+                }
+            }
+        };
+        match verdict {
+            Ok(handle) => {
+                self.work.notify_one();
+                Ok(handle)
+            }
+            Err(rejection) => Err(self.count_rejection(rejection)),
+        }
+    }
+
+    /// Records a client-visible rejection in the stats counters and
+    /// hands it back. `NoActiveModel`/`ShuttingDown` are lifecycle
+    /// conditions (nothing is deployed / the endpoint is going away),
+    /// not request-accounting events, and stay uncounted.
+    fn count_rejection(&self, rejection: Rejected) -> Rejected {
+        let mut stats = self.stats.lock().expect("server lock poisoned");
+        match &rejection {
+            Rejected::QueueFull { .. } => stats.rejected_queue_full += 1,
+            Rejected::Overloaded { .. } => stats.rejected_overloaded += 1,
+            Rejected::InvalidInput { .. } | Rejected::InvalidValue { .. } => {
+                stats.rejected_invalid += 1
+            }
+            Rejected::DeadlineExceeded { .. }
+            | Rejected::NoActiveModel
+            | Rejected::ShuttingDown => {}
+        }
+        rejection
+    }
+
+    /// Pops and serves one micro-batch; returns the number of requests
+    /// *dispatched* (answered with a prediction or a typed rejection) —
+    /// 0 exactly when the queue was empty, so [`Self::drain`]
+    /// terminates precisely when no work is left even if a whole batch
+    /// expired on its deadlines.
+    pub fn step(&self) -> usize {
+        let batch: Vec<Pending> = {
+            let mut state = self.state.lock().expect("server lock poisoned");
+            let take = state.queue.len().min(self.config.max_batch);
+            state.queue.drain(..take).collect()
+        };
+        if batch.is_empty() {
+            return 0;
+        }
+        let dispatched = batch.len();
+        self.run_batch(batch);
+        dispatched
+    }
+
+    /// Serves micro-batches until the queue is empty; returns the total
+    /// number of requests dispatched.
+    pub fn drain(&self) -> usize {
+        let mut total = 0;
+        loop {
+            let dispatched = self.step();
+            if dispatched == 0 {
+                return total;
+            }
+            total += dispatched;
+        }
+    }
+
+    /// Executes one formed micro-batch end to end. The active model is
+    /// resolved exactly once, here — a concurrent deploy affects only
+    /// batches formed later (hot-swap: the old version drains).
+    fn run_batch(&self, batch: Vec<Pending>) {
+        let Some((version, model)) = self.registry.active() else {
+            for p in batch {
+                let _ = p.tx.send(Err(Rejected::NoActiveModel));
+            }
+            return;
+        };
+        let now = self.clock.now_ns();
+        // Requests were validated against the model active at *submit*
+        // time; a hot-swap in between may have changed the qubit count,
+        // so re-validate against the model this batch actually serves —
+        // a typed rejection, never a panic on the batcher thread.
+        let qubits = model.num_qubits();
+        let mut live: Vec<Pending> = Vec::with_capacity(batch.len());
+        let mut expired = 0u64;
+        let mut invalid = 0u64;
+        for p in batch {
+            if now > p.deadline_ns {
+                expired += 1;
+                let _ = p.tx.send(Err(Rejected::DeadlineExceeded {
+                    deadline_ns: p.deadline_ns,
+                    now_ns: now,
+                }));
+            } else if p.x.is_empty() || !p.x.len().is_multiple_of(qubits) {
+                invalid += 1;
+                let _ = p.tx.send(Err(Rejected::InvalidInput {
+                    len: p.x.len(),
+                    qubits,
+                }));
+            } else {
+                live.push(p);
+            }
+        }
+        if expired > 0 || invalid > 0 {
+            let mut stats = self.stats.lock().expect("server lock poisoned");
+            stats.rejected_deadline += expired;
+            stats.rejected_invalid += invalid;
+        }
+        if live.is_empty() {
+            return;
+        }
+
+        // Cache phase: resolve hits, dedupe misses within the batch so
+        // each unique point is simulated once.
+        let mut rows: Vec<Option<Vec<f64>>> = (0..live.len()).map(|_| None).collect();
+        let mut hit: Vec<bool> = vec![false; live.len()];
+        let mut miss_of: HashMap<Vec<i64>, usize> = HashMap::new();
+        let mut miss_keys: Vec<Vec<i64>> = Vec::new();
+        let mut miss_requesters: Vec<Vec<usize>> = Vec::new();
+        // Deploy-time fingerprint of this batch's generator (computed
+        // once per deploy, not per batch).
+        let fp = self
+            .registry
+            .fingerprint(version)
+            .unwrap_or_else(|| model.generator_fingerprint());
+        {
+            let mut cache = self.cache.lock().expect("server lock poisoned");
+            // Cached rows belong to one feature generator: if this
+            // batch's model has a different one (hot-swap or rollback
+            // across generator changes), flush before looking up.
+            cache.ensure_tag(fp);
+            for (i, p) in live.iter().enumerate() {
+                let key = cache.quantize(&p.x);
+                if let Some(row) = cache.get(&key) {
+                    rows[i] = Some(row.to_vec());
+                    hit[i] = true;
+                } else {
+                    match miss_of.get(&key) {
+                        Some(&mi) => miss_requesters[mi].push(i),
+                        None => {
+                            let mi = miss_keys.len();
+                            miss_of.insert(key.clone(), mi);
+                            miss_keys.push(key);
+                            miss_requesters.push(vec![i]);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Compute phase (no server lock held): one standalone-seeded row
+        // per unique miss, on the engine.
+        let miss_xs: Vec<&[f64]> = miss_requesters
+            .iter()
+            .map(|reqs| live[reqs[0]].x.as_slice())
+            .collect();
+        let computed = self.engine.compute_rows(model.generator(), &miss_xs);
+        debug_assert_eq!(computed.len(), miss_keys.len());
+
+        {
+            let mut cache = self.cache.lock().expect("server lock poisoned");
+            // Re-check the tag: a concurrent batch may have hot-swapped
+            // the generator (and flushed) while we computed — our rows
+            // would poison the new generation, so drop them instead.
+            if cache.tag() == fp {
+                for (key, row) in miss_keys.into_iter().zip(computed.iter()) {
+                    cache.insert(key, row.clone());
+                }
+            }
+        }
+        for (mi, requesters) in miss_requesters.iter().enumerate() {
+            for &i in requesters {
+                rows[i] = Some(computed[mi].clone());
+            }
+        }
+
+        // Head phase: one fused sweep over the whole micro-batch.
+        let dense: Vec<Vec<f64>> = rows.into_iter().map(|r| r.expect("row resolved")).collect();
+        let mat = Mat::from_rows(&dense);
+        let predictions = model.predict_batch(&mat);
+
+        // Account simulated time once per batch, then respond.
+        let misses = miss_xs.len();
+        let done = self
+            .clock
+            .advance_ns(self.config.cost.batch_cost_ns(live.len(), misses));
+        let served = live.len();
+        let mut stats = self.stats.lock().expect("server lock poisoned");
+        stats.batches += 1;
+        stats.batch_rows += served as u64;
+        stats.completed += served as u64;
+        stats.unique_simulations += misses as u64;
+        for ((p, prediction), &cache_hit) in live.into_iter().zip(predictions).zip(hit.iter()) {
+            let latency_ns = done.saturating_sub(p.arrival_ns);
+            stats.hist.record(latency_ns);
+            let _ = p.tx.send(Ok(Response {
+                id: p.id,
+                prediction,
+                model: version,
+                latency_ns,
+                cache_hit,
+            }));
+        }
+    }
+
+    /// A consistent stats snapshot.
+    pub fn stats(&self) -> ServerStats {
+        let cache = self.cache.lock().expect("server lock poisoned").stats();
+        let stats = self.stats.lock().expect("server lock poisoned");
+        let sim_elapsed_ns = self.clock.now_ns().saturating_sub(self.start_ns);
+        let sim_elapsed_s = sim_elapsed_ns as f64 / 1e9;
+        ServerStats {
+            submitted: stats.submitted,
+            completed: stats.completed,
+            rejected_queue_full: stats.rejected_queue_full,
+            rejected_overloaded: stats.rejected_overloaded,
+            rejected_deadline: stats.rejected_deadline,
+            rejected_invalid: stats.rejected_invalid,
+            batches: stats.batches,
+            batch_rows: stats.batch_rows,
+            unique_simulations: stats.unique_simulations,
+            cache,
+            sim_elapsed_ns,
+            throughput_rows_per_s: if sim_elapsed_s > 0.0 {
+                stats.completed as f64 / sim_elapsed_s
+            } else {
+                0.0
+            },
+            mean_latency_ms: stats.hist.mean_ns() / 1e6,
+            p50_ms: stats.hist.quantile_ns(0.50) / 1e6,
+            p95_ms: stats.hist.quantile_ns(0.95) / 1e6,
+            p99_ms: stats.hist.quantile_ns(0.99) / 1e6,
+        }
+    }
+
+    /// Signals the worker loop to exit once the queue is drained.
+    pub fn stop(&self) {
+        self.stopping.store(true, Ordering::SeqCst);
+        self.work.notify_all();
+    }
+
+    /// The dedicated-thread drive loop: serve batches as they form,
+    /// park when idle, drain fully on [`Server::stop`].
+    fn worker_loop(&self) {
+        loop {
+            {
+                let mut state = self.state.lock().expect("server lock poisoned");
+                while state.queue.is_empty() && !self.stopping.load(Ordering::SeqCst) {
+                    state = self.work.wait(state).expect("server lock poisoned");
+                }
+                if state.queue.is_empty() {
+                    return; // stopping and drained
+                }
+            }
+            self.step();
+        }
+    }
+}
+
+/// Spawns the batcher thread driving `server`. Join it after
+/// [`Server::stop`]; every admitted request is answered before exit.
+pub fn spawn_worker(server: Arc<Server>) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("postvar-serve-batcher".to_string())
+        .spawn(move || server.worker_loop())
+        .expect("failed to spawn server worker")
+}

@@ -22,6 +22,7 @@ pub use pauli;
 pub use pvqnn;
 pub use qdata;
 pub use qsim;
+pub use serve;
 pub use shadows;
 
 /// Convenience re-exports of the most common types across the workspace.
@@ -38,5 +39,6 @@ pub mod prelude {
     pub use pvqnn::variational::VariationalClassifier;
     pub use qdata::{fashion_synthetic, preprocess_4x4, FashionClass};
     pub use qsim::{Circuit, Gate, ParamCircuit, StateVector};
+    pub use serve::{Server, ServerConfig};
     pub use shadows::{ShadowEstimator, ShadowProtocol};
 }

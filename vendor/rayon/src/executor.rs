@@ -69,14 +69,23 @@ thread_local! {
     static STEAL_RNG: Cell<u64> = const { Cell::new(0) };
 }
 
+/// Number of shards the scope registry is split over. Serving-style
+/// workloads open thousands of tiny external scopes per second from many
+/// threads; a single registry lock serializes every scope entry/exit, so
+/// registration is sharded by scope id and only the steal *scan* touches
+/// every shard (read locks, held briefly one at a time).
+const SCOPE_SHARDS: usize = 8;
+
 /// The process-wide pool.
 pub(crate) struct Executor {
     stealers: Vec<Stealer<Task>>,
-    /// Queues of the currently active externally-owned scopes, in
-    /// registration order (oldest scope first, a FIFO fairness bias).
-    /// Read-locked on every steal scan; write-locked only on scope
-    /// entry/exit.
-    scopes: RwLock<Vec<Arc<ScopeData>>>,
+    /// Queues of the currently active externally-owned scopes, sharded by
+    /// scope id (`id % SCOPE_SHARDS`). Within a shard scopes keep
+    /// registration order (oldest first, a FIFO fairness bias); each
+    /// shard is read-locked on every steal scan and write-locked only on
+    /// scope entry/exit — concurrent scope churn on different shards no
+    /// longer contends on one lock.
+    scopes: [RwLock<Vec<Arc<ScopeData>>>; SCOPE_SHARDS],
     /// Count of parked workers, guarded with [`Self::wake`].
     sleepers: Mutex<usize>,
     wake: Condvar,
@@ -104,7 +113,7 @@ pub(crate) fn global() -> &'static Executor {
         let queues: Vec<Worker<Task>> = (0..workers).map(|_| Worker::new_lifo()).collect();
         let exec: &'static Executor = Box::leak(Box::new(Executor {
             stealers: queues.iter().map(Worker::stealer).collect(),
-            scopes: RwLock::new(Vec::new()),
+            scopes: std::array::from_fn(|_| RwLock::new(Vec::new())),
             sleepers: Mutex::new(0),
             wake: Condvar::new(),
             live: AtomicUsize::new(0),
@@ -166,9 +175,14 @@ impl Executor {
         }
     }
 
+    /// The registry shard a scope registers in, fixed by its id.
+    fn shard_of(scope: &ScopeData) -> usize {
+        (scope.id % SCOPE_SHARDS as u64) as usize
+    }
+
     /// Makes an externally-owned scope's queue visible to the workers.
     fn register(&self, scope: &Arc<ScopeData>) {
-        self.scopes
+        self.scopes[Self::shard_of(scope)]
             .write()
             .expect("executor lock poisoned")
             .push(Arc::clone(scope));
@@ -176,7 +190,7 @@ impl Executor {
 
     /// Removes a finished scope from the worker-visible list.
     fn unregister(&self, scope: &Arc<ScopeData>) {
-        self.scopes
+        self.scopes[Self::shard_of(scope)]
             .write()
             .expect("executor lock poisoned")
             .retain(|s| !Arc::ptr_eq(s, scope));
@@ -226,8 +240,8 @@ impl Executor {
                 return Some(task);
             }
         }
-        {
-            let scopes = self.scopes.read().expect("executor lock poisoned");
+        for shard in &self.scopes {
+            let scopes = shard.read().expect("executor lock poisoned");
             for scope in scopes.iter() {
                 if let Some(task) = self.take_from_scope(scope) {
                     return Some(task);
@@ -316,11 +330,13 @@ impl Executor {
         if self.stealers.iter().any(|s| !s.is_empty()) {
             return true;
         }
-        self.scopes
-            .read()
-            .expect("executor lock poisoned")
-            .iter()
-            .any(|s| !s.queue.is_empty())
+        self.scopes.iter().any(|shard| {
+            shard
+                .read()
+                .expect("executor lock poisoned")
+                .iter()
+                .any(|s| !s.queue.is_empty())
+        })
     }
 
     /// A background worker's whole life: run tasks; park when idle.
@@ -368,6 +384,8 @@ impl Executor {
 
 /// Shared bookkeeping of one [`scope`] call.
 struct ScopeData {
+    /// Process-unique scope id; picks the registry shard.
+    id: u64,
     /// Tasks spawned from outside the pool land here (workers spawn onto
     /// their own deques instead); registered with the executor while the
     /// scope is externally owned, and drained first by the helping owner.
@@ -435,7 +453,9 @@ impl<'scope> Scope<'scope> {
 /// re-thrown here after all tasks complete, leaving the pool fully
 /// usable.
 pub fn scope<'scope, R>(f: impl FnOnce(&Scope<'scope>) -> R) -> R {
+    static NEXT_SCOPE_ID: AtomicU64 = AtomicU64::new(0);
     let data = Arc::new(ScopeData {
+        id: NEXT_SCOPE_ID.fetch_add(1, Ordering::Relaxed),
         queue: Injector::new(),
         pending: AtomicUsize::new(1),
         panic: Mutex::new(None),
@@ -559,7 +579,9 @@ mod tests {
         // finished scopes don't accumulate — a broken unregister would
         // leave all 50 behind.
         let exec = global();
-        let before = exec.scopes.read().unwrap().len();
+        let registered =
+            |e: &Executor| -> usize { e.scopes.iter().map(|s| s.read().unwrap().len()).sum() };
+        let before = registered(exec);
         for _ in 0..50 {
             scope(|s| {
                 for _ in 0..16 {
@@ -567,10 +589,53 @@ mod tests {
                 }
             });
         }
-        let after = exec.scopes.read().unwrap().len();
+        let after = registered(exec);
         assert!(
             after <= before + 8,
             "finished scopes must unregister (before {before}, after {after})"
+        );
+    }
+
+    #[test]
+    fn many_small_external_scopes_across_threads() {
+        // The serving hot path: several external threads each churning
+        // thousands of tiny scopes per second. Registration is sharded by
+        // scope id, so the entry/exit write locks of concurrent scopes
+        // land on different shards instead of serializing on one — pin
+        // correctness under that churn plus an ultra-conservative
+        // throughput floor (a serialized-and-contended registry is orders
+        // of magnitude inside the bound; a deadlocked one is not).
+        const THREADS: usize = 4;
+        const SCOPES_PER_THREAD: usize = 250;
+        let start = std::time::Instant::now();
+        let totals: Vec<usize> = std::thread::scope(|ts| {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|t| {
+                    ts.spawn(move || {
+                        let mut total = 0usize;
+                        for round in 0..SCOPES_PER_THREAD {
+                            let mut parts = [0usize; 4];
+                            scope(|s| {
+                                for (i, p) in parts.iter_mut().enumerate() {
+                                    s.spawn(move || *p = t + round + i);
+                                }
+                            });
+                            total += parts.iter().sum::<usize>();
+                        }
+                        total
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (t, &total) in totals.iter().enumerate() {
+            let want: usize = (0..SCOPES_PER_THREAD).map(|r| 4 * (t + r) + 6).sum();
+            assert_eq!(total, want, "thread {t} lost scope results");
+        }
+        let per_scope = start.elapsed() / (THREADS * SCOPES_PER_THREAD) as u32;
+        assert!(
+            per_scope < Duration::from_millis(20),
+            "tiny external scopes took {per_scope:?} each — registry contention?"
         );
     }
 
