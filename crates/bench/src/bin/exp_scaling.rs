@@ -19,15 +19,18 @@ use pauli::local_paulis;
 use pvqnn::ansatz::fig8_ansatz;
 use pvqnn::features::{FeatureBackend, FeatureGenerator};
 use pvqnn::strategy::Strategy;
+use pvqnn::EncodingPlan;
 use qsim::StateVector;
 use std::path::Path;
 
 /// Tracked metrics for the CI regression gate: `(key, higher_is_better)`.
 /// A >25% move in the losing direction fails the smoke job.
-const GATED_METRICS: [(&str, bool); 3] = [
+const GATED_METRICS: [(&str, bool); 5] = [
     ("gate_apply_ns_per_amp", false),
+    ("gate_fused_ns_per_amp", false),
     ("expectation_many_speedup", true),
     ("features_rows_per_s", true),
+    ("encode_batched_rows_per_s", true),
 ];
 
 /// Allowed relative regression before the gate trips.
@@ -89,12 +92,14 @@ fn heavy_jobs(count: usize) -> Vec<CircuitJob> {
 
 /// Measures the single-node kernel metrics and writes `BENCH_scaling.json`.
 ///
-/// Metrics: gate-apply ns/amplitude, feature rows/s (exact and batched
-/// finite-shot backends), shadow estimates/s, the fused-vs-per-term
-/// expectation speedup, the encoding-state-reuse speedup of
-/// `FeatureGenerator::generate` (both single-thread), the thread-pool
-/// scaling factor on a large gate kernel, and the shared-executor vs
-/// oversubscribed device-pool comparison on mixed job sizes.
+/// Metrics: gate-apply ns/amplitude (raw and gate-fused), batched-SoA
+/// vs point-by-point encoding throughput, feature rows/s (exact and
+/// batched finite-shot backends), shadow estimates/s, the
+/// fused-vs-per-term expectation speedup, the encoding-state-reuse
+/// speedup of `FeatureGenerator::generate` (both single-thread), the
+/// thread-pool scaling factor on a large gate kernel, and the
+/// shared-executor vs oversubscribed device-pool comparison on mixed
+/// job sizes.
 fn kernel_metrics() -> ScalingReport {
     println!("-- single-node kernel metrics (written to BENCH_scaling.json) --");
     let threads = rayon::current_num_threads();
@@ -120,6 +125,28 @@ fn kernel_metrics() -> ScalingReport {
         circuit.len()
     );
     report.put("gate_apply_ns_per_amp", gate_ns_per_amp);
+
+    // The same circuit through the one-time compiler: single-qubit runs
+    // collapse to one 2×2 per wire, entanglers pass through to their
+    // specialized kernels. Normalized by *source* gates (the sweeps the
+    // uncompiled path performs) so the number is directly comparable to
+    // `gate_apply_ns_per_amp` above.
+    let compiled = qsim::compile(&circuit);
+    let fused_secs = time_secs(3, || StateVector::from_compiled(&compiled));
+    let fused_ns_per_amp = fused_secs * 1e9 / (amps * compiled.source_gates() as f64);
+    let fusion_ratio = compiled.source_gates() as f64 / compiled.num_ops() as f64;
+    println!(
+        "gate apply (fused):  {fused_ns_per_amp:>9.3} ns/amp ({} ops from {} gates, {fusion_ratio:.2}x fusion)",
+        compiled.num_ops(),
+        compiled.source_gates()
+    );
+    assert!(
+        fused_ns_per_amp < gate_ns_per_amp,
+        "fused apply ({fused_ns_per_amp:.3} ns/amp) must beat the unfused path \
+         ({gate_ns_per_amp:.3} ns/amp)"
+    );
+    report.put("gate_fused_ns_per_amp", fused_ns_per_amp);
+    report.put("gate_fusion_ratio", fusion_ratio);
 
     // Thread-pool scaling on the same workload (1 thread vs all).
     let t1 = rayon::with_num_threads(1, || time_secs(3, || StateVector::from_circuit(&circuit)));
@@ -174,6 +201,39 @@ fn kernel_metrics() -> ScalingReport {
     let shot_rows_per_s = data.len() as f64 / time_secs(3, || shot_generator.generate(&data));
     println!("feature rows (shots): {shot_rows_per_s:>8.1} rows/s (128 shots, batched sampling)");
     report.put("features_shots_rows_per_s", shot_rows_per_s);
+
+    // Batched SoA encoding vs point-by-point: the serving shape (16
+    // features on 4 qubits, the fig. 7 column encoding) over 256 points,
+    // pinned to one thread so the ratio isolates the amplitude-major
+    // layout rather than rayon fan-out.
+    let enc_points = feature_data(256);
+    let enc_refs: Vec<&[f64]> = enc_points.iter().map(Vec::as_slice).collect();
+    let plan = EncodingPlan::new(16, 4);
+    let t_point = rayon::with_num_threads(1, || {
+        time_secs(3, || {
+            enc_refs
+                .iter()
+                .map(|x| plan.encode_one(x))
+                .collect::<Vec<_>>()
+        })
+    });
+    let t_batch = rayon::with_num_threads(1, || time_secs(3, || plan.encode_batch(&enc_refs)));
+    let encode_point_rows_per_s = enc_refs.len() as f64 / t_point.max(1e-12);
+    let encode_batched_rows_per_s = enc_refs.len() as f64 / t_batch.max(1e-12);
+    println!(
+        "encode (pointwise):  {encode_point_rows_per_s:>9.0} states/s (16 features, 4 qubits, 1 thread)"
+    );
+    println!(
+        "encode (batched):    {encode_batched_rows_per_s:>9.0} states/s ({:.2}x, amplitude-major SoA)",
+        encode_batched_rows_per_s / encode_point_rows_per_s.max(1e-12)
+    );
+    assert!(
+        encode_batched_rows_per_s > encode_point_rows_per_s,
+        "batched SoA encode ({encode_batched_rows_per_s:.0} states/s) must beat the \
+         point-by-point path ({encode_point_rows_per_s:.0} states/s)"
+    );
+    report.put("encode_pointwise_rows_per_s", encode_point_rows_per_s);
+    report.put("encode_batched_rows_per_s", encode_batched_rows_per_s);
 
     // Devices + kernels sharing one executor vs the oversubscribed
     // baseline (private device threads, uncapped kernel fan-out) on a

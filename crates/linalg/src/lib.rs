@@ -10,7 +10,7 @@
 //! * [`qr`] — Householder QR,
 //! * [`svd`] — one-sided Jacobi SVD (the workhorse; small matrices, high
 //!   accuracy),
-//! * [`pinv`] — Moore-Penrose pseudoinverse, least squares, ridge
+//! * [`mod@pinv`] — Moore-Penrose pseudoinverse, least squares, ridge
 //!   (Tikhonov) regression and Cholesky solves.
 //!
 //! Everything is validated by property tests against the defining axioms

@@ -22,7 +22,7 @@ use crate::sum::PauliSum;
 ///
 /// With `l = n` the reconstruction is exact (Appendix A); with `l < n` this
 /// is the paper's *low-degree approximation* (§IV.B, citing Huang et al.
-/// [62]) — the truncation used by the observable-construction strategy.
+/// \[62\]) — the truncation used by the observable-construction strategy.
 ///
 /// # Panics
 /// Panics if `h` is not square with power-of-two dimension, or not

@@ -2,7 +2,7 @@
 //!
 //! "We use a simple Ansatz made of 2 alternations of RY gates and circular
 //! CNOT gates … We set initial parameters to 0, on which the Ansatz would
-//! evaluate to identity" — the Grant et al. [21] identity-block
+//! evaluate to identity" — the Grant et al. \[21\] identity-block
 //! initialisation that avoids barren plateaus at step 0.
 
 use qsim::{Gate, ParamCircuit, RotAxis};

@@ -12,7 +12,7 @@
 //! layers. [`encoding_with_h_prefix`] offers the variant with a Hadamard
 //! wall in front, which makes the first RZ informative too.
 
-use qsim::{Circuit, Gate};
+use qsim::{identity2, matmul2, BatchedStateVector, Circuit, Gate, Mat2, StateVector};
 
 /// Builds the Fig. 7 encoding circuit `S(x)` for an `n`-qubit register from
 /// `rows·n` features laid out row-major (`features[r*n + c]` → row `r`,
@@ -60,10 +60,103 @@ pub fn encoding_with_h_prefix(features: &[f64], n: usize) -> Circuit {
     c
 }
 
-/// A data re-uploading encoding (§III.B, citing Pérez-Salinas et al. [47]):
+/// The fused execution plan for [`column_encoding`]: since every gate of
+/// the Fig. 7 circuit is a single-qubit rotation, each qubit's whole gate
+/// column collapses into **one** dense 2×2 — encoding a point is then `n`
+/// fused kernel sweeps instead of `rows·n` gate applications, and a batch
+/// of points encodes through [`BatchedStateVector::apply_unary_per_lane`]
+/// in amplitude-major SoA sweeps.
+///
+/// Per lane, the batched path evaluates exactly the same per-qubit fused
+/// matrix through the same kernel arithmetic as [`Self::encode_one`], so
+/// batch lanes are **bit-for-bit** equal to standalone encodes — the
+/// invariant the serving layer's micro-batching guarantee requires.
+#[derive(Clone, Debug)]
+pub struct EncodingPlan {
+    n: usize,
+    rows: usize,
+}
+
+impl EncodingPlan {
+    /// Plan for encoding `num_features`-long points onto `n` qubits.
+    ///
+    /// # Panics
+    /// Panics if `num_features` is not a positive multiple of `n` (the
+    /// same contract as [`column_encoding`]).
+    pub fn new(num_features: usize, n: usize) -> Self {
+        assert!(n >= 1);
+        assert!(
+            num_features > 0 && num_features.is_multiple_of(n),
+            "feature count {num_features} must be a positive multiple of n = {n}"
+        );
+        EncodingPlan {
+            n,
+            rows: num_features / n,
+        }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// Number of features each point must carry.
+    pub fn num_features(&self) -> usize {
+        self.rows * self.n
+    }
+
+    /// The fused 2×2 for qubit `q`: the product of its alternating
+    /// RZ/RX column, later rows applied after earlier ones.
+    pub fn qubit_matrix(&self, x: &[f64], q: usize) -> Mat2 {
+        let mut acc = identity2();
+        for r in 0..self.rows {
+            let angle = x[r * self.n + q];
+            let g = if r % 2 == 0 {
+                Gate::Rz(q, angle)
+            } else {
+                Gate::Rx(q, angle)
+            };
+            let m = g.matrix1().expect("rotations are single-qubit");
+            acc = matmul2(&m, &acc);
+        }
+        acc
+    }
+
+    /// Encodes one point: `S(x)|0…0⟩` in `n` fused sweeps. Equal to
+    /// `StateVector::from_circuit(&column_encoding(x, n))` to simulator
+    /// tolerance (1e-12), and bit-for-bit equal to any lane of
+    /// [`Self::encode_batch`] that carries the same point.
+    pub fn encode_one(&self, x: &[f64]) -> StateVector {
+        assert_eq!(x.len(), self.num_features(), "feature-count mismatch");
+        let mut s = StateVector::zero_state(self.n);
+        for q in 0..self.n {
+            s.apply_unary(q, &self.qubit_matrix(x, q));
+        }
+        s
+    }
+
+    /// Encodes a batch of points into an amplitude-major SoA batch, lane
+    /// `l` holding `S(xs[l])|0…0⟩` bit-for-bit as [`Self::encode_one`]
+    /// would produce it.
+    pub fn encode_batch(&self, xs: &[&[f64]]) -> BatchedStateVector {
+        assert!(!xs.is_empty(), "batch must be non-empty");
+        let mut b = BatchedStateVector::zero_states(self.n, xs.len());
+        let mut mats = vec![identity2(); xs.len()];
+        for q in 0..self.n {
+            for (m, x) in mats.iter_mut().zip(xs) {
+                assert_eq!(x.len(), self.num_features(), "feature-count mismatch");
+                *m = self.qubit_matrix(x, q);
+            }
+            b.apply_unary_per_lane(q, &mats);
+        }
+        b
+    }
+}
+
+/// A data re-uploading encoding (§III.B, citing Pérez-Salinas et al. \[47\]):
 /// `layers` repetitions of (column encoding → ring of CNOTs). The paper
 /// notes such models map exactly onto the simple construction with more
-/// qubits [48]; here we provide them directly so re-uploading ansätze can
+/// qubits \[48\]; here we provide them directly so re-uploading ansätze can
 /// be used as the `S(x)` of any post-variational strategy.
 pub fn reuploading_encoding(features: &[f64], n: usize, layers: usize) -> Circuit {
     assert!(layers >= 1);
@@ -190,5 +283,44 @@ mod tests {
         let c = reuploading_encoding(&x, 4, 3);
         // 3 × 16 rotations + 2 × 4 CNOTs.
         assert_eq!(c.len(), 48 + 8);
+    }
+
+    #[test]
+    fn plan_matches_circuit_encoding() {
+        for (nf, n) in [(16, 4), (12, 6), (5, 5), (9, 3)] {
+            let x: Vec<f64> = (0..nf).map(|i| -0.8 + 0.23 * i as f64).collect();
+            let plan = EncodingPlan::new(nf, n);
+            let fused = plan.encode_one(&x);
+            let direct = StateVector::from_circuit(&column_encoding(&x, n));
+            for (a, b) in fused.amplitudes().iter().zip(direct.amplitudes()) {
+                assert!((a - b).norm() < 1e-12, "nf={nf} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn plan_batch_lanes_bit_identical_to_encode_one() {
+        let plan = EncodingPlan::new(16, 4);
+        let points: Vec<Vec<f64>> = (0..5)
+            .map(|p| (0..16).map(|i| 0.11 * (p * 16 + i) as f64).collect())
+            .collect();
+        let refs: Vec<&[f64]> = points.iter().map(|p| p.as_slice()).collect();
+        let batch = plan.encode_batch(&refs);
+        assert_eq!(batch.batch_size(), 5);
+        for (l, x) in refs.iter().enumerate() {
+            let solo = plan.encode_one(x);
+            let lane = batch.lane(l);
+            for (a, b) in lane.amplitudes().iter().zip(solo.amplitudes()) {
+                assert_eq!(a.re.to_bits(), b.re.to_bits(), "lane {l}");
+                assert_eq!(a.im.to_bits(), b.im.to_bits(), "lane {l}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn plan_rejects_wrong_feature_count() {
+        let plan = EncodingPlan::new(16, 4);
+        let _ = plan.encode_one(&[0.0; 12]);
     }
 }

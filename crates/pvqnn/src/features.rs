@@ -16,27 +16,47 @@
 //! precisely the structure the hybrid HPC-QC runtime (`hpcq`) exploits
 //! across simulated QPUs.
 //!
-//! Three batching optimisations shape the inner loop: per data point the
-//! shared encoding state `S(x_i)|0⟩` is simulated once and cloned per
-//! ansatz shift (the shifts only append the — usually tiny, identity-
-//! elided — ansatz tail); per prepared state all observables are
-//! evaluated by one fused `StateVector::expectation_many` pass for the
-//! exact backend; and the stochastic backends sample **all shifts of one
-//! row in a single pass** — one RNG per row (instead of one per
-//! `(row, shift)` pair) and, for `Shots`, one measurement rotation + CDF
-//! sampler per qubit-wise-commuting observable group
-//! (`qsim::estimate_paulis_batched`), so sampler setup is amortized
-//! across the shifts while every neuron still draws its own independent
-//! shots (Proposition 1's estimator).
+//! Several batching optimisations shape the inner loop:
+//!
+//! * the Fig. 7 encoding is executed through a fused
+//!   [`EncodingPlan`] — one dense 2×2 sweep per qubit instead of one per
+//!   gate — and whole blocks of data points encode together in an
+//!   amplitude-major [`qsim::BatchedStateVector`] (see [`ENCODE_BLOCK`]);
+//! * the per-shift ansatz tails are bound, identity-elided, and
+//!   **gate-fused** once per generator ([`qsim::compile()`]) and cached, so
+//!   every row replays compact [`CompiledCircuit`]s;
+//! * per prepared state all observables are evaluated by one fused
+//!   `StateVector::expectation_many` pass for the exact backend;
+//! * the stochastic backends sample **all shifts of one row in a single
+//!   pass** — one RNG per row (instead of one per `(row, shift)` pair)
+//!   and, for `Shots`, one measurement rotation + CDF sampler per
+//!   qubit-wise-commuting observable group
+//!   (`qsim::estimate_paulis_batched`), so sampler setup is amortized
+//!   across the shifts while every neuron still draws its own independent
+//!   shots (Proposition 1's estimator).
+//!
+//! Batched and per-point paths are **bit-for-bit identical**: the batch
+//! kernels evaluate the same arithmetic per lane, and each lane's RNG is
+//! seeded and consumed exactly as the standalone row would seed and
+//! consume it. The serving layer's "micro-batching never changes a
+//! prediction" guarantee is built on this.
 
-use crate::encoding::column_encoding;
+use crate::encoding::{column_encoding, EncodingPlan};
 use crate::strategy::Strategy;
 use linalg::Mat;
-use qsim::{estimate_paulis_batched, Circuit, StateVector};
+use qsim::{estimate_paulis_batched, Circuit, CompiledCircuit, StateVector};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
 use shadows::{ShadowEstimator, ShadowProtocol};
+use std::fmt;
+use std::sync::{Arc, OnceLock};
+
+/// Rows encoded together per batched simulation block: enough lanes to
+/// fill wide SIMD sweeps and amortize per-basis index math, small enough
+/// that a block of states stays cache-resident and chunk-level rayon
+/// parallelism still has work to steal.
+pub const ENCODE_BLOCK: usize = 32;
 
 /// How neuron expectations are estimated.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -66,10 +86,30 @@ pub enum FeatureBackend {
 }
 
 /// Generates feature matrices from raw `[0, 2π)` feature rows.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct FeatureGenerator {
     strategy: Strategy,
     backend: FeatureBackend,
+    /// Per-shift ansatz tails, bound + gate-fused once on first use
+    /// (`None` for shifts whose tail elides/fuses away entirely). The
+    /// encoding circuit is static per model, so this is the tentpole's
+    /// "compile once, cache alongside the fingerprint" store.
+    compiled_shifts: OnceLock<Arc<Vec<Option<CompiledCircuit>>>>,
+    /// Cached [`Self::fingerprint`].
+    fingerprint: OnceLock<u64>,
+}
+
+/// Caches are deliberately excluded: the serving layer fingerprints a
+/// generator by hashing this representation, so it must spell out exactly
+/// the semantic fields (strategy and backend, shots/seeds included) and
+/// nothing derived from them.
+impl fmt::Debug for FeatureGenerator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FeatureGenerator")
+            .field("strategy", &self.strategy)
+            .field("backend", &self.backend)
+            .finish()
+    }
 }
 
 /// Derives a stream-independent seed for data row `i`. One RNG serves the
@@ -83,7 +123,28 @@ fn derive_row_seed(base: u64, i: usize) -> u64 {
 impl FeatureGenerator {
     /// Couples a strategy with a measurement backend.
     pub fn new(strategy: Strategy, backend: FeatureBackend) -> Self {
-        FeatureGenerator { strategy, backend }
+        FeatureGenerator {
+            strategy,
+            backend,
+            compiled_shifts: OnceLock::new(),
+            fingerprint: OnceLock::new(),
+        }
+    }
+
+    /// A stable fingerprint of the semantic configuration: equal
+    /// generators (same strategy, shifts, observables, backend — shot
+    /// counts and seeds included) hash equal. Cached feature rows are
+    /// valid only for the generator that produced them, so the serving
+    /// layer segments its cache by this value. Built from the `Debug`
+    /// representation, which spells out every semantic component and
+    /// none of the derived caches.
+    pub fn fingerprint(&self) -> u64 {
+        *self.fingerprint.get_or_init(|| {
+            use std::hash::{Hash, Hasher};
+            let mut hasher = std::collections::hash_map::DefaultHasher::new();
+            format!("{self:?}").hash(&mut hasher);
+            hasher.finish()
+        })
     }
 
     /// The underlying strategy.
@@ -107,66 +168,164 @@ impl FeatureGenerator {
         c
     }
 
-    /// The per-shift ansatz circuits, bound (and identity-elided) once —
-    /// they are shared by every data point, so binding per `(i, a)` pair
-    /// would redo the same work `d` times.
-    fn bound_shift_circuits(&self) -> Vec<Option<Circuit>> {
-        match self.strategy.ansatz() {
-            Some(ansatz) => self
-                .strategy
-                .shifts()
-                .iter()
-                .map(|s| Some(ansatz.bind_optimized(s)))
-                .collect(),
-            None => vec![None; self.strategy.num_ansatze()],
-        }
+    /// The per-shift ansatz circuits, bound, identity-elided, and
+    /// gate-fused **once per generator** — they are shared by every data
+    /// point ever fed through this generator, so the one-time
+    /// [`qsim::compile`] pass amortizes across the whole workload. Shifts
+    /// whose tail compiles to nothing (e.g. the all-zeros base shift)
+    /// are `None`: the encoding state is measured directly.
+    fn compiled_shifts(&self) -> Arc<Vec<Option<CompiledCircuit>>> {
+        Arc::clone(self.compiled_shifts.get_or_init(|| {
+            Arc::new(match self.strategy.ansatz() {
+                Some(ansatz) => self
+                    .strategy
+                    .shifts()
+                    .iter()
+                    .map(|s| {
+                        let cc = qsim::compile(&ansatz.bind_optimized(s));
+                        if cc.is_empty() {
+                            None
+                        } else {
+                            Some(cc)
+                        }
+                    })
+                    .collect(),
+                None => vec![None; self.strategy.num_ansatze()],
+            })
+        }))
     }
 
-    /// One feature row: the encoding state `S(x)|0⟩` is simulated **once**
-    /// and then cloned-and-extended per ansatz shift, instead of re-running
-    /// the full circuit from `|0…0⟩` for every shift — for the hybrid
-    /// strategy (17 shifts at 1-order) that cuts circuit simulation ~17×.
-    /// Stochastic backends additionally sample all shifts in one pass
-    /// through a single row-level RNG.
-    fn row_for(&self, i: usize, x: &[f64], shift_circuits: &[Option<Circuit>]) -> Vec<f64> {
+    /// One feature row: the encoding state `S(x)|0⟩` is built **once**
+    /// through the fused [`EncodingPlan`] and then cloned-and-extended per
+    /// compiled ansatz shift, instead of re-running the full circuit from
+    /// `|0…0⟩` for every shift — for the hybrid strategy (17 shifts at
+    /// 1-order) that cuts circuit simulation ~17×. Stochastic backends
+    /// additionally sample all shifts in one pass through a single
+    /// row-level RNG.
+    fn row_for(&self, i: usize, x: &[f64], shifts: &[Option<CompiledCircuit>]) -> Vec<f64> {
         let m = self.strategy.num_neurons();
         let q = self.strategy.num_observables();
         let n = self.strategy.num_qubits();
         let mut row = vec![0.0; m];
-        let encoded = StateVector::from_circuit(&column_encoding(x, n));
+        let encoded = EncodingPlan::new(x.len(), n).encode_one(x);
         let mut rng = match self.backend {
             FeatureBackend::Exact => None,
             FeatureBackend::Shots { seed, .. } | FeatureBackend::Shadows { seed, .. } => {
                 Some(StdRng::seed_from_u64(derive_row_seed(seed, i)))
             }
         };
-        for (a, shifted) in shift_circuits.iter().enumerate() {
+        for (a, shifted) in shifts.iter().enumerate() {
             let out = &mut row[a * q..(a + 1) * q];
             match shifted {
-                Some(c) if !c.is_empty() => {
+                Some(cc) => {
                     let mut state = encoded.clone();
-                    state.apply_circuit(c);
+                    state.apply_compiled(cc);
                     self.fill_observables(&state, rng.as_mut(), out);
                 }
-                // No ansatz (observable construction) or a fully-elided
-                // shift (the all-zeros base circuit): measure S(x)|0⟩.
-                _ => self.fill_observables(&encoded, rng.as_mut(), out),
+                // No ansatz (observable construction) or a fully-fused-
+                // away shift (the all-zeros base circuit): measure S(x)|0⟩.
+                None => self.fill_observables(&encoded, rng.as_mut(), out),
             }
         }
         row
     }
 
+    /// Feature rows for a block of points that share one feature length:
+    /// the whole block encodes in one amplitude-major
+    /// [`qsim::BatchedStateVector`] pass, each compiled shift applies to
+    /// all lanes at once, and lane `l` is measured with its own RNG seeded
+    /// by `indices[l]` and consumed in ascending shift order — exactly the
+    /// seeding and consumption order [`Self::row_for`] uses, so each row
+    /// is bit-for-bit what the per-point path would have produced.
+    fn rows_for_block(
+        &self,
+        indices: &[usize],
+        xs: &[&[f64]],
+        shifts: &[Option<CompiledCircuit>],
+    ) -> Vec<Vec<f64>> {
+        debug_assert_eq!(indices.len(), xs.len());
+        let m = self.strategy.num_neurons();
+        let q = self.strategy.num_observables();
+        let n = self.strategy.num_qubits();
+        let encoded = EncodingPlan::new(xs[0].len(), n).encode_batch(xs);
+        let mut rngs: Vec<Option<StdRng>> = match self.backend {
+            FeatureBackend::Exact => vec![None; xs.len()],
+            FeatureBackend::Shots { seed, .. } | FeatureBackend::Shadows { seed, .. } => indices
+                .iter()
+                .map(|&i| Some(StdRng::seed_from_u64(derive_row_seed(seed, i))))
+                .collect(),
+        };
+        let mut rows = vec![vec![0.0; m]; xs.len()];
+        for (a, shifted) in shifts.iter().enumerate() {
+            match shifted {
+                Some(cc) => {
+                    let mut batch = encoded.clone();
+                    batch.apply_compiled(cc);
+                    for (l, row) in rows.iter_mut().enumerate() {
+                        self.fill_observables(
+                            &batch.lane(l),
+                            rngs[l].as_mut(),
+                            &mut row[a * q..(a + 1) * q],
+                        );
+                    }
+                }
+                None => {
+                    for (l, row) in rows.iter_mut().enumerate() {
+                        self.fill_observables(
+                            &encoded.lane(l),
+                            rngs[l].as_mut(),
+                            &mut row[a * q..(a + 1) * q],
+                        );
+                    }
+                }
+            }
+        }
+        rows
+    }
+
+    /// Splits a chunk into consecutive runs of equal feature length (a
+    /// [`rows_for_block`](Self::rows_for_block) needs one shared encoding
+    /// shape) and concatenates the runs' rows in order.
+    fn rows_for_chunk(
+        &self,
+        indices: &[usize],
+        xs: &[&[f64]],
+        shifts: &[Option<CompiledCircuit>],
+    ) -> Vec<Vec<f64>> {
+        let mut out = Vec::with_capacity(xs.len());
+        let mut start = 0;
+        while start < xs.len() {
+            let mut end = start + 1;
+            while end < xs.len() && xs[end].len() == xs[start].len() {
+                end += 1;
+            }
+            out.extend(self.rows_for_block(&indices[start..end], &xs[start..end], shifts));
+            start = end;
+        }
+        out
+    }
+
     /// Generates the `d × m` feature matrix `Q` for the given data rows
     /// (each row is a `[0, 2π)` feature vector, length a multiple of the
-    /// qubit count). Deterministic for stochastic backends.
+    /// qubit count). Rows encode in batched blocks of [`ENCODE_BLOCK`]
+    /// (blocks fanned out on the shared executor); the result is
+    /// deterministic for stochastic backends and independent of both the
+    /// thread count and the blocking — each row is bit-for-bit the row
+    /// the per-point path computes.
     pub fn generate(&self, data: &[Vec<f64>]) -> Mat {
         assert!(!data.is_empty(), "no data rows");
-        let shift_circuits = self.bound_shift_circuits();
-        let rows: Vec<Vec<f64>> = data
-            .par_iter()
+        let shifts = self.compiled_shifts();
+        let blocks: Vec<Vec<Vec<f64>>> = data
+            .par_chunks(ENCODE_BLOCK)
             .enumerate()
-            .map(|(i, x)| self.row_for(i, x, &shift_circuits))
+            .map(|(ci, chunk)| {
+                let refs: Vec<&[f64]> = chunk.iter().map(Vec::as_slice).collect();
+                let base = ci * ENCODE_BLOCK;
+                let indices: Vec<usize> = (base..base + chunk.len()).collect();
+                self.rows_for_chunk(&indices, &refs, &shifts)
+            })
             .collect();
+        let rows: Vec<Vec<f64>> = blocks.into_iter().flatten().collect();
         Mat::from_rows(&rows)
     }
 
@@ -200,7 +359,7 @@ impl FeatureGenerator {
     /// Convenience: generate features for a single sample — the row is
     /// produced directly, with no intermediate data copy or matrix.
     pub fn generate_one(&self, x: &[f64]) -> Vec<f64> {
-        self.row_for(0, x, &self.bound_shift_circuits())
+        self.row_for(0, x, &self.compiled_shifts())
     }
 
     /// One feature row per input, each seeded exactly like a standalone
@@ -209,8 +368,9 @@ impl FeatureGenerator {
     /// is the batch entry point for online inference: the serving layer
     /// coalesces concurrent single requests into micro-batches and caches
     /// rows by input, which is only sound when the batched row is
-    /// bit-for-bit the row a lone request would have produced. Shift
-    /// circuits are bound once and rows fan out on the shared executor.
+    /// bit-for-bit the row a lone request would have produced — which
+    /// holds even though the batch encodes in SoA blocks, because the
+    /// batched kernels are bit-identical per lane.
     ///
     /// Contrast [`Self::generate`], which seeds stochastic backends per
     /// row *index* — right for training datasets (independent noise per
@@ -219,10 +379,15 @@ impl FeatureGenerator {
         if xs.is_empty() {
             return Vec::new();
         }
-        let shift_circuits = self.bound_shift_circuits();
-        xs.par_iter()
-            .map(|x| self.row_for(0, x, &shift_circuits))
-            .collect()
+        let shifts = self.compiled_shifts();
+        let blocks: Vec<Vec<Vec<f64>>> = xs
+            .par_chunks(ENCODE_BLOCK)
+            .map(|chunk| {
+                let indices = vec![0usize; chunk.len()];
+                self.rows_for_chunk(&indices, chunk, &shifts)
+            })
+            .collect();
+        blocks.into_iter().flatten().collect()
     }
 }
 
@@ -371,6 +536,72 @@ mod tests {
             assert_eq!(row, &generator.generate_one(x));
         }
         assert!(generator.generate_rows_standalone(&[]).is_empty());
+    }
+
+    #[test]
+    fn batched_generate_bit_identical_across_thread_counts() {
+        // Satellite: batched encode must be bit-for-bit equal to the
+        // per-point path at 1, 2, and 4 threads. generate_one is the
+        // per-point reference (row_for + encode_one); generate and
+        // generate_rows_standalone go through the SoA block path.
+        let s = Strategy::hybrid(fig8_ansatz(4), 1, 1);
+        let generator = FeatureGenerator::new(
+            s,
+            FeatureBackend::Shots {
+                shots: 64,
+                seed: 21,
+            },
+        );
+        let data = toy_data(5);
+        let refs: Vec<&[f64]> = data.iter().map(Vec::as_slice).collect();
+        let reference: Vec<Vec<f64>> = refs.iter().map(|x| generator.generate_one(x)).collect();
+        for threads in [1, 2, 4] {
+            let rows =
+                rayon::with_num_threads(threads, || generator.generate_rows_standalone(&refs));
+            assert_eq!(rows, reference, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn generate_handles_mixed_feature_lengths() {
+        // Blocks split into runs of equal feature length; rows of either
+        // length must match their standalone counterparts exactly.
+        let s = Strategy::observable_construction(4, 1);
+        let generator = FeatureGenerator::new(s, FeatureBackend::Exact);
+        let mut data = toy_data(2);
+        data.push((0..8).map(|j| 0.4 + 0.09 * j as f64).collect());
+        data.push((0..16).map(|j| 0.2 + 0.05 * j as f64).collect());
+        let q = generator.generate(&data);
+        for (i, x) in data.iter().enumerate() {
+            assert_eq!(q.row(i), &generator.generate_one(x)[..], "row {i}");
+        }
+    }
+
+    #[test]
+    fn generate_spanning_multiple_blocks_matches_per_point() {
+        // More rows than ENCODE_BLOCK forces multi-chunk fan-out; exact
+        // backend rows must still equal generate_one per point.
+        let s = Strategy::observable_construction(4, 1);
+        let generator = FeatureGenerator::new(s, FeatureBackend::Exact);
+        let data = toy_data(ENCODE_BLOCK + 3);
+        let q = generator.generate(&data);
+        for (i, x) in data.iter().enumerate().step_by(7) {
+            assert_eq!(q.row(i), &generator.generate_one(x)[..], "row {i}");
+        }
+    }
+
+    #[test]
+    fn fingerprint_tracks_semantic_config_only() {
+        let s = Strategy::observable_construction(4, 1);
+        let a = FeatureGenerator::new(s.clone(), FeatureBackend::Exact);
+        let b = FeatureGenerator::new(s.clone(), FeatureBackend::Exact);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // Warming the compiled-shift cache must not change the print.
+        let _ = a.generate_one(&[0.3; 16]);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        let c = FeatureGenerator::new(s, FeatureBackend::Shots { shots: 10, seed: 1 });
+        assert_ne!(a.fingerprint(), c.fingerprint());
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub mod strategy;
 pub mod variational;
 
 pub use ansatz::fig8_ansatz;
-pub use encoding::fig7_encoding;
+pub use encoding::{fig7_encoding, EncodingPlan};
 pub use features::{FeatureBackend, FeatureGenerator};
 pub use model::{PostVarClassifier, PostVarMulticlass, PostVarRegressor};
 pub use strategy::{Strategy, StrategyKind};

@@ -1,7 +1,7 @@
 //! The variational baseline (paper §III.B and the "Variational" rows of
 //! Tables III–IV).
 //!
-//! A circuit-centric quantum classifier [7]: encode `x` with the Fig. 7
+//! A circuit-centric quantum classifier \[7\]: encode `x` with the Fig. 7
 //! circuit, apply the Fig. 8 ansatz `U(θ)`, measure an observable. The
 //! parameters are trained by gradient descent where every partial
 //! derivative comes from the ±π/2 parameter-shift rule [6, 46] — the
@@ -26,7 +26,7 @@ pub struct VariationalConfig {
     pub epochs: usize,
     /// Adam learning rate.
     pub lr: f64,
-    /// Zero-initialise parameters (the paper's identity-block choice [21]);
+    /// Zero-initialise parameters (the paper's identity-block choice \[21\]);
     /// otherwise uniform in `(−π, π)` from `seed`.
     pub init_zero: bool,
     /// Seed for random initialisation.

@@ -1,6 +1,6 @@
 //! # qdata — datasets for the post-variational experiments
 //!
-//! The paper trains on Fashion-MNIST [67] (28×28 grayscale, 10 garment
+//! The paper trains on Fashion-MNIST \[67\] (28×28 grayscale, 10 garment
 //! classes), max-pools 7×7 patches down to 4×4 and rescales into `[0, 2π)`
 //! before the quantum encoding (§VII.A). This crate supplies:
 //!

@@ -1,0 +1,606 @@
+//! One-time circuit compilation: gate fusion into a [`CompiledCircuit`].
+//!
+//! The post-variational workload simulates the *same* circuit shapes over
+//! and over (one encoding per data point, one bound ansatz per shift), so
+//! a per-circuit compile pass pays for itself immediately: every fused
+//! run of gates is one amplitude sweep instead of many.
+//!
+//! Three fusion rules, mirroring what production state-vector simulators
+//! (qsim and friends) do:
+//!
+//! * **single-qubit runs** — adjacent single-qubit gates on the same wire
+//!   (possibly separated by gates on *other* wires, which commute past
+//!   them) multiply into one 2×2 matrix, applied by the dense or diagonal
+//!   unary kernel;
+//! * **two-qubit runs** — adjacent two-qubit gates on the same wire pair
+//!   multiply into one 4×4 matrix, applied by the dense or diagonal
+//!   binary kernel;
+//! * **lone two-qubit gates** stay in their specialized form
+//!   ([`FusedOp::Gate`]): a CNOT is a conditional swap and a CZ a
+//!   conditional sign flip — both far cheaper per amplitude than a dense
+//!   4×4 sweep, so converting an *unfused* entangler to a matrix would be
+//!   a pessimization.
+//!
+//! Identity-elision happens at both ends: source gates that are the
+//! identity to tolerance are skipped (matching
+//! [`StateVector::apply_circuit`](crate::StateVector::apply_circuit)),
+//! and fused products that collapse back to the identity (e.g. `H·H`,
+//! `CNOT·CNOT`) are dropped from the op stream entirely.
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+use crate::C64;
+
+/// A 2×2 complex matrix in the computational basis (`m[row][col]`).
+pub type Mat2 = [[C64; 2]; 2];
+
+/// A 4×4 complex matrix on a qubit pair `(low, high)` with `low < high`;
+/// the local basis index of an amplitude is `bit(low) + 2·bit(high)`.
+pub type Mat4 = [[C64; 4]; 4];
+
+/// Tolerance for skipping source gates that are the identity (matches the
+/// runtime elision in `StateVector::apply_circuit`).
+const SOURCE_IDENTITY_TOL: f64 = 1e-12;
+
+/// Elementwise tolerance below which a *fused* matrix counts as the
+/// identity and its op is dropped. Deliberately much tighter than the
+/// source tolerance: dropping introduces at most this much per-amplitude
+/// error, which must stay far under the 1e-12 equivalence the test suite
+/// (and `apply_circuit` parity) demands.
+const FUSED_IDENTITY_TOL: f64 = 1e-15;
+
+/// One fused operation of a [`CompiledCircuit`].
+#[derive(Clone, Debug)]
+pub enum FusedOp {
+    /// A fused run of single-qubit gates on one wire.
+    Unary {
+        /// Target qubit.
+        qubit: usize,
+        /// The fused 2×2.
+        matrix: Mat2,
+        /// Whether `matrix` is exactly diagonal (cheaper kernel).
+        diagonal: bool,
+    },
+    /// A fused run of two-qubit gates on one wire pair.
+    Binary {
+        /// Lower-indexed qubit of the pair.
+        low: usize,
+        /// Higher-indexed qubit of the pair.
+        high: usize,
+        /// The fused 4×4 in the `(low, high)` local basis.
+        matrix: Mat4,
+        /// Whether `matrix` is exactly diagonal (cheaper kernel).
+        diagonal: bool,
+    },
+    /// A lone two-qubit gate kept in its specialized form — cheaper than
+    /// a dense 4×4 sweep when nothing fused into it.
+    Gate(Gate),
+}
+
+impl FusedOp {
+    /// The qubits this op touches.
+    pub fn qubits(&self) -> Vec<usize> {
+        match self {
+            FusedOp::Unary { qubit, .. } => vec![*qubit],
+            FusedOp::Binary { low, high, .. } => vec![*low, *high],
+            FusedOp::Gate(g) => g.qubits(),
+        }
+    }
+}
+
+/// A circuit lowered to fused operations, executable by
+/// [`StateVector::apply_compiled`](crate::StateVector::apply_compiled) and
+/// [`BatchedStateVector::apply_compiled`](crate::BatchedStateVector::apply_compiled).
+#[derive(Clone, Debug)]
+pub struct CompiledCircuit {
+    n: usize,
+    ops: Vec<FusedOp>,
+    source_gates: usize,
+}
+
+impl CompiledCircuit {
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// The fused op stream, in application order.
+    pub fn ops(&self) -> &[FusedOp] {
+        &self.ops
+    }
+
+    /// Number of fused operations (amplitude sweeps at execution time).
+    pub fn num_ops(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the compiled circuit performs no work (the source was
+    /// empty or everything fused away to the identity).
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Number of non-identity gates in the source circuit — the sweeps an
+    /// uncompiled `apply_circuit` would have performed.
+    pub fn source_gates(&self) -> usize {
+        self.source_gates
+    }
+}
+
+/// The 2×2 identity.
+pub fn identity2() -> Mat2 {
+    let o = C64::new(0.0, 0.0);
+    let l = C64::new(1.0, 0.0);
+    [[l, o], [o, l]]
+}
+
+/// Matrix product `a · b` (apply `b` first, then `a`).
+pub fn matmul2(a: &Mat2, b: &Mat2) -> Mat2 {
+    let mut out = [[C64::new(0.0, 0.0); 2]; 2];
+    for (i, row) in out.iter_mut().enumerate() {
+        for (j, v) in row.iter_mut().enumerate() {
+            *v = a[i][0] * b[0][j] + a[i][1] * b[1][j];
+        }
+    }
+    out
+}
+
+/// Matrix product `a · b` (apply `b` first, then `a`).
+pub fn matmul4(a: &Mat4, b: &Mat4) -> Mat4 {
+    let mut out = [[C64::new(0.0, 0.0); 4]; 4];
+    for (i, row) in out.iter_mut().enumerate() {
+        for (j, v) in row.iter_mut().enumerate() {
+            *v = a[i][0] * b[0][j] + a[i][1] * b[1][j] + a[i][2] * b[2][j] + a[i][3] * b[3][j];
+        }
+    }
+    out
+}
+
+/// The 4×4 matrix of a two-qubit gate in the `(low, high)` local basis
+/// (index `bit(low) + 2·bit(high)`). All supported entanglers are signed
+/// permutations, so entries are 0/±1.
+fn two_qubit_matrix(g: &Gate, low: usize, high: usize) -> Mat4 {
+    let zero = C64::new(0.0, 0.0);
+    let one = C64::new(1.0, 0.0);
+    let mut m = [[zero; 4]; 4];
+    for from in 0..4usize {
+        let bit_low = from & 1;
+        let bit_high = (from >> 1) & 1;
+        match *g {
+            Gate::Cnot { control, target } => {
+                debug_assert!(target == low || target == high);
+                let cbit = if control == low { bit_low } else { bit_high };
+                let tmask = if target == low { 1 } else { 2 };
+                let to = if cbit == 1 { from ^ tmask } else { from };
+                m[to][from] = one;
+            }
+            Gate::Cz(..) => {
+                m[from][from] = if from == 3 { -one } else { one };
+            }
+            Gate::Swap(..) => {
+                let to = (bit_low << 1) | bit_high;
+                m[to][from] = one;
+            }
+            _ => unreachable!("two_qubit_matrix called on a single-qubit gate"),
+        }
+    }
+    m
+}
+
+/// Whether a fused 2×2 collapsed back to the identity.
+fn is_identity2(m: &Mat2) -> bool {
+    let id = identity2();
+    (0..2).all(|i| (0..2).all(|j| (m[i][j] - id[i][j]).norm() <= FUSED_IDENTITY_TOL))
+}
+
+/// Whether a fused 4×4 collapsed back to the identity.
+fn is_identity4(m: &Mat4) -> bool {
+    (0..4).all(|i| {
+        (0..4).all(|j| {
+            let id = if i == j {
+                C64::new(1.0, 0.0)
+            } else {
+                C64::new(0.0, 0.0)
+            };
+            (m[i][j] - id).norm() <= FUSED_IDENTITY_TOL
+        })
+    })
+}
+
+/// Whether a 2×2 is exactly diagonal. Fused products of diagonal gates
+/// have *exactly* zero off-diagonals (every contribution multiplies a
+/// zero), so an exact test keeps the diagonal-kernel decision stable.
+fn is_diagonal2(m: &Mat2) -> bool {
+    m[0][1].norm_sqr() == 0.0 && m[1][0].norm_sqr() == 0.0
+}
+
+/// Whether a 4×4 is exactly diagonal.
+fn is_diagonal4(m: &Mat4) -> bool {
+    (0..4).all(|i| (0..4).all(|j| i == j || m[i][j].norm_sqr() == 0.0))
+}
+
+/// A fused op under construction.
+#[allow(clippy::large_enum_variant)] // transient, few per compile; boxing
+                                     // the 4×4 would cost an allocation per entangler for no benefit
+enum Build {
+    One {
+        qubit: usize,
+        matrix: Mat2,
+    },
+    Two {
+        low: usize,
+        high: usize,
+        matrix: Mat4,
+        /// `Some(g)` while the run is still a single specialized gate;
+        /// cleared as soon as a second gate fuses in.
+        lone: Option<Gate>,
+    },
+}
+
+/// Compiles a circuit into fused operations. One-time cost, linear in the
+/// gate count; the result is immutable and shareable across threads.
+pub fn compile(circuit: &Circuit) -> CompiledCircuit {
+    let n = circuit.num_qubits();
+    let mut builds: Vec<Build> = Vec::new();
+    // Accumulated single-qubit matrix per wire, not yet emitted: gates on
+    // other wires commute past it, so a run survives interleavings.
+    let mut pending: Vec<Option<Mat2>> = vec![None; n];
+    // Index into `builds` of the last emitted op touching each wire —
+    // the adjacency test for two-qubit run fusion.
+    let mut last: Vec<Option<usize>> = vec![None; n];
+    let mut source_gates = 0usize;
+
+    let flush = |q: usize,
+                 pending: &mut Vec<Option<Mat2>>,
+                 builds: &mut Vec<Build>,
+                 last: &mut Vec<Option<usize>>| {
+        if let Some(matrix) = pending[q].take() {
+            builds.push(Build::One { qubit: q, matrix });
+            last[q] = Some(builds.len() - 1);
+        }
+    };
+
+    for g in circuit.gates() {
+        if g.is_identity(SOURCE_IDENTITY_TOL) {
+            continue;
+        }
+        source_gates += 1;
+        if let Some(m) = g.matrix1() {
+            let q = g.qubits()[0];
+            pending[q] = Some(match pending[q].take() {
+                Some(acc) => matmul2(&m, &acc),
+                None => m,
+            });
+        } else {
+            let qs = g.qubits();
+            let (low, high) = if qs[0] < qs[1] {
+                (qs[0], qs[1])
+            } else {
+                (qs[1], qs[0])
+            };
+            // Single-qubit runs do not absorb into entanglers (a lone
+            // CNOT/CZ kernel is cheaper than a dense 4×4); emit them now
+            // so order is preserved.
+            flush(low, &mut pending, &mut builds, &mut last);
+            flush(high, &mut pending, &mut builds, &mut last);
+            let adjacent = match (last[low], last[high]) {
+                (Some(a), Some(b)) if a == b => matches!(
+                    builds[a], Build::Two { low: l, high: h, .. } if l == low && h == high
+                ),
+                _ => false,
+            };
+            if adjacent {
+                let k = last[low].expect("adjacency implies a previous op");
+                if let Build::Two {
+                    matrix: acc, lone, ..
+                } = &mut builds[k]
+                {
+                    *acc = matmul4(&two_qubit_matrix(g, low, high), acc);
+                    *lone = None;
+                }
+            } else {
+                builds.push(Build::Two {
+                    low,
+                    high,
+                    matrix: two_qubit_matrix(g, low, high),
+                    lone: Some(*g),
+                });
+                let k = builds.len() - 1;
+                last[low] = Some(k);
+                last[high] = Some(k);
+            }
+        }
+    }
+    for q in 0..n {
+        flush(q, &mut pending, &mut builds, &mut last);
+    }
+
+    let ops = builds
+        .into_iter()
+        .filter_map(|b| match b {
+            Build::One { qubit, matrix } => {
+                if is_identity2(&matrix) {
+                    None
+                } else {
+                    let diagonal = is_diagonal2(&matrix);
+                    Some(FusedOp::Unary {
+                        qubit,
+                        matrix,
+                        diagonal,
+                    })
+                }
+            }
+            Build::Two {
+                low,
+                high,
+                matrix,
+                lone,
+            } => {
+                if let Some(g) = lone {
+                    Some(FusedOp::Gate(g))
+                } else if is_identity4(&matrix) {
+                    None
+                } else {
+                    let diagonal = is_diagonal4(&matrix);
+                    Some(FusedOp::Binary {
+                        low,
+                        high,
+                        matrix,
+                        diagonal,
+                    })
+                }
+            }
+        })
+        .collect();
+
+    CompiledCircuit {
+        n,
+        ops,
+        source_gates,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::StateVector;
+
+    fn states_close(a: &StateVector, b: &StateVector, tol: f64) -> bool {
+        a.amplitudes()
+            .iter()
+            .zip(b.amplitudes())
+            .all(|(x, y)| (x - y).norm() < tol)
+    }
+
+    fn check_equivalence(c: &Circuit) {
+        let cc = compile(c);
+        let direct = StateVector::from_circuit(c);
+        let mut fused = StateVector::zero_state(c.num_qubits());
+        fused.apply_compiled(&cc);
+        assert!(
+            states_close(&direct, &fused, 1e-12),
+            "compiled circuit diverges from direct simulation"
+        );
+    }
+
+    #[test]
+    fn single_qubit_run_fuses_to_one_op() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::H(0));
+        c.push(Gate::Ry(0, 0.4));
+        c.push(Gate::Rz(0, -0.9));
+        // Interleaved gate on the *other* wire must not break the run.
+        c.push(Gate::Rx(1, 0.2));
+        c.push(Gate::T(0));
+        let cc = compile(&c);
+        assert_eq!(cc.source_gates(), 5);
+        assert_eq!(cc.num_ops(), 2, "one fused op per wire");
+        assert!(cc
+            .ops()
+            .iter()
+            .all(|op| matches!(op, FusedOp::Unary { .. })));
+        check_equivalence(&c);
+    }
+
+    #[test]
+    fn diagonal_run_gets_diagonal_flag() {
+        let mut c = Circuit::new(1);
+        c.push(Gate::Rz(0, 0.3));
+        c.push(Gate::S(0));
+        c.push(Gate::Phase(0, -1.1));
+        let cc = compile(&c);
+        assert_eq!(cc.num_ops(), 1);
+        assert!(matches!(cc.ops()[0], FusedOp::Unary { diagonal: true, .. }));
+        check_equivalence(&c);
+    }
+
+    #[test]
+    fn lone_entanglers_stay_specialized() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::Cnot {
+            control: 0,
+            target: 1,
+        });
+        c.push(Gate::Cz(1, 2));
+        let cc = compile(&c);
+        assert_eq!(cc.num_ops(), 2);
+        assert!(cc.ops().iter().all(|op| matches!(op, FusedOp::Gate(_))));
+        check_equivalence(&c);
+    }
+
+    #[test]
+    fn adjacent_two_qubit_run_fuses_to_one_matrix() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::Cnot {
+            control: 0,
+            target: 2,
+        });
+        c.push(Gate::Cz(0, 2));
+        // A gate on wire 1 commutes past; the pair run keeps fusing.
+        c.push(Gate::H(1));
+        c.push(Gate::Swap(0, 2));
+        let cc = compile(&c);
+        // One Binary for the {0,2} run, one Unary for wire 1.
+        assert_eq!(cc.num_ops(), 2);
+        assert!(cc.ops().iter().any(|op| matches!(
+            op,
+            FusedOp::Binary {
+                low: 0,
+                high: 2,
+                ..
+            }
+        )));
+        check_equivalence(&c);
+    }
+
+    #[test]
+    fn cancelling_pairs_are_dropped() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::H(0));
+        c.push(Gate::H(0));
+        c.push(Gate::Cnot {
+            control: 0,
+            target: 1,
+        });
+        c.push(Gate::Cnot {
+            control: 0,
+            target: 1,
+        });
+        let cc = compile(&c);
+        assert!(cc.is_empty(), "H·H and CNOT·CNOT both collapse to I");
+        check_equivalence(&c);
+    }
+
+    #[test]
+    fn cz_run_is_diagonal_binary() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::Cz(0, 1));
+        c.push(Gate::Cnot {
+            control: 1,
+            target: 0,
+        });
+        let cc = compile(&c);
+        assert_eq!(cc.num_ops(), 1);
+        assert!(matches!(
+            cc.ops()[0],
+            FusedOp::Binary {
+                diagonal: false,
+                ..
+            }
+        ));
+        check_equivalence(&c);
+
+        let mut d = Circuit::new(2);
+        d.push(Gate::Cz(0, 1));
+        d.push(Gate::Rz(0, 0.0)); // identity: skipped, run survives
+        d.push(Gate::Cz(1, 0));
+        let dd = compile(&d);
+        assert!(dd.is_empty(), "CZ·CZ is the identity");
+
+        let mut e = Circuit::new(2);
+        e.push(Gate::Cz(0, 1));
+        e.push(Gate::Cz(0, 1));
+        e.push(Gate::Cz(1, 0));
+        let ee = compile(&e);
+        assert_eq!(ee.num_ops(), 1);
+        assert!(
+            matches!(ee.ops()[0], FusedOp::Binary { diagonal: true, .. }),
+            "an odd CZ run is a diagonal 4×4"
+        );
+        check_equivalence(&e);
+    }
+
+    #[test]
+    fn intervening_gate_on_the_pair_breaks_the_run() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::Cnot {
+            control: 0,
+            target: 1,
+        });
+        c.push(Gate::Rx(0, 0.7));
+        c.push(Gate::Cnot {
+            control: 0,
+            target: 1,
+        });
+        let cc = compile(&c);
+        // CNOT, Rx, CNOT: the rotation blocks fusion of the two CNOTs.
+        assert_eq!(cc.num_ops(), 3);
+        check_equivalence(&c);
+    }
+
+    #[test]
+    fn source_identities_are_skipped() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::Rx(0, 0.0));
+        c.push(Gate::Ry(1, 1e-14));
+        c.push(Gate::H(0));
+        let cc = compile(&c);
+        assert_eq!(cc.source_gates(), 1);
+        assert_eq!(cc.num_ops(), 1);
+        check_equivalence(&c);
+    }
+
+    #[test]
+    fn cnot_direction_and_swap_matrices() {
+        // Both CNOT orientations and SWAP, against the direct kernels.
+        for g in [
+            Gate::Cnot {
+                control: 0,
+                target: 1,
+            },
+            Gate::Cnot {
+                control: 1,
+                target: 0,
+            },
+            Gate::Swap(0, 1),
+        ] {
+            let mut c = Circuit::new(2);
+            c.push(Gate::H(0));
+            c.push(Gate::Ry(1, 0.8));
+            c.push(g);
+            // Force matrix form by fusing with CZ.
+            c.push(Gate::Cz(0, 1));
+            let cc = compile(&c);
+            assert!(
+                cc.ops()
+                    .iter()
+                    .any(|op| matches!(op, FusedOp::Binary { .. })),
+                "{g} should have fused with CZ"
+            );
+            check_equivalence(&c);
+        }
+    }
+
+    #[test]
+    fn deep_mixed_circuit_matches() {
+        let mut c = Circuit::new(4);
+        for q in 0..4 {
+            c.push(Gate::H(q));
+            c.push(Gate::Rz(q, 0.2 + 0.1 * q as f64));
+            c.push(Gate::Rx(q, -0.5 + 0.3 * q as f64));
+        }
+        for q in 0..3 {
+            c.push(Gate::Cnot {
+                control: q,
+                target: q + 1,
+            });
+        }
+        c.push(Gate::Swap(0, 3));
+        c.push(Gate::Cz(0, 3));
+        for q in 0..4 {
+            c.push(Gate::Ry(q, 0.9 - 0.2 * q as f64));
+        }
+        let cc = compile(&c);
+        assert!(cc.num_ops() < cc.source_gates());
+        check_equivalence(&c);
+    }
+
+    #[test]
+    fn empty_circuit_compiles_empty() {
+        let c = Circuit::new(3);
+        let cc = compile(&c);
+        assert!(cc.is_empty());
+        assert_eq!(cc.source_gates(), 0);
+        assert_eq!(cc.num_qubits(), 3);
+    }
+}

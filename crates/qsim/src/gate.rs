@@ -8,7 +8,7 @@ use std::fmt;
 ///
 /// Rotation angles are in radians. `Rx/Ry/Rz(θ) = exp(−iθσ/2)`, the
 /// convention under which the parameter-shift rule for Pauli rotations uses
-/// shifts of exactly ±π/2 (paper §IV.A, citing Mitarai et al. [6]).
+/// shifts of exactly ±π/2 (paper §IV.A, citing Mitarai et al. \[6\]).
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum Gate {
     /// Hadamard.

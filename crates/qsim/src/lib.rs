@@ -11,6 +11,10 @@
 //!   parameter-shift grids),
 //! * [`StateVector`] — amplitudes plus serial/rayon-parallel gate kernels,
 //!   Pauli expectations, inner products, and computational-basis sampling,
+//! * [`compile()`] — a one-time gate-fusion pass producing a
+//!   [`CompiledCircuit`] that executes in far fewer amplitude sweeps,
+//! * [`BatchedStateVector`] — amplitude-major SoA simulation of many
+//!   states at once, bit-for-bit equal per lane to the standalone kernels,
 //! * [`noise`] — stochastic (trajectory) depolarizing and readout noise for
 //!   NISQ realism,
 //! * [`render`] — ASCII circuit diagrams (Figs. 7–8 of the paper are
@@ -22,6 +26,7 @@
 //! "benchmark, don't guess").
 
 pub mod circuit;
+pub mod compile;
 pub mod density;
 pub mod gate;
 pub mod noise;
@@ -30,6 +35,7 @@ pub mod sample;
 pub mod state;
 
 pub use circuit::{Circuit, ParamCircuit, ParamGate, RotAxis};
+pub use compile::{compile, identity2, matmul2, matmul4, CompiledCircuit, FusedOp, Mat2, Mat4};
 pub use density::DensityMatrix;
 pub use gate::Gate;
 pub use noise::NoiseModel;
@@ -37,7 +43,7 @@ pub use sample::{
     estimate_pauli_with_shots, estimate_paulis_batched, measurement_group_count,
     measurement_rotation, sample_counts, CdfSampler,
 };
-pub use state::StateVector;
+pub use state::{BatchedStateVector, StateVector};
 
 /// Complex amplitude type used throughout the simulator.
 pub type C64 = num_complex::Complex64;

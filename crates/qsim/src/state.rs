@@ -19,6 +19,7 @@
 //!   test.
 
 use crate::circuit::Circuit;
+use crate::compile::{CompiledCircuit, FusedOp, Mat2, Mat4};
 use crate::gate::Gate;
 use crate::C64;
 use pauli::{PauliString, PauliSum};
@@ -169,6 +170,60 @@ impl StateVector {
         }
     }
 
+    /// Executes a [`CompiledCircuit`]: the same state the source circuit
+    /// produces, in far fewer amplitude sweeps (each fused run is one
+    /// kernel pass). Produced by [`crate::compile::compile`].
+    pub fn apply_compiled(&mut self, cc: &CompiledCircuit) {
+        assert_eq!(cc.num_qubits(), self.n, "qubit-count mismatch");
+        for op in cc.ops() {
+            match op {
+                FusedOp::Unary {
+                    qubit,
+                    matrix,
+                    diagonal,
+                } => {
+                    if *diagonal {
+                        self.apply_diagonal(*qubit, matrix[0][0], matrix[1][1]);
+                    } else {
+                        self.apply_single(*qubit, *matrix);
+                    }
+                }
+                FusedOp::Binary {
+                    low,
+                    high,
+                    matrix,
+                    diagonal,
+                } => {
+                    if *diagonal {
+                        self.apply_two_diagonal(
+                            *low,
+                            *high,
+                            [matrix[0][0], matrix[1][1], matrix[2][2], matrix[3][3]],
+                        );
+                    } else {
+                        self.apply_two(*low, *high, matrix);
+                    }
+                }
+                FusedOp::Gate(g) => self.apply_gate(g),
+            }
+        }
+    }
+
+    /// Runs a compiled circuit on `|0…0⟩`.
+    pub fn from_compiled(cc: &CompiledCircuit) -> Self {
+        let mut s = Self::zero_state(cc.num_qubits());
+        s.apply_compiled(cc);
+        s
+    }
+
+    /// Applies an arbitrary dense 2×2 to qubit `q` — the entry point for
+    /// externally fused single-qubit runs (e.g. `pvqnn`'s encoding plan).
+    /// Bit-for-bit identical to the kernel `apply_compiled` uses for
+    /// dense unary ops.
+    pub fn apply_unary(&mut self, q: usize, m: &Mat2) {
+        self.apply_single(q, *m);
+    }
+
     /// Dense 2×2 kernel on qubit `q`.
     fn apply_single(&mut self, q: usize, m: [[C64; 2]; 2]) {
         assert!(q < self.n);
@@ -216,6 +271,82 @@ impl StateVector {
         let bit = 1usize << q;
         let f = move |i: usize, amp: &mut C64| {
             *amp *= if i & bit == 0 { d0 } else { d1 };
+        };
+        if self.amps.len() < PARALLEL_THRESHOLD {
+            for (i, amp) in self.amps.iter_mut().enumerate() {
+                f(i, amp);
+            }
+        } else {
+            self.amps
+                .par_iter_mut()
+                .enumerate()
+                .for_each(|(i, amp)| f(i, amp));
+        }
+    }
+
+    /// Dense 4×4 kernel on the qubit pair `low < high`. An amplitude's
+    /// local basis index is `bit(low) + 2·bit(high)`; every quad of
+    /// amplitudes sharing their other bits is mixed by `m` in one load.
+    fn apply_two(&mut self, low: usize, high: usize, m: &Mat4) {
+        assert!(low < high && high < self.n);
+        let ma = 1usize << low;
+        let mb = 1usize << high;
+        let block = mb << 1;
+        let len = self.amps.len();
+        let mm = *m;
+        // One pass over paired half-slices: `lo` holds a block's
+        // high-bit-0 amplitudes, `hi` its high-bit-1 ones; within each,
+        // indices with the low bit clear are the quad representatives.
+        // Requires both slices to be equal-length, aligned multiples of
+        // 2^{low+1}, so quads never straddle a slice boundary.
+        let quads = move |lo: &mut [C64], hi: &mut [C64]| {
+            let count = lo.len() >> 1;
+            for k in 0..count {
+                let j = ((k >> low) << (low + 1)) | (k & (ma - 1));
+                let v0 = lo[j];
+                let v1 = lo[j + ma];
+                let v2 = hi[j];
+                let v3 = hi[j + ma];
+                lo[j] = mm[0][0] * v0 + mm[0][1] * v1 + mm[0][2] * v2 + mm[0][3] * v3;
+                lo[j + ma] = mm[1][0] * v0 + mm[1][1] * v1 + mm[1][2] * v2 + mm[1][3] * v3;
+                hi[j] = mm[2][0] * v0 + mm[2][1] * v1 + mm[2][2] * v2 + mm[2][3] * v3;
+                hi[j + ma] = mm[3][0] * v0 + mm[3][1] * v1 + mm[3][2] * v2 + mm[3][3] * v3;
+            }
+        };
+        if len < PARALLEL_THRESHOLD {
+            for chunk in self.amps.chunks_mut(block) {
+                let (lo, hi) = chunk.split_at_mut(mb);
+                quads(lo, hi);
+            }
+        } else if len / block >= 2 * rayon::current_num_threads() {
+            // Many blocks: parallelise across blocks.
+            self.amps.par_chunks_mut(block).for_each(|chunk| {
+                let (lo, hi) = chunk.split_at_mut(mb);
+                quads(lo, hi);
+            });
+        } else {
+            // Few long blocks (high `high`): split the halves into
+            // aligned power-of-two sub-slices (multiples of 2^{low+1})
+            // and zip them in parallel.
+            let threads = rayon::current_num_threads().max(1);
+            let sub = (mb / (4 * threads)).next_power_of_two().clamp(ma << 1, mb);
+            for chunk in self.amps.chunks_mut(block) {
+                let (lo, hi) = chunk.split_at_mut(mb);
+                lo.par_chunks_mut(sub)
+                    .zip(hi.par_chunks_mut(sub))
+                    .for_each(|(l, h)| quads(l, h));
+            }
+        }
+    }
+
+    /// Diagonal 4×4 kernel: multiplies each amplitude by the entry its
+    /// `(low, high)` bits select — one multiply per amplitude, the cheap
+    /// path for fused runs of CZ/Rz-like pairs.
+    fn apply_two_diagonal(&mut self, low: usize, high: usize, d: [C64; 4]) {
+        assert!(low < high && high < self.n);
+        let f = move |i: usize, amp: &mut C64| {
+            let l = ((i >> low) & 1) | (((i >> high) & 1) << 1);
+            *amp *= d[l];
         };
         if self.amps.len() < PARALLEL_THRESHOLD {
             for (i, amp) in self.amps.iter_mut().enumerate() {
@@ -601,6 +732,395 @@ impl StateVector {
     }
 }
 
+/// A batch of `n`-qubit states in amplitude-major structure-of-arrays
+/// layout: `amps[b * batch + l]` is amplitude `b` of lane `l`, so all
+/// lanes' copies of one basis amplitude sit contiguously.
+///
+/// Gate kernels pay the per-basis index math **once** and then sweep the
+/// lane dimension in tight contiguous loops — the same 4×f64-lane shape
+/// that makes `expectation_many` fast. Per lane, every kernel evaluates
+/// the *textually identical* arithmetic expression the [`StateVector`]
+/// kernels use, so `batched.lane(l)` is bit-for-bit equal to running the
+/// same ops on a standalone state — the invariant the serving layer's
+/// "micro-batching never changes a prediction" guarantee rests on.
+#[derive(Clone, Debug)]
+pub struct BatchedStateVector {
+    n: usize,
+    batch: usize,
+    amps: Vec<C64>,
+}
+
+impl BatchedStateVector {
+    /// `batch` copies of the all-zeros ket `|0…0⟩`.
+    pub fn zero_states(n: usize, batch: usize) -> Self {
+        assert!((1..=30).contains(&n), "state vector limited to 30 qubits");
+        assert!(batch >= 1, "batch must be non-empty");
+        let mut amps = vec![C64::new(0.0, 0.0); (1usize << n) * batch];
+        for a in amps.iter_mut().take(batch) {
+            *a = C64::new(1.0, 0.0);
+        }
+        BatchedStateVector { n, batch, amps }
+    }
+
+    /// Number of qubits per lane.
+    #[inline]
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// Number of lanes.
+    #[inline]
+    pub fn batch_size(&self) -> usize {
+        self.batch
+    }
+
+    /// Gathers lane `l` into a standalone [`StateVector`].
+    pub fn lane(&self, l: usize) -> StateVector {
+        assert!(l < self.batch, "lane out of range");
+        let w = self.batch;
+        let amps: Vec<C64> = (0..1usize << self.n)
+            .map(|b| self.amps[b * w + l])
+            .collect();
+        StateVector { n: self.n, amps }
+    }
+
+    /// Applies one gate to every lane.
+    pub fn apply_gate(&mut self, g: &Gate) {
+        match *g {
+            Gate::Cnot { control, target } => self.apply_cnot(control, target),
+            Gate::Cz(a, b) => self.apply_cz(a, b),
+            Gate::Swap(a, b) => self.apply_swap(a, b),
+            _ => {
+                let q = g.qubits()[0];
+                let m = g.matrix1().expect("single-qubit gate");
+                if g.is_diagonal() {
+                    self.apply_diagonal(q, m[0][0], m[1][1]);
+                } else {
+                    self.apply_single(q, m);
+                }
+            }
+        }
+    }
+
+    /// Applies a circuit to every lane, skipping identity gates exactly
+    /// like [`StateVector::apply_circuit`].
+    pub fn apply_circuit(&mut self, c: &Circuit) {
+        assert_eq!(c.num_qubits(), self.n, "qubit-count mismatch");
+        for g in c.gates() {
+            if g.is_identity(IDENTITY_TOL) {
+                continue;
+            }
+            self.apply_gate(g);
+        }
+    }
+
+    /// Executes a [`CompiledCircuit`] on every lane; each lane ends up
+    /// bit-for-bit equal to [`StateVector::apply_compiled`] on that lane.
+    pub fn apply_compiled(&mut self, cc: &CompiledCircuit) {
+        assert_eq!(cc.num_qubits(), self.n, "qubit-count mismatch");
+        for op in cc.ops() {
+            match op {
+                FusedOp::Unary {
+                    qubit,
+                    matrix,
+                    diagonal,
+                } => {
+                    if *diagonal {
+                        self.apply_diagonal(*qubit, matrix[0][0], matrix[1][1]);
+                    } else {
+                        self.apply_single(*qubit, *matrix);
+                    }
+                }
+                FusedOp::Binary {
+                    low,
+                    high,
+                    matrix,
+                    diagonal,
+                } => {
+                    if *diagonal {
+                        self.apply_two_diagonal(
+                            *low,
+                            *high,
+                            [matrix[0][0], matrix[1][1], matrix[2][2], matrix[3][3]],
+                        );
+                    } else {
+                        self.apply_two(*low, *high, matrix);
+                    }
+                }
+                FusedOp::Gate(g) => self.apply_gate(g),
+            }
+        }
+    }
+
+    /// Applies a dense 2×2 to qubit `q` of every lane — the shared-matrix
+    /// batch entry point mirroring [`StateVector::apply_unary`].
+    pub fn apply_unary(&mut self, q: usize, m: &Mat2) {
+        self.apply_single(q, *m);
+    }
+
+    /// Applies a **different** dense 2×2 to qubit `q` of each lane
+    /// (`mats[l]` to lane `l`) — the kernel batched data encoding needs,
+    /// since every data point rotates by its own angles. Per lane this is
+    /// the same pair expression as [`StateVector::apply_unary`], so lanes
+    /// stay bit-for-bit equal to standalone encodes.
+    pub fn apply_unary_per_lane(&mut self, q: usize, mats: &[Mat2]) {
+        assert!(q < self.n);
+        assert_eq!(mats.len(), self.batch, "one matrix per lane");
+        let w = self.batch;
+        let half = 1usize << q;
+        let block = half << 1;
+        let work = |lo: &mut [C64], hi: &mut [C64]| {
+            for i in 0..half {
+                let lo_row = &mut lo[i * w..(i + 1) * w];
+                let hi_start = i * w;
+                for l in 0..w {
+                    let [[a, b], [c, d]] = mats[l];
+                    let lo_amp = &mut lo_row[l];
+                    let hi_amp = &mut hi[hi_start + l];
+                    let (x, y) = (*lo_amp, *hi_amp);
+                    *lo_amp = a * x + b * y;
+                    *hi_amp = c * x + d * y;
+                }
+            }
+        };
+        if self.amps.len() < PARALLEL_THRESHOLD
+            || self.amps.len() / (block * w) < 2 * rayon::current_num_threads()
+        {
+            for chunk in self.amps.chunks_mut(block * w) {
+                let (lo, hi) = chunk.split_at_mut(half * w);
+                work(lo, hi);
+            }
+        } else {
+            self.amps.par_chunks_mut(block * w).for_each(|chunk| {
+                let (lo, hi) = chunk.split_at_mut(half * w);
+                work(lo, hi);
+            });
+        }
+    }
+
+    /// Batched dense 2×2 kernel: same shape as [`StateVector`]'s, with the
+    /// lane sweep as the innermost contiguous loop.
+    fn apply_single(&mut self, q: usize, m: [[C64; 2]; 2]) {
+        assert!(q < self.n);
+        let w = self.batch;
+        let half = 1usize << q;
+        let block = half << 1;
+        let len = self.amps.len();
+        let [[a, b], [c, d]] = m;
+        let pair = move |lo: &mut C64, hi: &mut C64| {
+            let (x, y) = (*lo, *hi);
+            *lo = a * x + b * y;
+            *hi = c * x + d * y;
+        };
+        let rows = move |lo: &mut [C64], hi: &mut [C64]| {
+            for (l, h) in lo.iter_mut().zip(hi.iter_mut()) {
+                pair(l, h);
+            }
+        };
+        if len < PARALLEL_THRESHOLD {
+            for chunk in self.amps.chunks_mut(block * w) {
+                let (lo, hi) = chunk.split_at_mut(half * w);
+                rows(lo, hi);
+            }
+        } else if len / (block * w) >= 2 * rayon::current_num_threads() {
+            // Many blocks: parallelise across blocks.
+            self.amps.par_chunks_mut(block * w).for_each(|chunk| {
+                let (lo, hi) = chunk.split_at_mut(half * w);
+                rows(lo, hi);
+            });
+        } else {
+            // Few long blocks (high q): parallelise across rows inside
+            // each block — row slices are disjoint, so writes never race.
+            for chunk in self.amps.chunks_mut(block * w) {
+                let (lo, hi) = chunk.split_at_mut(half * w);
+                lo.par_chunks_mut(w)
+                    .zip(hi.par_chunks_mut(w))
+                    .for_each(|(l, h)| rows(l, h));
+            }
+        }
+    }
+
+    /// Batched diagonal 2×2 kernel.
+    fn apply_diagonal(&mut self, q: usize, d0: C64, d1: C64) {
+        assert!(q < self.n);
+        let w = self.batch;
+        let bit = 1usize << q;
+        let row = move |i: usize, amps: &mut [C64]| {
+            for amp in amps {
+                *amp *= if i & bit == 0 { d0 } else { d1 };
+            }
+        };
+        if self.amps.len() < PARALLEL_THRESHOLD {
+            for (i, amps) in self.amps.chunks_mut(w).enumerate() {
+                row(i, amps);
+            }
+        } else {
+            self.amps
+                .par_chunks_mut(w)
+                .enumerate()
+                .for_each(|(i, amps)| row(i, amps));
+        }
+    }
+
+    /// Batched dense 4×4 kernel on qubit pair `low < high`; per lane the
+    /// quad mix is the same left-associated 4-term sums as
+    /// [`StateVector`]'s `apply_two`.
+    fn apply_two(&mut self, low: usize, high: usize, m: &Mat4) {
+        assert!(low < high && high < self.n);
+        let w = self.batch;
+        let ma = 1usize << low;
+        let mb = 1usize << high;
+        let block = mb << 1;
+        let len = self.amps.len();
+        let mm = *m;
+        // `lo`/`hi` are paired half-slices measured in rows of `w` lanes;
+        // alignment to 2^{low+1} rows keeps quads inside one slice.
+        let quads = move |lo: &mut [C64], hi: &mut [C64]| {
+            let count = (lo.len() / w) >> 1;
+            for k in 0..count {
+                let j = ((k >> low) << (low + 1)) | (k & (ma - 1));
+                let r0 = j * w;
+                let r1 = (j + ma) * w;
+                for l in 0..w {
+                    let v0 = lo[r0 + l];
+                    let v1 = lo[r1 + l];
+                    let v2 = hi[r0 + l];
+                    let v3 = hi[r1 + l];
+                    lo[r0 + l] = mm[0][0] * v0 + mm[0][1] * v1 + mm[0][2] * v2 + mm[0][3] * v3;
+                    lo[r1 + l] = mm[1][0] * v0 + mm[1][1] * v1 + mm[1][2] * v2 + mm[1][3] * v3;
+                    hi[r0 + l] = mm[2][0] * v0 + mm[2][1] * v1 + mm[2][2] * v2 + mm[2][3] * v3;
+                    hi[r1 + l] = mm[3][0] * v0 + mm[3][1] * v1 + mm[3][2] * v2 + mm[3][3] * v3;
+                }
+            }
+        };
+        if len < PARALLEL_THRESHOLD {
+            for chunk in self.amps.chunks_mut(block * w) {
+                let (lo, hi) = chunk.split_at_mut(mb * w);
+                quads(lo, hi);
+            }
+        } else if len / (block * w) >= 2 * rayon::current_num_threads() {
+            self.amps.par_chunks_mut(block * w).for_each(|chunk| {
+                let (lo, hi) = chunk.split_at_mut(mb * w);
+                quads(lo, hi);
+            });
+        } else {
+            // Few long blocks: split the halves into aligned sub-slices
+            // of `sub` rows (power of two ≥ 2^{low+1}) and zip them.
+            let threads = rayon::current_num_threads().max(1);
+            let sub = (mb / (4 * threads)).next_power_of_two().clamp(ma << 1, mb);
+            for chunk in self.amps.chunks_mut(block * w) {
+                let (lo, hi) = chunk.split_at_mut(mb * w);
+                lo.par_chunks_mut(sub * w)
+                    .zip(hi.par_chunks_mut(sub * w))
+                    .for_each(|(l, h)| quads(l, h));
+            }
+        }
+    }
+
+    /// Batched diagonal 4×4 kernel.
+    fn apply_two_diagonal(&mut self, low: usize, high: usize, d: [C64; 4]) {
+        assert!(low < high && high < self.n);
+        let w = self.batch;
+        let row = move |i: usize, amps: &mut [C64]| {
+            let l = ((i >> low) & 1) | (((i >> high) & 1) << 1);
+            for amp in amps {
+                *amp *= d[l];
+            }
+        };
+        if self.amps.len() < PARALLEL_THRESHOLD {
+            for (i, amps) in self.amps.chunks_mut(w).enumerate() {
+                row(i, amps);
+            }
+        } else {
+            self.amps
+                .par_chunks_mut(w)
+                .enumerate()
+                .for_each(|(i, amps)| row(i, amps));
+        }
+    }
+
+    /// Batched CNOT kernel: whole-row swaps (exact value moves, so lanes
+    /// stay bit-identical to the standalone kernel).
+    fn apply_cnot(&mut self, control: usize, target: usize) {
+        assert!(control < self.n && target < self.n && control != target);
+        let w = self.batch;
+        let cbit = 1usize << control;
+        let half = 1usize << target;
+        let block = half << 1;
+        let work = |base: usize, chunk: &mut [C64]| {
+            let (lo, hi) = chunk.split_at_mut(half * w);
+            for i in 0..half {
+                if (base + i) & cbit != 0 {
+                    lo[i * w..(i + 1) * w].swap_with_slice(&mut hi[i * w..(i + 1) * w]);
+                }
+            }
+        };
+        if self.amps.len() < PARALLEL_THRESHOLD {
+            for (bi, chunk) in self.amps.chunks_mut(block * w).enumerate() {
+                work(bi * block, chunk);
+            }
+        } else {
+            self.amps
+                .par_chunks_mut(block * w)
+                .enumerate()
+                .for_each(|(bi, chunk)| work(bi * block, chunk));
+        }
+    }
+
+    /// Batched CZ kernel.
+    fn apply_cz(&mut self, a: usize, b: usize) {
+        assert!(a < self.n && b < self.n && a != b);
+        let w = self.batch;
+        let mask = (1usize << a) | (1usize << b);
+        let row = move |i: usize, amps: &mut [C64]| {
+            if i & mask == mask {
+                for amp in amps {
+                    *amp = -*amp;
+                }
+            }
+        };
+        if self.amps.len() < PARALLEL_THRESHOLD {
+            for (i, amps) in self.amps.chunks_mut(w).enumerate() {
+                row(i, amps);
+            }
+        } else {
+            self.amps
+                .par_chunks_mut(w)
+                .enumerate()
+                .for_each(|(i, amps)| row(i, amps));
+        }
+    }
+
+    /// Batched SWAP kernel, mirroring [`StateVector`]'s block walk.
+    fn apply_swap(&mut self, a: usize, b: usize) {
+        assert!(a < self.n && b < self.n && a != b);
+        let w = self.batch;
+        let (lo_q, hi_q) = if a < b { (a, b) } else { (b, a) };
+        let lo_bit = 1usize << lo_q;
+        let half = 1usize << hi_q;
+        let block = half << 1;
+        let work = |base: usize, chunk: &mut [C64]| {
+            let (lo_half, hi_half) = chunk.split_at_mut(half * w);
+            for i in 0..half {
+                if (base + i) & lo_bit != 0 {
+                    let j = i ^ lo_bit;
+                    lo_half[i * w..(i + 1) * w].swap_with_slice(&mut hi_half[j * w..(j + 1) * w]);
+                }
+            }
+        };
+        if self.amps.len() < PARALLEL_THRESHOLD {
+            for (bi, chunk) in self.amps.chunks_mut(block * w).enumerate() {
+                work(bi * block, chunk);
+            }
+        } else {
+            self.amps
+                .par_chunks_mut(block * w)
+                .enumerate()
+                .for_each(|(bi, chunk)| work(bi * block, chunk));
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -958,5 +1478,218 @@ mod tests {
         let one = StateVector::from_circuit(&c);
         assert!(zero.inner(&one).norm() < EPS);
         assert!(approx(zero.fidelity(&zero), 1.0));
+    }
+
+    /// A circuit exercising every gate kind the kernels dispatch on:
+    /// dense/diagonal 1q runs, CNOT both ways, CZ, SWAP, interleaving.
+    fn kitchen_sink_circuit(n: usize) -> Circuit {
+        let mut c = Circuit::new(n);
+        for q in 0..n {
+            c.push(Gate::H(q));
+            c.push(Gate::Rz(q, 0.21 * (q as f64 + 1.0)));
+            c.push(Gate::Ry(q, -0.45 + 0.17 * q as f64));
+        }
+        for q in 0..n - 1 {
+            c.push(Gate::Cnot {
+                control: q,
+                target: q + 1,
+            });
+        }
+        c.push(Gate::Cnot {
+            control: n - 1,
+            target: 0,
+        });
+        c.push(Gate::Cz(0, n - 1));
+        c.push(Gate::Swap(1, n - 1));
+        c.push(Gate::S(0));
+        c.push(Gate::T(1));
+        c.push(Gate::Rx(2 % n, 0.83));
+        c.push(Gate::Phase(0, 0.37));
+        c
+    }
+
+    #[test]
+    fn apply_compiled_matches_apply_circuit() {
+        let c = kitchen_sink_circuit(5);
+        let direct = StateVector::from_circuit(&c);
+        let compiled = StateVector::from_compiled(&crate::compile::compile(&c));
+        for (a, b) in direct.amplitudes().iter().zip(compiled.amplitudes()) {
+            assert!((a - b).norm() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn apply_two_matches_gate_sequence_on_every_pair() {
+        // Force dense 4×4 ops by fusing CNOT·CZ on each pair and compare
+        // against the unfused sequence, for every (low, high) placement.
+        let n = 4;
+        for low in 0..n {
+            for high in (low + 1)..n {
+                let mut c = Circuit::new(n);
+                for q in 0..n {
+                    c.push(Gate::Ry(q, 0.3 + 0.2 * q as f64));
+                }
+                c.push(Gate::Cnot {
+                    control: low,
+                    target: high,
+                });
+                c.push(Gate::Cz(low, high));
+                let direct = StateVector::from_circuit(&c);
+                let cc = crate::compile::compile(&c);
+                assert!(
+                    cc.ops().iter().any(|op| matches!(
+                        op,
+                        FusedOp::Binary {
+                            diagonal: false,
+                            ..
+                        }
+                    )),
+                    "({low},{high}): expected a dense fused pair op"
+                );
+                let compiled = StateVector::from_compiled(&cc);
+                for (a, b) in direct.amplitudes().iter().zip(compiled.amplitudes()) {
+                    assert!((a - b).norm() < 1e-12, "pair ({low},{high})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn apply_two_parallel_paths_bit_identical() {
+        // 17 qubits crosses PARALLEL_THRESHOLD. Pairs (0,1) take the
+        // many-blocks branch; (15,16) takes the inner-split branch.
+        let n = 17;
+        for &(low, high) in &[(0usize, 1usize), (0, 16), (15, 16)] {
+            let mut c = Circuit::new(n);
+            for q in 0..n {
+                c.push(Gate::H(q));
+            }
+            c.push(Gate::Cnot {
+                control: low,
+                target: high,
+            });
+            c.push(Gate::Cz(low, high));
+            let cc = crate::compile::compile(&c);
+            let s1 = rayon::with_num_threads(1, || StateVector::from_compiled(&cc));
+            let s4 = rayon::with_num_threads(4, || StateVector::from_compiled(&cc));
+            for (a, b) in s1.amplitudes().iter().zip(s4.amplitudes()) {
+                assert_eq!(a.re.to_bits(), b.re.to_bits(), "pair ({low},{high})");
+                assert_eq!(a.im.to_bits(), b.im.to_bits(), "pair ({low},{high})");
+            }
+            let direct = StateVector::from_circuit(&c);
+            for (a, b) in direct.amplitudes().iter().zip(s1.amplitudes()) {
+                assert!((a - b).norm() < 1e-12, "pair ({low},{high})");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_lanes_bit_identical_to_standalone() {
+        // Apply the kitchen-sink circuit (covering every kernel kind) to a
+        // 3-lane batch and to three standalone states; lanes must agree
+        // bit-for-bit, both via apply_circuit and via apply_compiled.
+        let n = 5;
+        let c = kitchen_sink_circuit(n);
+        let cc = crate::compile::compile(&c);
+        let mut batch = BatchedStateVector::zero_states(n, 3);
+        batch.apply_circuit(&c);
+        let solo = StateVector::from_circuit(&c);
+        for l in 0..3 {
+            let lane = batch.lane(l);
+            for (a, b) in lane.amplitudes().iter().zip(solo.amplitudes()) {
+                assert_eq!(a.re.to_bits(), b.re.to_bits(), "lane {l}");
+                assert_eq!(a.im.to_bits(), b.im.to_bits(), "lane {l}");
+            }
+        }
+        let mut batch_cc = BatchedStateVector::zero_states(n, 3);
+        batch_cc.apply_compiled(&cc);
+        let solo_cc = StateVector::from_compiled(&cc);
+        for l in 0..3 {
+            let lane = batch_cc.lane(l);
+            for (a, b) in lane.amplitudes().iter().zip(solo_cc.amplitudes()) {
+                assert_eq!(a.re.to_bits(), b.re.to_bits(), "lane {l}");
+                assert_eq!(a.im.to_bits(), b.im.to_bits(), "lane {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_per_lane_unary_matches_standalone() {
+        // Each lane gets its own rotation angles; lanes must equal the
+        // standalone states built with the same per-qubit matrices.
+        let n = 3;
+        let batch = 4;
+        let angles: Vec<f64> = (0..batch).map(|l| 0.1 + 0.7 * l as f64).collect();
+        let mut b = BatchedStateVector::zero_states(n, batch);
+        for q in 0..n {
+            let mats: Vec<Mat2> = angles
+                .iter()
+                .map(|&th| {
+                    Gate::Ry(q, th + q as f64 * 0.05)
+                        .matrix1()
+                        .expect("1q gate")
+                })
+                .collect();
+            b.apply_unary_per_lane(q, &mats);
+        }
+        for (l, &th) in angles.iter().enumerate() {
+            let mut s = StateVector::zero_state(n);
+            for q in 0..n {
+                let m = Gate::Ry(q, th + q as f64 * 0.05).matrix1().unwrap();
+                s.apply_unary(q, &m);
+            }
+            let lane = b.lane(l);
+            for (a, x) in lane.amplitudes().iter().zip(s.amplitudes()) {
+                assert_eq!(a.re.to_bits(), x.re.to_bits(), "lane {l}");
+                assert_eq!(a.im.to_bits(), x.im.to_bits(), "lane {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_parallel_paths_bit_identical_across_thread_counts() {
+        // 13 qubits × 16 lanes = 2^17 amplitudes — well past the parallel
+        // threshold; every kernel branch must agree across thread counts.
+        let n = 13;
+        let c = kitchen_sink_circuit(n);
+        let cc = crate::compile::compile(&c);
+        let b1 = rayon::with_num_threads(1, || {
+            let mut b = BatchedStateVector::zero_states(n, 16);
+            b.apply_compiled(&cc);
+            b
+        });
+        let b4 = rayon::with_num_threads(4, || {
+            let mut b = BatchedStateVector::zero_states(n, 16);
+            b.apply_compiled(&cc);
+            b
+        });
+        for l in (0..16).step_by(5) {
+            let x = b1.lane(l);
+            let y = b4.lane(l);
+            for (a, b) in x.amplitudes().iter().zip(y.amplitudes()) {
+                assert_eq!(a.re.to_bits(), b.re.to_bits());
+                assert_eq!(a.im.to_bits(), b.im.to_bits());
+            }
+        }
+        // And lanes still equal the standalone compiled state.
+        let solo = StateVector::from_compiled(&cc);
+        let lane = b1.lane(7);
+        for (a, b) in lane.amplitudes().iter().zip(solo.amplitudes()) {
+            assert_eq!(a.re.to_bits(), b.re.to_bits());
+            assert_eq!(a.im.to_bits(), b.im.to_bits());
+        }
+    }
+
+    #[test]
+    fn batched_single_lane_matches_standalone() {
+        let c = kitchen_sink_circuit(4);
+        let mut b = BatchedStateVector::zero_states(4, 1);
+        b.apply_circuit(&c);
+        let s = StateVector::from_circuit(&c);
+        let lane = b.lane(0);
+        for (a, x) in lane.amplitudes().iter().zip(s.amplitudes()) {
+            assert_eq!(a.re.to_bits(), x.re.to_bits());
+            assert_eq!(a.im.to_bits(), x.im.to_bits());
+        }
     }
 }

@@ -1,11 +1,22 @@
-//! LRU feature cache keyed on quantized inputs.
+//! LRU feature cache keyed on quantized inputs, segmented per generator.
 //!
-//! A feature row is a pure function of the data point (rows are generated
-//! with [`pvqnn::FeatureGenerator::generate_rows_standalone`] semantics,
-//! so not even the stochastic backends depend on batch position), which
+//! A feature row is a pure function of (feature generator, data point)
+//! (rows are generated with
+//! [`pvqnn::FeatureGenerator::generate_rows_standalone`] semantics, so
+//! not even the stochastic backends depend on batch position), which
 //! makes the quantum stage — by far the expensive part of serving — a
-//! perfect caching target: one `S(x)|0⟩` simulation per *unique* data
-//! point, ever, until the entry ages out.
+//! perfect caching target: one `S(x)|0⟩` simulation per *unique*
+//! (generator, data point) pair, ever, until the entry ages out.
+//!
+//! Entries are **segmented by the generator fingerprint** that produced
+//! them: lookups and inserts carry the fingerprint, and rows from
+//! different generators coexist in one shared LRU arena. Deploying a new
+//! model therefore never flushes the previous model's warm rows — a
+//! rollback (or a canary serving two versions) returns to a warm cache,
+//! and a hot-swap can never serve another generator's rows because keys
+//! from different segments never collide. Capacity pressure is global:
+//! the least-recently-used row of *any* segment is the eviction victim,
+//! so dead segments age out naturally without explicit invalidation.
 //!
 //! Keys quantize each input coordinate to a fixed grid
 //! (`round(x · quant_scale)`), so float jitter below half a grid step
@@ -23,9 +34,10 @@ use std::collections::HashMap;
 /// Sentinel for "no neighbour" in the intrusive list.
 const NIL: usize = usize::MAX;
 
-/// A cache slot: key + feature row + recency links.
+/// A cache slot: segment tag + key + feature row + recency links.
 #[derive(Debug)]
 struct Slot {
+    tag: u64,
     key: Vec<i64>,
     row: Vec<f64>,
     prev: usize,
@@ -41,7 +53,7 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries displaced by capacity pressure.
     pub evictions: u64,
-    /// Current entry count.
+    /// Current entry count (all segments).
     pub len: usize,
 }
 
@@ -57,72 +69,49 @@ impl CacheStats {
     }
 }
 
-/// An LRU map from quantized inputs to feature rows.
+/// An LRU map from (generator fingerprint, quantized input) to feature
+/// rows. All segments share one slot arena and one global recency list.
 #[derive(Debug)]
 pub struct FeatureCache {
     capacity: usize,
     quant_scale: f64,
-    map: HashMap<Vec<i64>, usize>,
+    /// Segment tag → (quantized key → slot index). The nested map keeps
+    /// lookups allocation-free: the borrowed key probes only its own
+    /// segment.
+    map: HashMap<u64, HashMap<Vec<i64>, usize>>,
     slots: Vec<Slot>,
     free: Vec<usize>,
     /// Most recently used slot (NIL when empty).
     head: usize,
     /// Least recently used slot (NIL when empty) — the eviction victim.
     tail: usize,
-    /// Fingerprint of the feature generator whose rows live here (see
-    /// [`Self::ensure_tag`]); 0 until first tagged.
-    tag: u64,
     hits: u64,
     misses: u64,
     evictions: u64,
 }
 
 impl FeatureCache {
-    /// A cache holding at most `capacity` rows (0 disables caching: every
-    /// lookup misses and inserts are dropped), quantizing inputs at
-    /// `quant_scale` buckets per unit.
+    /// A cache holding at most `capacity` rows across all segments (0
+    /// disables caching: every lookup misses and inserts are dropped),
+    /// quantizing inputs at `quant_scale` buckets per unit.
     pub fn new(capacity: usize, quant_scale: f64) -> Self {
         assert!(quant_scale > 0.0, "quantization scale must be positive");
         FeatureCache {
             capacity,
             quant_scale,
-            map: HashMap::with_capacity(capacity),
+            map: HashMap::new(),
             slots: Vec::with_capacity(capacity.min(1024)),
             free: Vec::new(),
             head: NIL,
             tail: NIL,
-            tag: 0,
             hits: 0,
             misses: 0,
             evictions: 0,
         }
     }
 
-    /// Ensures the cache holds rows for the generator identified by
-    /// `tag`, dropping every entry when the tag changes. Cached rows
-    /// are valid only for the feature generator that produced them; a
-    /// hot-swap to a model with a *different* generator (strategy,
-    /// backend, or seeds) must not serve the old generator's rows, so
-    /// the server tags the cache with a generator fingerprint at every
-    /// batch. Counters survive the flush (the flush itself is part of
-    /// the serving history).
-    pub fn ensure_tag(&mut self, tag: u64) {
-        if self.tag != tag {
-            self.clear();
-            self.tag = tag;
-        }
-    }
-
-    /// The generator tag the current entries belong to (0 = untagged).
-    /// Writers that computed rows outside the cache lock must re-check
-    /// this before inserting: a concurrent [`Self::ensure_tag`] flush
-    /// means their rows belong to a generator the cache no longer
-    /// serves.
-    pub fn tag(&self) -> u64 {
-        self.tag
-    }
-
-    /// Drops every entry, keeping capacity, quantization, and counters.
+    /// Drops every entry of every segment, keeping capacity,
+    /// quantization, and counters.
     pub fn clear(&mut self) {
         self.map.clear();
         self.slots.clear();
@@ -131,19 +120,24 @@ impl FeatureCache {
         self.tail = NIL;
     }
 
-    /// Maximum entry count.
+    /// Maximum entry count (shared across segments).
     pub fn capacity(&self) -> usize {
         self.capacity
     }
 
-    /// Current entry count.
+    /// Current entry count across all segments.
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.map.values().map(HashMap::len).sum()
     }
 
     /// Whether the cache holds no entries.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.len() == 0
+    }
+
+    /// Entry count of one segment.
+    pub fn segment_len(&self, tag: u64) -> usize {
+        self.map.get(&tag).map_or(0, HashMap::len)
     }
 
     /// The cache key for a raw input.
@@ -153,10 +147,10 @@ impl FeatureCache {
             .collect()
     }
 
-    /// Looks up a quantized key, promoting it to most-recently-used on a
-    /// hit. Counts the lookup either way.
-    pub fn get(&mut self, key: &[i64]) -> Option<&[f64]> {
-        match self.map.get(key).copied() {
+    /// Looks up a quantized key in the `tag` segment, promoting it to
+    /// most-recently-used on a hit. Counts the lookup either way.
+    pub fn get(&mut self, tag: u64, key: &[i64]) -> Option<&[f64]> {
+        match self.map.get(&tag).and_then(|seg| seg.get(key)).copied() {
             Some(slot) => {
                 self.hits += 1;
                 self.detach(slot);
@@ -170,30 +164,38 @@ impl FeatureCache {
         }
     }
 
-    /// Inserts a freshly computed row, evicting the least-recently-used
-    /// entry if at capacity. Re-inserting an existing key refreshes its
-    /// row and recency.
-    pub fn insert(&mut self, key: Vec<i64>, row: Vec<f64>) {
+    /// Inserts a freshly computed row into the `tag` segment, evicting
+    /// the globally least-recently-used entry (of whatever segment) if at
+    /// capacity. Re-inserting an existing key refreshes its row and
+    /// recency.
+    pub fn insert(&mut self, tag: u64, key: Vec<i64>, row: Vec<f64>) {
         if self.capacity == 0 {
             return;
         }
-        if let Some(&slot) = self.map.get(&key) {
+        if let Some(&slot) = self.map.get(&tag).and_then(|seg| seg.get(&key)) {
             self.slots[slot].row = row;
             self.detach(slot);
             self.attach_front(slot);
             return;
         }
-        if self.map.len() >= self.capacity {
+        if self.len() >= self.capacity {
             let victim = self.tail;
             debug_assert_ne!(victim, NIL);
             self.detach(victim);
-            self.map.remove(&self.slots[victim].key);
+            let vtag = self.slots[victim].tag;
+            if let Some(seg) = self.map.get_mut(&vtag) {
+                seg.remove(&self.slots[victim].key);
+                if seg.is_empty() {
+                    self.map.remove(&vtag);
+                }
+            }
             self.free.push(victim);
             self.evictions += 1;
         }
         let slot = match self.free.pop() {
             Some(i) => {
                 self.slots[i] = Slot {
+                    tag,
                     key: key.clone(),
                     row,
                     prev: NIL,
@@ -203,6 +205,7 @@ impl FeatureCache {
             }
             None => {
                 self.slots.push(Slot {
+                    tag,
                     key: key.clone(),
                     row,
                     prev: NIL,
@@ -211,7 +214,7 @@ impl FeatureCache {
                 self.slots.len() - 1
             }
         };
-        self.map.insert(key, slot);
+        self.map.entry(tag).or_default().insert(key, slot);
         self.attach_front(slot);
     }
 
@@ -221,7 +224,7 @@ impl FeatureCache {
             hits: self.hits,
             misses: self.misses,
             evictions: self.evictions,
-            len: self.map.len(),
+            len: self.len(),
         }
     }
 
@@ -260,6 +263,9 @@ impl FeatureCache {
 mod tests {
     use super::*;
 
+    /// All single-segment behaviour below runs in segment `TAG`.
+    const TAG: u64 = 7;
+
     fn key(v: i64) -> Vec<i64> {
         vec![v, v + 1]
     }
@@ -267,15 +273,15 @@ mod tests {
     #[test]
     fn hit_miss_and_promotion() {
         let mut c = FeatureCache::new(2, 1e8);
-        assert!(c.get(&key(1)).is_none());
-        c.insert(key(1), vec![1.0]);
-        c.insert(key(2), vec![2.0]);
-        assert_eq!(c.get(&key(1)).unwrap(), &[1.0]);
+        assert!(c.get(TAG, &key(1)).is_none());
+        c.insert(TAG, key(1), vec![1.0]);
+        c.insert(TAG, key(2), vec![2.0]);
+        assert_eq!(c.get(TAG, &key(1)).unwrap(), &[1.0]);
         // 1 was just promoted; inserting 3 must evict 2, not 1.
-        c.insert(key(3), vec![3.0]);
-        assert!(c.get(&key(2)).is_none());
-        assert_eq!(c.get(&key(1)).unwrap(), &[1.0]);
-        assert_eq!(c.get(&key(3)).unwrap(), &[3.0]);
+        c.insert(TAG, key(3), vec![3.0]);
+        assert!(c.get(TAG, &key(2)).is_none());
+        assert_eq!(c.get(TAG, &key(1)).unwrap(), &[1.0]);
+        assert_eq!(c.get(TAG, &key(3)).unwrap(), &[3.0]);
         let s = c.stats();
         assert_eq!((s.hits, s.misses, s.evictions, s.len), (3, 2, 1, 2));
     }
@@ -284,14 +290,14 @@ mod tests {
     fn lru_order_under_churn() {
         let mut c = FeatureCache::new(3, 1e8);
         for i in 0..10 {
-            c.insert(key(i), vec![i as f64]);
+            c.insert(TAG, key(i), vec![i as f64]);
         }
         // Only the 3 most recent survive.
         for i in 0..7 {
-            assert!(c.get(&key(i)).is_none(), "key {i} should be evicted");
+            assert!(c.get(TAG, &key(i)).is_none(), "key {i} should be evicted");
         }
         for i in 7..10 {
-            assert_eq!(c.get(&key(i)).unwrap(), &[i as f64]);
+            assert_eq!(c.get(TAG, &key(i)).unwrap(), &[i as f64]);
         }
         assert_eq!(c.stats().evictions, 7);
     }
@@ -299,17 +305,17 @@ mod tests {
     #[test]
     fn reinsert_refreshes_row_without_growth() {
         let mut c = FeatureCache::new(2, 1e8);
-        c.insert(key(1), vec![1.0]);
-        c.insert(key(1), vec![1.5]);
+        c.insert(TAG, key(1), vec![1.0]);
+        c.insert(TAG, key(1), vec![1.5]);
         assert_eq!(c.len(), 1);
-        assert_eq!(c.get(&key(1)).unwrap(), &[1.5]);
+        assert_eq!(c.get(TAG, &key(1)).unwrap(), &[1.5]);
     }
 
     #[test]
     fn zero_capacity_disables_caching() {
         let mut c = FeatureCache::new(0, 1e8);
-        c.insert(key(1), vec![1.0]);
-        assert!(c.get(&key(1)).is_none());
+        c.insert(TAG, key(1), vec![1.0]);
+        assert!(c.get(TAG, &key(1)).is_none());
         assert_eq!(c.stats().misses, 1);
         assert_eq!(c.len(), 0);
     }
@@ -322,27 +328,48 @@ mod tests {
     }
 
     #[test]
-    fn tag_change_flushes_entries_but_keeps_counters() {
+    fn segments_isolate_generators_without_flushing() {
+        // The same quantized key under two fingerprints is two distinct
+        // entries; switching segments (a deploy) keeps both warm.
         let mut c = FeatureCache::new(4, 1.0);
-        c.ensure_tag(7);
-        c.insert(vec![1], vec![1.0]);
-        assert!(c.get(&[1]).is_some());
-        c.ensure_tag(7);
-        assert_eq!(c.len(), 1, "same tag keeps entries");
-        c.ensure_tag(8);
-        assert_eq!(c.len(), 0, "new tag flushes");
-        assert!(c.get(&[1]).is_none());
+        c.insert(7, vec![1], vec![1.0]);
+        assert_eq!(c.get(7, &[1]).unwrap(), &[1.0]);
+        // A different generator must not see segment 7's row…
+        assert!(c.get(8, &[1]).is_none());
+        c.insert(8, vec![1], vec![8.0]);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.segment_len(7), 1);
+        assert_eq!(c.segment_len(8), 1);
+        // …and rolling back to segment 7 finds it still warm.
+        assert_eq!(c.get(7, &[1]).unwrap(), &[1.0]);
+        assert_eq!(c.get(8, &[1]).unwrap(), &[8.0]);
         let s = c.stats();
-        assert_eq!((s.hits, s.misses), (1, 1), "counters survive the flush");
+        assert_eq!((s.hits, s.misses), (3, 1));
+    }
+
+    #[test]
+    fn eviction_is_global_across_segments() {
+        // Capacity pressure evicts the globally least-recent entry, so a
+        // dead segment ages out without explicit invalidation.
+        let mut c = FeatureCache::new(2, 1.0);
+        c.insert(1, vec![10], vec![1.0]);
+        c.insert(2, vec![20], vec![2.0]);
+        // Touch segment 1 so segment 2 holds the LRU entry.
+        assert!(c.get(1, &[10]).is_some());
+        c.insert(3, vec![30], vec![3.0]);
+        assert_eq!(c.segment_len(2), 0, "dead segment entry evicted");
+        assert!(c.get(1, &[10]).is_some());
+        assert!(c.get(3, &[30]).is_some());
+        assert_eq!(c.stats().evictions, 1);
     }
 
     #[test]
     fn hit_rate() {
         let mut c = FeatureCache::new(2, 1.0);
         assert_eq!(c.stats().hit_rate(), 0.0);
-        c.insert(vec![0], vec![0.0]);
-        let _ = c.get(&[0]);
-        let _ = c.get(&[9]);
+        c.insert(TAG, vec![0], vec![0.0]);
+        let _ = c.get(TAG, &[0]);
+        let _ = c.get(TAG, &[9]);
         assert!((c.stats().hit_rate() - 0.5).abs() < 1e-12);
     }
 }

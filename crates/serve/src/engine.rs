@@ -2,12 +2,13 @@
 //!
 //! The serving layer deliberately separates *what* to compute (one row
 //! per unique data point, standalone-seeded) from *where*: the local
-//! path fans the rows out on the shared work-stealing executor — one
-//! `S(x)|0⟩` simulation plus one fused `expectation_many` /
-//! `estimate_paulis_batched` sweep per prepared state — while the pool
-//! path packages the same work as [`hpcq::CircuitJob`]s and scatters it
-//! across a simulated QPU pool, the deployment shape the paper's hybrid
-//! HPC-QC system targets for the finite-shot backends.
+//! path encodes the whole miss set in amplitude-major SoA blocks
+//! (`pvqnn`'s batched `generate_rows_standalone`) and replays the
+//! generator's cached compiled circuits — bit-for-bit what each lone
+//! request would have computed — while the pool path packages the same
+//! work as [`hpcq::CircuitJob`]s and scatters it across a simulated QPU
+//! pool, the deployment shape the paper's hybrid HPC-QC system targets
+//! for the finite-shot backends.
 
 use hpcq::{CircuitJob, QpuConfig, QpuPool, SchedulePolicy};
 use pvqnn::features::FeatureBackend;

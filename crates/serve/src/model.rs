@@ -69,15 +69,12 @@ impl ServedModel {
     /// A fingerprint of the quantum feature stage: equal generators
     /// (same strategy, shifts, observables, backend — including shot
     /// counts and seeds) hash equal. Cached feature rows are valid only
-    /// for the generator that produced them, so the server tags its
-    /// cache with this and flushes on change. Built from the generator's
-    /// `Debug` representation, which spells out every one of those
-    /// components.
+    /// for the generator that produced them, so the server segments its
+    /// feature cache by this value — every deployed generator keeps its
+    /// own warm rows. Delegates to [`FeatureGenerator::fingerprint`],
+    /// which caches the hash alongside the generator's compiled circuits.
     pub fn generator_fingerprint(&self) -> u64 {
-        use std::hash::{Hash, Hasher};
-        let mut hasher = std::collections::hash_map::DefaultHasher::new();
-        format!("{:?}", self.generator()).hash(&mut hasher);
-        hasher.finish()
+        self.generator().fingerprint()
     }
 
     /// Head predictions for a batch of precomputed feature rows — one

@@ -413,13 +413,13 @@ impl Server {
             .unwrap_or_else(|| model.generator_fingerprint());
         {
             let mut cache = self.cache.lock().expect("server lock poisoned");
-            // Cached rows belong to one feature generator: if this
-            // batch's model has a different one (hot-swap or rollback
-            // across generator changes), flush before looking up.
-            cache.ensure_tag(fp);
+            // Cached rows belong to one feature generator; the cache is
+            // segmented by fingerprint, so lookups only ever see rows the
+            // same generator produced — a hot-swap or rollback keeps
+            // every version's rows warm without any flushing.
             for (i, p) in live.iter().enumerate() {
                 let key = cache.quantize(&p.x);
-                if let Some(row) = cache.get(&key) {
+                if let Some(row) = cache.get(fp, &key) {
                     rows[i] = Some(row.to_vec());
                     hit[i] = true;
                 } else {
@@ -446,14 +446,12 @@ impl Server {
         debug_assert_eq!(computed.len(), miss_keys.len());
 
         {
+            // Rows tagged with their generator's fingerprint stay valid
+            // forever — no tag re-check needed even if a concurrent batch
+            // hot-swapped the active model while we computed.
             let mut cache = self.cache.lock().expect("server lock poisoned");
-            // Re-check the tag: a concurrent batch may have hot-swapped
-            // the generator (and flushed) while we computed — our rows
-            // would poison the new generation, so drop them instead.
-            if cache.tag() == fp {
-                for (key, row) in miss_keys.into_iter().zip(computed.iter()) {
-                    cache.insert(key, row.clone());
-                }
+            for (key, row) in miss_keys.into_iter().zip(computed.iter()) {
+                cache.insert(fp, key, row.clone());
             }
         }
         for (mi, requesters) in miss_requesters.iter().enumerate() {

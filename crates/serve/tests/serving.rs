@@ -225,10 +225,11 @@ fn hot_swap_serves_old_version_until_drained() {
     assert_eq!(rolled.wait().unwrap().model, v1);
 }
 
-/// The feature cache is tagged with a generator fingerprint: versions
+/// The feature cache is segmented by generator fingerprint: versions
 /// sharing a generator reuse each other's rows, and a hot-swap that
-/// changes the quantum stage flushes instead of serving stale rows.
-/// This test pins the reuse half; the next one pins the flush half.
+/// changes the quantum stage looks up a different segment instead of
+/// serving stale rows. This test pins the reuse half; the next one pins
+/// the isolation half.
 #[test]
 fn hot_swap_with_shared_generator_reuses_cache_safely() {
     let data = catalogue(20);
@@ -258,11 +259,11 @@ fn hot_swap_with_shared_generator_reuses_cache_safely() {
 }
 
 /// Deploying a model whose *generator* differs (here: backend changed
-/// from Exact to Shots) must flush the cache — the new version's
-/// predictions still match its own lone `predict` bit-for-bit instead
-/// of being contaminated by the old generator's rows.
+/// from Exact to Shots) must not serve the old generator's rows — the
+/// new version's predictions still match its own lone `predict`
+/// bit-for-bit because its fingerprint probes a fresh cache segment.
 #[test]
-fn generator_changing_hot_swap_flushes_cache() {
+fn generator_changing_hot_swap_serves_from_own_segment() {
     let exact = regressor(FeatureBackend::Exact);
     let shots = regressor(FeatureBackend::Shots { shots: 64, seed: 5 });
     let server = Server::new(ServerConfig::default());
@@ -276,16 +277,50 @@ fn generator_changing_hot_swap_flushes_cache() {
     let h = server.submit(x.clone()).unwrap();
     server.drain();
     let r = h.wait().unwrap();
-    assert!(!r.cache_hit, "generator change must flush the cached row");
+    assert!(!r.cache_hit, "new generator's segment starts cold");
     assert_eq!(
         r.prediction,
         Prediction::Value(shots.predict(std::slice::from_ref(x))[0]),
         "served row must come from the new generator"
     );
-    // And the flushed cache refills for the new generator.
+    // And the new generator's segment warms up.
     let h2 = server.submit(x.clone()).unwrap();
     server.drain();
     assert!(h2.wait().unwrap().cache_hit);
+}
+
+/// Segmentation (rather than a whole-cache flush) means a rollback to a
+/// previously deployed generator finds its rows still warm: deploy v1,
+/// warm it, hot-swap to a different generator, roll back — the original
+/// point serves as a cache hit and still matches v1's lone `predict`
+/// bit-for-bit.
+#[test]
+fn rollback_to_previous_generator_finds_segment_warm() {
+    let exact = regressor(FeatureBackend::Exact);
+    let shots = regressor(FeatureBackend::Shots { shots: 64, seed: 5 });
+    let server = Server::new(ServerConfig::default());
+    let v1 = server.deploy(exact.clone());
+    let x = &catalogue(3)[2];
+    let warm = server.submit(x.clone()).unwrap();
+    server.drain();
+    assert!(!warm.wait().unwrap().cache_hit);
+
+    // Swap to a different generator, touching the same point.
+    server.deploy(shots);
+    let other = server.submit(x.clone()).unwrap();
+    server.drain();
+    assert!(!other.wait().unwrap().cache_hit);
+
+    // Roll back: v1's segment survived the swap.
+    assert!(server.registry().activate(v1));
+    let rolled = server.submit(x.clone()).unwrap();
+    server.drain();
+    let r = rolled.wait().unwrap();
+    assert!(r.cache_hit, "rollback must find its old segment warm");
+    assert_eq!(
+        r.prediction,
+        Prediction::Value(exact.predict(std::slice::from_ref(x))[0])
+    );
 }
 
 /// A hot-swap that changes the qubit count makes queued requests

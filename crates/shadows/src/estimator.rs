@@ -6,7 +6,7 @@ use rayon::prelude::*;
 
 /// An estimator over a fixed set of acquired snapshots.
 ///
-/// Implements the median-of-means scheme of [43]/[45] that Proposition 2
+/// Implements the median-of-means scheme of \[43\]/\[45\] that Proposition 2
 /// builds on: snapshots are split into `groups` equal parts, per-group
 /// means are computed, and the median of those means is returned.
 #[derive(Clone, Debug)]
@@ -30,7 +30,7 @@ impl ShadowEstimator {
     }
 
     /// The standard group count for estimating `m` observables to failure
-    /// probability `δ`: `K = ⌈2 ln(2m/δ)⌉` [43].
+    /// probability `δ`: `K = ⌈2 ln(2m/δ)⌉` \[43\].
     pub fn recommended_groups(num_observables: usize, delta: f64) -> usize {
         assert!(delta > 0.0 && delta < 1.0);
         (2.0 * (2.0 * num_observables as f64 / delta).ln()).ceil() as usize

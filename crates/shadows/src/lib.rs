@@ -1,7 +1,7 @@
 //! # shadows — classical shadows with Pauli-basis measurements
 //!
 //! Implements the randomized measurement protocol of Huang, Kueng &
-//! Preskill [43] as used by the paper (§II.B, §IV.B, Proposition 2):
+//! Preskill \[43\] as used by the paper (§II.B, §IV.B, Proposition 2):
 //!
 //! 1. For each snapshot, draw a uniformly random single-qubit Clifford
 //!    basis (X, Y or Z) per qubit, rotate the state, and measure once.

@@ -33,7 +33,7 @@ pub fn shadow_norm_bound_sq(locality: usize, spectral_norm: f64) -> f64 {
 
 /// Snapshot budget to estimate `m` observables with maximal shadow-norm²
 /// `max_norm_sq` to additive error `eps` with failure probability `delta`:
-/// `T = ⌈(34/ε²)·max‖O‖_S²⌉ · ⌈2 ln(2m/δ)⌉` — the constants from [43]'s
+/// `T = ⌈(34/ε²)·max‖O‖_S²⌉ · ⌈2 ln(2m/δ)⌉` — the constants from \[43\]'s
 /// Theorem S1 (median-of-means with K groups of size 34‖O‖_S²/ε²).
 pub fn shots_for_error(m: usize, max_norm_sq: f64, eps: f64, delta: f64) -> usize {
     assert!(eps > 0.0 && delta > 0.0 && delta < 1.0 && m >= 1);

@@ -1,0 +1,111 @@
+//! Compile demo: gate fusion + batched SoA simulation, verified live.
+//!
+//! Builds a representative circuit — the Fig. 7 column encoding followed
+//! by entangling layers and single-qubit walls — compiles it once with
+//! `qsim::compile`, prints the fusion statistics, and then checks the
+//! equivalences CI relies on:
+//!
+//! 1. `apply_compiled` agrees with the uncompiled `apply_circuit` sweep
+//!    to 1e-12 on every amplitude (fusion reorders floating-point work,
+//!    so exact bit equality is not expected here);
+//! 2. every lane of a `BatchedStateVector` is *bit-for-bit* identical to
+//!    a standalone simulation of the same circuit (batching must never
+//!    change a result — the serving invariant);
+//! 3. the fused `EncodingPlan` produces bit-for-bit identical states
+//!    through its one-state and batched entry points.
+//!
+//! Run: `cargo run --example compile_demo --release`
+
+use postvar::prelude::*;
+use postvar::pvqnn::EncodingPlan;
+use postvar::qsim::{compile, BatchedStateVector};
+
+/// A circuit exercising every fusion path: runs of single-qubit gates
+/// (dense and diagonal), repeated two-qubit pairs, and lone entanglers.
+fn demo_circuit(n: usize) -> Circuit {
+    let mut c = Circuit::new(n);
+    for q in 0..n {
+        c.push(Gate::H(q));
+        c.push(Gate::Rz(q, 0.31 + 0.07 * q as f64));
+        c.push(Gate::Ry(q, 0.83 - 0.05 * q as f64));
+    }
+    for q in 0..n - 1 {
+        c.push(Gate::Cnot {
+            control: q,
+            target: q + 1,
+        });
+    }
+    for q in 0..n {
+        c.push(Gate::S(q));
+        c.push(Gate::T(q));
+        c.push(Gate::Phase(q, 0.21 * (q + 1) as f64));
+    }
+    c.push(Gate::Cz(0, n - 1));
+    c.push(Gate::Swap(1, n - 2));
+    for q in 0..n {
+        c.push(Gate::Rx(q, 0.45 + 0.03 * q as f64));
+    }
+    c
+}
+
+fn bits(state: &StateVector) -> Vec<(u64, u64)> {
+    state
+        .amplitudes()
+        .iter()
+        .map(|a| (a.re.to_bits(), a.im.to_bits()))
+        .collect()
+}
+
+fn main() {
+    let n = 10;
+    let circuit = demo_circuit(n);
+    let compiled = compile(&circuit);
+    println!(
+        "compiled {} source gates down to {} fused ops ({:.2}x fusion) on {n} qubits",
+        compiled.source_gates(),
+        compiled.num_ops(),
+        compiled.source_gates() as f64 / compiled.num_ops() as f64
+    );
+
+    // 1. Compiled vs uncompiled, to 1e-12.
+    let direct = StateVector::from_circuit(&circuit);
+    let fused = StateVector::from_compiled(&compiled);
+    let max_err = direct
+        .amplitudes()
+        .iter()
+        .zip(fused.amplitudes())
+        .map(|(a, b)| (a - b).norm())
+        .fold(0.0f64, f64::max);
+    assert!(max_err < 1e-12, "compiled vs direct max |Δamp| = {max_err}");
+    println!("compiled ≡ uncompiled: max |Δamp| = {max_err:.2e} (< 1e-12)");
+
+    // 2. Batched lanes vs standalone, bit-for-bit — through both the
+    //    gate-by-gate and the compiled execution paths.
+    let lanes = 5;
+    let mut batch = BatchedStateVector::zero_states(n, lanes);
+    batch.apply_circuit(&circuit);
+    let mut batch_compiled = BatchedStateVector::zero_states(n, lanes);
+    batch_compiled.apply_compiled(&compiled);
+    for l in 0..lanes {
+        assert_eq!(bits(&batch.lane(l)), bits(&direct));
+        assert_eq!(bits(&batch_compiled.lane(l)), bits(&fused));
+    }
+    println!("batched ≡ standalone: {lanes} lanes bit-for-bit, gate and compiled paths");
+
+    // 3. EncodingPlan one-state vs batched, bit-for-bit.
+    let points: Vec<Vec<f64>> = (0..8)
+        .map(|i| (0..16).map(|j| 0.2 + 0.13 * ((i + j) % 9) as f64).collect())
+        .collect();
+    let refs: Vec<&[f64]> = points.iter().map(Vec::as_slice).collect();
+    let plan = EncodingPlan::new(16, 4);
+    let encoded = plan.encode_batch(&refs);
+    for (l, x) in refs.iter().enumerate() {
+        assert_eq!(bits(&encoded.lane(l)), bits(&plan.encode_one(x)));
+    }
+    println!(
+        "encoding plan ≡ per-point: {} points bit-for-bit (16 features, 4 qubits)",
+        refs.len()
+    );
+
+    println!("PASS");
+}

@@ -4,9 +4,9 @@
 
 use postvar::linalg::{lstsq, pinv, Mat};
 use postvar::pauli::{PauliString, PhaseI};
-use postvar::prelude::{fig7_encoding, FeatureBackend, FeatureGenerator, StateVector};
+use postvar::prelude::{fig7_encoding, fig8_ansatz, FeatureBackend, FeatureGenerator, StateVector};
 use postvar::pvqnn::strategy::Strategy as PvStrategy;
-use postvar::qsim::{self, Gate};
+use postvar::qsim::{self, BatchedStateVector, Gate};
 use proptest::prelude::*;
 
 /// Strategy: a random Pauli string on `n` qubits as (x, z) masks.
@@ -29,6 +29,45 @@ fn circuit(n: usize, max_gates: usize) -> impl proptest::strategy::Strategy<Valu
                 target: q2,
             },
             _ => Gate::Cz(q, q2),
+        }
+    });
+    proptest::collection::vec(gate, 1..max_gates).prop_map(move |gates| {
+        let mut c = qsim::Circuit::new(n);
+        for g in gates {
+            c.push(g);
+        }
+        c
+    })
+}
+
+/// Strategy: a random circuit drawing from the full gate set the
+/// compiler fuses — mixed dense/diagonal single-qubit runs, repeated and
+/// interleaved two-qubit pairs, and identity-skippable gates (kind 13
+/// emits a zero-angle `Rx`, which `compile` drops from the source count).
+fn fusion_circuit(
+    n: usize,
+    max_gates: usize,
+) -> impl proptest::strategy::Strategy<Value = qsim::Circuit> {
+    let gate = (0..14u8, 0..n, 0..n, -3.0f64..3.0).prop_map(move |(kind, q, q2, angle)| {
+        let q2 = if q2 == q { (q + 1) % n } else { q2 };
+        match kind {
+            0 => Gate::H(q),
+            1 => Gate::X(q),
+            2 => Gate::Y(q),
+            3 => Gate::Z(q),
+            4 => Gate::S(q),
+            5 => Gate::T(q),
+            6 => Gate::Rx(q, angle),
+            7 => Gate::Ry(q, angle),
+            8 => Gate::Rz(q, angle),
+            9 => Gate::Phase(q, angle),
+            10 => Gate::Cnot {
+                control: q,
+                target: q2,
+            },
+            11 => Gate::Cz(q, q2),
+            12 => Gate::Swap(q, q2),
+            _ => Gate::Rx(q, 0.0),
         }
     });
     proptest::collection::vec(gate, 1..max_gates).prop_map(move |gates| {
@@ -163,6 +202,67 @@ proptest! {
     }
 
     #[test]
+    fn apply_compiled_matches_apply_circuit(c in fusion_circuit(4, 30)) {
+        // Gate fusion reassociates the floating-point work (runs collapse
+        // into one matrix product), so the contract is 1e-12 agreement,
+        // not bit equality — plus preserved unitarity.
+        let compiled = qsim::compile(&c);
+        let direct = StateVector::from_circuit(&c);
+        let fused = StateVector::from_compiled(&compiled);
+        prop_assert!((fused.norm_sqr() - 1.0).abs() < 1e-9);
+        for (a, b) in direct.amplitudes().iter().zip(fused.amplitudes()) {
+            prop_assert!((a - b).norm() < 1e-12, "direct {} vs fused {}", a, b);
+        }
+    }
+
+    #[test]
+    fn batched_lanes_bit_identical_to_standalone(c in fusion_circuit(4, 24)) {
+        // Batching is a layout change, not a math change: every lane must
+        // reproduce the standalone simulation bit-for-bit, through both
+        // the gate-by-gate and the compiled execution paths.
+        let direct = StateVector::from_circuit(&c);
+        let compiled = qsim::compile(&c);
+        let fused = StateVector::from_compiled(&compiled);
+        let lanes = 3;
+        let mut batch = BatchedStateVector::zero_states(4, lanes);
+        batch.apply_circuit(&c);
+        let mut batch_compiled = BatchedStateVector::zero_states(4, lanes);
+        batch_compiled.apply_compiled(&compiled);
+        for l in 0..lanes {
+            for (a, b) in batch.lane(l).amplitudes().iter().zip(direct.amplitudes()) {
+                prop_assert_eq!(a.re.to_bits(), b.re.to_bits());
+                prop_assert_eq!(a.im.to_bits(), b.im.to_bits());
+            }
+            for (a, b) in batch_compiled.lane(l).amplitudes().iter().zip(fused.amplitudes()) {
+                prop_assert_eq!(a.re.to_bits(), b.re.to_bits());
+                prop_assert_eq!(a.im.to_bits(), b.im.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn batched_feature_rows_bit_identical_to_per_point(
+        raws in proptest::collection::vec(
+            proptest::collection::vec(0.0f64..std::f64::consts::TAU, 16), 1..4),
+        seed in 0u64..1000,
+    ) {
+        // The serving invariant end to end: standalone-seeded batched rows
+        // (the cache-miss path) equal one-at-a-time `generate_one` exactly,
+        // even for the stochastic finite-shot backend.
+        let generator = FeatureGenerator::new(
+            PvStrategy::hybrid(fig8_ansatz(4), 1, 1),
+            FeatureBackend::Shots { shots: 32, seed },
+        );
+        let refs: Vec<&[f64]> = raws.iter().map(Vec::as_slice).collect();
+        let rows = generator.generate_rows_standalone(&refs);
+        prop_assert_eq!(rows.len(), raws.len());
+        for (x, row) in refs.iter().zip(rows.iter()) {
+            let lone = generator.generate_one(x);
+            prop_assert_eq!(row, &lone);
+        }
+    }
+
+    #[test]
     fn expectation_many_matches_per_term(
         c in circuit(4, 16),
         paulis in proptest::collection::vec(pauli_string(4), 1..12),
@@ -203,6 +303,19 @@ proptest! {
         let i4 = rayon::with_num_threads(4, || s1.inner(&s4));
         prop_assert_eq!(i1.re.to_bits(), i4.re.to_bits());
         prop_assert_eq!(i1.im.to_bits(), i4.im.to_bits());
+    }
+
+    #[test]
+    fn apply_compiled_bit_identical_across_thread_counts(c in fusion_circuit(17, 8)) {
+        // The fused kernels keep the fixed chunking of the direct path,
+        // so compiled execution is thread-count invariant too.
+        let compiled = qsim::compile(&c);
+        let s1 = rayon::with_num_threads(1, || StateVector::from_compiled(&compiled));
+        let s4 = rayon::with_num_threads(4, || StateVector::from_compiled(&compiled));
+        for (a, b) in s1.amplitudes().iter().zip(s4.amplitudes()) {
+            prop_assert_eq!(a.re.to_bits(), b.re.to_bits());
+            prop_assert_eq!(a.im.to_bits(), b.im.to_bits());
+        }
     }
 
     #[test]
