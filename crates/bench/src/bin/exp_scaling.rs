@@ -467,21 +467,23 @@ fn main() {
     let mut pipeline = HybridPipeline::new(pool);
     let labels = task.train_y.clone();
     let samples = task.train_x.len();
-    let ((), report) = pipeline.run(jobs, |results| {
-        // Classical stage: assemble Q (samples × p·q) and fit the head.
-        let q_per_job = results[0].values.len();
-        let rows: Vec<Vec<f64>> = (0..samples)
-            .map(|i| {
-                let mut row = Vec::with_capacity(p * q_per_job);
-                for a in 0..p {
-                    row.extend_from_slice(&results[i * p + a].values);
-                }
-                row
-            })
-            .collect();
-        let mat = linalg::Mat::from_rows(&rows);
-        let _model = ml::LogisticRegression::fit(&mat, &labels, ml::LogisticConfig::default());
-    });
+    let ((), report) = pipeline
+        .run(jobs, |results| {
+            // Classical stage: assemble Q (samples × p·q) and fit the head.
+            let q_per_job = results[0].values.len();
+            let rows: Vec<Vec<f64>> = (0..samples)
+                .map(|i| {
+                    let mut row = Vec::with_capacity(p * q_per_job);
+                    for a in 0..p {
+                        row.extend_from_slice(&results[i * p + a].values);
+                    }
+                    row
+                })
+                .collect();
+            let mat = linalg::Mat::from_rows(&rows);
+            let _model = ml::LogisticRegression::fit(&mat, &labels, ml::LogisticConfig::default());
+        })
+        .expect("healthy pool completes every job");
     println!(
         "quantum stage: {:.3}s ({:.0}% of total) | classical stage: {:.3}s | device util {:.0}%",
         report.quantum_secs,

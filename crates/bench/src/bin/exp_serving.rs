@@ -116,6 +116,16 @@ fn main() {
         batched.stats.unique_simulations,
         batched.completed
     );
+    println!(
+        "fault taxonomy:      {} retries | {} failovers | {}/{} hedges | {} trips | {} degraded | {} shed",
+        batched.stats.pool_retries,
+        batched.stats.pool_failovers,
+        batched.stats.hedges_won,
+        batched.stats.hedges_launched,
+        batched.stats.breaker_trips,
+        batched.stats.degraded_batches,
+        batched.stats.rejected_backend,
+    );
 
     // Overload behaviour: a burst beyond the high-water mark is shed
     // with typed rejections, then the queue drains and admission reopens.
@@ -185,6 +195,21 @@ fn main() {
             "closed loop lost requests: {} of {}",
             batched.completed,
             workload().total_requests
+        ));
+    }
+    // The healthy local-engine path must never touch the fault
+    // machinery: zero retries, failovers, hedges, breaker trips,
+    // degraded batches, and backend sheds.
+    if batched.stats.any_fault_activity() || single.stats.any_fault_activity() {
+        failures.push(format!(
+            "healthy serving path activated fault recovery: {} retries, {} failovers, \
+             {} hedges, {} trips, {} degraded batches, {} backend sheds",
+            batched.stats.pool_retries,
+            batched.stats.pool_failovers,
+            batched.stats.hedges_launched,
+            batched.stats.breaker_trips,
+            batched.stats.degraded_batches,
+            batched.stats.rejected_backend,
         ));
     }
 

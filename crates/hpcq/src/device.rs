@@ -6,6 +6,7 @@
 //! readout time. The simulated clock feeds the pool's utilization and
 //! makespan statistics; actual computation runs at host speed.
 
+use crate::fault::FaultSchedule;
 use crate::job::{CircuitJob, JobResult};
 use qsim::noise::estimate_pauli_noisy;
 use qsim::{estimate_pauli_with_shots, NoiseModel, StateVector};
@@ -13,7 +14,7 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
 /// Device parameters.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct QpuConfig {
     /// Maximum register width accepted.
     pub max_qubits: usize,
@@ -31,6 +32,10 @@ pub struct QpuConfig {
     /// drop, queue eviction). Failed jobs are retried by the pool; used
     /// for fault-injection testing of the scheduler.
     pub fail_prob: f64,
+    /// Deterministic fault timeline on the pool's shared simulated
+    /// clock: hard outages (every submission in the window fails) and
+    /// degraded phases (jobs take a latency multiple). Empty by default.
+    pub faults: FaultSchedule,
 }
 
 impl Default for QpuConfig {
@@ -43,6 +48,7 @@ impl Default for QpuConfig {
             noise: NoiseModel::noiseless(),
             seed: 0,
             fail_prob: 0.0,
+            faults: FaultSchedule::none(),
         }
     }
 }
@@ -122,9 +128,12 @@ impl QpuDevice {
         Some(self.execute(job))
     }
 
-    /// Executes a job, returning per-observable estimates and charging the
-    /// simulated clock. Deterministic given the device seed and job id.
-    pub fn execute(&mut self, job: &CircuitJob) -> JobResult {
+    /// Pure execution: per-observable estimates, deterministic given the
+    /// device seed and job id, with **no** clock charging or job
+    /// accounting — the pool's dispatch engine decides occupancy (cost,
+    /// degraded multipliers, hedge cancellations) separately and settles
+    /// the ledger through the crate-internal `charge`.
+    pub fn values(&self, job: &CircuitJob) -> Vec<f64> {
         assert!(
             job.circuit.num_qubits() <= self.config.max_qubits,
             "job needs {} qubits, device caps at {}",
@@ -133,7 +142,7 @@ impl QpuDevice {
         );
         let mut rng =
             StdRng::seed_from_u64(self.config.seed ^ job.id.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-        let values: Vec<f64> = match (job.shots, self.config.noise.is_noiseless()) {
+        match (job.shots, self.config.noise.is_noiseless()) {
             (None, true) => {
                 let state = StateVector::from_circuit(&job.circuit);
                 job.observables
@@ -163,7 +172,13 @@ impl QpuDevice {
                 .iter()
                 .map(|o| estimate_pauli_noisy(&job.circuit, o, &self.config.noise, shots, &mut rng))
                 .collect(),
-        };
+        }
+    }
+
+    /// Executes a job, returning per-observable estimates and charging the
+    /// simulated clock. Deterministic given the device seed and job id.
+    pub fn execute(&mut self, job: &CircuitJob) -> JobResult {
+        let values = self.values(job);
         let cost = self.sim_cost_ns(job);
         self.sim_busy_ns += cost;
         self.jobs_run += 1;
@@ -172,7 +187,16 @@ impl QpuDevice {
             values,
             device: self.id,
             sim_busy_ns: cost,
+            sim_completed_ns: cost,
         }
+    }
+
+    /// Settles the pool's dispatch ledger onto this device: `busy_ns` of
+    /// simulated occupancy (executed jobs, failed-submission overheads,
+    /// cancelled hedge partials) and `jobs` completed jobs.
+    pub(crate) fn charge(&mut self, busy_ns: u64, jobs: usize) {
+        self.sim_busy_ns += busy_ns;
+        self.jobs_run += jobs;
     }
 }
 

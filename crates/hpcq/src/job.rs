@@ -18,6 +18,11 @@ pub struct CircuitJob {
     pub observables: Vec<PauliString>,
     /// Measurement shots per observable; `None` = exact expectations.
     pub shots: Option<usize>,
+    /// Remaining deadline budget in simulated ns, measured from the
+    /// start of the batch this job is submitted in; `None` = no
+    /// deadline. The pool never dispatches (or retries) a job past its
+    /// budget — it resolves to a typed deadline error instead.
+    pub sim_budget_ns: Option<u64>,
 }
 
 impl CircuitJob {
@@ -43,7 +48,14 @@ impl CircuitJob {
             circuit,
             observables,
             shots,
+            sim_budget_ns: None,
         }
+    }
+
+    /// Attaches a deadline budget (simulated ns from batch start).
+    pub fn with_budget(mut self, sim_budget_ns: u64) -> Self {
+        self.sim_budget_ns = Some(sim_budget_ns);
+        self
     }
 
     /// A crude execution-cost estimate used by the least-loaded scheduler:
@@ -66,6 +78,11 @@ pub struct JobResult {
     pub device: usize,
     /// Simulated device-occupancy time in nanoseconds (latency model).
     pub sim_busy_ns: u64,
+    /// Simulated completion time in nanoseconds relative to batch start
+    /// (pool dispatch) or to submission (direct `execute`) — i.e. the
+    /// job's simulated latency, including queueing, retries, and
+    /// backoff.
+    pub sim_completed_ns: u64,
 }
 
 #[cfg(test)]

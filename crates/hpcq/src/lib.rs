@@ -19,17 +19,26 @@
 //!   oversubscription,
 //! * [`HybridPipeline`] — the two-stage quantum→classical pipeline with
 //!   per-stage timing,
+//! * [`fault`] — the fault-domain layer: deterministic device fault
+//!   schedules (outages, straggler phases), bounded retry with failover,
+//!   per-device circuit breakers, hedged dispatch, and the typed
+//!   [`JobError`] taxonomy jobs resolve to instead of panicking,
 //! * [`scaling`] — strong-scaling harness (speedup/efficiency vs worker
 //!   count) behind the `exp_scaling` experiment binary.
 
 pub mod device;
+pub mod fault;
 pub mod job;
 pub mod pipeline;
 pub mod pool;
 pub mod scaling;
 
 pub use device::{QpuConfig, QpuDevice};
+pub use fault::{
+    BreakerConfig, CircuitBreaker, DeviceHealth, FaultKind, FaultPolicy, FaultSchedule, FaultStats,
+    FaultWindow, HedgeConfig, JobError, JobErrorKind, RetryPolicy,
+};
 pub use job::{CircuitJob, JobResult};
-pub use pipeline::{HybridPipeline, PipelineReport};
-pub use pool::{PoolReport, QpuPool, SchedulePolicy};
+pub use pipeline::{HybridPipeline, PipelineError, PipelineReport};
+pub use pool::{outcome_id, JobOutcome, PoolReport, QpuPool, SchedulePolicy};
 pub use scaling::{strong_scaling, ScalingPoint};

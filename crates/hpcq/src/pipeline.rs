@@ -13,8 +13,10 @@
 //! the quantum stage has fully drained — no private thread pools anywhere
 //! in the pipeline.
 
+use crate::fault::JobError;
 use crate::job::{CircuitJob, JobResult};
 use crate::pool::{PoolReport, QpuPool};
+use std::fmt;
 use std::time::Instant;
 
 /// Per-stage timing of one pipeline run.
@@ -40,6 +42,31 @@ impl PipelineReport {
     }
 }
 
+/// The quantum stage could not deliver a complete batch: one or more
+/// jobs resolved to typed errors (retries exhausted, deadlines expired).
+/// The classical stage never runs on partial features.
+#[derive(Clone, Debug)]
+pub struct PipelineError {
+    /// The terminally failed jobs, in id order.
+    pub failed: Vec<JobError>,
+    /// Jobs that did complete before the batch was abandoned.
+    pub completed: usize,
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "quantum stage failed {} of {} jobs (first: {})",
+            self.failed.len(),
+            self.failed.len() + self.completed,
+            self.failed[0]
+        )
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
 /// Orchestrates quantum-then-classical execution.
 pub struct HybridPipeline {
     pool: QpuPool,
@@ -58,28 +85,47 @@ impl HybridPipeline {
 
     /// Runs the full pipeline: executes `jobs` on the pool, then feeds the
     /// ordered results to the classical stage `classical` (e.g. the convex
-    /// fit), returning its output and the stage timings.
+    /// fit), returning its output and the stage timings. If any job
+    /// resolves to a typed error (retries exhausted, deadline expired),
+    /// the classical stage is skipped and the failures are returned — a
+    /// convex fit over a feature matrix with missing rows would silently
+    /// train on garbage.
     pub fn run<T>(
         &mut self,
         jobs: Vec<CircuitJob>,
         classical: impl FnOnce(&[JobResult]) -> T,
-    ) -> (T, PipelineReport) {
+    ) -> Result<(T, PipelineReport), PipelineError> {
         let q_start = Instant::now();
-        let (results, pool_report) = self.pool.execute_batch(jobs);
+        let (outcomes, pool_report) = self.pool.execute_batch(jobs);
         let quantum_secs = q_start.elapsed().as_secs_f64();
+
+        let mut results = Vec::with_capacity(outcomes.len());
+        let mut failed = Vec::new();
+        for outcome in outcomes {
+            match outcome {
+                Ok(r) => results.push(r),
+                Err(e) => failed.push(e),
+            }
+        }
+        if !failed.is_empty() {
+            return Err(PipelineError {
+                failed,
+                completed: results.len(),
+            });
+        }
 
         let c_start = Instant::now();
         let output = classical(&results);
         let classical_secs = c_start.elapsed().as_secs_f64();
 
-        (
+        Ok((
             output,
             PipelineReport {
                 quantum_secs,
                 classical_secs,
                 pool: pool_report,
             },
-        )
+        ))
     }
 }
 
@@ -129,9 +175,11 @@ mod tests {
     fn pipeline_runs_both_stages() {
         let pool = QpuPool::homogeneous(2, QpuConfig::default(), SchedulePolicy::WorkStealing);
         let mut pipeline = HybridPipeline::new(pool);
-        let (sum, report) = pipeline.run(jobs(8), |results| {
-            results.iter().map(|r| r.values[0]).sum::<f64>()
-        });
+        let (sum, report) = pipeline
+            .run(jobs(8), |results| {
+                results.iter().map(|r| r.values[0]).sum::<f64>()
+            })
+            .unwrap();
         assert!(sum.is_finite());
         assert!(report.quantum_secs > 0.0);
         assert!(report.classical_secs >= 0.0);
@@ -142,9 +190,11 @@ mod tests {
     fn classical_stage_sees_ordered_results() {
         let pool = QpuPool::homogeneous(3, QpuConfig::default(), SchedulePolicy::WorkStealing);
         let mut pipeline = HybridPipeline::new(pool);
-        let (ids, _) = pipeline.run(jobs(12), |results| {
-            results.iter().map(|r| r.id).collect::<Vec<u64>>()
-        });
+        let (ids, _) = pipeline
+            .run(jobs(12), |results| {
+                results.iter().map(|r| r.id).collect::<Vec<u64>>()
+            })
+            .unwrap();
         assert_eq!(ids, (0..12).collect::<Vec<u64>>());
     }
 
@@ -152,7 +202,7 @@ mod tests {
     fn results_to_rows_roundtrip() {
         let pool = QpuPool::homogeneous(2, QpuConfig::default(), SchedulePolicy::RoundRobin);
         let mut pipeline = HybridPipeline::new(pool);
-        let (rows, _) = pipeline.run(jobs(6), results_to_rows);
+        let (rows, _) = pipeline.run(jobs(6), results_to_rows).unwrap();
         assert_eq!(rows.len(), 6);
         assert!(rows.iter().all(|r| r.len() == 2));
         // Row 0 is Ry(0): ⟨Z⟩ = 1.
@@ -167,6 +217,7 @@ mod tests {
             values: vec![],
             device: 0,
             sim_busy_ns: 0,
+            sim_completed_ns: 0,
         };
         let _ = results_to_rows(&[r]);
     }
@@ -179,6 +230,7 @@ mod tests {
             values: vec![1.0],
             device: 0,
             sim_busy_ns: 0,
+            sim_completed_ns: 0,
         };
         let _ = results_to_rows(&[r(0), r(0)]);
     }
@@ -200,7 +252,7 @@ mod tests {
         ] {
             let pool = QpuPool::homogeneous(2, QpuConfig::default(), policy);
             let mut pipeline = HybridPipeline::new(pool);
-            let (rows, report) = pipeline.run(Vec::new(), results_to_rows);
+            let (rows, report) = pipeline.run(Vec::new(), results_to_rows).unwrap();
             assert!(rows.is_empty());
             assert!(report.quantum_secs >= 0.0);
             assert!(
@@ -222,7 +274,7 @@ mod tests {
         ] {
             let pool = QpuPool::homogeneous(1, QpuConfig::default(), policy);
             let mut pipeline = HybridPipeline::new(pool);
-            let (rows, report) = pipeline.run(jobs(6), results_to_rows);
+            let (rows, report) = pipeline.run(jobs(6), results_to_rows).unwrap();
             assert_eq!(rows.len(), 6);
             assert_eq!(report.pool.jobs_per_device, vec![6]);
             assert!((report.pool.utilization - 1.0).abs() < 1e-12);
@@ -237,7 +289,9 @@ mod tests {
         // must still deliver every result, bit-identical to a noiseless
         // pool, with the failed submissions charged to the sim clock.
         let clean_pool = QpuPool::homogeneous(2, QpuConfig::default(), SchedulePolicy::RoundRobin);
-        let (clean, _) = HybridPipeline::new(clean_pool).run(jobs(6), results_to_rows);
+        let (clean, _) = HybridPipeline::new(clean_pool)
+            .run(jobs(6), results_to_rows)
+            .unwrap();
         let flaky = QpuConfig {
             fail_prob: 0.95,
             ..Default::default()
@@ -247,9 +301,9 @@ mod tests {
             SchedulePolicy::LeastLoaded,
             SchedulePolicy::WorkStealing,
         ] {
-            let pool = QpuPool::homogeneous(2, flaky, policy);
+            let pool = QpuPool::homogeneous(2, flaky.clone(), policy);
             let mut pipeline = HybridPipeline::new(pool);
-            let (rows, report) = pipeline.run(jobs(6), results_to_rows);
+            let (rows, report) = pipeline.run(jobs(6), results_to_rows).unwrap();
             assert_eq!(rows, clean, "retries must not change exact results");
             // 6 jobs at 0.95 fail-prob retry ~20× each on average; the
             // charged overhead must exceed the 6 clean submissions.
@@ -259,5 +313,36 @@ mod tests {
                 "failed submissions must charge the simulated clock"
             );
         }
+    }
+
+    #[test]
+    fn pipeline_surfaces_typed_errors_without_running_classical_stage() {
+        use crate::fault::{FaultPolicy, JobErrorKind, RetryPolicy};
+        let broken = QpuConfig {
+            fail_prob: 1.0,
+            ..Default::default()
+        };
+        let pool = QpuPool::homogeneous(2, broken, SchedulePolicy::WorkStealing).with_fault_policy(
+            FaultPolicy {
+                retry: RetryPolicy {
+                    max_attempts_total: 3,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        let mut pipeline = HybridPipeline::new(pool);
+        let mut classical_ran = false;
+        let err = pipeline
+            .run(jobs(4), |_| classical_ran = true)
+            .expect_err("all jobs must fail");
+        assert!(!classical_ran, "classical stage must not see partial rows");
+        assert_eq!(err.failed.len(), 4);
+        assert_eq!(err.completed, 0);
+        assert!(err
+            .failed
+            .iter()
+            .all(|e| e.kind == JobErrorKind::RetriesExhausted));
+        assert!(err.to_string().contains("failed 4 of 4"));
     }
 }

@@ -1,4 +1,4 @@
-//! Multi-QPU scheduling.
+//! Multi-QPU scheduling with fault domains.
 //!
 //! The host scatters a batch of [`CircuitJob`]s over the device pool.
 //! Three policies:
@@ -13,19 +13,39 @@
 //!   first (placement is independent of host thread count and fully
 //!   reproducible).
 //!
-//! All policies run their device tasks on the **shared rayon executor**
+//! All three feed one **sim-time dispatch engine** that routes around
+//! the fault domains of [`crate::fault`]:
+//!
+//! * failed submissions (transient draws, hard-outage windows) charge
+//!   the submission overhead and retry under a bounded
+//!   [`RetryPolicy`](crate::fault::RetryPolicy) — exponential backoff on
+//!   the simulated clock, failover to a different device after a run of
+//!   local failures, typed
+//!   [`RetriesExhausted`](crate::fault::JobErrorKind::RetriesExhausted)
+//!   when the budget runs out (the old pool panicked here);
+//! * per-device circuit breakers quarantine devices after consecutive
+//!   failures and re-admit them through half-open probes;
+//! * jobs landing on a degraded (straggler) device get a hedge replica
+//!   on another device — first completion wins, the loser's partial
+//!   occupancy is charged to its device;
+//! * jobs carrying a deadline budget are never dispatched or retried
+//!   past it — they resolve to a typed
+//!   [`DeadlineExpired`](crate::fault::JobErrorKind::DeadlineExpired).
+//!
+//! Dispatch decisions are made in a sequential simulated-time loop, so
+//! placement — and therefore every result — is reproducible bit-for-bit
+//! regardless of host thread count, and identical to the no-fault path
+//! whenever a job ultimately executes (failover changes *where*, never
+//! *what*, for exact jobs; shot noise is device-seeded by design).
+//! Execution then fans out on the **shared rayon executor**
 //! (`rayon::scope`), the same persistent pool the `qsim` amplitude
-//! kernels fan out on — device-level and amplitude-level parallelism
-//! cooperate under one core budget instead of multiplying (the old
-//! per-device `std::thread` spawns oversubscribed to devices × cores
-//! once a job's state crossed the kernel threshold). Each device task
-//! carries a `rayon::with_inner_threads` hint — its fair share of the
-//! pool, `threads / active_devices` — so one job's kernels cannot flood
-//! the queues and starve the other devices. Results are returned in
-//! job-id order regardless of completion order.
+//! kernels use, with `rayon::with_inner_threads` fair-share hints.
+//! Results are returned in job-id order regardless of completion order.
 
 use crate::device::{QpuConfig, QpuDevice};
+use crate::fault::{CircuitBreaker, DeviceHealth, FaultPolicy, FaultStats, JobError, JobErrorKind};
 use crate::job::{CircuitJob, JobResult};
+use std::collections::VecDeque;
 use std::time::Instant;
 
 /// Job-to-device assignment policy.
@@ -39,6 +59,17 @@ pub enum SchedulePolicy {
     WorkStealing,
 }
 
+/// How one job left the pool: a result, or a typed terminal failure.
+pub type JobOutcome = Result<JobResult, JobError>;
+
+/// The job id an outcome refers to.
+pub fn outcome_id(outcome: &JobOutcome) -> u64 {
+    match outcome {
+        Ok(r) => r.id,
+        Err(e) => e.id,
+    }
+}
+
 /// Aggregate statistics of one batch execution.
 #[derive(Clone, Debug)]
 pub struct PoolReport {
@@ -48,16 +79,249 @@ pub struct PoolReport {
     pub sim_makespan_secs: f64,
     /// Mean device utilization: mean(busy) / max(busy).
     pub utilization: f64,
-    /// Jobs per wall-clock second.
+    /// Completed jobs per wall-clock second.
     pub throughput: f64,
     /// Per-device job counts.
     pub jobs_per_device: Vec<usize>,
+    /// Failure/recovery taxonomy of this batch.
+    pub faults: FaultStats,
+}
+
+/// One job waiting to be dispatched (or re-dispatched after a failure).
+struct Pending {
+    job: CircuitJob,
+    /// Failed submission attempts so far — also the decorrelation index
+    /// of the next failure draw, matching the pre-fault-layer pool.
+    attempts: u32,
+    /// Consecutive failures on `failed_on`.
+    local_attempts: u32,
+    /// Device of the most recent failure (failover bookkeeping).
+    failed_on: Option<usize>,
+    /// Earliest simulated dispatch time (exponential backoff gate).
+    ready_ns: u64,
+    /// Absolute simulated deadline (`u64::MAX` = none).
+    deadline_ns: u64,
+}
+
+/// How a dispatch attempt left a pending job.
+enum Disposition {
+    /// Executed (possibly via a hedge) or terminally failed.
+    Resolved,
+    /// Failed transiently; requeue for another attempt.
+    Requeue(Pending),
+}
+
+/// The sequential simulated-time dispatch state for one batch. Placement
+/// and all fault routing happen here, single-threaded and deterministic;
+/// actual circuit execution runs afterwards from the `placed` ledger.
+struct Dispatcher<'a> {
+    devices: &'a [QpuDevice],
+    breakers: &'a mut [CircuitBreaker],
+    policy: FaultPolicy,
+    /// Per-device simulated timeline position (starts at the device's
+    /// accumulated busy time, like the pre-fault work-stealing dispatch).
+    clock: Vec<u64>,
+    /// Per-device busy time charged this batch (executed jobs, failed
+    /// submissions, cancelled hedge partials — idle backoff/cooldown
+    /// gaps are *not* busy).
+    busy: Vec<u64>,
+    /// Per-device `(job, cost_ns, completed_at_ns)` execution ledger.
+    placed: Vec<Vec<(CircuitJob, u64, u64)>>,
+    /// Devices hedged against this batch (observed stragglers).
+    hedged: Vec<bool>,
+    errors: Vec<JobError>,
+    stats: FaultStats,
+}
+
+impl<'a> Dispatcher<'a> {
+    fn new(
+        devices: &'a [QpuDevice],
+        breakers: &'a mut [CircuitBreaker],
+        policy: FaultPolicy,
+    ) -> Self {
+        let n = devices.len();
+        let clock: Vec<u64> = devices.iter().map(QpuDevice::sim_busy_ns).collect();
+        Dispatcher {
+            devices,
+            breakers,
+            policy,
+            clock,
+            busy: vec![0; n],
+            placed: vec![Vec::new(); n],
+            hedged: vec![false; n],
+            errors: Vec::new(),
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// The batch's simulated origin: the earliest any device could take
+    /// work. Deadline budgets and completion latencies are relative to it.
+    fn origin(&self) -> u64 {
+        self.clock.iter().copied().min().unwrap_or(0)
+    }
+
+    /// When device `d` could next dispatch (its clock, deferred past an
+    /// open breaker's cooldown).
+    fn free_ns(&self, d: usize) -> u64 {
+        self.breakers[d].ready_ns(self.clock[d])
+    }
+
+    /// Whether dispatching `job` on `d` at `now` would fail: hard-outage
+    /// window first, then the transient draw.
+    fn submission_fails(&self, d: usize, job: &CircuitJob, attempt: u32, now: u64) -> bool {
+        self.devices[d].config().faults.is_down_at(now) || self.devices[d].would_fail(job, attempt)
+    }
+
+    /// The simulated cost of `job` on `d` dispatched at `now`, including
+    /// the degraded-phase latency multiplier.
+    fn cost_at(&self, d: usize, job: &CircuitJob, now: u64) -> u64 {
+        let base = self.devices[d].sim_cost_ns(job) as f64;
+        let mult = self.devices[d].config().faults.latency_multiplier_at(now);
+        (base * mult).round() as u64
+    }
+
+    /// Attempts `p` on device `d` at the earliest feasible time. On
+    /// success the job (or its winning hedge) lands in the `placed`
+    /// ledger; terminal failures land in `errors`.
+    fn dispatch(&mut self, mut p: Pending, d: usize) -> Disposition {
+        let t0 = self.free_ns(d).max(p.ready_ns);
+        if t0 > p.deadline_ns {
+            self.fail_terminal(
+                &p,
+                JobErrorKind::DeadlineExpired {
+                    deadline_ns: p.deadline_ns,
+                    now_ns: t0,
+                },
+            );
+            return Disposition::Resolved;
+        }
+        // Landing on a different device after a failure run is a failover.
+        if let Some(prev) = p.failed_on {
+            if prev != d {
+                self.stats.failovers += 1;
+                p.failed_on = None;
+                p.local_attempts = 0;
+            }
+        }
+        if self.breakers[d].on_dispatch(t0) {
+            self.stats.probes += 1;
+        }
+        if self.submission_fails(d, &p.job, p.attempts, t0) {
+            let end = t0 + self.devices[d].config().submit_overhead_ns;
+            self.clock[d] = end;
+            self.busy[d] += self.devices[d].config().submit_overhead_ns;
+            if self.breakers[d].on_failure(end) {
+                self.stats.breaker_trips += 1;
+            }
+            p.attempts += 1;
+            if p.failed_on == Some(d) {
+                p.local_attempts += 1;
+            } else {
+                p.failed_on = Some(d);
+                p.local_attempts = 1;
+            }
+            if p.attempts >= self.policy.retry.max_attempts_total {
+                self.fail_terminal(&p, JobErrorKind::RetriesExhausted);
+                return Disposition::Resolved;
+            }
+            self.stats.retries += 1;
+            p.ready_ns = end + self.policy.retry.backoff_ns(p.attempts);
+            if p.ready_ns > p.deadline_ns {
+                self.fail_terminal(
+                    &p,
+                    JobErrorKind::DeadlineExpired {
+                        deadline_ns: p.deadline_ns,
+                        now_ns: p.ready_ns,
+                    },
+                );
+                return Disposition::Resolved;
+            }
+            return Disposition::Requeue(p);
+        }
+        // Successful submission.
+        self.breakers[d].on_success();
+        let cost = self.cost_at(d, &p.job, t0);
+        let end = t0 + cost;
+        let mult = self.devices[d].config().faults.latency_multiplier_at(t0);
+        if let Some((c, h_start, h_cost)) = self.hedge_candidate(&p, d, t0, end, mult) {
+            // Straggler: launch a replica on `c`; first completion wins,
+            // the loser is cancelled and charged for the time it held
+            // its device.
+            self.stats.hedges_launched += 1;
+            self.hedged[d] = true;
+            self.breakers[c].on_dispatch(h_start);
+            let h_end = h_start + h_cost;
+            if h_end < end {
+                self.stats.hedges_won += 1;
+                self.breakers[c].on_success();
+                self.placed[c].push((p.job, h_cost, h_end));
+                self.clock[c] = h_end;
+                self.busy[c] += h_cost;
+                // Primary cancelled once the hedge finishes.
+                self.clock[d] = h_end;
+                self.busy[d] += h_end - t0;
+            } else {
+                self.placed[d].push((p.job, cost, end));
+                self.clock[d] = end;
+                self.busy[d] += cost;
+                // Hedge cancelled once the primary finishes.
+                self.clock[c] = end;
+                self.busy[c] += end - h_start;
+            }
+        } else {
+            self.placed[d].push((p.job, cost, end));
+            self.clock[d] = end;
+            self.busy[d] += cost;
+        }
+        Disposition::Resolved
+    }
+
+    /// A hedge target for a straggling primary: the device (≠ `d`) with
+    /// the earliest replica completion, provided it is up, its failure
+    /// draw passes, it can start before the primary finishes, and the
+    /// primary really is straggling (`mult` at/over the threshold).
+    fn hedge_candidate(
+        &self,
+        p: &Pending,
+        d: usize,
+        t0: u64,
+        primary_end: u64,
+        mult: f64,
+    ) -> Option<(usize, u64, u64)> {
+        let hedge = self.policy.hedge;
+        if !hedge.enabled || mult < hedge.after_multiple || self.devices.len() < 2 {
+            return None;
+        }
+        (0..self.devices.len())
+            .filter(|&c| c != d)
+            .filter_map(|c| {
+                let h_start = self.free_ns(c).max(t0);
+                if h_start >= primary_end || self.submission_fails(c, &p.job, p.attempts, h_start) {
+                    return None;
+                }
+                Some((c, h_start, self.cost_at(c, &p.job, h_start)))
+            })
+            .min_by_key(|&(c, h_start, h_cost)| (h_start + h_cost, c))
+    }
+
+    fn fail_terminal(&mut self, p: &Pending, kind: JobErrorKind) {
+        self.stats.jobs_failed += 1;
+        self.errors.push(JobError {
+            id: p.job.id,
+            attempts: p.attempts,
+            kind,
+        });
+    }
 }
 
 /// A pool of simulated QPUs.
 pub struct QpuPool {
     devices: Vec<QpuDevice>,
     policy: SchedulePolicy,
+    fault_policy: FaultPolicy,
+    breakers: Vec<CircuitBreaker>,
+    hedged_last: Vec<bool>,
+    lifetime_faults: FaultStats,
 }
 
 impl QpuPool {
@@ -67,25 +331,44 @@ impl QpuPool {
         assert!(count >= 1);
         let devices = (0..count)
             .map(|i| {
-                let mut cfg = base;
+                let mut cfg = base.clone();
                 cfg.seed = base.seed.wrapping_add(i as u64 * 0x0123_4567_89AB_CDEF);
                 QpuDevice::new(i, cfg)
             })
             .collect();
-        QpuPool { devices, policy }
+        Self::from_devices(devices, policy)
     }
 
     /// Builds a pool from explicit device configurations.
     pub fn heterogeneous(configs: Vec<QpuConfig>, policy: SchedulePolicy) -> Self {
         assert!(!configs.is_empty());
+        let devices = configs
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| QpuDevice::new(i, c))
+            .collect();
+        Self::from_devices(devices, policy)
+    }
+
+    fn from_devices(devices: Vec<QpuDevice>, policy: SchedulePolicy) -> Self {
+        let fault_policy = FaultPolicy::default();
+        let n = devices.len();
         QpuPool {
-            devices: configs
-                .into_iter()
-                .enumerate()
-                .map(|(i, c)| QpuDevice::new(i, c))
-                .collect(),
+            devices,
             policy,
+            fault_policy,
+            breakers: vec![CircuitBreaker::new(fault_policy.breaker); n],
+            hedged_last: vec![false; n],
+            lifetime_faults: FaultStats::default(),
         }
+    }
+
+    /// Replaces the fault policy (retry/failover bounds, breaker tuning,
+    /// hedging); resets the breakers to the new configuration.
+    pub fn with_fault_policy(mut self, fault_policy: FaultPolicy) -> Self {
+        self.fault_policy = fault_policy;
+        self.breakers = vec![CircuitBreaker::new(fault_policy.breaker); self.devices.len()];
+        self
     }
 
     /// Number of devices.
@@ -98,39 +381,141 @@ impl QpuPool {
         self.policy
     }
 
-    /// Executes a batch; returns `(results sorted by job id, report)`.
-    /// An empty batch is a no-op: no device is touched and the report
-    /// carries zero throughput (serving-style callers legitimately hit
-    /// this when every request of a micro-batch was shed or cached).
-    pub fn execute_batch(&mut self, jobs: Vec<CircuitJob>) -> (Vec<JobResult>, PoolReport) {
+    /// The fault policy in force.
+    pub fn fault_policy(&self) -> &FaultPolicy {
+        &self.fault_policy
+    }
+
+    /// Lifetime failure/recovery counters, summed over every batch.
+    pub fn fault_stats(&self) -> &FaultStats {
+        &self.lifetime_faults
+    }
+
+    /// Observed per-device health: breaker state plus whether the device
+    /// was hedged against (straggling) in the most recent batch.
+    pub fn device_health(&self) -> Vec<DeviceHealth> {
+        self.breakers
+            .iter()
+            .zip(&self.hedged_last)
+            .map(|(b, &straggler)| b.health(straggler))
+            .collect()
+    }
+
+    /// Executes a batch; returns `(outcomes sorted by job id, report)`.
+    /// Every submitted job yields exactly one outcome: a [`JobResult`]
+    /// bit-for-bit identical to what the no-fault path would produce
+    /// (for exact jobs; shot noise follows the executing device's seed),
+    /// or a typed [`JobError`] once retries/failover/deadline budgets
+    /// are exhausted. An empty batch is a no-op: no device is touched
+    /// and the report carries zero throughput (serving-style callers
+    /// legitimately hit this when every request of a micro-batch was
+    /// shed or cached).
+    pub fn execute_batch(&mut self, jobs: Vec<CircuitJob>) -> (Vec<JobOutcome>, PoolReport) {
         let started = Instant::now();
         let n_dev = self.devices.len();
 
-        let mut results: Vec<JobResult> = match self.policy {
+        // Phase 1: sequential simulated-time dispatch — placement, retry,
+        // failover, breakers, hedging. Deterministic by construction.
+        let mut dispatcher = Dispatcher::new(&self.devices, &mut self.breakers, self.fault_policy);
+        let origin = dispatcher.origin();
+        let pend = |job: CircuitJob| {
+            let deadline_ns = job
+                .sim_budget_ns
+                .map_or(u64::MAX, |b| origin.saturating_add(b));
+            Pending {
+                job,
+                attempts: 0,
+                local_attempts: 0,
+                failed_on: None,
+                ready_ns: 0,
+                deadline_ns,
+            }
+        };
+        match self.policy {
             SchedulePolicy::RoundRobin => {
-                let mut queues: Vec<Vec<CircuitJob>> = vec![Vec::new(); n_dev];
+                let eligible = eligible_devices(&dispatcher);
+                let mut queues: Vec<VecDeque<Pending>> =
+                    (0..n_dev).map(|_| VecDeque::new()).collect();
                 for (i, job) in jobs.into_iter().enumerate() {
-                    queues[i % n_dev].push(job);
+                    queues[eligible[i % eligible.len()]].push_back(pend(job));
                 }
-                self.run_static(queues)
+                drain_static(&mut dispatcher, queues);
             }
             SchedulePolicy::LeastLoaded => {
                 // Greedy: largest jobs first onto the least-loaded device.
+                let eligible = eligible_devices(&dispatcher);
                 let mut indexed: Vec<CircuitJob> = jobs;
                 indexed.sort_by_key(|j| std::cmp::Reverse(j.cost_estimate()));
                 let mut load = vec![0u64; n_dev];
-                let mut queues: Vec<Vec<CircuitJob>> = vec![Vec::new(); n_dev];
+                let mut queues: Vec<VecDeque<Pending>> =
+                    (0..n_dev).map(|_| VecDeque::new()).collect();
                 for job in indexed {
-                    let dev = (0..n_dev).min_by_key(|&i| load[i]).unwrap();
+                    let dev = eligible.iter().copied().min_by_key(|&i| load[i]).unwrap();
                     load[dev] += self.devices[dev].sim_cost_ns(&job);
-                    queues[dev].push(job);
+                    queues[dev].push_back(pend(job));
                 }
-                self.run_static(queues)
+                drain_static(&mut dispatcher, queues);
             }
-            SchedulePolicy::WorkStealing => self.run_stealing(jobs),
-        };
+            SchedulePolicy::WorkStealing => {
+                let mut queue: VecDeque<Pending> = jobs.into_iter().map(pend).collect();
+                while let Some(p) = queue.pop_front() {
+                    let d = stealing_target(&dispatcher, &p);
+                    if let Disposition::Requeue(p) = dispatcher.dispatch(p, d) {
+                        queue.push_back(p);
+                    }
+                }
+            }
+        }
+        let Dispatcher {
+            busy,
+            placed,
+            hedged,
+            errors,
+            stats,
+            ..
+        } = dispatcher;
+        self.hedged_last = hedged;
+        self.lifetime_faults.absorb(&stats);
 
-        results.sort_by_key(|r| r.id);
+        // Phase 2: execute the placement ledger in parallel on the shared
+        // executor; `values` is pure, so the charges settle afterwards.
+        let hint = Self::inner_threads_hint(placed.iter().filter(|q| !q.is_empty()).count());
+        let mut outs: Vec<Vec<JobResult>> = Vec::with_capacity(n_dev);
+        outs.resize_with(n_dev, Vec::new);
+        rayon::scope(|s| {
+            for ((dev, work), out) in self.devices.iter().zip(&placed).zip(outs.iter_mut()) {
+                if work.is_empty() {
+                    continue;
+                }
+                s.spawn(move || {
+                    rayon::with_inner_threads(hint, || {
+                        *out = work
+                            .iter()
+                            .map(|(job, cost_ns, done_ns)| JobResult {
+                                id: job.id,
+                                values: dev.values(job),
+                                device: dev.id,
+                                sim_busy_ns: *cost_ns,
+                                sim_completed_ns: done_ns - origin,
+                            })
+                            .collect();
+                    });
+                });
+            }
+        });
+        for ((dev, add), work) in self.devices.iter_mut().zip(busy).zip(&placed) {
+            dev.charge(add, work.len());
+        }
+
+        let mut outcomes: Vec<JobOutcome> = outs
+            .into_iter()
+            .flatten()
+            .map(Ok)
+            .chain(errors.into_iter().map(Err))
+            .collect();
+        outcomes.sort_by_key(outcome_id);
+        let completed = outcomes.iter().filter(|o| o.is_ok()).count();
+
         let wall_secs = started.elapsed().as_secs_f64();
         let busy: Vec<u64> = self.devices.iter().map(|d| d.sim_busy_ns()).collect();
         let max_busy = *busy.iter().max().unwrap() as f64;
@@ -143,10 +528,11 @@ impl QpuPool {
             } else {
                 1.0
             },
-            throughput: results.len() as f64 / wall_secs.max(1e-12),
+            throughput: completed as f64 / wall_secs.max(1e-12),
             jobs_per_device: self.devices.iter().map(|d| d.jobs_run()).collect(),
+            faults: stats,
         };
-        (results, report)
+        (outcomes, report)
     }
 
     /// Fair-share kernel fan-out per device task: with `active` device
@@ -156,94 +542,87 @@ impl QpuPool {
     fn inner_threads_hint(active: usize) -> usize {
         (rayon::current_num_threads() / active.max(1)).max(1)
     }
+}
 
-    /// Runs pre-assigned queues, one scoped executor task per device.
-    /// Transient failures (fault injection) are retried in place on the
-    /// owning device.
-    fn run_static(&mut self, queues: Vec<Vec<CircuitJob>>) -> Vec<JobResult> {
-        let hint = Self::inner_threads_hint(queues.iter().filter(|q| !q.is_empty()).count());
-        let mut outs: Vec<Vec<JobResult>> = Vec::with_capacity(self.devices.len());
-        outs.resize_with(self.devices.len(), Vec::new);
-        rayon::scope(|s| {
-            for ((dev, queue), out) in self.devices.iter_mut().zip(queues).zip(outs.iter_mut()) {
-                s.spawn(move || {
-                    rayon::with_inner_threads(hint, || {
-                        *out = queue
-                            .iter()
-                            .map(|job| {
-                                let mut attempt = 0u32;
-                                loop {
-                                    if let Some(r) = dev.try_execute(job, attempt) {
-                                        return r;
-                                    }
-                                    attempt += 1;
-                                    assert!(attempt < 1000, "device stuck failing job {}", job.id);
-                                }
-                            })
-                            .collect();
-                    });
-                });
-            }
-        });
-        outs.into_iter().flatten().collect()
+/// Devices in the static-assignment rotation: quarantined devices are
+/// skipped unless *every* device is quarantined (then jobs wait out the
+/// shortest cooldown instead of having nowhere to go).
+fn eligible_devices(d: &Dispatcher<'_>) -> Vec<usize> {
+    let up: Vec<usize> = (0..d.devices.len())
+        .filter(|&i| !d.breakers[i].is_quarantined_at(d.clock[i]))
+        .collect();
+    if up.is_empty() {
+        (0..d.devices.len()).collect()
+    } else {
+        up
     }
+}
 
-    /// Dynamic work stealing, dispatched in **simulated time**: a shared
-    /// injector queue is drained by whichever device's simulated clock
-    /// frees up first, exactly like real QPUs pulling from a batch queue.
-    /// Injected failures charge the submission overhead and re-queue the
-    /// job (with an incremented attempt counter) for whichever device
-    /// frees up next. Placement therefore depends only on the latency
-    /// model — not on host thread count or OS scheduling races, which
-    /// used to skew job balance whenever the host had fewer cores than
-    /// the pool had devices (and made `jobs_per_device` nondeterministic).
-    /// The placed queues then execute in parallel on the shared rayon
-    /// executor; `try_execute` re-makes the same deterministic failure
-    /// draws the placement predicted, so the simulated clocks charge
-    /// identically.
-    fn run_stealing(&mut self, jobs: Vec<CircuitJob>) -> Vec<JobResult> {
-        use std::collections::VecDeque;
-        let n_dev = self.devices.len();
-        let hint = Self::inner_threads_hint(n_dev.min(jobs.len()));
-        let mut clock: Vec<u64> = self.devices.iter().map(QpuDevice::sim_busy_ns).collect();
-        let mut queue: VecDeque<(CircuitJob, u32)> =
-            jobs.into_iter().map(|job| (job, 0u32)).collect();
-        let mut queues: Vec<Vec<(CircuitJob, u32)>> = vec![Vec::new(); n_dev];
-        while let Some((job, attempt)) = queue.pop_front() {
-            assert!(attempt < 1000, "device pool stuck failing job {}", job.id);
-            let dev = (0..n_dev).min_by_key(|&i| clock[i]).unwrap();
-            if self.devices[dev].would_fail(&job, attempt) {
-                clock[dev] += self.devices[dev].config().submit_overhead_ns;
-                queues[dev].push((job.clone(), attempt));
-                queue.push_back((job, attempt + 1));
+/// Drains statically assigned per-device queues in simulated-time order:
+/// the device whose head job can dispatch earliest goes next (lowest
+/// index on ties), so cross-device moves (failover) interleave
+/// deterministically. Transient failures retry at the head of their
+/// queue — in place, like the pre-fault pool — until the local-attempt
+/// budget moves the job to the device that frees up earliest.
+fn drain_static(dispatcher: &mut Dispatcher<'_>, mut queues: Vec<VecDeque<Pending>>) {
+    loop {
+        let next = (0..queues.len())
+            .filter(|&d| !queues[d].is_empty())
+            .min_by_key(|&d| {
+                (
+                    dispatcher
+                        .free_ns(d)
+                        .max(queues[d].front().unwrap().ready_ns),
+                    d,
+                )
+            });
+        let Some(d) = next else { break };
+        let p = queues[d].pop_front().unwrap();
+        if let Disposition::Requeue(p) = dispatcher.dispatch(p, d) {
+            let max_local = dispatcher.policy.retry.max_attempts_per_device;
+            let target = if p.local_attempts >= max_local && queues.len() > 1 {
+                // Failover: hand the job to whichever other device frees
+                // up earliest.
+                (0..queues.len())
+                    .filter(|&c| c != d)
+                    .min_by_key(|&c| (dispatcher.free_ns(c), c))
+                    .unwrap()
             } else {
-                clock[dev] += self.devices[dev].sim_cost_ns(&job);
-                queues[dev].push((job, attempt));
+                d
+            };
+            if target == d {
+                queues[d].push_front(p);
+            } else {
+                queues[target].push_back(p);
             }
         }
-        let mut outs: Vec<Vec<JobResult>> = Vec::with_capacity(n_dev);
-        outs.resize_with(n_dev, Vec::new);
-        rayon::scope(|s| {
-            for ((dev, queue), out) in self.devices.iter_mut().zip(queues).zip(outs.iter_mut()) {
-                s.spawn(move || {
-                    rayon::with_inner_threads(hint, || {
-                        // Predicted failures return `None` (charging the
-                        // overhead); their retries were queued elsewhere.
-                        *out = queue
-                            .iter()
-                            .filter_map(|(job, attempt)| dev.try_execute(job, *attempt))
-                            .collect();
-                    });
-                });
-            }
-        });
-        outs.into_iter().flatten().collect()
     }
+}
+
+/// The work-stealing pull target for `p`: the device that could dispatch
+/// it earliest (breaker cooldowns included, lowest index on ties),
+/// excluding the device it just failed on once the local-attempt budget
+/// forces a failover.
+fn stealing_target(dispatcher: &Dispatcher<'_>, p: &Pending) -> usize {
+    let n = dispatcher.devices.len();
+    let exclude = match p.failed_on {
+        Some(prev)
+            if n > 1 && p.local_attempts >= dispatcher.policy.retry.max_attempts_per_device =>
+        {
+            Some(prev)
+        }
+        _ => None,
+    };
+    (0..n)
+        .filter(|&d| Some(d) != exclude)
+        .min_by_key(|&d| (dispatcher.free_ns(d).max(p.ready_ns), d))
+        .unwrap()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{BreakerConfig, FaultSchedule, HedgeConfig, RetryPolicy};
     use pauli::PauliString;
     use qsim::{Circuit, Gate};
 
@@ -273,20 +652,31 @@ mod tests {
             .collect()
     }
 
+    fn unwrap_all(outcomes: Vec<JobOutcome>) -> Vec<JobResult> {
+        outcomes
+            .into_iter()
+            .map(|o| o.expect("job failed"))
+            .collect()
+    }
+
+    const ALL_POLICIES: [SchedulePolicy; 3] = [
+        SchedulePolicy::RoundRobin,
+        SchedulePolicy::LeastLoaded,
+        SchedulePolicy::WorkStealing,
+    ];
+
     #[test]
     fn all_policies_return_all_results_in_order() {
-        for policy in [
-            SchedulePolicy::RoundRobin,
-            SchedulePolicy::LeastLoaded,
-            SchedulePolicy::WorkStealing,
-        ] {
+        for policy in ALL_POLICIES {
             let mut pool = QpuPool::homogeneous(3, QpuConfig::default(), policy);
             let (results, report) = pool.execute_batch(make_jobs(20, None));
+            let results = unwrap_all(results);
             assert_eq!(results.len(), 20, "{policy:?}");
             for (i, r) in results.iter().enumerate() {
                 assert_eq!(r.id, i as u64, "{policy:?}");
             }
             assert_eq!(report.jobs_per_device.iter().sum::<usize>(), 20);
+            assert_eq!(report.faults, FaultStats::default(), "healthy pool");
         }
     }
 
@@ -294,7 +684,7 @@ mod tests {
     fn exact_results_are_policy_independent() {
         let run = |policy| {
             let mut pool = QpuPool::homogeneous(4, QpuConfig::default(), policy);
-            pool.execute_batch(make_jobs(15, None)).0
+            unwrap_all(pool.execute_batch(make_jobs(15, None)).0)
         };
         let a = run(SchedulePolicy::RoundRobin);
         let b = run(SchedulePolicy::WorkStealing);
@@ -365,21 +755,19 @@ mod tests {
         let reference = {
             let mut pool =
                 QpuPool::homogeneous(3, QpuConfig::default(), SchedulePolicy::RoundRobin);
-            pool.execute_batch(make_jobs(24, None)).0
+            unwrap_all(pool.execute_batch(make_jobs(24, None)).0)
         };
-        for policy in [
-            SchedulePolicy::RoundRobin,
-            SchedulePolicy::LeastLoaded,
-            SchedulePolicy::WorkStealing,
-        ] {
-            let mut pool = QpuPool::homogeneous(3, config, policy);
+        for policy in ALL_POLICIES {
+            let mut pool = QpuPool::homogeneous(3, config.clone(), policy);
             let (results, report) = pool.execute_batch(make_jobs(24, None));
+            let results = unwrap_all(results);
             assert_eq!(results.len(), 24, "{policy:?} lost jobs");
             for (r, want) in results.iter().zip(reference.iter()) {
                 assert_eq!(r.id, want.id, "{policy:?}");
                 assert_eq!(r.values, want.values, "{policy:?} corrupted results");
             }
             assert_eq!(report.jobs_per_device.iter().sum::<usize>(), 24);
+            assert!(report.faults.retries > 0, "{policy:?} must observe retries");
         }
     }
 
@@ -415,6 +803,237 @@ mod tests {
         };
         let mut pool = QpuPool::heterogeneous(vec![fast, slow], SchedulePolicy::WorkStealing);
         let (results, _) = pool.execute_batch(make_jobs(10, None));
-        assert_eq!(results.len(), 10);
+        assert_eq!(unwrap_all(results).len(), 10);
+    }
+
+    #[test]
+    fn retries_exhausted_is_a_typed_error_not_a_panic() {
+        // A device that always fails resolves every job to a typed error
+        // once the (small) attempt budget runs out — the old pool
+        // panicked here.
+        let config = QpuConfig {
+            fail_prob: 1.0,
+            ..Default::default()
+        };
+        for policy in ALL_POLICIES {
+            let mut pool =
+                QpuPool::homogeneous(1, config.clone(), policy).with_fault_policy(FaultPolicy {
+                    retry: RetryPolicy {
+                        max_attempts_total: 4,
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                });
+            let (outcomes, report) = pool.execute_batch(make_jobs(3, None));
+            assert_eq!(outcomes.len(), 3, "{policy:?}");
+            for (i, o) in outcomes.iter().enumerate() {
+                let err = o.as_ref().expect_err("must fail");
+                assert_eq!(err.id, i as u64);
+                assert_eq!(err.attempts, 4);
+                assert_eq!(err.kind, JobErrorKind::RetriesExhausted, "{policy:?}");
+            }
+            assert_eq!(report.faults.jobs_failed, 3);
+        }
+    }
+
+    #[test]
+    fn outage_window_fails_over_to_healthy_device() {
+        // Device 0 is down for the whole batch; with bit-for-bit identical
+        // results, every job must land on device 1.
+        let down = QpuConfig {
+            faults: FaultSchedule::none().with_outage(0, u64::MAX),
+            ..Default::default()
+        };
+        let up = QpuConfig {
+            seed: 99,
+            ..Default::default()
+        };
+        let clean = {
+            let mut pool =
+                QpuPool::homogeneous(2, QpuConfig::default(), SchedulePolicy::RoundRobin);
+            unwrap_all(pool.execute_batch(make_jobs(12, None)).0)
+        };
+        for policy in ALL_POLICIES {
+            let mut pool = QpuPool::heterogeneous(vec![down.clone(), up.clone()], policy);
+            let (outcomes, report) = pool.execute_batch(make_jobs(12, None));
+            let results = unwrap_all(outcomes);
+            assert_eq!(results.len(), 12, "{policy:?}");
+            for (r, want) in results.iter().zip(clean.iter()) {
+                assert_eq!(r.values, want.values, "{policy:?}: failover changed values");
+                assert_eq!(r.device, 1, "{policy:?}: job ran on the dead device");
+            }
+            assert!(report.faults.failovers > 0, "{policy:?} must fail over");
+        }
+    }
+
+    #[test]
+    fn breaker_quarantines_dead_device_and_health_reflects_it() {
+        let dead = QpuConfig {
+            faults: FaultSchedule::none().with_outage(0, u64::MAX),
+            ..Default::default()
+        };
+        let mut pool = QpuPool::heterogeneous(
+            vec![dead, QpuConfig::default()],
+            SchedulePolicy::WorkStealing,
+        )
+        .with_fault_policy(FaultPolicy {
+            breaker: BreakerConfig {
+                failure_threshold: 3,
+                cooldown_ns: u64::MAX / 2,
+            },
+            ..Default::default()
+        });
+        let (outcomes, report) = pool.execute_batch(make_jobs(20, None));
+        assert!(outcomes.iter().all(|o| o.is_ok()));
+        assert!(report.faults.breaker_trips >= 1, "dead device must trip");
+        let health = pool.device_health();
+        assert_eq!(health[0], DeviceHealth::Quarantined);
+        assert_eq!(health[1], DeviceHealth::Healthy);
+        // Quarantine caps the dead device's charges: after the trip it
+        // takes no further submissions this batch.
+        assert!(report.jobs_per_device[0] == 0);
+    }
+
+    #[test]
+    fn breaker_half_open_probe_readmits_recovered_device() {
+        // Device 0 is down only for an initial window; after the breaker
+        // cooldown a probe lands in the healthy region and re-admits it.
+        let flappy = QpuConfig {
+            faults: FaultSchedule::none().with_outage(0, 100_000),
+            ..Default::default()
+        };
+        let mut pool = QpuPool::heterogeneous(
+            vec![flappy, QpuConfig::default()],
+            SchedulePolicy::WorkStealing,
+        )
+        .with_fault_policy(FaultPolicy {
+            breaker: BreakerConfig {
+                failure_threshold: 2,
+                cooldown_ns: 200_000,
+            },
+            ..Default::default()
+        });
+        let (outcomes, report) = pool.execute_batch(make_jobs(40, None));
+        assert!(outcomes.iter().all(|o| o.is_ok()));
+        assert!(report.faults.breaker_trips >= 1);
+        assert!(report.faults.probes >= 1, "cooldown must end in a probe");
+        assert!(
+            report.jobs_per_device[0] > 0,
+            "recovered device must be re-admitted"
+        );
+        assert_eq!(pool.device_health()[0], DeviceHealth::Healthy);
+    }
+
+    #[test]
+    fn degraded_device_gets_hedged_and_hedge_wins() {
+        // Device 0 is a 10× straggler for the whole batch; every job that
+        // lands on it should be hedged onto device 1, and the hedge wins.
+        let slow = QpuConfig {
+            faults: FaultSchedule::none().with_degraded(0, u64::MAX, 10.0),
+            ..Default::default()
+        };
+        let mut pool =
+            QpuPool::heterogeneous(vec![slow, QpuConfig::default()], SchedulePolicy::RoundRobin);
+        let (outcomes, report) = pool.execute_batch(make_jobs(10, None));
+        let results = unwrap_all(outcomes);
+        assert!(
+            report.faults.hedges_launched > 0,
+            "straggler must be hedged"
+        );
+        assert!(report.faults.hedges_won > 0, "hedges must win against 10×");
+        assert!(
+            results.iter().all(|r| r.device == 1),
+            "winning hedges all run on the fast device"
+        );
+        assert_eq!(pool.device_health()[0], DeviceHealth::Degraded);
+    }
+
+    #[test]
+    fn hedging_can_be_disabled() {
+        let slow = QpuConfig {
+            faults: FaultSchedule::none().with_degraded(0, u64::MAX, 10.0),
+            ..Default::default()
+        };
+        let mut pool =
+            QpuPool::heterogeneous(vec![slow, QpuConfig::default()], SchedulePolicy::RoundRobin)
+                .with_fault_policy(FaultPolicy {
+                    hedge: HedgeConfig {
+                        enabled: false,
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                });
+        let (outcomes, report) = pool.execute_batch(make_jobs(10, None));
+        assert!(outcomes.iter().all(|o| o.is_ok()));
+        assert_eq!(report.faults.hedges_launched, 0);
+        assert!(
+            unwrap_all(outcomes).iter().any(|r| r.device == 0),
+            "without hedging the straggler keeps its share"
+        );
+    }
+
+    #[test]
+    fn deadline_budget_expires_as_typed_error() {
+        // One always-failing device and a deadline too tight to ride out
+        // the retries: jobs resolve to DeadlineExpired, not a hang.
+        let config = QpuConfig {
+            fail_prob: 1.0,
+            ..Default::default()
+        };
+        for policy in ALL_POLICIES {
+            let mut pool = QpuPool::homogeneous(1, config.clone(), policy);
+            let jobs: Vec<CircuitJob> = make_jobs(2, None)
+                .into_iter()
+                .map(|j| j.with_budget(50_000))
+                .collect();
+            let (outcomes, _) = pool.execute_batch(jobs);
+            for o in outcomes {
+                let err = o.expect_err("deadline must expire");
+                assert!(
+                    matches!(err.kind, JobErrorKind::DeadlineExpired { .. }),
+                    "{policy:?}: got {:?}",
+                    err.kind
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn generous_deadline_does_not_fail_jobs() {
+        for policy in ALL_POLICIES {
+            let mut pool = QpuPool::homogeneous(2, QpuConfig::default(), policy);
+            let jobs: Vec<CircuitJob> = make_jobs(8, None)
+                .into_iter()
+                .map(|j| j.with_budget(u64::MAX / 2))
+                .collect();
+            let (outcomes, _) = pool.execute_batch(jobs);
+            assert!(outcomes.iter().all(|o| o.is_ok()), "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn completion_times_are_monotone_in_latency_model() {
+        let mut pool = QpuPool::homogeneous(2, QpuConfig::default(), SchedulePolicy::WorkStealing);
+        let (outcomes, _) = pool.execute_batch(make_jobs(8, Some(100)));
+        for r in unwrap_all(outcomes) {
+            assert!(r.sim_completed_ns >= r.sim_busy_ns);
+        }
+    }
+
+    #[test]
+    fn lifetime_fault_stats_accumulate_across_batches() {
+        let flaky = QpuConfig {
+            fail_prob: 0.4,
+            ..Default::default()
+        };
+        let mut pool = QpuPool::homogeneous(2, flaky, SchedulePolicy::WorkStealing);
+        let (_, first) = pool.execute_batch(make_jobs(16, None));
+        let after_first = *pool.fault_stats();
+        let (_, second) = pool.execute_batch(make_jobs(16, None));
+        assert_eq!(after_first.retries, first.faults.retries);
+        assert_eq!(
+            pool.fault_stats().retries,
+            first.faults.retries + second.faults.retries
+        );
     }
 }

@@ -32,7 +32,7 @@ pub fn strong_scaling(
     let mut out: Vec<ScalingPoint> = Vec::new();
     let mut baseline_wall = 0.0;
     for (i, &count) in device_counts.iter().enumerate() {
-        let mut pool = QpuPool::homogeneous(count, config, policy);
+        let mut pool = QpuPool::homogeneous(count, config.clone(), policy);
         let (_, report) = pool.execute_batch(jobs.to_vec());
         if i == 0 {
             baseline_wall = report.wall_secs;

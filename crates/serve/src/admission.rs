@@ -63,6 +63,15 @@ pub enum Rejected {
         /// Index of the offending coordinate.
         index: usize,
     },
+    /// The quantum backend could not produce this request's feature row
+    /// — every retry, failover, and hedge avenue in the pool was
+    /// exhausted — and degraded-mode local fallback is disabled, so the
+    /// request is shed rather than served from a partial batch. The
+    /// bottom rung of the server's degradation ladder.
+    BackendUnavailable {
+        /// Jobs that terminally failed in the backend pool.
+        failed_jobs: u64,
+    },
     /// The server is shutting down and no longer admits requests (the
     /// queue drains; already-admitted requests are still answered).
     ShuttingDown,
@@ -89,6 +98,12 @@ impl fmt::Display for Rejected {
             ),
             Rejected::InvalidValue { index } => {
                 write!(f, "input coordinate {index} is non-finite or out of range")
+            }
+            Rejected::BackendUnavailable { failed_jobs } => {
+                write!(
+                    f,
+                    "quantum backend unavailable ({failed_jobs} jobs failed, local fallback disabled)"
+                )
             }
             Rejected::ShuttingDown => write!(f, "server is shutting down"),
         }

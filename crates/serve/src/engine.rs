@@ -10,10 +10,50 @@
 //! pool, the deployment shape the paper's hybrid HPC-QC system targets
 //! for the finite-shot backends.
 
-use hpcq::{CircuitJob, QpuConfig, QpuPool, SchedulePolicy};
+use hpcq::{CircuitJob, FaultStats, JobError, QpuConfig, QpuPool, SchedulePolicy};
 use pvqnn::features::FeatureBackend;
 use pvqnn::FeatureGenerator;
-use std::sync::Mutex;
+use std::fmt;
+use std::sync::{Mutex, PoisonError};
+
+/// The quantum backend failed part of a feature batch terminally:
+/// retries, failover, and hedging were all exhausted (or deadlines
+/// expired) for `failed_jobs` of the batch's jobs. The server's
+/// degradation ladder decides what happens next — local fallback or a
+/// typed shed — instead of panicking on the batcher thread.
+#[derive(Clone, Debug)]
+pub struct EngineError {
+    /// Jobs that resolved to typed errors.
+    pub failed_jobs: usize,
+    /// Total jobs in the batch.
+    pub total_jobs: usize,
+    /// The first failure, in job-id order.
+    pub first: JobError,
+    /// Failure/recovery counters the pool observed for this batch.
+    pub faults: FaultStats,
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "backend failed {} of {} feature jobs (first: {})",
+            self.failed_jobs, self.total_jobs, self.first
+        )
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// A successfully computed miss batch.
+#[derive(Clone, Debug)]
+pub struct ComputedRows {
+    /// One standalone-seeded feature row per requested point.
+    pub rows: Vec<Vec<f64>>,
+    /// Failure/recovery counters the backend observed while computing
+    /// (all zero for the local engine and the healthy pool path).
+    pub faults: FaultStats,
+}
 
 /// The compute backend for cache misses.
 pub enum FeatureEngine {
@@ -44,12 +84,32 @@ impl FeatureEngine {
     }
 
     /// One standalone-seeded feature row per unique data point.
-    pub fn compute_rows(&self, generator: &FeatureGenerator, xs: &[&[f64]]) -> Vec<Vec<f64>> {
+    /// `budget_ns` is the batch's remaining deadline budget in simulated
+    /// ns — the pool path attaches it to every job so retries never
+    /// chase an already-dead request (the local path is host-side
+    /// compute and ignores it). Pool jobs that terminally fail (retry
+    /// budget exhausted, deadline expired on every device) surface as a
+    /// typed [`EngineError`] instead of panicking on the batcher thread;
+    /// a previously poisoned pool lock is recovered, not propagated —
+    /// the pool holds no invariants a panicked batch could have broken
+    /// (placement is recomputed per batch).
+    pub fn compute_rows(
+        &self,
+        generator: &FeatureGenerator,
+        xs: &[&[f64]],
+        budget_ns: Option<u64>,
+    ) -> Result<ComputedRows, EngineError> {
         match self {
-            FeatureEngine::Local => generator.generate_rows_standalone(xs),
+            FeatureEngine::Local => Ok(ComputedRows {
+                rows: generator.generate_rows_standalone(xs),
+                faults: FaultStats::default(),
+            }),
             FeatureEngine::Pool(pool) => {
                 if xs.is_empty() {
-                    return Vec::new();
+                    return Ok(ComputedRows {
+                        rows: Vec::new(),
+                        faults: FaultStats::default(),
+                    });
                 }
                 let strategy = generator.strategy();
                 let p = strategy.num_ansatze();
@@ -63,22 +123,49 @@ impl FeatureEngine {
                 let mut jobs = Vec::with_capacity(xs.len() * p);
                 for (i, x) in xs.iter().enumerate() {
                     for a in 0..p {
-                        jobs.push(CircuitJob::new(
+                        let mut job = CircuitJob::new(
                             (i * p + a) as u64,
                             generator.circuit_for(x, a),
                             observables.clone(),
                             shots,
-                        ));
+                        );
+                        job.sim_budget_ns = budget_ns;
+                        jobs.push(job);
                     }
                 }
-                let (results, _) = pool.lock().expect("pool lock poisoned").execute_batch(jobs);
+                let total_jobs = jobs.len();
+                let (outcomes, report) = pool
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .execute_batch(jobs);
                 let mut rows = vec![vec![0.0; p * q]; xs.len()];
-                for r in results {
-                    let i = r.id as usize / p;
-                    let a = r.id as usize % p;
-                    rows[i][a * q..(a + 1) * q].copy_from_slice(&r.values);
+                let mut first_err: Option<JobError> = None;
+                let mut failed_jobs = 0usize;
+                for outcome in outcomes {
+                    match outcome {
+                        Ok(r) => {
+                            let i = r.id as usize / p;
+                            let a = r.id as usize % p;
+                            rows[i][a * q..(a + 1) * q].copy_from_slice(&r.values);
+                        }
+                        Err(e) => {
+                            failed_jobs += 1;
+                            first_err.get_or_insert(e);
+                        }
+                    }
                 }
-                rows
+                match first_err {
+                    None => Ok(ComputedRows {
+                        rows,
+                        faults: report.faults,
+                    }),
+                    Some(first) => Err(EngineError {
+                        failed_jobs,
+                        total_jobs,
+                        first,
+                        faults: report.faults,
+                    }),
+                }
             }
         }
     }
@@ -110,9 +197,14 @@ mod tests {
         );
         let data = points(3);
         let refs: Vec<&[f64]> = data.iter().map(Vec::as_slice).collect();
-        let local = FeatureEngine::local().compute_rows(&generator, &refs);
+        let local = FeatureEngine::local()
+            .compute_rows(&generator, &refs, None)
+            .unwrap()
+            .rows;
         let pool = FeatureEngine::pool(2, QpuConfig::default(), SchedulePolicy::WorkStealing);
-        let pooled = pool.compute_rows(&generator, &refs);
+        let out = pool.compute_rows(&generator, &refs, None).unwrap();
+        assert_eq!(out.faults, hpcq::FaultStats::default(), "healthy path");
+        let pooled = out.rows;
         assert_eq!(local.len(), pooled.len());
         for (lr, pr) in local.iter().zip(pooled.iter()) {
             assert_eq!(lr.len(), pr.len());
@@ -132,7 +224,9 @@ mod tests {
         let refs: Vec<&[f64]> = data.iter().map(Vec::as_slice).collect();
         let run = || {
             FeatureEngine::pool(2, QpuConfig::default(), SchedulePolicy::RoundRobin)
-                .compute_rows(&generator, &refs)
+                .compute_rows(&generator, &refs, None)
+                .unwrap()
+                .rows
         };
         assert_eq!(run(), run());
     }
@@ -144,9 +238,66 @@ mod tests {
             FeatureBackend::Exact,
         );
         let pool = FeatureEngine::pool(1, QpuConfig::default(), SchedulePolicy::RoundRobin);
-        assert!(pool.compute_rows(&generator, &[]).is_empty());
-        assert!(FeatureEngine::local()
-            .compute_rows(&generator, &[])
+        assert!(pool
+            .compute_rows(&generator, &[], None)
+            .unwrap()
+            .rows
             .is_empty());
+        assert!(FeatureEngine::local()
+            .compute_rows(&generator, &[], None)
+            .unwrap()
+            .rows
+            .is_empty());
+    }
+
+    #[test]
+    fn dead_pool_surfaces_typed_engine_error() {
+        use hpcq::{FaultPolicy, RetryPolicy};
+        let generator = FeatureGenerator::new(
+            Strategy::observable_construction(4, 1),
+            FeatureBackend::Exact,
+        );
+        let data = points(2);
+        let refs: Vec<&[f64]> = data.iter().map(Vec::as_slice).collect();
+        let broken = QpuConfig {
+            fail_prob: 1.0,
+            ..Default::default()
+        };
+        let pool = QpuPool::homogeneous(2, broken, SchedulePolicy::WorkStealing).with_fault_policy(
+            FaultPolicy {
+                retry: RetryPolicy {
+                    max_attempts_total: 3,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        let engine = FeatureEngine::Pool(Mutex::new(pool));
+        let err = engine
+            .compute_rows(&generator, &refs, None)
+            .expect_err("dead pool must error, not panic");
+        assert_eq!(err.failed_jobs, err.total_jobs);
+        assert!(err.faults.jobs_failed > 0);
+        assert!(err.to_string().contains("backend failed"));
+    }
+
+    #[test]
+    fn expired_budget_surfaces_typed_engine_error() {
+        let generator = FeatureGenerator::new(
+            Strategy::observable_construction(4, 1),
+            FeatureBackend::Exact,
+        );
+        let data = points(2);
+        let refs: Vec<&[f64]> = data.iter().map(Vec::as_slice).collect();
+        // One device, a budget shorter than a single job: the first job
+        // squeaks in at t=0, every later dispatch is past the deadline.
+        let engine = FeatureEngine::pool(1, QpuConfig::default(), SchedulePolicy::WorkStealing);
+        let err = engine
+            .compute_rows(&generator, &refs, Some(1))
+            .expect_err("sub-job budget cannot complete the batch");
+        assert!(matches!(
+            err.first.kind,
+            hpcq::JobErrorKind::DeadlineExpired { .. }
+        ));
     }
 }

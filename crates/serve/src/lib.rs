@@ -65,7 +65,7 @@ pub mod stats;
 pub use admission::{AdmissionController, Rejected};
 pub use cache::{CacheStats, FeatureCache};
 pub use clock::{CostModel, SimClock};
-pub use engine::FeatureEngine;
+pub use engine::{ComputedRows, EngineError, FeatureEngine};
 pub use loadgen::{demo_catalogue, run_closed_loop, LoadGenConfig, LoadReport, ZipfStream};
 pub use model::{Prediction, ServedModel};
 pub use registry::{ModelRegistry, ModelVersion};

@@ -67,6 +67,13 @@ pub struct ServerConfig {
     pub quant_scale: f64,
     /// Default per-request deadline budget in simulated ns (0 = none).
     pub default_deadline_ns: u64,
+    /// Degradation ladder: when the pool engine fails a miss batch
+    /// terminally, recompute the rows on the in-process local engine
+    /// (`true`, the default — rows are bit-for-bit what
+    /// [`FeatureEngine::Local`] would have served) instead of shedding
+    /// the affected requests with [`Rejected::BackendUnavailable`]
+    /// (`false`). Cache hits are served either way.
+    pub degraded_local_fallback: bool,
     /// Simulated batch cost model.
     pub cost: CostModel,
 }
@@ -80,6 +87,7 @@ impl Default for ServerConfig {
             cache_capacity: 1024,
             quant_scale: 1e8,
             default_deadline_ns: 50_000_000, // 50 simulated ms
+            degraded_local_fallback: true,
             cost: CostModel::default(),
         }
     }
@@ -158,9 +166,13 @@ struct Counters {
     rejected_overloaded: u64,
     rejected_deadline: u64,
     rejected_invalid: u64,
+    rejected_backend: u64,
     batches: u64,
     batch_rows: u64,
     unique_simulations: u64,
+    degraded_batches: u64,
+    /// Pool failure/recovery counters accumulated across batches.
+    faults: hpcq::FaultStats,
     hist: LatencyHistogram,
 }
 
@@ -314,6 +326,7 @@ impl Server {
             Rejected::InvalidInput { .. } | Rejected::InvalidValue { .. } => {
                 stats.rejected_invalid += 1
             }
+            Rejected::BackendUnavailable { .. } => stats.rejected_backend += 1,
             Rejected::DeadlineExceeded { .. }
             | Rejected::NoActiveModel
             | Rejected::ShuttingDown => {}
@@ -437,46 +450,111 @@ impl Server {
         }
 
         // Compute phase (no server lock held): one standalone-seeded row
-        // per unique miss, on the engine.
+        // per unique miss, on the engine. The batch's deadline budget is
+        // the tightest remaining budget across its live requests — pool
+        // retries never chase an already-dead request.
         let miss_xs: Vec<&[f64]> = miss_requesters
             .iter()
             .map(|reqs| live[reqs[0]].x.as_slice())
             .collect();
-        let computed = self.engine.compute_rows(model.generator(), &miss_xs);
-        debug_assert_eq!(computed.len(), miss_keys.len());
-
-        {
-            // Rows tagged with their generator's fingerprint stay valid
-            // forever — no tag re-check needed even if a concurrent batch
-            // hot-swapped the active model while we computed.
-            let mut cache = self.cache.lock().expect("server lock poisoned");
-            for (key, row) in miss_keys.into_iter().zip(computed.iter()) {
-                cache.insert(fp, key, row.clone());
+        let budget_ns = live
+            .iter()
+            .map(|p| p.deadline_ns)
+            .min()
+            .filter(|&d| d != u64::MAX)
+            .map(|d| d.saturating_sub(now));
+        let mut backend_failed_jobs = 0u64;
+        if !miss_xs.is_empty() {
+            // Degradation ladder: the pool already failed over / hedged
+            // internally; if it still could not complete the batch, fall
+            // back to the in-process local engine, or — with fallback
+            // disabled — shed exactly the requests whose rows are missing
+            // (cache hits are served regardless).
+            let computed = match self
+                .engine
+                .compute_rows(model.generator(), &miss_xs, budget_ns)
+            {
+                Ok(out) => {
+                    let mut stats = self.stats.lock().expect("server lock poisoned");
+                    stats.faults.absorb(&out.faults);
+                    Some(out.rows)
+                }
+                Err(err) => {
+                    let mut stats = self.stats.lock().expect("server lock poisoned");
+                    stats.faults.absorb(&err.faults);
+                    backend_failed_jobs = err.failed_jobs as u64;
+                    if self.config.degraded_local_fallback {
+                        stats.degraded_batches += 1;
+                        drop(stats);
+                        Some(model.generator().generate_rows_standalone(&miss_xs))
+                    } else {
+                        None
+                    }
+                }
+            };
+            if let Some(computed) = computed {
+                debug_assert_eq!(computed.len(), miss_keys.len());
+                {
+                    // Rows tagged with their generator's fingerprint stay
+                    // valid forever — no tag re-check needed even if a
+                    // concurrent batch hot-swapped the active model while
+                    // we computed.
+                    let mut cache = self.cache.lock().expect("server lock poisoned");
+                    for (key, row) in miss_keys.into_iter().zip(computed.iter()) {
+                        cache.insert(fp, key, row.clone());
+                    }
+                }
+                for (mi, requesters) in miss_requesters.iter().enumerate() {
+                    for &i in requesters {
+                        rows[i] = Some(computed[mi].clone());
+                    }
+                }
             }
         }
-        for (mi, requesters) in miss_requesters.iter().enumerate() {
-            for &i in requesters {
-                rows[i] = Some(computed[mi].clone());
+
+        // Bottom rung: requests whose rows never materialized are shed
+        // with a typed error; everything else proceeds to the head sweep.
+        let misses = miss_xs.len();
+        drop(miss_xs);
+        let mut survivors: Vec<(Pending, Vec<f64>, bool)> = Vec::with_capacity(live.len());
+        let mut shed_backend = 0u64;
+        for ((p, row), h) in live.into_iter().zip(rows).zip(hit) {
+            match row {
+                Some(r) => survivors.push((p, r, h)),
+                None => {
+                    shed_backend += 1;
+                    let _ = p.tx.send(Err(Rejected::BackendUnavailable {
+                        failed_jobs: backend_failed_jobs,
+                    }));
+                }
             }
+        }
+        if shed_backend > 0 {
+            self.stats
+                .lock()
+                .expect("server lock poisoned")
+                .rejected_backend += shed_backend;
+        }
+        if survivors.is_empty() {
+            return;
         }
 
         // Head phase: one fused sweep over the whole micro-batch.
-        let dense: Vec<Vec<f64>> = rows.into_iter().map(|r| r.expect("row resolved")).collect();
+        let dense: Vec<Vec<f64>> = survivors.iter().map(|(_, r, _)| r.clone()).collect();
         let mat = Mat::from_rows(&dense);
         let predictions = model.predict_batch(&mat);
 
         // Account simulated time once per batch, then respond.
-        let misses = miss_xs.len();
         let done = self
             .clock
-            .advance_ns(self.config.cost.batch_cost_ns(live.len(), misses));
-        let served = live.len();
+            .advance_ns(self.config.cost.batch_cost_ns(survivors.len(), misses));
+        let served = survivors.len();
         let mut stats = self.stats.lock().expect("server lock poisoned");
         stats.batches += 1;
         stats.batch_rows += served as u64;
         stats.completed += served as u64;
         stats.unique_simulations += misses as u64;
-        for ((p, prediction), &cache_hit) in live.into_iter().zip(predictions).zip(hit.iter()) {
+        for ((p, _, cache_hit), prediction) in survivors.into_iter().zip(predictions) {
             let latency_ns = done.saturating_sub(p.arrival_ns);
             stats.hist.record(latency_ns);
             let _ = p.tx.send(Ok(Response {
@@ -502,9 +580,16 @@ impl Server {
             rejected_overloaded: stats.rejected_overloaded,
             rejected_deadline: stats.rejected_deadline,
             rejected_invalid: stats.rejected_invalid,
+            rejected_backend: stats.rejected_backend,
             batches: stats.batches,
             batch_rows: stats.batch_rows,
             unique_simulations: stats.unique_simulations,
+            degraded_batches: stats.degraded_batches,
+            pool_retries: stats.faults.retries,
+            pool_failovers: stats.faults.failovers,
+            hedges_launched: stats.faults.hedges_launched,
+            hedges_won: stats.faults.hedges_won,
+            breaker_trips: stats.faults.breaker_trips,
             cache,
             sim_elapsed_ns,
             throughput_rows_per_s: if sim_elapsed_s > 0.0 {

@@ -115,12 +115,30 @@ pub struct ServerStats {
     /// length, non-finite or out-of-range coordinates) or invalidated
     /// at dispatch by a hot-swap that changed the qubit count.
     pub rejected_invalid: u64,
+    /// Requests shed with [`Rejected::BackendUnavailable`] — the pool
+    /// failed their rows terminally and local fallback is disabled.
+    ///
+    /// [`Rejected::BackendUnavailable`]: crate::admission::Rejected::BackendUnavailable
+    pub rejected_backend: u64,
     /// Micro-batches dispatched.
     pub batches: u64,
     /// Rows served across all batches (= completed).
     pub batch_rows: u64,
     /// Unique data points simulated (cache misses actually computed).
     pub unique_simulations: u64,
+    /// Micro-batches served through a lower rung of the degradation
+    /// ladder (pool failed → local fallback computed the rows).
+    pub degraded_batches: u64,
+    /// Failed pool submissions that were retried (backend pool).
+    pub pool_retries: u64,
+    /// Jobs the pool moved to a different device after local failures.
+    pub pool_failovers: u64,
+    /// Hedge replicas the pool launched against stragglers.
+    pub hedges_launched: u64,
+    /// Hedges that beat their primary.
+    pub hedges_won: u64,
+    /// Per-device circuit-breaker trips into quarantine.
+    pub breaker_trips: u64,
     /// Feature-cache counters.
     pub cache: CacheStats,
     /// Simulated time elapsed since server construction (ns).
@@ -153,6 +171,22 @@ impl ServerStats {
             + self.rejected_overloaded
             + self.rejected_deadline
             + self.rejected_invalid
+            + self.rejected_backend
+    }
+
+    /// Whether any fault-recovery machinery activated: retries,
+    /// failovers, hedges, breaker trips, degraded batches, or
+    /// backend sheds. The healthy-path benchmarks assert this is
+    /// `false` to guard against accidental fault-path activation.
+    pub fn any_fault_activity(&self) -> bool {
+        self.pool_retries
+            + self.pool_failovers
+            + self.hedges_launched
+            + self.hedges_won
+            + self.breaker_trips
+            + self.degraded_batches
+            + self.rejected_backend
+            > 0
     }
 }
 

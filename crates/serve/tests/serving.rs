@@ -672,4 +672,161 @@ fn pool_engine_serves_through_qpu_pool() {
         );
     }
     assert_eq!(server.stats().unique_simulations, 5);
+    assert!(
+        !server.stats().any_fault_activity(),
+        "healthy pool must not touch the fault path"
+    );
+}
+
+/// A pool whose every submission fails still serves every prediction:
+/// the degradation ladder falls back to the in-process local engine,
+/// bit-for-bit what the local path computes, and the stats taxonomy
+/// records the degradation instead of hiding it.
+#[test]
+fn dead_pool_degrades_to_local_fallback() {
+    use hpcq::{FaultPolicy, QpuConfig, QpuPool, RetryPolicy, SchedulePolicy};
+    use std::sync::Mutex;
+    let model = regressor(FeatureBackend::Exact);
+    let broken = QpuConfig {
+        fail_prob: 1.0,
+        ..Default::default()
+    };
+    let pool = QpuPool::homogeneous(2, broken, SchedulePolicy::WorkStealing).with_fault_policy(
+        FaultPolicy {
+            retry: RetryPolicy {
+                max_attempts_total: 3,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    let server = Server::with_engine(
+        ServerConfig::default(),
+        FeatureEngine::Pool(Mutex::new(pool)),
+    );
+    server.deploy(model.clone());
+    let points = catalogue(4);
+    let handles: Vec<_> = points
+        .iter()
+        .map(|p| server.submit(p.clone()).unwrap())
+        .collect();
+    server.drain();
+    for (p, h) in points.iter().zip(handles) {
+        let r = h.wait().expect("local fallback must serve the request");
+        assert_eq!(
+            r.prediction.as_f64(),
+            model.predict(std::slice::from_ref(p))[0],
+            "fallback rows are the local path, bit-for-bit"
+        );
+    }
+    let stats = server.stats();
+    assert!(stats.degraded_batches > 0, "ladder must record degradation");
+    assert_eq!(stats.completed, 4);
+    assert_eq!(stats.rejected_backend, 0, "fallback, not shed");
+    assert!(stats.any_fault_activity());
+}
+
+/// With local fallback disabled, a dead pool sheds requests with the
+/// typed bottom-rung rejection instead of panicking the batcher thread.
+#[test]
+fn dead_pool_without_fallback_sheds_typed() {
+    use hpcq::{FaultPolicy, QpuConfig, QpuPool, RetryPolicy, SchedulePolicy};
+    use std::sync::Mutex;
+    let broken = QpuConfig {
+        fail_prob: 1.0,
+        ..Default::default()
+    };
+    let pool = QpuPool::homogeneous(2, broken, SchedulePolicy::RoundRobin).with_fault_policy(
+        FaultPolicy {
+            retry: RetryPolicy {
+                max_attempts_total: 3,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    let server = Server::with_engine(
+        ServerConfig {
+            degraded_local_fallback: false,
+            ..Default::default()
+        },
+        FeatureEngine::Pool(Mutex::new(pool)),
+    );
+    server.deploy(regressor(FeatureBackend::Exact));
+    let points = catalogue(3);
+    let handles: Vec<_> = points
+        .iter()
+        .map(|p| server.submit(p.clone()).unwrap())
+        .collect();
+    server.drain();
+    for h in handles {
+        match h.wait() {
+            Err(Rejected::BackendUnavailable { failed_jobs }) => {
+                assert!(failed_jobs > 0, "shed must carry the failure count")
+            }
+            Err(other) => panic!("expected BackendUnavailable, got {other}"),
+            Ok(_) => panic!("a dead pool with fallback disabled cannot serve"),
+        }
+    }
+    let stats = server.stats();
+    assert_eq!(stats.rejected_backend, 3);
+    assert_eq!(stats.completed, 0);
+    assert_eq!(stats.rejected_total(), 3);
+}
+
+/// Cache hits are served even while the backend is inside an outage
+/// window — only requests that actually need the dead pool are shed.
+#[test]
+fn cache_hits_survive_backend_outage() {
+    use hpcq::{FaultPolicy, FaultSchedule, QpuConfig, QpuPool, RetryPolicy, SchedulePolicy};
+    use std::sync::Mutex;
+    let model = regressor(FeatureBackend::Exact);
+    // The lone device goes down 1 ns into its life: the warm-up batch's
+    // single job dispatches at t = 0 and completes; everything after
+    // lands inside the outage.
+    let cfg = QpuConfig {
+        faults: FaultSchedule::none().with_outage(1, u64::MAX),
+        ..Default::default()
+    };
+    let pool =
+        QpuPool::homogeneous(1, cfg, SchedulePolicy::WorkStealing).with_fault_policy(FaultPolicy {
+            retry: RetryPolicy {
+                max_attempts_total: 4,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+    let server = Server::with_engine(
+        ServerConfig {
+            degraded_local_fallback: false,
+            ..Default::default()
+        },
+        FeatureEngine::Pool(Mutex::new(pool)),
+    );
+    server.deploy(model.clone());
+    let points = catalogue(2);
+    let warm = server.submit(points[0].clone()).unwrap();
+    server.drain();
+    warm.wait().expect("warm-up while the device is up");
+    // Device clock is now past the outage start.
+    let hit_req = server.submit(points[0].clone()).unwrap();
+    let miss_req = server.submit(points[1].clone()).unwrap();
+    server.drain();
+    let hit = hit_req.wait().expect("cache hit needs no backend");
+    // Pool-computed rows match the local path to rounding (kernel
+    // summation orders differ), same bound as the healthy-pool test.
+    let lone = model.predict(&[points[0].clone()])[0];
+    assert!(
+        (hit.prediction.as_f64() - lone).abs() < 1e-10,
+        "cached {} vs lone {lone}",
+        hit.prediction.as_f64()
+    );
+    assert!(matches!(
+        miss_req.wait(),
+        Err(Rejected::BackendUnavailable { .. })
+    ));
+    let stats = server.stats();
+    assert_eq!(stats.rejected_backend, 1);
+    assert_eq!(stats.completed, 2);
+    assert!(stats.cache.hits >= 1);
 }

@@ -63,21 +63,23 @@ fn main() {
     let samples = train_x.len();
     let q_obs = observables.len();
 
-    let (accuracy_train, report) = pipeline.run(jobs, |results| {
-        // Classical stage: assemble Q and fit the logistic head.
-        let rows: Vec<Vec<f64>> = (0..samples)
-            .map(|i| {
-                let mut row = Vec::with_capacity(p * q_obs);
-                for a in 0..p {
-                    row.extend_from_slice(&results[i * p + a].values);
-                }
-                row
-            })
-            .collect();
-        let mat = postvar::linalg::Mat::from_rows(&rows);
-        let head = LogisticRegression::fit(&mat, &labels, LogisticConfig::default());
-        accuracy(&labels, &head.predict_proba(&mat))
-    });
+    let (accuracy_train, report) = pipeline
+        .run(jobs, |results| {
+            // Classical stage: assemble Q and fit the logistic head.
+            let rows: Vec<Vec<f64>> = (0..samples)
+                .map(|i| {
+                    let mut row = Vec::with_capacity(p * q_obs);
+                    for a in 0..p {
+                        row.extend_from_slice(&results[i * p + a].values);
+                    }
+                    row
+                })
+                .collect();
+            let mat = postvar::linalg::Mat::from_rows(&rows);
+            let head = LogisticRegression::fit(&mat, &labels, LogisticConfig::default());
+            accuracy(&labels, &head.predict_proba(&mat))
+        })
+        .expect("healthy pool completes every job");
 
     println!("\npipeline report:");
     println!(

@@ -52,7 +52,7 @@ fn pool_reproduces_in_process_features_exactly() {
     let q_obs = generator.strategy().num_observables();
     for (i, _x) in data.iter().enumerate() {
         for a in 0..p {
-            let job_values = &results[i * p + a].values;
+            let job_values = &results[i * p + a].as_ref().expect("healthy pool").values;
             for b in 0..q_obs {
                 let col = generator.strategy().column_of(a, b);
                 let direct = q_direct[(i, col)];
@@ -81,7 +81,10 @@ fn policies_agree_on_exact_workloads() {
     ] {
         let mut pool = QpuPool::homogeneous(2, QpuConfig::default(), policy);
         let (results, report) = pool.execute_batch(jobs.clone());
-        let values: Vec<Vec<f64>> = results.into_iter().map(|r| r.values).collect();
+        let values: Vec<Vec<f64>> = results
+            .into_iter()
+            .map(|r| r.expect("healthy pool").values)
+            .collect();
         assert!(report.utilization > 0.0);
         match &reference {
             None => reference = Some(values),
@@ -102,9 +105,11 @@ fn pipeline_feeds_classical_stage_with_complete_ordered_batch() {
     let n_jobs = jobs.len();
     let pool = QpuPool::homogeneous(2, QpuConfig::default(), SchedulePolicy::WorkStealing);
     let mut pipeline = HybridPipeline::new(pool);
-    let (ok, report) = pipeline.run(jobs, |results| {
-        results.len() == n_jobs && results.windows(2).all(|w| w[0].id < w[1].id)
-    });
+    let (ok, report) = pipeline
+        .run(jobs, |results| {
+            results.len() == n_jobs && results.windows(2).all(|w| w[0].id < w[1].id)
+        })
+        .expect("healthy pool completes every job");
     assert!(ok, "classical stage saw incomplete or unordered results");
     assert!(report.total_secs() > 0.0);
 }

@@ -79,6 +79,24 @@ fn fusion_circuit(
     })
 }
 
+/// Strategy: a random device fault schedule — up to two windows, each an
+/// outage or a degraded phase with a 1.5–8× latency multiplier.
+fn chaos_schedule() -> impl proptest::strategy::Strategy<Value = postvar::hpcq::FaultSchedule> {
+    // `kind10 < 15` selects an outage; otherwise it is the latency
+    // multiplier ×10 of a degraded phase (1.5–8×).
+    proptest::collection::vec((0u64..400_000, 1u64..300_000, 0u32..80), 0..3).prop_map(|windows| {
+        let mut s = postvar::hpcq::FaultSchedule::none();
+        for (start, len, kind10) in windows {
+            s = if kind10 < 15 {
+                s.with_outage(start, start + len)
+            } else {
+                s.with_degraded(start, start + len, kind10 as f64 / 10.0)
+            };
+        }
+        s
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -328,6 +346,93 @@ proptest! {
         let v4 = rayon::with_num_threads(4, || s.expectation_many(&paulis));
         for (a, b) in v1.iter().zip(v4.iter()) {
             prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}
+
+// Chaos determinism: random fault schedules (outages, degraded phases,
+// transient failure rates) replayed over the QPU pool must resolve every
+// job exactly once — bit-for-bit identical results or the same typed
+// error — under every scheduling policy and any executor thread count.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn chaos_outcomes_bit_identical_across_policies_and_threads(
+        schedules in proptest::collection::vec(chaos_schedule(), 2..4),
+        fail_milli in 0u32..400,
+        n_jobs in 1usize..10,
+    ) {
+        use postvar::hpcq::{
+            outcome_id, CircuitJob, FaultPolicy, QpuConfig, QpuPool, RetryPolicy,
+            SchedulePolicy,
+        };
+        let jobs: Vec<CircuitJob> = (0..n_jobs as u64)
+            .map(|id| {
+                let mut c = qsim::Circuit::new(4);
+                for q in 0..4 {
+                    c.push(Gate::Ry(q, 0.3 + 0.11 * (id as f64 + q as f64)));
+                }
+                c.push(Gate::Cnot { control: 0, target: 1 });
+                CircuitJob::new(id, c, vec![PauliString::from_masks(4, 0b1, 0)], None)
+            })
+            .collect();
+        let run = |policy: SchedulePolicy, threads: usize| {
+            rayon::with_num_threads(threads, || {
+                let configs = schedules
+                    .iter()
+                    .map(|f| QpuConfig {
+                        fail_prob: fail_milli as f64 / 1000.0,
+                        faults: f.clone(),
+                        ..Default::default()
+                    })
+                    .collect();
+                let mut pool = QpuPool::heterogeneous(configs, policy).with_fault_policy(
+                    FaultPolicy {
+                        retry: RetryPolicy {
+                            max_attempts_total: 8,
+                            ..Default::default()
+                        },
+                        ..Default::default()
+                    },
+                );
+                pool.execute_batch(jobs.clone()).0
+            })
+        };
+        for policy in [
+            SchedulePolicy::RoundRobin,
+            SchedulePolicy::LeastLoaded,
+            SchedulePolicy::WorkStealing,
+        ] {
+            let base = run(policy, 1);
+            // Every job resolves exactly once: no lost, no duplicated.
+            prop_assert_eq!(base.len(), n_jobs);
+            for (i, o) in base.iter().enumerate() {
+                prop_assert_eq!(outcome_id(o), i as u64);
+            }
+            for threads in [2usize, 4] {
+                let other = run(policy, threads);
+                for (a, b) in base.iter().zip(other.iter()) {
+                    match (a, b) {
+                        (Ok(x), Ok(y)) => {
+                            prop_assert_eq!(x.device, y.device);
+                            prop_assert_eq!(x.sim_completed_ns, y.sim_completed_ns);
+                            for (u, v) in x.values.iter().zip(y.values.iter()) {
+                                prop_assert_eq!(u.to_bits(), v.to_bits());
+                            }
+                        }
+                        (Err(x), Err(y)) => {
+                            prop_assert_eq!(x.attempts, y.attempts);
+                            prop_assert_eq!(x.kind, y.kind);
+                        }
+                        _ => prop_assert!(
+                            false,
+                            "Ok/Err divergence across thread counts under {:?}",
+                            policy
+                        ),
+                    }
+                }
+            }
         }
     }
 }
