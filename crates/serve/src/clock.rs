@@ -34,6 +34,14 @@ impl SimClock {
     pub fn advance_ns(&self, delta_ns: u64) -> u64 {
         self.ns.fetch_add(delta_ns, Ordering::SeqCst) + delta_ns
     }
+
+    /// Advances the clock to `t_ns` if it is ahead of the current time;
+    /// a no-op otherwise (the clock never moves backwards). Returns the
+    /// time after the update. Trace replay uses this to jump to the
+    /// next arrival when the server is idle.
+    pub fn advance_to_ns(&self, t_ns: u64) -> u64 {
+        self.ns.fetch_max(t_ns, Ordering::SeqCst).max(t_ns)
+    }
 }
 
 /// The simulated cost of dispatching one micro-batch.
@@ -88,6 +96,15 @@ mod tests {
         assert_eq!(c2.now_ns(), 5, "clones share the underlying clock");
         c2.advance_ns(7);
         assert_eq!(c.now_ns(), 12);
+    }
+
+    #[test]
+    fn advance_to_never_rewinds() {
+        let c = SimClock::new();
+        assert_eq!(c.advance_to_ns(100), 100);
+        assert_eq!(c.advance_to_ns(40), 100, "no rewind");
+        assert_eq!(c.advance_to_ns(250), 250);
+        assert_eq!(c.now_ns(), 250);
     }
 
     #[test]

@@ -19,12 +19,23 @@
 //!
 //! Around that core sit the operational pieces an online service needs:
 //! a versioned [`ModelRegistry`] with atomic hot-swap (deploy v2 while
-//! v1 drains, instant rollback), an [`AdmissionController`] with a hard
-//! queue bound and hysteretic load shedding, per-request deadline
-//! budgets, and a [`ServerStats`] snapshot with throughput and
-//! p50/p95/p99 latency quantiles measured on a deterministic simulated
-//! clock ([`SimClock`]) — reproducible to the bit across hosts, which is
-//! what lets CI gate on them.
+//! v1 drains, instant rollback), per-request deadline budgets with
+//! earliest-deadline-first batch formation, and a [`ServerStats`]
+//! snapshot with throughput and p50/p95/p99 latency quantiles measured
+//! on a deterministic simulated clock ([`SimClock`]) — reproducible to
+//! the bit across hosts, which is what lets CI gate on them.
+//!
+//! The service is **multi-tenant**: requests carry a [`TenantId`], the
+//! [`AdmissionController`] enforces weighted-fair admission behind a
+//! hard queue bound — overload walks a hysteretic brownout ladder
+//! ([`BrownoutLevel`]: shed over-share tenants first, then defer slack
+//! traffic, global shed only as a last resort) — and batch slots are
+//! dealt weighted round-robin across per-tenant EDF sub-queues, so one
+//! flooding tenant cannot starve the rest. [`loadgen`] drives all of it
+//! with deterministic traffic: a closed-loop Zipf harness, and
+//! open-loop [`ArrivalTrace`] replay (JSONL/CSV files or synthetic
+//! burst / diurnal / flash-crowd [`RateProfile`]s) with windowed
+//! [`Monitor`] time series.
 //!
 //! ```
 //! use pvqnn::features::FeatureBackend;
@@ -58,18 +69,23 @@ pub mod clock;
 pub mod engine;
 pub mod loadgen;
 pub mod model;
+pub mod monitor;
 pub mod registry;
 pub mod server;
 pub mod stats;
 
-pub use admission::{AdmissionController, Rejected};
+pub use admission::{AdmissionController, BrownoutLevel, Rejected, TenantId};
 pub use cache::{CacheStats, FeatureCache};
 pub use clock::{CostModel, SimClock};
 pub use engine::{ComputedRows, EngineError, FeatureEngine};
-pub use loadgen::{demo_catalogue, run_closed_loop, LoadGenConfig, LoadReport, ZipfStream};
+pub use loadgen::{
+    demo_catalogue, replay_trace, run_closed_loop, synthesize_trace, ArrivalTrace, LoadGenConfig,
+    LoadReport, RateProfile, ReplayReport, TenantLoad, TraceEvent, TraceParseError, ZipfStream,
+};
 pub use model::{Prediction, ServedModel};
+pub use monitor::{Monitor, MonitorSample};
 pub use registry::{ModelRegistry, ModelVersion};
 pub use server::{
     spawn_worker, Response, ResponseHandle, ServeResult, Server, ServerConfig, MAX_COORDINATE,
 };
-pub use stats::{LatencyHistogram, ServerStats};
+pub use stats::{LatencyHistogram, ServerStats, TenantSnapshot};

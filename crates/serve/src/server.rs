@@ -3,40 +3,49 @@
 //! A synchronous core driven by threads: clients [`Server::submit`]
 //! single data points and block (or poll) on a per-request channel;
 //! whoever drives the server — a dedicated worker thread
-//! ([`spawn_worker`]), a deterministic test harness, or the closed-loop
-//! load generator — repeatedly calls [`Server::step`], which pops up to
-//! `max_batch` queued requests and serves them as one micro-batch:
+//! ([`spawn_worker`]), a deterministic test harness, or a load
+//! generator — repeatedly calls [`Server::step`], which forms and
+//! serves one micro-batch of up to `max_batch` requests:
 //!
 //! ```text
-//! submit ──► admission ──► bounded queue ──► batcher ──► feature cache
-//!              │ shed                          │            │ miss
-//!              ▼                               │            ▼
-//!           Rejected                           │      engine (executor
-//!                                              │        or QPU pool)
-//!                                              ▼            │
-//!                           fused head sweep ◄─ rows ◄──────┘
-//!                                              │
-//!                              responses + latency histogram
+//! submit ──► fair admission ──► per-tenant EDF queues ──► batcher ──► feature cache
+//!              │ shed                 │                      │            │ miss
+//!              ▼              weighted round robin           │            ▼
+//!           Rejected           across tenants,               │      engine (executor
+//!                              earliest deadline             │        or QPU pool)
+//!                              first within each             ▼            │
+//!                                          fused head sweep ◄─ rows ◄─────┘
+//!                                                            │
+//!                                     responses + per-tenant latency histograms
 //! ```
+//!
+//! Requests carry a [`TenantId`]; admission is weighted-fair across
+//! tenants (see [`crate::admission`]) and batch slots are handed out by
+//! weighted round-robin over the per-tenant sub-queues, each of which
+//! is ordered earliest-deadline-first — so neither queue *entry* nor
+//! queue *position* lets one flooding tenant starve the others, and a
+//! tight-deadline request admitted behind a burst is pulled into the
+//! next batch instead of waiting out the backlog.
 //!
 //! The contract that makes this safe to batch and cache aggressively:
 //! **batching is invisible in the outputs**. Feature rows are
 //! standalone-seeded ([`pvqnn::FeatureGenerator::generate_rows_standalone`]),
 //! so a prediction is bit-for-bit what a lone `predict` call on the same
-//! model would return, for any batch composition, cache state, or
-//! thread count. Only *when* a response arrives depends on load — and
-//! that is measured on the deterministic [`SimClock`].
+//! model would return, for any batch composition, tenant mix, cache
+//! state, or thread count. Only *when* a response arrives depends on
+//! load — and that is measured on the deterministic [`SimClock`].
 
-use crate::admission::{AdmissionController, Rejected};
+use crate::admission::{AdmissionController, BrownoutLevel, Rejected, TenantId};
 use crate::cache::FeatureCache;
 use crate::clock::SimClock;
 use crate::engine::FeatureEngine;
 use crate::model::{Prediction, ServedModel};
 use crate::registry::{ModelRegistry, ModelVersion};
-use crate::stats::{LatencyHistogram, ServerStats};
+use crate::stats::{LatencyHistogram, ServerStats, TenantSnapshot};
 use crate::CostModel;
 use linalg::Mat;
-use std::collections::{HashMap, VecDeque};
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
 use std::sync::{Arc, Condvar, Mutex};
@@ -58,8 +67,9 @@ pub struct ServerConfig {
     pub max_batch: usize,
     /// Hard queue bound ([`Rejected::QueueFull`] above it).
     pub queue_capacity: usize,
-    /// Shedding threshold with hysteresis ([`Rejected::Overloaded`]);
-    /// set `≥ queue_capacity` to disable soft shedding.
+    /// Brownout trip point with hysteresis (the ladder's first rung,
+    /// [`Rejected::TenantOverShare`]); set `≥ queue_capacity` to
+    /// disable brownout shedding entirely.
     pub high_water: usize,
     /// Feature-cache entries (0 disables caching).
     pub cache_capacity: usize,
@@ -98,6 +108,8 @@ impl Default for ServerConfig {
 pub struct Response {
     /// Server-assigned request id.
     pub id: u64,
+    /// The tenant the request was submitted for.
+    pub tenant: TenantId,
     /// The model output.
     pub prediction: Prediction,
     /// Which model version served it.
@@ -143,18 +155,68 @@ impl ResponseHandle {
 /// One queued request.
 struct Pending {
     id: u64,
+    tenant: TenantId,
     x: Vec<f64>,
     arrival_ns: u64,
     /// Simulated-time deadline; `u64::MAX` when none.
     deadline_ns: u64,
+    /// Admission order, the EDF tie-break (FIFO among equal deadlines).
+    seq: u64,
     tx: Sender<ServeResult>,
 }
 
-/// Queue + admission under one lock, so decisions serialize with
-/// enqueue/dequeue.
+/// Min-heap adapter: a tenant's sub-queue pops its earliest-deadline
+/// request first, FIFO among ties — so a tight-deadline request
+/// admitted during a burst of slack ones jumps to the next batch.
+struct EdfEntry(Pending);
+
+impl PartialEq for EdfEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == CmpOrdering::Equal
+    }
+}
+impl Eq for EdfEntry {}
+impl PartialOrd for EdfEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for EdfEntry {
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        // Reversed: BinaryHeap is a max-heap, we want the minimum
+        // (deadline, seq) on top.
+        (other.0.deadline_ns, other.0.seq).cmp(&(self.0.deadline_ns, self.0.seq))
+    }
+}
+
+/// Queues + admission under one lock, so decisions serialize with
+/// enqueue/dequeue. The admission controller owns all depth accounting
+/// (total and per tenant) — nothing here re-derives a depth to pass in.
 struct QueueState {
-    queue: VecDeque<Pending>,
+    /// Per-tenant EDF sub-queues. Emptied entries are pruned so batch
+    /// formation only cycles tenants that actually have work.
+    queues: BTreeMap<TenantId, BinaryHeap<EdfEntry>>,
+    /// Total queued requests (= sum of sub-queue lengths).
+    len: usize,
     admission: AdmissionController,
+    /// Last tenant granted batch slots; the next batch starts with the
+    /// tenant after it (cyclic, by id), so slot handout is fair even
+    /// when batches are smaller than the active tenant set.
+    cursor: Option<TenantId>,
+    /// Monotonic admission counter feeding [`Pending::seq`].
+    seq: u64,
+}
+
+/// Per-tenant stat counters behind the stats mutex.
+#[derive(Default)]
+struct TenantCounters {
+    submitted: u64,
+    admitted: u64,
+    completed: u64,
+    shed: u64,
+    dropped: u64,
+    cache_hits: u64,
+    hist: LatencyHistogram,
 }
 
 /// Counters behind the stats mutex.
@@ -164,6 +226,8 @@ struct Counters {
     completed: u64,
     rejected_queue_full: u64,
     rejected_overloaded: u64,
+    rejected_over_share: u64,
+    rejected_deferred: u64,
     rejected_deadline: u64,
     rejected_invalid: u64,
     rejected_backend: u64,
@@ -174,6 +238,13 @@ struct Counters {
     /// Pool failure/recovery counters accumulated across batches.
     faults: hpcq::FaultStats,
     hist: LatencyHistogram,
+    tenants: BTreeMap<TenantId, TenantCounters>,
+}
+
+impl Counters {
+    fn tenant(&mut self, tenant: TenantId) -> &mut TenantCounters {
+        self.tenants.entry(tenant).or_default()
+    }
 }
 
 /// The inference server. Share it via [`Arc`]: `submit` and `step` both
@@ -208,8 +279,11 @@ impl Server {
             engine,
             start_ns,
             state: Mutex::new(QueueState {
-                queue: VecDeque::with_capacity(config.queue_capacity),
+                queues: BTreeMap::new(),
+                len: 0,
                 admission: AdmissionController::new(config.queue_capacity, config.high_water),
+                cursor: None,
+                seq: 0,
             }),
             work: Condvar::new(),
             cache: Mutex::new(FeatureCache::new(config.cache_capacity, config.quant_scale)),
@@ -241,17 +315,70 @@ impl Server {
         &self.clock
     }
 
-    /// Submits one data point with the default deadline budget.
-    pub fn submit(&self, x: Vec<f64>) -> Result<ResponseHandle, Rejected> {
-        let budget = self.config.default_deadline_ns;
-        self.submit_with_budget(x, if budget == 0 { None } else { Some(budget) })
+    /// Sets (or updates) a tenant's fairness weight: its relative slice
+    /// of brownout admission shares and of batch slots. Unregistered
+    /// tenants default to weight 1.
+    pub fn set_tenant_weight(&self, tenant: TenantId, weight: u32) {
+        self.state
+            .lock()
+            .expect("server lock poisoned")
+            .admission
+            .set_tenant_weight(tenant, weight);
     }
 
-    /// Submits one data point with an explicit deadline budget in
-    /// simulated ns (`None` = no deadline). Admission control runs here,
-    /// synchronously — a rejected request never enters the queue.
+    /// Total requests currently queued (all tenants).
+    pub fn queue_depth(&self) -> usize {
+        self.state.lock().expect("server lock poisoned").len
+    }
+
+    /// The brownout-ladder rung admission currently sits on.
+    pub fn brownout_level(&self) -> BrownoutLevel {
+        self.state
+            .lock()
+            .expect("server lock poisoned")
+            .admission
+            .level()
+    }
+
+    /// Submits one data point for the default tenant with the default
+    /// deadline budget.
+    pub fn submit(&self, x: Vec<f64>) -> Result<ResponseHandle, Rejected> {
+        self.submit_as(TenantId::DEFAULT, x, self.default_budget())
+    }
+
+    /// Submits one data point for the default tenant with an explicit
+    /// deadline budget in simulated ns (`None` = no deadline).
     pub fn submit_with_budget(
         &self,
+        x: Vec<f64>,
+        budget_ns: Option<u64>,
+    ) -> Result<ResponseHandle, Rejected> {
+        self.submit_as(TenantId::DEFAULT, x, budget_ns)
+    }
+
+    /// Submits one data point on behalf of `tenant` with the default
+    /// deadline budget.
+    pub fn submit_for(&self, tenant: TenantId, x: Vec<f64>) -> Result<ResponseHandle, Rejected> {
+        self.submit_as(tenant, x, self.default_budget())
+    }
+
+    fn default_budget(&self) -> Option<u64> {
+        let budget = self.config.default_deadline_ns;
+        if budget == 0 {
+            None
+        } else {
+            Some(budget)
+        }
+    }
+
+    /// The full submission form: one data point for `tenant` with an
+    /// explicit deadline budget in simulated ns (`None` = no deadline —
+    /// such slack traffic is the first deferred in a deep brownout).
+    /// Admission control runs here, synchronously — a rejected request
+    /// never enters a queue.
+    pub fn submit_as(
+        &self,
+        tenant: TenantId,
         x: Vec<f64>,
         budget_ns: Option<u64>,
     ) -> Result<ResponseHandle, Rejected> {
@@ -260,16 +387,19 @@ impl Server {
         };
         let qubits = model.num_qubits();
         if x.is_empty() || !x.len().is_multiple_of(qubits) {
-            return Err(self.count_rejection(Rejected::InvalidInput {
-                len: x.len(),
-                qubits,
-            }));
+            return Err(self.count_rejection(
+                tenant,
+                Rejected::InvalidInput {
+                    len: x.len(),
+                    qubits,
+                },
+            ));
         }
         if let Some(index) = x
             .iter()
             .position(|v| !v.is_finite() || v.abs() > MAX_COORDINATE)
         {
-            return Err(self.count_rejection(Rejected::InvalidValue { index }));
+            return Err(self.count_rejection(tenant, Rejected::InvalidValue { index }));
         }
         let verdict = {
             let mut state = self.state.lock().expect("server lock poisoned");
@@ -279,8 +409,7 @@ impl Server {
             if self.stopping.load(Ordering::SeqCst) {
                 return Err(Rejected::ShuttingDown);
             }
-            let depth = state.queue.len();
-            match state.admission.admit(depth) {
+            match state.admission.admit(tenant, budget_ns.is_some()) {
                 Err(e) => Err(e),
                 Ok(()) => {
                     let id = self.next_id.fetch_add(1, Ordering::Relaxed);
@@ -289,18 +418,31 @@ impl Server {
                         Some(b) => arrival_ns.saturating_add(b),
                         None => u64::MAX,
                     };
+                    let seq = state.seq;
+                    state.seq += 1;
                     let (tx, rx) = channel();
-                    state.queue.push_back(Pending {
-                        id,
-                        x,
-                        arrival_ns,
-                        deadline_ns,
-                        tx,
-                    });
+                    state
+                        .queues
+                        .entry(tenant)
+                        .or_default()
+                        .push(EdfEntry(Pending {
+                            id,
+                            tenant,
+                            x,
+                            arrival_ns,
+                            deadline_ns,
+                            seq,
+                            tx,
+                        }));
+                    state.len += 1;
                     // Counted while the queue lock is still held, so no
                     // worker can complete (count) this request before it
                     // is counted as submitted — the books always balance.
-                    self.stats.lock().expect("server lock poisoned").submitted += 1;
+                    let mut stats = self.stats.lock().expect("server lock poisoned");
+                    stats.submitted += 1;
+                    let t = stats.tenant(tenant);
+                    t.submitted += 1;
+                    t.admitted += 1;
                     Ok(ResponseHandle { id, rx })
                 }
             }
@@ -310,7 +452,7 @@ impl Server {
                 self.work.notify_one();
                 Ok(handle)
             }
-            Err(rejection) => Err(self.count_rejection(rejection)),
+            Err(rejection) => Err(self.count_rejection(tenant, rejection)),
         }
     }
 
@@ -318,20 +460,94 @@ impl Server {
     /// hands it back. `NoActiveModel`/`ShuttingDown` are lifecycle
     /// conditions (nothing is deployed / the endpoint is going away),
     /// not request-accounting events, and stay uncounted.
-    fn count_rejection(&self, rejection: Rejected) -> Rejected {
+    fn count_rejection(&self, tenant: TenantId, rejection: Rejected) -> Rejected {
         let mut stats = self.stats.lock().expect("server lock poisoned");
-        match &rejection {
-            Rejected::QueueFull { .. } => stats.rejected_queue_full += 1,
-            Rejected::Overloaded { .. } => stats.rejected_overloaded += 1,
-            Rejected::InvalidInput { .. } | Rejected::InvalidValue { .. } => {
-                stats.rejected_invalid += 1
+        let counted = match &rejection {
+            Rejected::QueueFull { .. } => {
+                stats.rejected_queue_full += 1;
+                true
             }
-            Rejected::BackendUnavailable { .. } => stats.rejected_backend += 1,
+            Rejected::Overloaded { .. } => {
+                stats.rejected_overloaded += 1;
+                true
+            }
+            Rejected::TenantOverShare { .. } => {
+                stats.rejected_over_share += 1;
+                true
+            }
+            Rejected::Deferred { .. } => {
+                stats.rejected_deferred += 1;
+                true
+            }
+            Rejected::InvalidInput { .. } | Rejected::InvalidValue { .. } => {
+                stats.rejected_invalid += 1;
+                true
+            }
+            Rejected::BackendUnavailable { .. } => {
+                stats.rejected_backend += 1;
+                true
+            }
             Rejected::DeadlineExceeded { .. }
             | Rejected::NoActiveModel
-            | Rejected::ShuttingDown => {}
+            | Rejected::ShuttingDown => false,
+        };
+        if counted {
+            let t = stats.tenant(tenant);
+            t.submitted += 1;
+            t.shed += 1;
         }
         rejection
+    }
+
+    /// Forms one micro-batch under the queue lock: batch slots are
+    /// handed out weighted round-robin across the tenants that have
+    /// queued work (each tenant takes up to `weight` slots per cycle,
+    /// starting after the tenant the previous batch ended on), and each
+    /// tenant contributes its earliest-deadline requests first. A
+    /// flooding tenant therefore gets at most its weighted slice of
+    /// every batch while others have work — queue *position* cannot be
+    /// monopolized any more than queue *entry* can.
+    fn form_batch(&self, state: &mut QueueState) -> Vec<Pending> {
+        let take = state.len.min(self.config.max_batch);
+        let mut batch: Vec<Pending> = Vec::with_capacity(take);
+        while batch.len() < take {
+            // Active tenants in cyclic id order, starting after the
+            // cursor. Collected fresh each cycle because emptied
+            // sub-queues are pruned as we go.
+            let mut order: Vec<TenantId> = state.queues.keys().copied().collect();
+            if let Some(cur) = state.cursor {
+                let at = order.partition_point(|&t| t <= cur).min(order.len());
+                order.rotate_left(at);
+            }
+            for tenant in order {
+                if batch.len() >= take {
+                    break;
+                }
+                let quota = state.admission.weight_of(tenant).max(1) as usize;
+                let queue = state
+                    .queues
+                    .get_mut(&tenant)
+                    .expect("active tenant has a queue");
+                for _ in 0..quota {
+                    if batch.len() >= take {
+                        break;
+                    }
+                    match queue.pop() {
+                        Some(EdfEntry(p)) => {
+                            state.len -= 1;
+                            state.admission.release(tenant);
+                            state.cursor = Some(tenant);
+                            batch.push(p);
+                        }
+                        None => break,
+                    }
+                }
+                if queue.is_empty() {
+                    state.queues.remove(&tenant);
+                }
+            }
+        }
+        batch
     }
 
     /// Pops and serves one micro-batch; returns the number of requests
@@ -342,8 +558,7 @@ impl Server {
     pub fn step(&self) -> usize {
         let batch: Vec<Pending> = {
             let mut state = self.state.lock().expect("server lock poisoned");
-            let take = state.queue.len().min(self.config.max_batch);
-            state.queue.drain(..take).collect()
+            self.form_batch(&mut state)
         };
         if batch.is_empty() {
             return 0;
@@ -383,17 +598,17 @@ impl Server {
         // a typed rejection, never a panic on the batcher thread.
         let qubits = model.num_qubits();
         let mut live: Vec<Pending> = Vec::with_capacity(batch.len());
-        let mut expired = 0u64;
-        let mut invalid = 0u64;
+        let mut expired: Vec<TenantId> = Vec::new();
+        let mut invalid: Vec<TenantId> = Vec::new();
         for p in batch {
             if now > p.deadline_ns {
-                expired += 1;
+                expired.push(p.tenant);
                 let _ = p.tx.send(Err(Rejected::DeadlineExceeded {
                     deadline_ns: p.deadline_ns,
                     now_ns: now,
                 }));
             } else if p.x.is_empty() || !p.x.len().is_multiple_of(qubits) {
-                invalid += 1;
+                invalid.push(p.tenant);
                 let _ = p.tx.send(Err(Rejected::InvalidInput {
                     len: p.x.len(),
                     qubits,
@@ -402,10 +617,13 @@ impl Server {
                 live.push(p);
             }
         }
-        if expired > 0 || invalid > 0 {
+        if !expired.is_empty() || !invalid.is_empty() {
             let mut stats = self.stats.lock().expect("server lock poisoned");
-            stats.rejected_deadline += expired;
-            stats.rejected_invalid += invalid;
+            stats.rejected_deadline += expired.len() as u64;
+            stats.rejected_invalid += invalid.len() as u64;
+            for t in expired.into_iter().chain(invalid) {
+                stats.tenant(t).dropped += 1;
+            }
         }
         if live.is_empty() {
             return;
@@ -517,23 +735,24 @@ impl Server {
         let misses = miss_xs.len();
         drop(miss_xs);
         let mut survivors: Vec<(Pending, Vec<f64>, bool)> = Vec::with_capacity(live.len());
-        let mut shed_backend = 0u64;
+        let mut shed_backend: Vec<TenantId> = Vec::new();
         for ((p, row), h) in live.into_iter().zip(rows).zip(hit) {
             match row {
                 Some(r) => survivors.push((p, r, h)),
                 None => {
-                    shed_backend += 1;
+                    shed_backend.push(p.tenant);
                     let _ = p.tx.send(Err(Rejected::BackendUnavailable {
                         failed_jobs: backend_failed_jobs,
                     }));
                 }
             }
         }
-        if shed_backend > 0 {
-            self.stats
-                .lock()
-                .expect("server lock poisoned")
-                .rejected_backend += shed_backend;
+        if !shed_backend.is_empty() {
+            let mut stats = self.stats.lock().expect("server lock poisoned");
+            stats.rejected_backend += shed_backend.len() as u64;
+            for t in shed_backend {
+                stats.tenant(t).dropped += 1;
+            }
         }
         if survivors.is_empty() {
             return;
@@ -557,8 +776,15 @@ impl Server {
         for ((p, _, cache_hit), prediction) in survivors.into_iter().zip(predictions) {
             let latency_ns = done.saturating_sub(p.arrival_ns);
             stats.hist.record(latency_ns);
+            let t = stats.tenant(p.tenant);
+            t.completed += 1;
+            t.hist.record(latency_ns);
+            if cache_hit {
+                t.cache_hits += 1;
+            }
             let _ = p.tx.send(Ok(Response {
                 id: p.id,
+                tenant: p.tenant,
                 prediction,
                 model: version,
                 latency_ns,
@@ -573,11 +799,29 @@ impl Server {
         let stats = self.stats.lock().expect("server lock poisoned");
         let sim_elapsed_ns = self.clock.now_ns().saturating_sub(self.start_ns);
         let sim_elapsed_s = sim_elapsed_ns as f64 / 1e9;
+        let per_tenant = stats
+            .tenants
+            .iter()
+            .map(|(&tenant, t)| TenantSnapshot {
+                tenant,
+                submitted: t.submitted,
+                admitted: t.admitted,
+                completed: t.completed,
+                shed: t.shed,
+                dropped: t.dropped,
+                cache_hits: t.cache_hits,
+                mean_latency_ms: t.hist.mean_ns() / 1e6,
+                p50_ms: t.hist.quantile_ns(0.50) / 1e6,
+                p99_ms: t.hist.quantile_ns(0.99) / 1e6,
+            })
+            .collect();
         ServerStats {
             submitted: stats.submitted,
             completed: stats.completed,
             rejected_queue_full: stats.rejected_queue_full,
             rejected_overloaded: stats.rejected_overloaded,
+            rejected_over_share: stats.rejected_over_share,
+            rejected_deferred: stats.rejected_deferred,
             rejected_deadline: stats.rejected_deadline,
             rejected_invalid: stats.rejected_invalid,
             rejected_backend: stats.rejected_backend,
@@ -591,6 +835,7 @@ impl Server {
             hedges_won: stats.faults.hedges_won,
             breaker_trips: stats.faults.breaker_trips,
             cache,
+            per_tenant,
             sim_elapsed_ns,
             throughput_rows_per_s: if sim_elapsed_s > 0.0 {
                 stats.completed as f64 / sim_elapsed_s
@@ -616,10 +861,10 @@ impl Server {
         loop {
             {
                 let mut state = self.state.lock().expect("server lock poisoned");
-                while state.queue.is_empty() && !self.stopping.load(Ordering::SeqCst) {
+                while state.len == 0 && !self.stopping.load(Ordering::SeqCst) {
                     state = self.work.wait(state).expect("server lock poisoned");
                 }
-                if state.queue.is_empty() {
+                if state.len == 0 {
                     return; // stopping and drained
                 }
             }

@@ -98,6 +98,49 @@ impl LatencyHistogram {
     }
 }
 
+/// Per-tenant request accounting, reported inside [`ServerStats`].
+///
+/// The books balance per tenant: `submitted = shed + admitted` and
+/// `admitted = completed + dropped + still-queued`. `shed` counts
+/// refusals at the door (admission control or invalid input), `dropped`
+/// counts admitted requests that later died at dispatch (expired
+/// deadline, backend unavailable, hot-swap invalidation).
+#[derive(Clone, Debug)]
+pub struct TenantSnapshot {
+    /// Which tenant this row describes.
+    pub tenant: crate::admission::TenantId,
+    /// Requests this tenant offered (admitted + shed).
+    pub submitted: u64,
+    /// Requests admitted into the queue.
+    pub admitted: u64,
+    /// Requests answered with a prediction.
+    pub completed: u64,
+    /// Requests refused at the door.
+    pub shed: u64,
+    /// Admitted requests dropped at dispatch.
+    pub dropped: u64,
+    /// Completions whose feature row came from the cache.
+    pub cache_hits: u64,
+    /// Mean response latency (simulated ms).
+    pub mean_latency_ms: f64,
+    /// p50 response latency (simulated ms).
+    pub p50_ms: f64,
+    /// p99 response latency (simulated ms).
+    pub p99_ms: f64,
+}
+
+impl TenantSnapshot {
+    /// Fraction of offered requests that were answered with a
+    /// prediction; 1.0 when the tenant offered nothing.
+    pub fn availability(&self) -> f64 {
+        if self.submitted == 0 {
+            1.0
+        } else {
+            self.completed as f64 / self.submitted as f64
+        }
+    }
+}
+
 /// A point-in-time snapshot of everything the server counts.
 #[derive(Clone, Debug)]
 pub struct ServerStats {
@@ -107,8 +150,12 @@ pub struct ServerStats {
     pub completed: u64,
     /// Rejections at the hard queue bound.
     pub rejected_queue_full: u64,
-    /// Rejections by the shedding controller.
+    /// Rejections on the global-shed rung (last resort).
     pub rejected_overloaded: u64,
+    /// Rejections of over-share tenants on the first brownout rung.
+    pub rejected_over_share: u64,
+    /// Non-deadline requests deferred on the second brownout rung.
+    pub rejected_deferred: u64,
     /// Admitted requests dropped at dispatch on an expired deadline.
     pub rejected_deadline: u64,
     /// Requests with unservable inputs: refused at submit (wrong
@@ -141,6 +188,9 @@ pub struct ServerStats {
     pub breaker_trips: u64,
     /// Feature-cache counters.
     pub cache: CacheStats,
+    /// Per-tenant accounting rows, ordered by tenant id. Empty until
+    /// the first tenant-attributed event.
+    pub per_tenant: Vec<TenantSnapshot>,
     /// Simulated time elapsed since server construction (ns).
     pub sim_elapsed_ns: u64,
     /// Completed rows per simulated second.
@@ -169,9 +219,16 @@ impl ServerStats {
     pub fn rejected_total(&self) -> u64 {
         self.rejected_queue_full
             + self.rejected_overloaded
+            + self.rejected_over_share
+            + self.rejected_deferred
             + self.rejected_deadline
             + self.rejected_invalid
             + self.rejected_backend
+    }
+
+    /// The accounting row for one tenant, if it has any activity.
+    pub fn tenant(&self, tenant: crate::admission::TenantId) -> Option<&TenantSnapshot> {
+        self.per_tenant.iter().find(|t| t.tenant == tenant)
     }
 
     /// Whether any fault-recovery machinery activated: retries,

@@ -408,8 +408,11 @@ fn submit_after_stop_is_rejected() {
     assert_eq!(server.submit(x).err(), Some(Rejected::ShuttingDown));
 }
 
-/// Overload: the hard bound and the hysteretic shedding controller both
-/// reject with typed errors, and draining reopens admission.
+/// Overload: the hard bound and the hysteretic brownout controller both
+/// reject with typed errors, and draining reopens admission. A single
+/// anonymous tenant flooding trips the first ladder rung
+/// (`TenantOverShare` — with one tenant, its fair share is the whole
+/// drain target).
 #[test]
 fn shedding_under_overload() {
     let model = regressor(FeatureBackend::Exact);
@@ -426,8 +429,9 @@ fn shedding_under_overload() {
     for i in 0..20 {
         match server.submit(points[i % 4].clone()) {
             Ok(h) => admitted.push(h),
-            Err(Rejected::Overloaded { high_water, .. }) => {
-                assert_eq!(high_water, 8);
+            Err(Rejected::TenantOverShare { share, .. }) => {
+                // One tenant → share = the low-water drain target (8/2).
+                assert_eq!(share, 4);
                 overloaded += 1;
             }
             Err(other) => panic!("unexpected rejection {other:?}"),
@@ -436,13 +440,14 @@ fn shedding_under_overload() {
     assert_eq!(admitted.len(), 8, "exactly high_water requests admitted");
     assert_eq!(overloaded, 12, "everything above the mark is shed");
     let stats = server.stats();
-    assert_eq!(stats.rejected_overloaded, 12);
+    assert_eq!(stats.rejected_over_share, 12);
+    assert_eq!(stats.rejected_total(), 12);
 
     // While still above low water (8/2 = 4), admission stays closed.
     server.step(); // 8 → 6 queued
     assert!(matches!(
         server.submit(points[0].clone()),
-        Err(Rejected::Overloaded { .. })
+        Err(Rejected::TenantOverShare { .. })
     ));
     // Fully drained → hysteresis reopens.
     server.drain();

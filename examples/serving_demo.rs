@@ -88,7 +88,7 @@ fn main() {
     for i in 0..96 {
         match burst_server.submit(points[i % points.len()].clone()) {
             Ok(h) => handles.push(h),
-            Err(Rejected::Overloaded { .. }) => shed += 1,
+            Err(Rejected::TenantOverShare { .. }) => shed += 1,
             Err(other) => panic!("unexpected rejection: {other}"),
         }
     }

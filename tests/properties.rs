@@ -436,3 +436,96 @@ proptest! {
         }
     }
 }
+
+// Weighted-fair admission: the brownout ladder's fairness invariant,
+// driven with random weights and random interleaved admit/release
+// sequences against a shadow occupancy model. The whole suite runs
+// under CI's POSTVAR_NUM_THREADS = 1, 2, 4 matrix; the controller sits
+// inside the server's queue mutex, so its decisions must be a pure
+// function of the admit/release sequence regardless of thread count.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn admission_is_weighted_fair_and_occupancy_exact(
+        weights in proptest::collection::vec(1u32..5, 1..6),
+        capacity in 8usize..64,
+        high_frac_milli in 100u32..1200,
+        ops in proptest::collection::vec((0usize..6, 0u8..4), 1..200),
+    ) {
+        use postvar::serve::{AdmissionController, BrownoutLevel, Rejected, TenantId};
+        let high_water = ((capacity as u64 * high_frac_milli as u64) / 1000).max(1) as usize;
+        let mut c = AdmissionController::new(capacity, high_water);
+        let n = weights.len();
+        for (i, &w) in weights.iter().enumerate() {
+            c.set_tenant_weight(TenantId(i as u32), w);
+        }
+        let mut shadow = vec![0usize; n];
+        let mut total = 0usize;
+        for (t, action) in ops {
+            let tenant = TenantId((t % n) as u32);
+            let idx = t % n;
+            if action == 3 {
+                // Release one of this tenant's queued requests, if any.
+                if shadow[idx] > 0 {
+                    c.release(tenant);
+                    shadow[idx] -= 1;
+                    total -= 1;
+                }
+                continue;
+            }
+            let has_deadline = action != 1;
+            let pre_level = c.level();
+            let share = c.brownout_share(tenant);
+            match c.admit(tenant, has_deadline) {
+                Ok(()) => {
+                    // Fairness, admit side: while shedding, only
+                    // under-share tenants get in.
+                    if pre_level >= BrownoutLevel::ShedOverShare {
+                        prop_assert!(
+                            shadow[idx] < share,
+                            "over-share {tenant} admitted while shedding \
+                             (depth {} ≥ share {share})", shadow[idx]
+                        );
+                    }
+                    prop_assert!(total < capacity, "admission past the hard bound");
+                    shadow[idx] += 1;
+                    total += 1;
+                }
+                Err(Rejected::QueueFull { depth }) => {
+                    prop_assert_eq!(total, capacity, "QueueFull below capacity");
+                    prop_assert_eq!(depth, capacity);
+                }
+                Err(Rejected::TenantOverShare { tenant: who, depth, share: s }) => {
+                    // Fairness, shed side: a tenant under its fair share
+                    // is never shed as over-share.
+                    prop_assert_eq!(who, tenant);
+                    prop_assert_eq!(depth, shadow[idx]);
+                    prop_assert_eq!(s, share);
+                    prop_assert!(
+                        shadow[idx] >= share,
+                        "under-share {tenant} shed (depth {} < share {share})", shadow[idx]
+                    );
+                    prop_assert!(pre_level >= BrownoutLevel::ShedOverShare);
+                }
+                Err(Rejected::Deferred { .. }) => {
+                    prop_assert!(!has_deadline, "deadline traffic deferred");
+                    prop_assert_eq!(pre_level, BrownoutLevel::DeferSlack);
+                    prop_assert!(shadow[idx] < share, "defer only reached under share");
+                }
+                Err(Rejected::Overloaded { .. }) => {
+                    prop_assert_eq!(pre_level, BrownoutLevel::GlobalShed);
+                }
+                Err(other) => prop_assert!(false, "unexpected rejection {other:?}"),
+            }
+            // The controller's occupancy books must match the shadow
+            // model exactly after every operation — the TOCTOU refactor's
+            // whole point.
+            prop_assert_eq!(c.depth(), total);
+            prop_assert_eq!(c.depth_of(tenant), shadow[idx]);
+        }
+        for (i, &d) in shadow.iter().enumerate() {
+            prop_assert_eq!(c.depth_of(TenantId(i as u32)), d);
+        }
+    }
+}
