@@ -5,6 +5,59 @@
 //! tracked across PRs instead of asserted in prose. JSON is hand-rolled
 //! (no `serde_json` in the offline vendor set): flat string/number fields
 //! only, which is all the schema needs.
+//!
+//! # `BENCH_scaling.json` metric glossary
+//!
+//! One flat object (`schema: postvar.bench_scaling.v1`), written by
+//! `exp_scaling` and then merged into (never truncated) by
+//! `exp_serving` and `exp_faults`. All latency/throughput figures from
+//! the serving and fault experiments are **simulated time** (exact
+//! reproduction across hosts); the kernel figures are host wall-clock
+//! (minimum over repetitions). Gated metrics fail CI when they move
+//! >25% in the losing direction against the committed baseline.
+//!
+//! Kernel metrics (`exp_scaling`):
+//!
+//! | key | meaning |
+//! |---|---|
+//! | `threads` / `host_threads` | executor threads used / available on the runner |
+//! | `gate_apply_ns_per_amp` | unfused gate application, ns per amplitude per source gate (gated ↓) |
+//! | `gate_fused_ns_per_amp` | same circuit through the `qsim::compile` fusion pass (gated ↓) |
+//! | `gate_fusion_ratio` | source gates ÷ fused ops for the bench circuit |
+//! | `thread_pool_speedup` | multi-thread ÷ single-thread kernel throughput (floor-asserted on ≥4-core runners) |
+//! | `expectation_many_speedup` | fused multi-observable sweep ÷ per-term loop (gated ↑) |
+//! | `expectation_many_observables` | observable count in that comparison |
+//! | `features_rows_per_s` | exact-backend feature rows per second (gated ↑) |
+//! | `feature_reuse_speedup` | encoding-state reuse ÷ naive re-simulation per shift |
+//! | `features_shots_rows_per_s` | finite-shot backend feature rows per second |
+//! | `encode_pointwise_rows_per_s` | one-point-at-a-time encoding throughput |
+//! | `encode_batched_rows_per_s` | 32-lane SoA batched encoding throughput (gated ↑) |
+//! | `pool_shared_speedup` | QPU pool sharing the executor ÷ sequential devices (floor-asserted on ≥4-core runners) |
+//! | `executor_tiny_tasks_per_s` | tiny-task submission throughput of the work-stealing executor |
+//! | `executor_steal_tasks_per_op` | mean tasks moved per steal operation (batched steals) |
+//! | `shadows_est_per_s` | classical-shadow observable estimates per second |
+//!
+//! Fault metrics (`exp_faults`, simulated time):
+//!
+//! | key | meaning |
+//! |---|---|
+//! | `faults_availability` | completed ÷ offered across the four chaos replays (gated ↑, hard floor 0.99) |
+//! | `faults_p99_during_outage_ms` | p99 latency measured inside the outage window (gated ↓) |
+//!
+//! Serving metrics (`exp_serving`, simulated time):
+//!
+//! | key | meaning |
+//! |---|---|
+//! | `serving_rows_per_s` | micro-batched closed-loop throughput (gated ↑) |
+//! | `serving_p99_ms` | p99 latency of that run (gated ↓) |
+//! | `serving_single_rows_per_s` | unbatched/uncached single-request baseline |
+//! | `serving_cache_hit_rate` | feature-cache hit rate on the Zipf stream |
+//! | `serving_tenant_isolation` | victim p99 under flood ÷ solo p99 (gated ↓, hard ceiling 2.0) |
+//! | `serving_overload_goodput_rows_per_s` | total goodput during the flood (gated ↑) |
+//! | `serving_sharded_rows_per_s` | warm 4-shard consistent-hash fleet throughput (gated ↑, hard floor: > unsharded) |
+//! | `serving_shard_imbalance` | max routed ÷ mean routed across shards (gated ↓, hard ceiling 1.5) |
+//! | `serving_sharded_speedup` | 4-shard fleet ÷ unsharded server on the same stream |
+//! | `serving_shard_crossover` | shard count with peak swept throughput — coordination dominates past it |
 
 use std::io::Write;
 use std::path::Path;

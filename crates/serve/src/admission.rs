@@ -37,6 +37,29 @@
 //! Deadlines are the last, later line of defence: an admitted request
 //! whose budget expires while queued is dropped at dispatch
 //! ([`Rejected::DeadlineExceeded`]) rather than served uselessly late.
+//!
+//! The ladder's threshold geometry and hysteretic state machine are
+//! factored out as [`BrownoutLadder`] so the sharded [`crate::Router`]
+//! can run the *same* ladder over an aggregated fleet-wide depth.
+//!
+//! ```
+//! use serve::admission::{AdmissionController, Rejected, TenantId};
+//!
+//! // Queue of 16, brownout past depth 8 (drain target = 4).
+//! let mut door = AdmissionController::new(16, 8);
+//! let flooder = TenantId(1);
+//! for _ in 0..8 {
+//!     door.admit(flooder, true).unwrap();
+//! }
+//! // At the high-water mark the flooding tenant is over its fair
+//! // share and is the one shed...
+//! assert!(matches!(
+//!     door.admit(flooder, true),
+//!     Err(Rejected::TenantOverShare { .. })
+//! ));
+//! // ...while a well-behaved tenant is still admitted.
+//! assert!(door.admit(TenantId(2), true).is_ok());
+//! ```
 
 use std::collections::BTreeMap;
 use std::error::Error;
@@ -218,37 +241,26 @@ impl fmt::Display for Rejected {
 
 impl Error for Rejected {}
 
-/// Per-tenant admission state: the configured weight and the tenant's
-/// current queued-request count.
-#[derive(Clone, Copy, Debug)]
-struct TenantEntry {
-    weight: u32,
-    depth: usize,
-}
-
-/// The queue-door controller. Lives inside the server's queue mutex, so
-/// its decisions are serialized with enqueue/dequeue — and it **owns**
-/// the occupancy counters: callers admit and release through it rather
-/// than passing a depth reading in, so a decision can never be made
-/// against a stale depth observed outside the lock.
+/// The brownout ladder's threshold geometry plus its hysteretic rung
+/// state machine, factored out of [`AdmissionController`] so other
+/// components can run the identical ladder over a depth they observe
+/// rather than own — the sharded [`crate::Router`] walks one of these
+/// over the *summed* queue depth of its whole shard fleet.
 #[derive(Clone, Debug)]
-pub struct AdmissionController {
+pub struct BrownoutLadder {
     capacity: usize,
     high_water: usize,
     low_water: usize,
     defer_water: usize,
     shed_water: usize,
     level: BrownoutLevel,
-    depth: usize,
-    tenants: BTreeMap<TenantId, TenantEntry>,
-    weight_sum: u64,
 }
 
-impl AdmissionController {
-    /// A controller over a queue of `capacity`, starting a brownout
-    /// above `high_water` that holds until depth drains to `low_water`
-    /// (= half the high-water mark). The deeper rungs are derived from
-    /// the remaining headroom: slack traffic is deferred halfway between
+impl BrownoutLadder {
+    /// A ladder over a queue of `capacity`, tripping above `high_water`
+    /// and holding until depth drains to the low-water mark (= half the
+    /// high-water mark). The deeper rungs are derived from the
+    /// remaining headroom: slack traffic is deferred halfway between
     /// the high-water mark and capacity, and the global shed trips just
     /// under the hard bound. `high_water ≥ capacity` disables the whole
     /// ladder, leaving only the hard bound.
@@ -267,13 +279,96 @@ impl AdmissionController {
                 capacity - (span / 8).max(1),
             )
         };
-        AdmissionController {
+        BrownoutLadder {
             capacity,
             high_water: trip_water,
             low_water: high_water / 2,
             defer_water,
             shed_water,
             level: BrownoutLevel::Normal,
+        }
+    }
+
+    /// Walks the ladder to where `depth` puts it: escalate through
+    /// every trip point depth has reached, then de-escalate through
+    /// every release point it has drained past. Each level's release
+    /// sits below its trip, so the ladder cannot flap at a boundary.
+    /// Returns the rung it settled on.
+    pub fn observe(&mut self, depth: usize) -> BrownoutLevel {
+        use BrownoutLevel::*;
+        while let Some(next) = match self.level {
+            Normal if depth >= self.high_water => Some(ShedOverShare),
+            ShedOverShare if depth >= self.defer_water => Some(DeferSlack),
+            DeferSlack if depth >= self.shed_water => Some(GlobalShed),
+            _ => None,
+        } {
+            self.level = next;
+        }
+        while let Some(prev) = match self.level {
+            GlobalShed if depth < self.defer_water => Some(DeferSlack),
+            DeferSlack if depth < self.high_water => Some(ShedOverShare),
+            ShedOverShare if depth <= self.low_water => Some(Normal),
+            _ => None,
+        } {
+            self.level = prev;
+        }
+        self.level
+    }
+
+    /// The rung the ladder currently sits on.
+    pub fn level(&self) -> BrownoutLevel {
+        self.level
+    }
+
+    /// The hard queue bound the ladder was built over.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The first trip point (`usize::MAX` when the ladder is disabled).
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// The drain target that releases the first rung; brownout fair
+    /// shares are computed as weighted slices of this.
+    pub fn low_water(&self) -> usize {
+        self.low_water
+    }
+}
+
+/// Per-tenant admission state: the configured weight and the tenant's
+/// current queued-request count.
+#[derive(Clone, Copy, Debug)]
+struct TenantEntry {
+    weight: u32,
+    depth: usize,
+}
+
+/// The queue-door controller. Lives inside the server's queue mutex, so
+/// its decisions are serialized with enqueue/dequeue — and it **owns**
+/// the occupancy counters: callers admit and release through it rather
+/// than passing a depth reading in, so a decision can never be made
+/// against a stale depth observed outside the lock.
+#[derive(Clone, Debug)]
+pub struct AdmissionController {
+    ladder: BrownoutLadder,
+    depth: usize,
+    tenants: BTreeMap<TenantId, TenantEntry>,
+    weight_sum: u64,
+}
+
+impl AdmissionController {
+    /// A controller over a queue of `capacity`, starting a brownout
+    /// above `high_water` that holds until depth drains to `low_water`
+    /// (= half the high-water mark). The deeper rungs are derived from
+    /// the remaining headroom: slack traffic is deferred halfway between
+    /// the high-water mark and capacity, and the global shed trips just
+    /// under the hard bound. `high_water ≥ capacity` disables the whole
+    /// ladder, leaving only the hard bound (see [`BrownoutLadder`]).
+    pub fn new(capacity: usize, high_water: usize) -> Self {
+        AdmissionController {
+            ladder: BrownoutLadder::new(capacity, high_water),
             depth: 0,
             tenants: BTreeMap::new(),
             weight_sum: 0,
@@ -317,33 +412,12 @@ impl AdmissionController {
     pub fn brownout_share(&self, tenant: TenantId) -> usize {
         let w = u64::from(self.weight_of(tenant));
         let sum = self.weight_sum.max(w).max(1);
-        ((self.low_water as u64 * w) / sum).max(1) as usize
+        ((self.ladder.low_water() as u64 * w) / sum).max(1) as usize
     }
 
-    /// Walks the ladder to where the current depth puts it: escalate
-    /// through every trip point depth has reached, then de-escalate
-    /// through every release point it has drained past. Each level's
-    /// release sits below its trip, so the ladder cannot flap at a
-    /// boundary.
+    /// Settles the ladder on the rung the current depth puts it on.
     fn recompute_level(&mut self) {
-        use BrownoutLevel::*;
-        let d = self.depth;
-        while let Some(next) = match self.level {
-            Normal if d >= self.high_water => Some(ShedOverShare),
-            ShedOverShare if d >= self.defer_water => Some(DeferSlack),
-            DeferSlack if d >= self.shed_water => Some(GlobalShed),
-            _ => None,
-        } {
-            self.level = next;
-        }
-        while let Some(prev) = match self.level {
-            GlobalShed if d < self.defer_water => Some(DeferSlack),
-            DeferSlack if d < self.high_water => Some(ShedOverShare),
-            ShedOverShare if d <= self.low_water => Some(Normal),
-            _ => None,
-        } {
-            self.level = prev;
-        }
+        self.ladder.observe(self.depth);
     }
 
     /// Decides admission for one request from `tenant`; `has_deadline`
@@ -355,18 +429,19 @@ impl AdmissionController {
     /// closes the TOCTOU window between the batcher thread draining the
     /// queue and submitters reading its depth.
     pub fn admit(&mut self, tenant: TenantId, has_deadline: bool) -> Result<(), Rejected> {
-        if self.depth >= self.capacity {
+        if self.depth >= self.ladder.capacity() {
             return Err(Rejected::QueueFull { depth: self.depth });
         }
         self.recompute_level();
         if !self.tenants.contains_key(&tenant) {
             self.set_tenant_weight(tenant, 1);
         }
-        if self.level >= BrownoutLevel::ShedOverShare {
-            if self.level == BrownoutLevel::GlobalShed {
+        let level = self.ladder.level();
+        if level >= BrownoutLevel::ShedOverShare {
+            if level == BrownoutLevel::GlobalShed {
                 return Err(Rejected::Overloaded {
                     depth: self.depth,
-                    high_water: self.high_water,
+                    high_water: self.ladder.high_water(),
                 });
             }
             let share = self.brownout_share(tenant);
@@ -378,7 +453,7 @@ impl AdmissionController {
                     share,
                 });
             }
-            if self.level == BrownoutLevel::DeferSlack && !has_deadline {
+            if level == BrownoutLevel::DeferSlack && !has_deadline {
                 return Err(Rejected::Deferred { depth: self.depth });
             }
         }
@@ -407,12 +482,12 @@ impl AdmissionController {
 
     /// The ladder rung the controller currently sits on.
     pub fn level(&self) -> BrownoutLevel {
-        self.level
+        self.ladder.level()
     }
 
     /// Whether any brownout rung is active.
     pub fn is_shedding(&self) -> bool {
-        self.level > BrownoutLevel::Normal
+        self.ladder.level() > BrownoutLevel::Normal
     }
 }
 

@@ -34,6 +34,17 @@ use std::collections::HashMap;
 /// Sentinel for "no neighbour" in the intrusive list.
 const NIL: usize = usize::MAX;
 
+/// Quantizes a raw input onto the cache-key grid: each coordinate maps
+/// to `round(v · quant_scale) as i64`. This is the *canonical* identity
+/// of a data point throughout the serve layer — the cache keys on it,
+/// and the sharded [`crate::Router`] consistent-hashes it, so the rows
+/// for one point always live on exactly one shard.
+pub fn quantize_key(x: &[f64], quant_scale: f64) -> Vec<i64> {
+    x.iter()
+        .map(|&v| (v * quant_scale).round() as i64)
+        .collect()
+}
+
 /// A cache slot: segment tag + key + feature row + recency links.
 #[derive(Debug)]
 struct Slot {
@@ -140,11 +151,9 @@ impl FeatureCache {
         self.map.get(&tag).map_or(0, HashMap::len)
     }
 
-    /// The cache key for a raw input.
+    /// The cache key for a raw input (see [`quantize_key`]).
     pub fn quantize(&self, x: &[f64]) -> Vec<i64> {
-        x.iter()
-            .map(|&v| (v * self.quant_scale).round() as i64)
-            .collect()
+        quantize_key(x, self.quant_scale)
     }
 
     /// Looks up a quantized key in the `tag` segment, promoting it to

@@ -21,6 +21,34 @@
 //! is keeping up, which is what drives the admission ladder through its
 //! rungs reproducibly.
 //!
+//! ```
+//! use pvqnn::features::FeatureBackend;
+//! use pvqnn::model::RegressorMode;
+//! use pvqnn::{FeatureGenerator, PostVarRegressor, Strategy};
+//! use serve::{demo_catalogue, replay_trace, ArrivalTrace, Server, ServerConfig};
+//!
+//! // A two-arrival trace, as it would sit in a .jsonl file on disk.
+//! let trace = ArrivalTrace::from_jsonl(
+//!     r#"{"at_us": 100, "tenant": 0, "point": 2, "deadline_us": 50000}
+//! {"at_us": 250, "tenant": 1, "point": 5}"#,
+//! )
+//! .unwrap();
+//! assert_eq!(trace.len(), 2);
+//!
+//! // Replay it open-loop against a served model on simulated time.
+//! let points = demo_catalogue(8);
+//! let y: Vec<f64> = (0..8).map(|i| i as f64).collect();
+//! let generator = FeatureGenerator::new(
+//!     Strategy::observable_construction(4, 1),
+//!     FeatureBackend::Exact,
+//! );
+//! let model = PostVarRegressor::fit(generator, &points, &y, RegressorMode::Ridge(1e-6));
+//! let server = Server::new(ServerConfig::default());
+//! server.deploy(model);
+//! let report = replay_trace(&server, &points, &trace, 1_000_000, None);
+//! assert_eq!(report.completed, 2);
+//! ```
+//!
 //! [`SimClock`]: crate::clock::SimClock
 
 use crate::admission::TenantId;
@@ -223,8 +251,19 @@ impl std::error::Error for TraceParseError {}
 
 /// A time-ordered multi-tenant arrival trace.
 ///
-/// On disk, one event per line with times in **microseconds** (traces
-/// are human-edited; ns timestamps are unreadable). JSONL:
+/// ## On-disk schema
+///
+/// One event per line with times in **microseconds** (traces are
+/// human-edited; ns timestamps are unreadable). Fields:
+///
+/// | field         | meaning                                             |
+/// |---------------|-----------------------------------------------------|
+/// | `at_us`       | arrival time, simulated µs from replay start        |
+/// | `tenant`      | [`TenantId`] the request is attributed to           |
+/// | `point`       | index into the replay's data-point catalogue        |
+/// | `deadline_us` | optional deadline budget in simulated µs (omitted / empty = slack traffic, the first deferred in a deep brownout) |
+///
+/// JSONL (one object per line; blank lines and `#` comments skipped):
 ///
 /// ```text
 /// {"at_us": 1500, "tenant": 1, "point": 7, "deadline_us": 10000}

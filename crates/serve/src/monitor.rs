@@ -7,6 +7,32 @@
 //! elapsed window: queue depth and brownout rung at the sample instant,
 //! plus window-delta completion/shed counts and per-tenant p99s. All on
 //! [`crate::SimClock`] time, so the series is bit-for-bit reproducible.
+//!
+//! ```
+//! use pvqnn::features::FeatureBackend;
+//! use pvqnn::model::RegressorMode;
+//! use pvqnn::{FeatureGenerator, PostVarRegressor, Strategy};
+//! use serve::{demo_catalogue, Monitor, Server, ServerConfig};
+//!
+//! let points = demo_catalogue(8);
+//! let y: Vec<f64> = (0..8).map(|i| i as f64).collect();
+//! let generator = FeatureGenerator::new(
+//!     Strategy::observable_construction(4, 1),
+//!     FeatureBackend::Exact,
+//! );
+//! let model = PostVarRegressor::fit(generator, &points, &y, RegressorMode::Ridge(1e-6));
+//! let server = Server::new(ServerConfig::default());
+//! server.deploy(model);
+//!
+//! // One sample per simulated millisecond, polled from the drive loop.
+//! let mut monitor = Monitor::new(&server, 1_000_000);
+//! let handle = server.submit(points[0].clone()).unwrap();
+//! server.drain();
+//! handle.wait().unwrap();
+//! server.clock().advance_to_ns(2_500_000);
+//! assert_eq!(monitor.poll(&server), 2, "boundaries at 1 ms and 2 ms passed");
+//! assert_eq!(monitor.samples()[0].completed, 1);
+//! ```
 
 use crate::admission::{BrownoutLevel, TenantId};
 use crate::server::Server;

@@ -1,0 +1,884 @@
+//! Scale-out sharding: a consistent-hash router fronting N servers.
+//!
+//! One [`Server`] bounds throughput no matter how fast the kernels get —
+//! its queue lock, cache lock, and batch loop are a single station. The
+//! [`Router`] turns the serving layer into a fleet: N shard servers,
+//! each with its own queues, cache, engine, and model registry, behind
+//! a **consistent-hash ring keyed on the quantized feature key** (the
+//! same `round(x · quant_scale)` identity the [`crate::FeatureCache`]
+//! keys on). Routing on the cache key is what preserves the cache
+//! economics of the single-server design: every distinct data point
+//! lives on exactly one shard, so the fleet-wide unique-simulation
+//! guarantee ("one `S(x)|0⟩` per unique point, ever") survives scale-out
+//! and shards never duplicate each other's warm rows.
+//!
+//! The ring hashes with FNV-1a (not the std hasher) so shard placement
+//! is a stable, documented function of the key — reproducible across
+//! processes, hosts, and compiler versions. Each shard owns many
+//! virtual nodes; adding or removing a shard only reassigns the keys
+//! adjacent to that shard's vnodes, keeping **≥ (N−1)/N of keys in
+//! place** (expected moved fraction 1/(N+1) on an add).
+//!
+//! **Simulated time.** All shards share one [`SimClock`]. Shards are
+//! independent machines, so their batch costs must not serialize on the
+//! clock: a router round steps every shard once with a *deferred*
+//! charge ([`Server::step_deferred`]), then advances the shared clock
+//! by the **maximum** shard cost plus a [`NetworkCostModel`] overhead —
+//! two router↔shard hops per request and a coordination term that grows
+//! with the fleet (per-shard scatter/gather plus the per-request cost
+//! of polling every shard's depth for fleet-wide admission). That last
+//! term is what eventually caps scale-out: rows/s rises with N until
+//! the O(N) per-request coordination dominates the per-shard batch
+//! cost, and `exp_serving`'s shard sweep measures exactly where.
+//!
+//! **Aggregated admission.** Tenants are fleet-level citizens: the
+//! router runs the same hysteretic [`BrownoutLadder`] as a single
+//! server, but over the *summed* depth of all shards, with per-tenant
+//! fair shares checked against the tenant's fleet-wide queued total.
+//! A tenant flooding one hot shard is shed at the router door before
+//! the hot shard's local ladder even trips; each shard still runs its
+//! own ladder as the second line of defence.
+//!
+//! **Staged rollout.** [`Router::staged_rollout`] hot-swaps a new model
+//! shard by shard, probing each shard before and after its swap; if a
+//! shard's post-swap probe error or latency regresses past the
+//! [`RolloutCriteria`], every already-swapped shard is rolled back to
+//! its previous version and the rollout reports failure — the fleet is
+//! never left half-upgraded.
+//!
+//! Predictions are bit-for-bit identical to an unsharded server's:
+//! feature rows are standalone-seeded, so sharding (like batching and
+//! caching) only changes *where* and *when* a row is computed, never
+//! its bits.
+//!
+//! ```
+//! use pvqnn::features::FeatureBackend;
+//! use pvqnn::model::RegressorMode;
+//! use pvqnn::{FeatureGenerator, PostVarRegressor, Strategy};
+//! use serve::{Router, RouterConfig};
+//!
+//! let data: Vec<Vec<f64>> = (0..8)
+//!     .map(|i| (0..16).map(|j| 0.25 + 0.1 * ((i + j) % 5) as f64).collect())
+//!     .collect();
+//! let y: Vec<f64> = (0..8).map(|i| i as f64).collect();
+//! let generator = FeatureGenerator::new(
+//!     Strategy::observable_construction(4, 1),
+//!     FeatureBackend::Exact,
+//! );
+//! let model = PostVarRegressor::fit(generator, &data, &y, RegressorMode::Ridge(1e-6));
+//!
+//! let router = Router::new(RouterConfig {
+//!     shards: 2,
+//!     ..RouterConfig::default()
+//! });
+//! router.deploy(model.clone());
+//! let handle = router.submit(data[3].clone()).unwrap();
+//! router.drain();
+//! // Sharding is invisible in outputs: bit-for-bit the lone prediction.
+//! let response = handle.wait().unwrap();
+//! assert_eq!(response.prediction.as_f64(), model.predict(&data[3..4])[0]);
+//! ```
+
+use crate::admission::{BrownoutLadder, BrownoutLevel, Rejected, TenantId};
+use crate::cache::quantize_key;
+use crate::clock::SimClock;
+use crate::engine::FeatureEngine;
+use crate::model::ServedModel;
+use crate::registry::ModelVersion;
+use crate::server::{ResponseHandle, Server, ServerConfig};
+use crate::stats::ServerStats;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// FNV-1a offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over a byte stream: a stable, documented hash — shard
+/// placement must not depend on std's randomized/unspecified hasher.
+fn fnv1a(bytes: impl IntoIterator<Item = u8>) -> u64 {
+    let mut h = FNV_OFFSET;
+    for b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Ring position of a quantized feature key.
+fn hash_key(key: &[i64]) -> u64 {
+    fnv1a(key.iter().flat_map(|k| k.to_le_bytes()))
+}
+
+/// Ring position of one of a shard's virtual nodes.
+fn vnode_position(shard: u32, replica: u32) -> u64 {
+    fnv1a(
+        shard
+            .to_le_bytes()
+            .into_iter()
+            .chain(replica.to_le_bytes())
+            .chain(*b"vnode"),
+    )
+}
+
+/// A consistent-hash ring: each shard owns `replicas` virtual nodes;
+/// a key belongs to the shard owning the first vnode at or after the
+/// key's hash (wrapping). Ties (astronomically unlikely with 64-bit
+/// positions) break deterministically toward the lower shard id.
+#[derive(Clone, Debug)]
+struct HashRing {
+    /// (position, shard id), sorted.
+    vnodes: Vec<(u64, u32)>,
+    replicas: u32,
+}
+
+impl HashRing {
+    fn new(replicas: u32) -> Self {
+        assert!(replicas > 0, "need at least one vnode per shard");
+        HashRing {
+            vnodes: Vec::new(),
+            replicas,
+        }
+    }
+
+    fn add(&mut self, shard: u32) {
+        for r in 0..self.replicas {
+            let entry = (vnode_position(shard, r), shard);
+            let at = self.vnodes.partition_point(|&v| v < entry);
+            self.vnodes.insert(at, entry);
+        }
+    }
+
+    fn remove(&mut self, shard: u32) {
+        self.vnodes.retain(|&(_, s)| s != shard);
+    }
+
+    fn shard_for_hash(&self, h: u64) -> u32 {
+        assert!(!self.vnodes.is_empty(), "ring has no shards");
+        let at = self.vnodes.partition_point(|&(p, _)| p < h);
+        let (_, shard) = self.vnodes[at % self.vnodes.len()];
+        shard
+    }
+}
+
+/// Simulated cost of the network and coordination the router adds.
+///
+/// Every term is charged on the shared [`SimClock`] by the round driver
+/// ([`Router::step_round`]), so sharded benchmarks answer "how many
+/// shards until coordination dominates?" deterministically:
+///
+/// * `hop_ns` — one-way router↔shard link latency; each served request
+///   takes two hops (forward + response), visible in request latency.
+/// * `coord_ns_per_shard` — per-round scatter/gather bookkeeping,
+///   charged once per live shard per round: O(N) per round.
+/// * `admission_ns_per_shard` — the price of fleet-wide admission:
+///   the router polls every shard's queue depth to run its aggregated
+///   brownout ladder, so each routed request costs O(N). Charged per
+///   dispatched row per shard; this is the term that grows as
+///   rows·N² per round and eventually beats the parallelism win.
+#[derive(Clone, Copy, Debug)]
+pub struct NetworkCostModel {
+    /// One-way router↔shard hop latency (simulated ns).
+    pub hop_ns: u64,
+    /// Per-shard, per-round scatter/gather coordination (ns).
+    pub coord_ns_per_shard: u64,
+    /// Per-request, per-shard aggregated-admission polling cost (ns).
+    pub admission_ns_per_shard: u64,
+}
+
+impl Default for NetworkCostModel {
+    fn default() -> Self {
+        NetworkCostModel {
+            hop_ns: 20_000,            // 20 µs per hop
+            coord_ns_per_shard: 2_000, // 2 µs gather bookkeeping per shard
+            admission_ns_per_shard: 150,
+        }
+    }
+}
+
+impl NetworkCostModel {
+    /// Simulated overhead of one router round that dispatched
+    /// `dispatched` rows across `shards` live shards (excluding the
+    /// shard batch costs themselves): the response hops plus the O(N)
+    /// round coordination plus the O(rows·N) admission aggregation.
+    pub fn round_overhead_ns(&self, shards: usize, dispatched: usize) -> u64 {
+        let n = shards as u64;
+        2 * self.hop_ns
+            + self.coord_ns_per_shard * n
+            + self.admission_ns_per_shard * n * dispatched as u64
+    }
+}
+
+/// Router tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct RouterConfig {
+    /// Initial shard count.
+    pub shards: usize,
+    /// Virtual nodes per shard on the consistent-hash ring. More vnodes
+    /// → smoother key balance and smaller migration granularity.
+    pub vnodes_per_shard: u32,
+    /// Configuration every shard server is built with.
+    pub shard: ServerConfig,
+    /// Simulated network/coordination cost model.
+    pub net: NetworkCostModel,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            shards: 4,
+            vnodes_per_shard: 128,
+            shard: ServerConfig::default(),
+            net: NetworkCostModel::default(),
+        }
+    }
+}
+
+/// One shard: a stable id (survives add/remove churn) plus its server.
+struct ShardSlot {
+    id: u32,
+    server: Arc<Server>,
+}
+
+/// The mutable fleet topology: slots, the hash ring over their ids, and
+/// the id allocator.
+struct Topology {
+    slots: Vec<ShardSlot>,
+    ring: HashRing,
+    next_id: u32,
+}
+
+/// Router-level admission state and counters.
+struct Control {
+    /// The fleet-wide brownout ladder, walked over summed shard depth.
+    ladder: BrownoutLadder,
+    /// Fleet-level tenant weights (mirrored to every shard).
+    weights: BTreeMap<TenantId, u32>,
+    weight_sum: u64,
+    rejected_overloaded: u64,
+    rejected_over_share: u64,
+    rejected_deferred: u64,
+    /// Requests forwarded per shard id (routing balance, not completions).
+    routed: BTreeMap<u32, u64>,
+    rounds: u64,
+}
+
+impl Control {
+    fn weight_of(&self, tenant: TenantId) -> u32 {
+        self.weights.get(&tenant).copied().unwrap_or(1)
+    }
+
+    /// A tenant's fleet-wide brownout share: its weighted slice of the
+    /// fleet drain target, never below one slot per shard — mirroring
+    /// [`crate::AdmissionController::brownout_share`] at fleet scale.
+    fn fleet_share(&self, tenant: TenantId) -> usize {
+        let w = u64::from(self.weight_of(tenant));
+        let sum = self
+            .weights
+            .values()
+            .map(|&v| u64::from(v))
+            .sum::<u64>()
+            .max(w)
+            .max(1);
+        ((self.ladder.low_water() as u64 * w) / sum).max(1) as usize
+    }
+}
+
+/// The consistent-hash shard router. Share it via [`Arc`]: `submit` and
+/// `step_round` both take `&self`.
+pub struct Router {
+    config: RouterConfig,
+    clock: SimClock,
+    start_ns: u64,
+    topo: Mutex<Topology>,
+    control: Mutex<Control>,
+}
+
+impl Router {
+    /// A router fronting `config.shards` freshly built shard servers,
+    /// each computing on its own in-process [`FeatureEngine::local`]
+    /// engine, all on one shared [`SimClock`].
+    pub fn new(config: RouterConfig) -> Self {
+        assert!(config.shards > 0, "need at least one shard");
+        let clock = SimClock::new();
+        let start_ns = clock.now_ns();
+        let mut ring = HashRing::new(config.vnodes_per_shard);
+        let mut slots = Vec::with_capacity(config.shards);
+        for id in 0..config.shards as u32 {
+            ring.add(id);
+            slots.push(ShardSlot {
+                id,
+                server: Arc::new(Server::with_engine_and_clock(
+                    config.shard,
+                    FeatureEngine::local(),
+                    clock.clone(),
+                )),
+            });
+        }
+        let ladder = Self::fleet_ladder(&config.shard, config.shards);
+        Router {
+            clock,
+            start_ns,
+            topo: Mutex::new(Topology {
+                slots,
+                ring,
+                next_id: config.shards as u32,
+            }),
+            control: Mutex::new(Control {
+                ladder,
+                weights: BTreeMap::new(),
+                weight_sum: 0,
+                rejected_overloaded: 0,
+                rejected_over_share: 0,
+                rejected_deferred: 0,
+                routed: BTreeMap::new(),
+                rounds: 0,
+            }),
+            config,
+        }
+    }
+
+    /// The fleet ladder has the single-shard geometry scaled by N: the
+    /// fleet trips when the *sum* of shard queues crosses the summed
+    /// high water.
+    fn fleet_ladder(shard: &ServerConfig, shards: usize) -> BrownoutLadder {
+        BrownoutLadder::new(shard.queue_capacity * shards, shard.high_water * shards)
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &RouterConfig {
+        &self.config
+    }
+
+    /// The shared simulated clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Current number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.topo.lock().expect("router lock poisoned").slots.len()
+    }
+
+    /// The stable ids of the current shards, in slot order.
+    pub fn shard_ids(&self) -> Vec<u32> {
+        self.topo
+            .lock()
+            .expect("router lock poisoned")
+            .slots
+            .iter()
+            .map(|s| s.id)
+            .collect()
+    }
+
+    /// The shard server with the given stable id, if present. Exposed
+    /// for tests and rollout tooling; production traffic goes through
+    /// [`Router::submit_as`].
+    pub fn shard(&self, id: u32) -> Option<Arc<Server>> {
+        self.topo
+            .lock()
+            .expect("router lock poisoned")
+            .slots
+            .iter()
+            .find(|s| s.id == id)
+            .map(|s| Arc::clone(&s.server))
+    }
+
+    /// A snapshot of the live shard servers (id, server).
+    fn live_shards(&self) -> Vec<(u32, Arc<Server>)> {
+        self.topo
+            .lock()
+            .expect("router lock poisoned")
+            .slots
+            .iter()
+            .map(|s| (s.id, Arc::clone(&s.server)))
+            .collect()
+    }
+
+    /// Deploys a model to **every** shard at once (unstaged) and returns
+    /// the per-shard version it landed as. Shards deployed only through
+    /// the router stay version-aligned; use [`Router::staged_rollout`]
+    /// for a guarded upgrade.
+    pub fn deploy(&self, model: impl Into<ServedModel>) -> ModelVersion {
+        let model: ServedModel = model.into();
+        let shards = self.live_shards();
+        let mut version = None;
+        for (_, server) in &shards {
+            let v = server.deploy(model.clone());
+            let prev = version.get_or_insert(v);
+            debug_assert_eq!(*prev, v, "shard registries out of alignment");
+        }
+        version.expect("router has at least one shard")
+    }
+
+    /// Sets a tenant's fleet-wide fairness weight, mirrored to every
+    /// shard's local admission controller.
+    pub fn set_tenant_weight(&self, tenant: TenantId, weight: u32) {
+        assert!(weight > 0, "tenant weight must be positive");
+        for (_, server) in self.live_shards() {
+            server.set_tenant_weight(tenant, weight);
+        }
+        let mut ctl = self.control.lock().expect("router lock poisoned");
+        let prev = ctl.weights.insert(tenant, weight).unwrap_or(0);
+        ctl.weight_sum = ctl.weight_sum - u64::from(prev) + u64::from(weight);
+    }
+
+    /// The shard id a data point routes to: FNV-1a over the quantized
+    /// feature key, looked up on the ring. Stable across processes and
+    /// across add/remove of *other* shards.
+    pub fn shard_for_point(&self, x: &[f64]) -> u32 {
+        let key = quantize_key(x, self.config.shard.quant_scale);
+        let h = hash_key(&key);
+        self.topo
+            .lock()
+            .expect("router lock poisoned")
+            .ring
+            .shard_for_hash(h)
+    }
+
+    /// Total queued requests across the fleet.
+    pub fn queue_depth(&self) -> usize {
+        self.live_shards()
+            .iter()
+            .map(|(_, s)| s.queue_depth())
+            .sum()
+    }
+
+    /// The fleet-wide brownout rung the router's aggregated ladder
+    /// currently sits on (distinct from each shard's local rung).
+    pub fn brownout_level(&self) -> BrownoutLevel {
+        self.control
+            .lock()
+            .expect("router lock poisoned")
+            .ladder
+            .level()
+    }
+
+    /// Submits one data point for the default tenant.
+    pub fn submit(&self, x: Vec<f64>) -> Result<ResponseHandle, Rejected> {
+        self.submit_as(TenantId::DEFAULT, x, self.default_budget())
+    }
+
+    /// Submits one data point on behalf of `tenant` with the shard
+    /// config's default deadline budget.
+    pub fn submit_for(&self, tenant: TenantId, x: Vec<f64>) -> Result<ResponseHandle, Rejected> {
+        self.submit_as(tenant, x, self.default_budget())
+    }
+
+    fn default_budget(&self) -> Option<u64> {
+        let budget = self.config.shard.default_deadline_ns;
+        if budget == 0 {
+            None
+        } else {
+            Some(budget)
+        }
+    }
+
+    /// The full submission form. Routing is by consistent hash of the
+    /// quantized feature key; fleet-wide admission (the aggregated
+    /// brownout ladder over summed shard depth, with fleet-level
+    /// per-tenant fair shares) runs at the router door, then the owning
+    /// shard's own admission runs as the second line of defence.
+    pub fn submit_as(
+        &self,
+        tenant: TenantId,
+        x: Vec<f64>,
+        budget_ns: Option<u64>,
+    ) -> Result<ResponseHandle, Rejected> {
+        let (shard_id, server, fleet_depth, tenant_depth) = {
+            let topo = self.topo.lock().expect("router lock poisoned");
+            let key = quantize_key(&x, self.config.shard.quant_scale);
+            let shard_id = topo.ring.shard_for_hash(hash_key(&key));
+            let server = topo
+                .slots
+                .iter()
+                .find(|s| s.id == shard_id)
+                .map(|s| Arc::clone(&s.server))
+                .expect("ring points at a live shard");
+            // Aggregated admission inputs: fleet-wide total and
+            // per-tenant depth, summed across every shard while the
+            // topology is pinned.
+            let mut fleet_depth = 0;
+            let mut tenant_depth = 0;
+            for s in &topo.slots {
+                fleet_depth += s.server.queue_depth();
+                tenant_depth += s.server.tenant_depth(tenant);
+            }
+            (shard_id, server, fleet_depth, tenant_depth)
+        };
+        {
+            let mut ctl = self.control.lock().expect("router lock poisoned");
+            let level = ctl.ladder.observe(fleet_depth);
+            if level >= BrownoutLevel::ShedOverShare {
+                if level == BrownoutLevel::GlobalShed {
+                    ctl.rejected_overloaded += 1;
+                    return Err(Rejected::Overloaded {
+                        depth: fleet_depth,
+                        high_water: ctl.ladder.high_water(),
+                    });
+                }
+                let share = ctl.fleet_share(tenant);
+                if tenant_depth >= share {
+                    ctl.rejected_over_share += 1;
+                    return Err(Rejected::TenantOverShare {
+                        tenant,
+                        depth: tenant_depth,
+                        share,
+                    });
+                }
+                if level == BrownoutLevel::DeferSlack && budget_ns.is_none() {
+                    ctl.rejected_deferred += 1;
+                    return Err(Rejected::Deferred { depth: fleet_depth });
+                }
+            }
+            *ctl.routed.entry(shard_id).or_insert(0) += 1;
+        }
+        server.submit_as(tenant, x, budget_ns)
+    }
+
+    /// One scatter/gather round: every shard serves one micro-batch
+    /// with a deferred charge, then the shared clock advances by the
+    /// *maximum* shard cost plus the network round overhead — shards
+    /// run in parallel in simulated time. Returns requests dispatched.
+    pub fn step_round(&self) -> usize {
+        let shards = self.live_shards();
+        let mut dispatched = 0;
+        let mut max_cost_ns = 0u64;
+        let extra = 2 * self.config.net.hop_ns;
+        for (_, server) in &shards {
+            let (d, cost_ns) = server.step_deferred(extra);
+            dispatched += d;
+            max_cost_ns = max_cost_ns.max(cost_ns);
+        }
+        if dispatched > 0 {
+            let overhead = self.config.net.round_overhead_ns(shards.len(), dispatched);
+            self.clock.advance_ns(max_cost_ns + overhead);
+            self.control.lock().expect("router lock poisoned").rounds += 1;
+        }
+        dispatched
+    }
+
+    /// Runs rounds until every shard queue is empty; returns the total
+    /// number of requests dispatched.
+    pub fn drain(&self) -> usize {
+        let mut total = 0;
+        loop {
+            let dispatched = self.step_round();
+            if dispatched == 0 {
+                return total;
+            }
+            total += dispatched;
+        }
+    }
+
+    /// Adds a fresh shard: a new server joins the clock and the ring,
+    /// and its registry is replicated (every version, same order, same
+    /// active pointer) from an existing shard. Only the keys adjacent
+    /// to the new shard's vnodes move to it — ≥ N/(N+1) of keys keep
+    /// their shard, so the fleet's caches stay overwhelmingly warm.
+    /// Returns the new shard's stable id.
+    pub fn add_shard(&self) -> u32 {
+        let server = Arc::new(Server::with_engine_and_clock(
+            self.config.shard,
+            FeatureEngine::local(),
+            self.clock.clone(),
+        ));
+        let mut topo = self.topo.lock().expect("router lock poisoned");
+        // Replicate the model catalogue so the new shard serves the
+        // same versions as its peers from its first request.
+        let donor = Arc::clone(&topo.slots[0].server);
+        let registry = donor.registry();
+        for v in 1..=registry.num_versions() as u32 {
+            let model = registry
+                .get(ModelVersion(v))
+                .expect("registry versions are dense");
+            server.deploy((*model).clone());
+        }
+        if let Some((active, _)) = registry.active() {
+            server.registry().activate(active);
+        }
+        let mut ctl = self.control.lock().expect("router lock poisoned");
+        for (&tenant, &weight) in &ctl.weights {
+            server.set_tenant_weight(tenant, weight);
+        }
+        let id = topo.next_id;
+        topo.next_id += 1;
+        topo.ring.add(id);
+        topo.slots.push(ShardSlot { id, server });
+        // Re-derive the fleet ladder over the grown capacity and settle
+        // it on the rung the current depth calls for.
+        let shards = topo.slots.len();
+        let depth: usize = topo.slots.iter().map(|s| s.server.queue_depth()).sum();
+        ctl.ladder = Self::fleet_ladder(&self.config.shard, shards);
+        ctl.ladder.observe(depth);
+        id
+    }
+
+    /// Removes a shard by id: its queued requests are drained (answered)
+    /// first, then its vnodes leave the ring — keys it owned reassign to
+    /// their ring successors and recompute on first touch; every other
+    /// key keeps its shard. Returns `false` for an unknown id or when it
+    /// is the last shard.
+    pub fn remove_shard(&self, id: u32) -> bool {
+        let server = {
+            let topo = self.topo.lock().expect("router lock poisoned");
+            if topo.slots.len() <= 1 {
+                return false;
+            }
+            match topo.slots.iter().find(|s| s.id == id) {
+                Some(s) => Arc::clone(&s.server),
+                None => return false,
+            }
+        };
+        // Drain outside the topology lock: queued work is answered on
+        // the normal (clock-charging) path before the shard leaves.
+        server.drain();
+        let mut topo = self.topo.lock().expect("router lock poisoned");
+        // Re-check: a concurrent remove may have emptied the fleet.
+        if topo.slots.len() <= 1 {
+            return false;
+        }
+        let Some(at) = topo.slots.iter().position(|s| s.id == id) else {
+            return false;
+        };
+        topo.slots.remove(at);
+        topo.ring.remove(id);
+        let shards = topo.slots.len();
+        let depth: usize = topo.slots.iter().map(|s| s.server.queue_depth()).sum();
+        let mut ctl = self.control.lock().expect("router lock poisoned");
+        ctl.ladder = Self::fleet_ladder(&self.config.shard, shards);
+        ctl.ladder.observe(depth);
+        true
+    }
+
+    /// A consistent fleet-wide stats snapshot.
+    pub fn stats(&self) -> RouterStats {
+        let shards = self.live_shards();
+        let per_shard: Vec<(u32, ServerStats)> =
+            shards.iter().map(|(id, s)| (*id, s.stats())).collect();
+        let ctl = self.control.lock().expect("router lock poisoned");
+        let completed: u64 = per_shard.iter().map(|(_, s)| s.completed).sum();
+        let submitted: u64 = per_shard.iter().map(|(_, s)| s.submitted).sum();
+        let sim_elapsed_ns = self.clock.now_ns().saturating_sub(self.start_ns);
+        let sim_elapsed_s = sim_elapsed_ns as f64 / 1e9;
+        RouterStats {
+            shards: per_shard.len(),
+            rounds: ctl.rounds,
+            completed,
+            submitted,
+            rejected_router_overloaded: ctl.rejected_overloaded,
+            rejected_router_over_share: ctl.rejected_over_share,
+            rejected_router_deferred: ctl.rejected_deferred,
+            routed_per_shard: per_shard
+                .iter()
+                .map(|(id, _)| (*id, ctl.routed.get(id).copied().unwrap_or(0)))
+                .collect(),
+            sim_elapsed_ns,
+            throughput_rows_per_s: if sim_elapsed_s > 0.0 {
+                completed as f64 / sim_elapsed_s
+            } else {
+                0.0
+            },
+            p99_ms: per_shard.iter().map(|(_, s)| s.p99_ms).fold(0.0, f64::max),
+            per_shard,
+        }
+    }
+
+    /// Hot-swaps `model` across the fleet one shard at a time, guarded
+    /// by probe measurements: each shard is probed before and after its
+    /// swap, and if its post-swap probe error or latency regresses past
+    /// `criteria`, the rollout stops and **every already-swapped shard
+    /// rolls back** to the version it served before — the fleet is
+    /// never left mixed. Probes are submitted directly to the shard
+    /// under test (bypassing the ring) and drained on the normal
+    /// clock-charging path, so a rollout costs simulated time like any
+    /// other traffic.
+    pub fn staged_rollout(
+        &self,
+        model: impl Into<ServedModel>,
+        criteria: &RolloutCriteria,
+    ) -> RolloutReport {
+        assert_eq!(
+            criteria.probes.len(),
+            criteria.targets.len(),
+            "one target per probe"
+        );
+        assert!(!criteria.probes.is_empty(), "rollout needs probes");
+        let model: ServedModel = model.into();
+        let shards = self.live_shards();
+        let mut swapped: Vec<(Arc<Server>, ModelVersion)> = Vec::new();
+        let mut report = RolloutReport {
+            succeeded: true,
+            rolled_back: false,
+            shards: Vec::with_capacity(shards.len()),
+        };
+        for (id, server) in &shards {
+            let prev = server
+                .registry()
+                .active()
+                .map(|(v, _)| v)
+                .expect("rollout over an undeployed fleet");
+            let (pre_error, pre_latency_ns) = self.probe(server, criteria);
+            let version = server.deploy(model.clone());
+            let (post_error, post_latency_ns) = self.probe(server, criteria);
+            let error_regressed =
+                post_error > pre_error * (1.0 + criteria.max_error_regression) + 1e-12;
+            let latency_regressed =
+                post_latency_ns > pre_latency_ns * (1.0 + criteria.max_latency_regression) + 1e-9;
+            let ok = !error_regressed && !latency_regressed;
+            report.shards.push(ShardSwap {
+                shard: *id,
+                version,
+                pre_error,
+                post_error,
+                pre_latency_ns,
+                post_latency_ns,
+                swapped: ok,
+            });
+            if ok {
+                swapped.push((Arc::clone(server), prev));
+            } else {
+                // Automatic rollback: this shard and every shard already
+                // swapped return to their pre-rollout versions.
+                server.registry().activate(prev);
+                for (s, v) in &swapped {
+                    s.registry().activate(*v);
+                }
+                report.succeeded = false;
+                report.rolled_back = true;
+                report.shards.last_mut().expect("just pushed").swapped = false;
+                return report;
+            }
+        }
+        report
+    }
+
+    /// Runs the criteria's probe set against one shard, returning
+    /// (mean |prediction − target|, mean latency in ns).
+    fn probe(&self, server: &Arc<Server>, criteria: &RolloutCriteria) -> (f64, f64) {
+        let mut handles = Vec::with_capacity(criteria.probes.len());
+        for probe in &criteria.probes {
+            handles.push(
+                server
+                    .submit_as(TenantId::DEFAULT, probe.clone(), None)
+                    .expect("probe admission"),
+            );
+        }
+        server.drain();
+        let mut err_sum = 0.0;
+        let mut lat_sum = 0.0;
+        let n = handles.len() as f64;
+        for (handle, target) in handles.into_iter().zip(&criteria.targets) {
+            let response = handle.wait().expect("probe served");
+            err_sum += (response.prediction.as_f64() - target).abs();
+            lat_sum += response.latency_ns as f64;
+        }
+        (err_sum / n, lat_sum / n)
+    }
+}
+
+/// Probe set and regression tolerances guarding a staged rollout.
+#[derive(Clone, Debug)]
+pub struct RolloutCriteria {
+    /// Probe inputs submitted to each shard before and after its swap.
+    pub probes: Vec<Vec<f64>>,
+    /// Reference outputs the probes are scored against (mean absolute
+    /// error, pre vs post).
+    pub targets: Vec<f64>,
+    /// Allowed relative increase in probe error after the swap (0.10 =
+    /// 10% worse tolerated).
+    pub max_error_regression: f64,
+    /// Allowed relative increase in mean probe latency after the swap.
+    pub max_latency_regression: f64,
+}
+
+/// One shard's before/after measurements in a [`RolloutReport`].
+#[derive(Clone, Debug)]
+pub struct ShardSwap {
+    /// The shard's stable id.
+    pub shard: u32,
+    /// The version the new model deployed as on this shard.
+    pub version: ModelVersion,
+    /// Mean |prediction − target| over the probes before the swap.
+    pub pre_error: f64,
+    /// Mean probe error after the swap.
+    pub post_error: f64,
+    /// Mean probe latency before the swap (simulated ns).
+    pub pre_latency_ns: f64,
+    /// Mean probe latency after the swap (simulated ns).
+    pub post_latency_ns: f64,
+    /// Whether the shard ended the rollout on the new version.
+    pub swapped: bool,
+}
+
+/// What a [`Router::staged_rollout`] did.
+#[derive(Clone, Debug)]
+pub struct RolloutReport {
+    /// Every shard swapped and stayed swapped.
+    pub succeeded: bool,
+    /// A regression tripped and the fleet was rolled back.
+    pub rolled_back: bool,
+    /// Per-shard measurements, in rollout order (stops at the failing
+    /// shard).
+    pub shards: Vec<ShardSwap>,
+}
+
+/// A fleet-wide stats snapshot (see [`Router::stats`]).
+#[derive(Clone, Debug)]
+pub struct RouterStats {
+    /// Live shard count.
+    pub shards: usize,
+    /// Scatter/gather rounds that dispatched at least one request.
+    pub rounds: u64,
+    /// Requests answered with a prediction, fleet-wide.
+    pub completed: u64,
+    /// Requests admitted past shard queue doors, fleet-wide.
+    pub submitted: u64,
+    /// Requests shed by the router's aggregated global-shed rung.
+    pub rejected_router_overloaded: u64,
+    /// Requests shed by the router's fleet-wide fair-share check.
+    pub rejected_router_over_share: u64,
+    /// Slack requests deferred by the router's aggregated ladder.
+    pub rejected_router_deferred: u64,
+    /// Requests forwarded per shard id (routing balance).
+    pub routed_per_shard: Vec<(u32, u64)>,
+    /// Simulated time elapsed since router construction (ns).
+    pub sim_elapsed_ns: u64,
+    /// Completed rows per simulated second, fleet-wide.
+    pub throughput_rows_per_s: f64,
+    /// Conservative fleet p99 (the worst shard's p99, simulated ms).
+    pub p99_ms: f64,
+    /// Per-shard (id, stats) snapshots.
+    pub per_shard: Vec<(u32, ServerStats)>,
+}
+
+impl RouterStats {
+    /// Routing imbalance: the hottest shard's forwarded-request count
+    /// over the fleet mean (1.0 = perfectly balanced). A consistent-hash
+    /// ring with enough vnodes keeps this near 1 under uniform keys.
+    pub fn shard_imbalance(&self) -> f64 {
+        let n = self.routed_per_shard.len();
+        if n == 0 {
+            return 1.0;
+        }
+        let total: u64 = self.routed_per_shard.iter().map(|(_, c)| c).sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let mean = total as f64 / n as f64;
+        let max = self
+            .routed_per_shard
+            .iter()
+            .map(|&(_, c)| c as f64)
+            .fold(0.0, f64::max);
+        max / mean
+    }
+
+    /// Total router-door rejections (before any shard was consulted).
+    pub fn rejected_router_total(&self) -> u64 {
+        self.rejected_router_overloaded
+            + self.rejected_router_over_share
+            + self.rejected_router_deferred
+    }
+}

@@ -34,6 +34,33 @@
 //! model would return, for any batch composition, tenant mix, cache
 //! state, or thread count. Only *when* a response arrives depends on
 //! load — and that is measured on the deterministic [`SimClock`].
+//!
+//! ```
+//! use pvqnn::features::FeatureBackend;
+//! use pvqnn::model::RegressorMode;
+//! use pvqnn::{FeatureGenerator, PostVarRegressor, Strategy};
+//! use serve::{Server, ServerConfig};
+//!
+//! let data: Vec<Vec<f64>> = (0..8)
+//!     .map(|i| (0..16).map(|j| 0.3 + 0.1 * ((i + j) % 5) as f64).collect())
+//!     .collect();
+//! let y: Vec<f64> = (0..8).map(|i| i as f64).collect();
+//! let generator = FeatureGenerator::new(
+//!     Strategy::observable_construction(4, 1),
+//!     FeatureBackend::Exact,
+//! );
+//! let model = PostVarRegressor::fit(generator, &data, &y, RegressorMode::Ridge(1e-6));
+//!
+//! let server = Server::new(ServerConfig::default());
+//! server.deploy(model.clone());
+//! // Submit, drive one batch, and the prediction is bit-for-bit what a
+//! // lone `predict` call returns — batching is invisible in outputs.
+//! let handle = server.submit(data[5].clone()).unwrap();
+//! assert_eq!(server.step(), 1);
+//! let response = handle.wait().unwrap();
+//! assert_eq!(response.prediction.as_f64(), model.predict(&data[5..6])[0]);
+//! assert!(response.latency_ns > 0, "latency measured on the sim clock");
+//! ```
 
 use crate::admission::{AdmissionController, BrownoutLevel, Rejected, TenantId};
 use crate::cache::FeatureCache;
@@ -271,8 +298,19 @@ impl Server {
 
     /// A server computing cache misses on the given engine.
     pub fn with_engine(config: ServerConfig, engine: FeatureEngine) -> Self {
+        Self::with_engine_and_clock(config, engine, SimClock::new())
+    }
+
+    /// A server sharing an externally owned [`SimClock`] — how the
+    /// sharded [`crate::Router`] keeps its whole fleet on one simulated
+    /// timeline. Handles into `clock` remain valid: `SimClock` clones
+    /// share state.
+    pub fn with_engine_and_clock(
+        config: ServerConfig,
+        engine: FeatureEngine,
+        clock: SimClock,
+    ) -> Self {
         assert!(config.max_batch > 0, "max_batch must be positive");
-        let clock = SimClock::new();
         let start_ns = clock.now_ns();
         Server {
             registry: ModelRegistry::new(),
@@ -329,6 +367,16 @@ impl Server {
     /// Total requests currently queued (all tenants).
     pub fn queue_depth(&self) -> usize {
         self.state.lock().expect("server lock poisoned").len
+    }
+
+    /// One tenant's currently queued request count. The sharded router
+    /// sums this across its fleet to run fleet-wide fair-share checks.
+    pub fn tenant_depth(&self, tenant: TenantId) -> usize {
+        self.state
+            .lock()
+            .expect("server lock poisoned")
+            .admission
+            .depth_of(tenant)
     }
 
     /// The brownout-ladder rung admission currently sits on.
@@ -556,16 +604,36 @@ impl Server {
     /// terminates precisely when no work is left even if a whole batch
     /// expired on its deadlines.
     pub fn step(&self) -> usize {
+        self.step_with(None).0
+    }
+
+    /// Like [`Self::step`], but *defers* the simulated-time charge: the
+    /// batch cost is computed and completion timestamps are stamped at
+    /// `now + cost + extra_latency_ns` **without advancing the shared
+    /// clock**, and the cost is returned alongside the dispatch count.
+    ///
+    /// This is the sharded drive primitive: the [`crate::Router`] steps
+    /// every shard once per round and then advances the shared clock by
+    /// the *maximum* shard cost (plus network/coordination overhead) —
+    /// shards run in parallel in simulated time, so their batch costs
+    /// must not serialize on the clock. `extra_latency_ns` is the
+    /// network detour each response takes (router→shard→router hops),
+    /// visible in request latency but not in shard compute cost.
+    pub fn step_deferred(&self, extra_latency_ns: u64) -> (usize, u64) {
+        self.step_with(Some(extra_latency_ns))
+    }
+
+    fn step_with(&self, defer_extra_ns: Option<u64>) -> (usize, u64) {
         let batch: Vec<Pending> = {
             let mut state = self.state.lock().expect("server lock poisoned");
             self.form_batch(&mut state)
         };
         if batch.is_empty() {
-            return 0;
+            return (0, 0);
         }
         let dispatched = batch.len();
-        self.run_batch(batch);
-        dispatched
+        let cost_ns = self.run_batch(batch, defer_extra_ns);
+        (dispatched, cost_ns)
     }
 
     /// Serves micro-batches until the queue is empty; returns the total
@@ -581,15 +649,19 @@ impl Server {
         }
     }
 
-    /// Executes one formed micro-batch end to end. The active model is
-    /// resolved exactly once, here — a concurrent deploy affects only
-    /// batches formed later (hot-swap: the old version drains).
-    fn run_batch(&self, batch: Vec<Pending>) {
+    /// Executes one formed micro-batch end to end and returns its
+    /// simulated cost in ns. The active model is resolved exactly once,
+    /// here — a concurrent deploy affects only batches formed later
+    /// (hot-swap: the old version drains). With `defer_extra_ns: None`
+    /// the cost is charged on the clock; with `Some(extra)` the clock is
+    /// left alone and completions are stamped `now + cost + extra` (see
+    /// [`Self::step_deferred`]).
+    fn run_batch(&self, batch: Vec<Pending>, defer_extra_ns: Option<u64>) -> u64 {
         let Some((version, model)) = self.registry.active() else {
             for p in batch {
                 let _ = p.tx.send(Err(Rejected::NoActiveModel));
             }
-            return;
+            return 0;
         };
         let now = self.clock.now_ns();
         // Requests were validated against the model active at *submit*
@@ -626,7 +698,7 @@ impl Server {
             }
         }
         if live.is_empty() {
-            return;
+            return 0;
         }
 
         // Cache phase: resolve hits, dedupe misses within the batch so
@@ -755,7 +827,7 @@ impl Server {
             }
         }
         if survivors.is_empty() {
-            return;
+            return 0;
         }
 
         // Head phase: one fused sweep over the whole micro-batch.
@@ -763,10 +835,14 @@ impl Server {
         let mat = Mat::from_rows(&dense);
         let predictions = model.predict_batch(&mat);
 
-        // Account simulated time once per batch, then respond.
-        let done = self
-            .clock
-            .advance_ns(self.config.cost.batch_cost_ns(survivors.len(), misses));
+        // Account simulated time once per batch, then respond. A
+        // deferred charge leaves the clock to the round driver and only
+        // stamps when this batch *would* finish.
+        let cost_ns = self.config.cost.batch_cost_ns(survivors.len(), misses);
+        let done = match defer_extra_ns {
+            None => self.clock.advance_ns(cost_ns),
+            Some(extra) => now.saturating_add(cost_ns).saturating_add(extra),
+        };
         let served = survivors.len();
         let mut stats = self.stats.lock().expect("server lock poisoned");
         stats.batches += 1;
@@ -791,6 +867,7 @@ impl Server {
                 cache_hit,
             }));
         }
+        cost_ns
     }
 
     /// A consistent stats snapshot.

@@ -1,0 +1,379 @@
+//! Integration tests for the sharded serving tier: consistent-hash
+//! stability under shard add/remove, sharded ≡ unsharded bit-identical
+//! predictions (runs under CI's `POSTVAR_NUM_THREADS = 1, 2, 4`
+//! matrix), staged-rollout rollback, fleet-wide aggregated admission,
+//! and the parallel-round sim-time accounting.
+
+use pvqnn::features::FeatureBackend;
+use pvqnn::model::RegressorMode;
+use pvqnn::{FeatureGenerator, PostVarRegressor, Strategy};
+use serve::{
+    demo_catalogue, Prediction, Rejected, Router, RouterConfig, Server, ServerConfig, TenantId,
+};
+
+fn regressor(scale: f64) -> PostVarRegressor {
+    let data = demo_catalogue(20);
+    let y: Vec<f64> = (0..20).map(|i| scale * (i as f64 * 0.37).sin()).collect();
+    let generator = FeatureGenerator::new(
+        Strategy::observable_construction(4, 1),
+        FeatureBackend::Exact,
+    );
+    PostVarRegressor::fit(generator, &data, &y, RegressorMode::Ridge(1e-6))
+}
+
+/// A deliberately bad model for rollback tests: trained on shuffled
+/// labels so its probe error is far worse than the incumbent's.
+fn broken_regressor() -> PostVarRegressor {
+    let data = demo_catalogue(20);
+    let y: Vec<f64> = (0..20).map(|i| 40.0 + (i % 3) as f64 * 13.0).collect();
+    let generator = FeatureGenerator::new(
+        Strategy::observable_construction(4, 1),
+        FeatureBackend::Exact,
+    );
+    PostVarRegressor::fit(generator, &data, &y, RegressorMode::Ridge(1e-6))
+}
+
+/// The tentpole guarantee: routing through N shards returns bit-for-bit
+/// the prediction a lone `predict` call (and hence a single unsharded
+/// server) produces, for every point, at whatever thread count the CI
+/// matrix pinned.
+#[test]
+fn sharded_predictions_match_unsharded_bitwise() {
+    let model = regressor(1.0);
+    let points = demo_catalogue(24);
+    for shards in [1, 2, 3, 5] {
+        let router = Router::new(RouterConfig {
+            shards,
+            ..RouterConfig::default()
+        });
+        router.deploy(model.clone());
+        // Unsharded reference server fed the identical stream.
+        let single = Server::new(ServerConfig::default());
+        single.deploy(model.clone());
+        let xs: Vec<&Vec<f64>> = (0..72).map(|i| &points[(i * 7) % 24]).collect();
+        let sharded: Vec<_> = xs
+            .iter()
+            .map(|x| router.submit((*x).clone()).expect("admitted"))
+            .collect();
+        let unsharded: Vec<_> = xs
+            .iter()
+            .map(|x| single.submit((*x).clone()).expect("admitted"))
+            .collect();
+        router.drain();
+        single.drain();
+        for ((x, s), u) in xs.iter().zip(sharded).zip(unsharded) {
+            let s = s.wait().expect("served sharded");
+            let u = u.wait().expect("served unsharded");
+            let lone = model.predict(std::slice::from_ref(*x))[0];
+            assert_eq!(s.prediction, Prediction::Value(lone), "{shards} shards");
+            assert_eq!(s.prediction, u.prediction, "sharded ≡ unsharded");
+        }
+    }
+}
+
+/// Consistent hashing: adding a shard to an N-shard fleet must leave at
+/// least (N−1)/N of keys on their original shard (the expected moved
+/// fraction is 1/(N+1)); removing it must restore the original
+/// assignment exactly, and must never move a key between two surviving
+/// shards.
+#[test]
+fn hash_ring_stability_under_add_and_remove() {
+    let points = demo_catalogue(257);
+    for shards in [2usize, 4, 8] {
+        let router = Router::new(RouterConfig {
+            shards,
+            ..RouterConfig::default()
+        });
+        let before: Vec<u32> = points.iter().map(|x| router.shard_for_point(x)).collect();
+        let new_id = router.add_shard();
+        let after: Vec<u32> = points.iter().map(|x| router.shard_for_point(x)).collect();
+        let mut moved = 0;
+        for (b, a) in before.iter().zip(&after) {
+            if a != b {
+                moved += 1;
+                assert_eq!(
+                    *a, new_id,
+                    "a key that moves on add may only move to the new shard"
+                );
+            }
+        }
+        let unmoved_floor =
+            (points.len() as f64 * (shards as f64 - 1.0) / shards as f64).floor() as usize;
+        assert!(
+            points.len() - moved >= unmoved_floor,
+            "{shards} shards: {moved}/{} keys moved on add (≥ (N−1)/N must stay)",
+            points.len()
+        );
+        assert!(moved > 0, "the new shard must take over some keys");
+        // Removing the shard restores the pre-add assignment exactly.
+        assert!(router.remove_shard(new_id));
+        let restored: Vec<u32> = points.iter().map(|x| router.shard_for_point(x)).collect();
+        assert_eq!(before, restored, "{shards} shards: remove must restore");
+    }
+}
+
+/// Shard placement is a pure function of the quantized key: two routers
+/// built with the same config agree on every assignment (FNV-1a, not a
+/// randomized hasher).
+#[test]
+fn shard_placement_is_deterministic_across_routers() {
+    let points = demo_catalogue(64);
+    let a = Router::new(RouterConfig {
+        shards: 6,
+        ..RouterConfig::default()
+    });
+    let b = Router::new(RouterConfig {
+        shards: 6,
+        ..RouterConfig::default()
+    });
+    for x in &points {
+        assert_eq!(a.shard_for_point(x), b.shard_for_point(x));
+    }
+}
+
+/// Requests actually land on the shard the ring names, and a request's
+/// cache rows therefore live on exactly one shard: re-submitting a
+/// point is a cache hit fleet-wide, with exactly one unique simulation.
+#[test]
+fn cache_locality_one_unique_simulation_per_point_fleet_wide() {
+    let model = regressor(1.0);
+    let router = Router::new(RouterConfig {
+        shards: 4,
+        ..RouterConfig::default()
+    });
+    router.deploy(model);
+    let points = demo_catalogue(16);
+    for round in 0..3 {
+        for x in &points {
+            let _ = router.submit(x.clone()).expect("admitted");
+        }
+        router.drain();
+        let _ = round;
+    }
+    let stats = router.stats();
+    let unique: u64 = stats
+        .per_shard
+        .iter()
+        .map(|(_, s)| s.unique_simulations)
+        .sum();
+    assert_eq!(
+        unique, 16,
+        "each distinct point must be simulated exactly once across the whole fleet"
+    );
+    assert_eq!(stats.completed, 48);
+}
+
+/// Staged rollout, happy path: every shard swaps to the new version and
+/// serves its predictions afterwards.
+#[test]
+fn staged_rollout_swaps_every_shard() {
+    let v1 = regressor(1.0);
+    let v2 = regressor(1.02);
+    let router = Router::new(RouterConfig {
+        shards: 3,
+        ..RouterConfig::default()
+    });
+    router.deploy(v1);
+    let probes = demo_catalogue(6);
+    let targets: Vec<f64> = v2.predict(&probes);
+    let report = router.staged_rollout(
+        v2.clone(),
+        &serve::RolloutCriteria {
+            probes: probes.clone(),
+            targets,
+            max_error_regression: 0.10,
+            max_latency_regression: 0.50,
+        },
+    );
+    assert!(report.succeeded, "near-identical retrain must roll out");
+    assert!(!report.rolled_back);
+    assert_eq!(report.shards.len(), 3);
+    assert!(report.shards.iter().all(|s| s.swapped));
+    // The fleet now serves v2's predictions.
+    let h = router.submit(probes[0].clone()).unwrap();
+    router.drain();
+    let served = h.wait().unwrap();
+    assert_eq!(
+        served.prediction,
+        Prediction::Value(v2.predict(&probes[..1])[0])
+    );
+}
+
+/// Staged rollout, regression path: the first shard's post-swap probe
+/// error explodes → the rollout stops, the fleet rolls back, and every
+/// shard still serves the incumbent version's predictions bit-for-bit.
+#[test]
+fn staged_rollout_rolls_back_on_regression_and_fleet_keeps_serving_v1() {
+    let v1 = regressor(1.0);
+    let router = Router::new(RouterConfig {
+        shards: 4,
+        ..RouterConfig::default()
+    });
+    router.deploy(v1.clone());
+    let probes = demo_catalogue(6);
+    // Targets are what v1 predicts: the broken candidate regresses hard.
+    let targets: Vec<f64> = v1.predict(&probes);
+    let report = router.staged_rollout(
+        broken_regressor(),
+        &serve::RolloutCriteria {
+            probes: probes.clone(),
+            targets,
+            max_error_regression: 0.10,
+            max_latency_regression: 0.50,
+        },
+    );
+    assert!(!report.succeeded);
+    assert!(report.rolled_back);
+    assert_eq!(
+        report.shards.len(),
+        1,
+        "rollout must stop at the first regressing shard"
+    );
+    assert!(!report.shards[0].swapped);
+    // Every shard is back on v1 (the unaffected shards were never
+    // swapped; the probed one rolled back)...
+    for id in router.shard_ids() {
+        let shard = router.shard(id).unwrap();
+        let (active, _) = shard.registry().active().unwrap();
+        assert_eq!(active, serve::ModelVersion(1), "shard {id} active version");
+    }
+    // ...and fleet traffic still gets v1's exact predictions.
+    let points = demo_catalogue(12);
+    let handles: Vec<_> = points
+        .iter()
+        .map(|x| router.submit(x.clone()).unwrap())
+        .collect();
+    router.drain();
+    for (x, h) in points.iter().zip(handles) {
+        let served = h.wait().unwrap();
+        assert_eq!(
+            served.prediction,
+            Prediction::Value(v1.predict(std::slice::from_ref(x))[0])
+        );
+    }
+}
+
+/// The router's aggregated admission: a tenant flooding the fleet past
+/// the summed high-water mark is shed at the router door with a
+/// fleet-level fair-share verdict, while a well-behaved tenant keeps
+/// being admitted — before any shard's local ladder trips.
+#[test]
+fn router_door_sheds_fleet_wide_flooder_but_admits_victim() {
+    let model = regressor(1.0);
+    // Tiny queues so the fleet ladder trips quickly: capacity 8·2=16,
+    // summed high water 4·2=8, fleet drain target 4.
+    let router = Router::new(RouterConfig {
+        shards: 2,
+        shard: ServerConfig {
+            queue_capacity: 8,
+            high_water: 4,
+            ..ServerConfig::default()
+        },
+        ..RouterConfig::default()
+    });
+    router.deploy(model);
+    let flooder = TenantId(7);
+    let victim = TenantId(8);
+    router.set_tenant_weight(flooder, 1);
+    router.set_tenant_weight(victim, 1);
+    let points = demo_catalogue(64);
+    let mut over_share = 0;
+    for x in points.iter().take(32) {
+        match router.submit_for(flooder, x.clone()) {
+            Ok(_) => {}
+            Err(Rejected::TenantOverShare { tenant, .. }) => {
+                assert_eq!(tenant, flooder);
+                over_share += 1;
+            }
+            Err(other) => panic!("unexpected rejection {other:?}"),
+        }
+    }
+    assert!(over_share > 0, "the flooder must be shed at the router");
+    // The victim's fleet-wide depth is zero: it gets in.
+    assert!(router.submit_for(victim, points[40].clone()).is_ok());
+    let shed = router.stats().rejected_router_over_share;
+    assert_eq!(shed, over_share, "router counters track door sheds");
+    router.drain();
+}
+
+/// Parallel-round time accounting: a round's clock advance is the
+/// *maximum* shard batch cost plus overhead, not the sum — so a fleet
+/// saturated with warm cache hits beats a single server on simulated
+/// throughput, and the whole run is deterministic (two identical runs,
+/// identical stats).
+#[test]
+fn rounds_charge_max_shard_cost_and_runs_are_deterministic() {
+    let run = || {
+        let model = regressor(1.0);
+        let router = Router::new(RouterConfig {
+            shards: 4,
+            ..RouterConfig::default()
+        });
+        router.deploy(model);
+        let points = demo_catalogue(32);
+        // Warm every shard's cache, then measure a saturated wave.
+        for x in &points {
+            let _ = router.submit(x.clone()).unwrap();
+        }
+        router.drain();
+        let warm_start = router.clock().now_ns();
+        for wave in 0..8 {
+            for x in &points {
+                let _ = router.submit(x.clone()).unwrap();
+            }
+            router.drain();
+            let _ = wave;
+        }
+        let elapsed = router.clock().now_ns() - warm_start;
+        (elapsed, router.stats().completed, router.stats().rounds)
+    };
+    let (elapsed_a, completed_a, rounds_a) = run();
+    let (elapsed_b, completed_b, rounds_b) = run();
+    assert_eq!(elapsed_a, elapsed_b, "sim time is deterministic");
+    assert_eq!(completed_a, completed_b);
+    assert_eq!(rounds_a, rounds_b);
+    // 8 waves × 32 warm rows on 4 shards: if shard costs serialized the
+    // warm waves alone would cost ≥ 8 waves × 4 batches × 82 µs ≈ 2.6 ms.
+    // Parallel rounds must come in well under that.
+    assert!(
+        elapsed_a < 2_300_000,
+        "parallel rounds must not serialize shard costs (got {elapsed_a} ns)"
+    );
+}
+
+/// Removing a shard answers its queued requests before the vnodes leave
+/// the ring, and the fleet keeps serving afterwards.
+#[test]
+fn remove_shard_drains_then_reroutes() {
+    let model = regressor(1.0);
+    let router = Router::new(RouterConfig {
+        shards: 3,
+        ..RouterConfig::default()
+    });
+    router.deploy(model.clone());
+    let points = demo_catalogue(24);
+    let handles: Vec<_> = points
+        .iter()
+        .map(|x| router.submit(x.clone()).unwrap())
+        .collect();
+    let doomed = router.shard_ids()[1];
+    assert!(router.remove_shard(doomed));
+    router.drain();
+    for (x, h) in points.iter().zip(handles) {
+        let served = h.wait().expect("queued request answered despite removal");
+        assert_eq!(
+            served.prediction,
+            Prediction::Value(model.predict(std::slice::from_ref(x))[0])
+        );
+    }
+    assert_eq!(router.num_shards(), 2);
+    assert!(!router.remove_shard(doomed), "already gone");
+    // Post-removal traffic still round-trips.
+    let h = router.submit(points[0].clone()).unwrap();
+    router.drain();
+    assert!(h.wait().is_ok());
+    // The last shard can never be removed.
+    let ids = router.shard_ids();
+    assert!(router.remove_shard(ids[0]));
+    assert!(!router.remove_shard(router.shard_ids()[0]));
+}

@@ -1,0 +1,141 @@
+//! Scale-out serving demo: a consistent-hash [`Router`] fronting four
+//! shard servers on one simulated clock — cache-local routing, a
+//! fleet-wide brownout ladder, staged shard-by-shard rollout with
+//! automatic rollback, and hash-ring rebalancing on shard add.
+//!
+//! Run: `cargo run --release --example sharded_demo`
+
+use pvqnn::features::FeatureBackend;
+use pvqnn::model::RegressorMode;
+use pvqnn::{FeatureGenerator, PostVarRegressor, Strategy};
+use serve::{demo_catalogue, Prediction, RolloutCriteria, Router, RouterConfig, ServerConfig};
+
+fn fit(points: &[Vec<f64>], scale: f64) -> PostVarRegressor {
+    let y: Vec<f64> = (0..points.len())
+        .map(|i| scale * (i as f64 * 0.37).sin())
+        .collect();
+    let generator = FeatureGenerator::new(
+        Strategy::observable_construction(4, 1),
+        FeatureBackend::Exact,
+    );
+    PostVarRegressor::fit(generator, points, &y, RegressorMode::Ridge(1e-6))
+}
+
+fn main() {
+    println!("== sharded serving behind a consistent-hash router ==\n");
+
+    let points = demo_catalogue(24);
+    let v1 = fit(&points, 1.0);
+    let expected: Vec<Prediction> = points
+        .iter()
+        .map(|p| Prediction::Value(v1.predict(std::slice::from_ref(p))[0]))
+        .collect();
+
+    let router = Router::new(RouterConfig {
+        shards: 4,
+        shard: ServerConfig {
+            default_deadline_ns: 0,
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+    router.deploy(v1.clone());
+
+    // Each quantized data point hashes to exactly one shard, so its
+    // cached feature rows live in exactly one place fleet-wide.
+    println!("consistent-hash placement of the 24-point catalogue:");
+    let mut per_shard = [0usize; 4];
+    for p in &points {
+        per_shard[router.shard_for_point(p) as usize] += 1;
+    }
+    for (shard, count) in per_shard.iter().enumerate() {
+        println!("  shard {shard}: {count} points");
+    }
+
+    // Serve every point three times; predictions must be bit-for-bit
+    // what a lone `predict` call returns, and the fleet-wide cache must
+    // simulate each unique point exactly once.
+    let mut handles = Vec::new();
+    for round in 0..3 {
+        for (i, p) in points.iter().enumerate() {
+            handles.push((i, round, router.submit(p.clone()).expect("admitted")));
+        }
+    }
+    router.drain();
+    for (i, _, h) in handles {
+        let r = h.wait().expect("served");
+        assert_eq!(r.prediction, expected[i], "sharding must be invisible");
+    }
+    let stats = router.stats();
+    println!(
+        "\nserved {} rows in {:.2} simulated ms across {} rounds",
+        stats.completed,
+        stats.sim_elapsed_ns as f64 / 1e6,
+        stats.rounds
+    );
+    let unique: u64 = stats
+        .per_shard
+        .iter()
+        .map(|(_, s)| s.unique_simulations)
+        .sum();
+    println!(
+        "fleet-wide cache locality: {unique} unique simulations for {} rows (one per point)",
+        stats.completed
+    );
+    println!(
+        "shard imbalance: {:.3} (max routed / mean)",
+        stats.shard_imbalance()
+    );
+    assert_eq!(unique as usize, points.len());
+
+    // Staged rollout of a good candidate: probe each shard before and
+    // after its swap; every shard passes, the fleet converges on v2.
+    let v2 = fit(&points, 1.02);
+    let probes: Vec<Vec<f64>> = points.iter().take(8).cloned().collect();
+    let criteria = RolloutCriteria {
+        targets: v2.predict(&probes),
+        probes,
+        max_error_regression: 0.10,
+        max_latency_regression: 0.50,
+    };
+    let report = router.staged_rollout(v2, &criteria);
+    println!(
+        "\nstaged rollout of v2: {} shards swapped, rolled_back = {}",
+        report.shards.iter().filter(|s| s.swapped).count(),
+        report.rolled_back
+    );
+    assert!(report.succeeded);
+
+    // Staged rollout of a broken candidate: the first shard's post-swap
+    // probe regresses, the rollout stops and rolls every shard back.
+    let broken = fit(&points, 25.0);
+    let report = router.staged_rollout(broken, &criteria);
+    println!(
+        "staged rollout of a broken model: stopped after shard {}, rolled_back = {}",
+        report.shards.len() - 1,
+        report.rolled_back
+    );
+    assert!(!report.succeeded && report.rolled_back);
+
+    // Elastic rebalance: adding a shard moves only the keys the ring
+    // assigns to it — every other point keeps its shard (and its cache).
+    let before: Vec<u32> = points.iter().map(|p| router.shard_for_point(p)).collect();
+    let new_shard = router.add_shard();
+    let moved = points
+        .iter()
+        .zip(&before)
+        .filter(|(p, &old)| router.shard_for_point(p) != old)
+        .count();
+    println!(
+        "\nadded shard {new_shard}: {moved} of {} points migrated, {} stayed put",
+        points.len(),
+        points.len() - moved
+    );
+    assert!(
+        moved <= points.len().div_ceil(4),
+        "ring must move ≤ ~1/N of keys"
+    );
+
+    println!("\nPASS: cache-local routing, bit-identical predictions, staged rollout");
+    println!("with automatic rollback, and minimal-migration rebalancing all hold.");
+}

@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# Verifies every intra-repo markdown link in the doc set:
+#   - relative file links must point at files that exist
+#   - anchor links (#fragment) must match a heading in the target file
+# External (http/https/mailto) links are skipped — CI must not depend
+# on the network. Run from anywhere; paths resolve from the repo root.
+#
+# Usage: tools/check_links.sh [file.md ...]   (defaults to the doc set)
+
+set -u
+cd "$(dirname "$0")/.."
+
+files=("$@")
+if [ ${#files[@]} -eq 0 ]; then
+    files=(README.md ARCHITECTURE.md ROADMAP.md CHANGES.md PAPER.md)
+fi
+
+# Lowercase a heading, drop everything but letters/digits/spaces/
+# hyphens, then hyphenate spaces — GitHub's anchor slug algorithm,
+# close enough for the ASCII headings this repo uses.
+slugify() {
+    printf '%s' "$1" |
+        tr '[:upper:]' '[:lower:]' |
+        sed -e 's/[^a-z0-9 -]//g' -e 's/ /-/g'
+}
+
+# All heading slugs of a markdown file, one per line.
+anchors_of() {
+    local line
+    while IFS= read -r line; do
+        line="${line###}"
+        line="${line###}"
+        line="${line##\#}"
+        line="${line## }"
+        slugify "$line"
+        echo
+    done < <(grep -E '^#{1,6} ' "$1" | sed -E 's/^#{1,6} //')
+}
+
+failures=0
+
+for file in "${files[@]}"; do
+    if [ ! -f "$file" ]; then
+        echo "MISSING DOC: $file"
+        failures=$((failures + 1))
+        continue
+    fi
+    dir=$(dirname "$file")
+    # Extract inline link targets: ](target). Reference-style links and
+    # bare URLs are not used in this doc set.
+    while IFS= read -r target; do
+        case "$target" in
+        http://* | https://* | mailto:*) continue ;;
+        esac
+        path="${target%%#*}"
+        fragment=""
+        case "$target" in
+        *'#'*) fragment="${target#*#}" ;;
+        esac
+        if [ -n "$path" ]; then
+            resolved="$dir/$path"
+            if [ ! -e "$resolved" ]; then
+                echo "$file: broken link -> $target (no such file: $resolved)"
+                failures=$((failures + 1))
+                continue
+            fi
+            anchor_file="$resolved"
+        else
+            anchor_file="$file"
+        fi
+        if [ -n "$fragment" ]; then
+            case "$anchor_file" in
+            *.md) ;;
+            *) continue ;; # anchors into non-markdown files: skip
+            esac
+            if ! anchors_of "$anchor_file" | grep -qx "$fragment"; then
+                echo "$file: broken anchor -> $target (no heading slug '$fragment' in $anchor_file)"
+                failures=$((failures + 1))
+            fi
+        fi
+    done < <(grep -oE '\]\([^)]+\)' "$file" | sed -E 's/^\]\(//; s/\)$//; s/ "[^"]*"$//')
+done
+
+if [ "$failures" -gt 0 ]; then
+    echo "link check FAILED: $failures broken link(s)"
+    exit 1
+fi
+echo "link check passed: all intra-repo markdown links resolve (${files[*]})"
